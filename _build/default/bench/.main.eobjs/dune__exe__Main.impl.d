@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Eds Eds_engine Eds_esql Eds_lera Eds_rewriter Eds_value Fmt Hashtbl Instance List Measure Report Staged Sys Test Time Toolkit Workloads

@@ -1,0 +1,1 @@
+bench/report.ml: Eds Eds_engine Eds_esql Eds_lera Eds_rewriter Eds_term Eds_value Fmt List String Workloads

@@ -1,0 +1,1 @@
+bench/workloads.ml: Array Eds Eds_engine Eds_lera Eds_value Fmt List

@@ -1,0 +1,191 @@
+(* Benchmark harness.
+
+   Running `dune exec bench/main.exe` prints (1) the deterministic
+   per-figure experiment report (work counters — see EXPERIMENTS.md) and
+   (2) Bechamel wall-clock benchmarks, one per experiment.  Pass
+   `--report-only` or `--bechamel-only` to restrict. *)
+
+open Bechamel
+open Toolkit
+
+module Lera = Eds_lera.Lera
+module Eval = Eds_engine.Eval
+module Database = Eds_engine.Database
+module Rule = Eds_rewriter.Rule
+module Rulesets = Eds_rewriter.Rulesets
+module Optimizer = Eds_rewriter.Optimizer
+module Session = Eds.Session
+
+(* -- bechamel test cases ------------------------------------------------ *)
+
+let t_collections =
+  let elems = List.init 500 (fun i -> Eds_value.Value.Int i) in
+  let a = Eds_value.Value.set elems in
+  let b = Eds_value.Value.set (List.init 500 (fun i -> Eds_value.Value.Int (i + 250))) in
+  Test.make ~name:"fig1/set union+inter (500 elems)"
+    (Staged.stage (fun () ->
+         ignore (Eds_value.Collection.union a b);
+         ignore (Eds_value.Collection.inter a b)))
+
+let fig3_query =
+  {|SELECT Title, Categories, Salary(Refactor)
+    FROM FILM, APPEARS_IN
+    WHERE FILM.Numf = APPEARS_IN.Numf AND Name(Refactor) = 'actor1'
+      AND MEMBER('Adventure', Categories)|}
+
+let t_translate =
+  let s = Workloads.film_session ~films:20 ~actors:10 in
+  Test.make ~name:"fig3/parse+translate+rewrite"
+    (Staged.stage (fun () -> ignore (Session.explain s fig3_query)))
+
+let t_fig4_eval =
+  let s = Workloads.film_session ~films:60 ~actors:30 in
+  let plan =
+    Session.explain s
+      {|SELECT Title FROM FilmActors
+        WHERE MEMBER('Adventure', Categories) AND ALL (Salary(Actors) > 10000)|}
+  in
+  let db = Session.database s in
+  Test.make ~name:"fig4/nested view query (60 films)"
+    (Staged.stage (fun () -> ignore (Eval.run db plan.Session.rewritten)))
+
+let t_fix_naive, t_fix_semi =
+  let db = Workloads.chain_db 20 in
+  ( Test.make ~name:"fig5/fixpoint naive (chain 20)"
+      (Staged.stage (fun () ->
+           ignore (Eval.run ~mode:Eval.Naive db Workloads.tc_fix))),
+    Test.make ~name:"fig5/fixpoint semi-naive (chain 20)"
+      (Staged.stage (fun () ->
+           ignore (Eval.run ~mode:Eval.Seminaive db Workloads.tc_fix))) )
+
+let t_merging =
+  let s = Workloads.view_stack_session ~depth:8 in
+  let cat = Session.catalog s in
+  let translated =
+    Eds_esql.Translate.select cat
+      (Eds_esql.Parser.parse_select "SELECT A FROM V8 WHERE B > 50")
+  in
+  let ctx = Optimizer.make_ctx (Eds_esql.Catalog.schema_env cat) in
+  let program =
+    { Rule.blocks = [ Rule.block "merging" (Rulesets.merging ()) ]; rounds = 1 }
+  in
+  Test.make ~name:"fig7/merge 8-view stack"
+    (Staged.stage (fun () -> ignore (Optimizer.rewrite ~program ctx translated)))
+
+let t_push_before, t_push_after =
+  let s = Workloads.film_session ~films:120 ~actors:60 in
+  let db = Session.database s in
+  let plan =
+    Session.explain s
+      {|SELECT Title FROM FILM, APPEARS_IN
+        WHERE FILM.Numf = APPEARS_IN.Numf AND FILM.Numf = 7|}
+  in
+  ( Test.make ~name:"fig8/join query unrewritten"
+      (Staged.stage (fun () -> ignore (Eval.run db plan.Session.translated))),
+    Test.make ~name:"fig8/join query rewritten"
+      (Staged.stage (fun () -> ignore (Eval.run db plan.Session.rewritten))) )
+
+let t_magic_before, t_magic_after =
+  let db = Workloads.clustered_db ~clusters:4 ~nodes:10 ~edges_per_cluster:18 in
+  let q = Workloads.reachable_from 2 in
+  let ctx = Optimizer.make_ctx (Database.schema_env db) in
+  let program =
+    {
+      Rule.blocks =
+        [
+          Rule.block "merging" (Rulesets.merging ());
+          Rule.block "fixpoint" (Rulesets.fixpoint ());
+          Rule.block "merging_again" (Rulesets.merging ());
+        ];
+      rounds = 1;
+    }
+  in
+  let q' = Optimizer.rewrite ~program ctx q in
+  ( Test.make ~name:"fig9/recursion unrewritten"
+      (Staged.stage (fun () -> ignore (Eval.run db q))),
+    Test.make ~name:"fig9/recursion magic-rewritten"
+      (Staged.stage (fun () -> ignore (Eval.run db q'))) )
+
+let t_semantic =
+  let ctx = Optimizer.make_ctx (Database.schema_env (Database.create ())) in
+  let t =
+    Eds_rewriter.Rule_parser.parse_term
+      "@(1,1) = @(1,2) AND @(1,2) = @(1,3) AND @(1,1) > 3 AND @(1,3) <= 3"
+  in
+  let program =
+    {
+      Rule.blocks =
+        [
+          Rule.block "semantic" ~limit:200 (Rulesets.semantic ());
+          Rule.block "simplification" (Rulesets.simplification ());
+        ];
+      rounds = 1;
+    }
+  in
+  Test.make ~name:"fig10-12/semantic+simplify pipeline"
+    (Staged.stage (fun () -> ignore (Optimizer.rewrite_term ~program ctx t)))
+
+let t_limits_zero, t_limits_inf =
+  let s = Workloads.film_session ~films:40 ~actors:20 in
+  let cat = Session.catalog s in
+  let translated =
+    Eds_esql.Translate.select cat
+      (Eds_esql.Parser.parse_select
+         {|SELECT Title FROM FilmActors WHERE MEMBER('Adventure', Categories)|})
+  in
+  let ctx = Optimizer.make_ctx (Eds_esql.Catalog.schema_env cat) in
+  let with_config config =
+    Staged.stage (fun () ->
+        ignore (Optimizer.rewrite ~program:(Optimizer.program ~config ()) ctx translated))
+  in
+  ( Test.make ~name:"c1/rewrite, all limits 0" (with_config Optimizer.zero_config),
+    Test.make ~name:"c1/rewrite, default limits" (with_config Optimizer.default_config) )
+
+let tests () =
+  [
+    t_collections;
+    t_translate;
+    t_fig4_eval;
+    t_fix_naive;
+    t_fix_semi;
+    t_merging;
+    t_push_before;
+    t_push_after;
+    t_magic_before;
+    t_magic_after;
+    t_semantic;
+    t_limits_zero;
+    t_limits_inf;
+  ]
+
+let run_bechamel () =
+  Fmt.pr "@.=== Bechamel wall-clock benchmarks (ns/run, OLS estimate)@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+  in
+  List.iter
+    (fun test ->
+      let grouped = Test.make_grouped ~name:"" ~fmt:"%s%s" [ test ] in
+      let raw = Benchmark.all cfg instances grouped in
+      Hashtbl.iter
+        (fun name m ->
+          let est = Analyze.one ols Instance.monotonic_clock m in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Fmt.pr "  %-40s %12.0f ns/run@." name ns
+          | Some other ->
+            Fmt.pr "  %-40s %a@." name (Fmt.list ~sep:Fmt.comma Fmt.float) other
+          | None -> Fmt.pr "  %-40s (no estimate)@." name)
+        raw)
+    (tests ())
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let report = not (List.mem "--bechamel-only" args) in
+  let bechamel = not (List.mem "--report-only" args) in
+  if report then Report.all ();
+  if bechamel then run_bechamel ();
+  Fmt.pr "@.done.@."

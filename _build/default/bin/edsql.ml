@@ -1,0 +1,231 @@
+(* edsql — an interactive shell and script runner for the EDS rewriter.
+
+   Statements are ESQL; shell directives start with a dot:
+     .explain SELECT …   show the LERA expression before/after rewriting
+     .trace SELECT …     show every rule application, in order
+     .rules              list the current rule program
+     .limits N           set every block limit to N (0 disables rewriting
+                         blocks; the §7 trade-off at the prompt)
+     .norewrite / .rewrite   toggle the rewriter
+     .constraint F(x) / ISA(x, T) --> F(x) AND …    declare a constraint
+     .save FILE / .load FILE   dump or restore the whole session
+     .check              termination warnings for the rule program (§4.2)
+     .quit *)
+
+module Session = Eds.Session
+module Relation = Eds.Session.Relation
+module Lera = Eds.Session.Lera
+module Rule = Eds.Session.Rule
+module Engine = Eds.Session.Engine
+module Optimizer = Eds.Session.Optimizer
+
+let print_result = function
+  | Session.Done -> Fmt.pr "ok@."
+  | Session.Inserted n -> Fmt.pr "%d tuple%s inserted@." n (if n = 1 then "" else "s")
+  | Session.Deleted n -> Fmt.pr "%d tuple%s deleted@." n (if n = 1 then "" else "s")
+  | Session.Updated n -> Fmt.pr "%d tuple%s updated@." n (if n = 1 then "" else "s")
+  | Session.Rows rel ->
+    Fmt.pr "%a(%d tuple%s)@." Relation.pp rel (Relation.cardinality rel)
+      (if Relation.cardinality rel = 1 then "" else "s")
+
+let print_plan session (p : Session.plan) =
+  let side label rel =
+    if Lera.operator_count rel <= 3 then
+      Fmt.pr "%s: %a@.            (%a)@." label Lera.pp rel Eds_lera.Cost.pp
+        (Session.estimate session rel)
+    else begin
+      Fmt.pr "%s: (%a)@.%a" label Eds_lera.Cost.pp (Session.estimate session rel)
+        Lera.pp_tree rel
+    end
+  in
+  side "translated" p.Session.translated;
+  side "rewritten " p.Session.rewritten;
+  Fmt.pr "rewriting : %a@." Engine.pp_stats p.Session.rewrite_stats
+
+let limits_config n =
+  let l = if n < 0 then None else Some n in
+  {
+    Optimizer.merging_limit = l;
+    fixpoint_limit = l;
+    permutation_limit = l;
+    semantic_limit = l;
+    simplification_limit = l;
+    rounds = 1;
+  }
+
+let handle_directive session line =
+  let strip prefix =
+    String.sub line (String.length prefix) (String.length line - String.length prefix)
+    |> String.trim
+  in
+  if String.equal line ".quit" || String.equal line ".exit" then `Quit
+  else if String.length line >= 8 && String.sub line 0 8 = ".explain" then begin
+    print_plan session (Session.explain session (strip ".explain"));
+    `Continue
+  end
+  else if String.length line >= 6 && String.sub line 0 6 = ".trace" then begin
+    let plan = Session.explain session (strip ".trace") in
+    List.iter
+      (fun step -> Fmt.pr "%a@." Engine.pp_step step)
+      (Engine.steps plan.Session.rewrite_stats);
+    print_plan session plan;
+    `Continue
+  end
+  else if String.equal line ".rules" then begin
+    let program = Session.program session in
+    List.iter
+      (fun b ->
+        Fmt.pr "%a@." Rule.pp_block b;
+        List.iter (fun r -> Fmt.pr "  %a@." Rule.pp r) b.Rule.rules)
+      program.Rule.blocks;
+    `Continue
+  end
+  else if String.equal line ".check" then begin
+    (match Session.check_program session with
+    | [] -> Fmt.pr "rule program is termination-safe (§4.2)@."
+    | warnings ->
+      List.iter
+        (fun w -> Fmt.pr "%a@." Eds_rewriter.Rule_analysis.pp_warning w)
+        warnings);
+    `Continue
+  end
+  else if String.length line >= 7 && String.sub line 0 7 = ".limits" then begin
+    let n = int_of_string_opt (strip ".limits") in
+    (match n with
+    | Some n -> Session.set_config session (limits_config n)
+    | None -> Fmt.pr "usage: .limits N   (negative N = infinite)@.");
+    `Continue
+  end
+  else if String.equal line ".norewrite" then begin
+    Session.set_rewriting session false;
+    `Continue
+  end
+  else if String.equal line ".rewrite" then begin
+    Session.set_rewriting session true;
+    `Continue
+  end
+  else if String.length line >= 11 && String.sub line 0 11 = ".constraint" then begin
+    Session.add_integrity_constraint session (strip ".constraint");
+    Fmt.pr "constraint recorded@.";
+    `Continue
+  end
+  else begin
+    Fmt.pr "unknown directive %s@." line;
+    `Continue
+  end
+
+let handle_save_load session line strip =
+  if String.length line >= 5 && String.sub line 0 5 = ".save" then begin
+    Eds.Storage.save session (strip ".save");
+    Fmt.pr "saved@.";
+    Some session
+  end
+  else if String.length line >= 5 && String.sub line 0 5 = ".load" then begin
+    let s' = Eds.Storage.load (strip ".load") in
+    Fmt.pr "loaded@.";
+    Some s'
+  end
+  else None
+
+let repl session =
+  Fmt.pr "edsql — EDS extensible query rewriter (ICDE'91 reproduction)@.";
+  Fmt.pr "terminate statements with ';', directives with newline; .quit to leave@.";
+  let session = ref session in
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    if Buffer.length buffer = 0 then Fmt.pr "edsql> @?" else Fmt.pr "  ...> @?";
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+      let trimmed = String.trim line in
+      if Buffer.length buffer = 0 && String.length trimmed > 0 && trimmed.[0] = '.'
+      then begin
+        let strip prefix =
+          String.sub trimmed (String.length prefix)
+            (String.length trimmed - String.length prefix)
+          |> String.trim
+        in
+        match
+          try
+            match handle_save_load !session trimmed strip with
+            | Some s' ->
+              session := s';
+              `Continue
+            | None -> handle_directive !session trimmed
+          with
+          | Session.Session_error msg | Eds.Storage.Storage_error msg ->
+            Fmt.pr "error: %s@." msg
+            ;
+            `Continue
+          | Sys_error msg ->
+            Fmt.pr "error: %s@." msg;
+            `Continue
+        with
+        | `Quit -> ()
+        | `Continue -> loop ()
+      end
+      else begin
+        Buffer.add_string buffer line;
+        Buffer.add_char buffer '\n';
+        if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = ';'
+        then begin
+          let stmt = Buffer.contents buffer in
+          Buffer.clear buffer;
+          (try print_result (Session.exec_string !session stmt)
+           with Session.Session_error msg -> Fmt.pr "error: %s@." msg);
+          loop ()
+        end
+        else loop ()
+      end
+  in
+  loop ()
+
+let run_file session path explain =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let stmts = Eds_esql.Parser.parse_program text in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Eds_esql.Ast.Select_stmt _ when explain ->
+        let input = Fmt.str "%a" Eds_esql.Ast.pp_stmt stmt in
+        print_plan session (Session.explain session input);
+        print_result (Session.exec session stmt)
+      | _ -> print_result (Session.exec session stmt))
+    stmts
+
+open Cmdliner
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE"
+         ~doc:"Execute the ESQL script $(docv) instead of starting the REPL.")
+
+let explain_arg =
+  Arg.(value & flag & info [ "explain" ] ~doc:"Print plans for every SELECT.")
+
+let norewrite_arg =
+  Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Disable the query rewriter.")
+
+let limits_arg =
+  Arg.(value & opt (some int) None & info [ "limits" ]
+         ~doc:"Apply this limit to every rule block (negative = infinite).")
+
+let main file explain norewrite limits =
+  let session = Session.create () in
+  if norewrite then Session.set_rewriting session false;
+  (match limits with
+  | Some n -> Session.set_config session (limits_config n)
+  | None -> ());
+  match file with
+  | Some path -> (
+    try run_file session path explain with
+    | Session.Session_error msg | Eds_esql.Parser.Parse_error msg ->
+      Fmt.epr "error: %s@." msg;
+      exit 1)
+  | None -> repl session
+
+let cmd =
+  let doc = "an extensible rule-based query rewriter (ICDE 1991 reproduction)" in
+  Cmd.v (Cmd.info "edsql" ~doc)
+    Term.(const main $ file_arg $ explain_arg $ norewrite_arg $ limits_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/bill_of_materials.ml: Eds Eds_rewriter Fmt List

@@ -1,0 +1,1 @@
+examples/custom_rules.ml: Eds Eds_rewriter Eds_term Fmt

@@ -1,0 +1,1 @@
+examples/films.ml: Eds Eds_engine Fmt List

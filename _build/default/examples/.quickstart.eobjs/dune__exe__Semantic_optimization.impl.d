@@ -1,0 +1,1 @@
+examples/semantic_optimization.ml: Eds Fmt

@@ -1,0 +1,1 @@
+examples/suppliers.ml: Eds Eds_engine Fmt List String

@@ -1,0 +1,103 @@
+(* Extensibility (paper §4, §7): the database implementor adds new ADT
+   functions, new rewrite rules in the rule language, and new external
+   methods — without touching the optimizer's code.
+
+     dune exec examples/custom_rules.exe *)
+
+module Session = Eds.Session
+module Value = Session.Value
+module Vtype = Session.Vtype
+module Adt = Session.Adt
+module Term = Session.Term
+module Lera = Session.Lera
+module Engine = Session.Engine
+
+let explain s title q =
+  let plan = Session.explain s q in
+  Fmt.pr "@.-- %s@.query     : %s@." title q;
+  Fmt.pr "rewritten : %a@." Lera.pp plan.Session.rewritten;
+  Fmt.pr "stats     : %a@." Engine.pp_stats plan.Session.rewrite_stats;
+  plan
+
+let () =
+  let s = Session.create () in
+  ignore
+    (Session.exec_script s
+       {|
+       TABLE SENSOR (Ids : NUMERIC, Reading : NUMERIC, Celsius : NUMERIC) ;
+       INSERT INTO SENSOR VALUES (1, 40, 20) ;
+       INSERT INTO SENSOR VALUES (2, 90, 45) ;
+       INSERT INTO SENSOR VALUES (3, 10, -3) ;
+     |});
+
+  (* 1. the DBI registers a new ADT function: fahrenheit conversion *)
+  Session.register_function s
+    {
+      Adt.name = "fahrenheit";
+      arity = Some 1;
+      arg_types = [ Vtype.Real ];
+      result_type = Vtype.Real;
+      properties = [];
+      impl =
+        (function
+        | [ c ] -> Value.Real ((Value.as_float c *. 9. /. 5.) +. 32.)
+        | _ -> invalid_arg "fahrenheit");
+    };
+
+  (* usable immediately in ESQL… *)
+  Fmt.pr "readings above 100°F:@.%a@." Session.Relation.pp
+    (Session.query s "SELECT Ids FROM SENSOR WHERE fahrenheit(Celsius) > 100");
+
+  (* …and in constant folding (Figure 12's EVALUATE knows it too) *)
+  ignore
+    (explain s "user function folds like a built-in"
+       "SELECT Ids FROM SENSOR WHERE Reading > fahrenheit(35)");
+
+  (* 2. the DBI adds domain knowledge as a rewrite rule: this sensor's
+     readings never exceed 100, so Reading <= 100 is always true.
+     The rule is plain rule-language text appended to a new block. *)
+  Session.add_rules s ~block:"sensor_knowledge"
+    "reading_bound: and(bag(c*, @(1,2) <= 100)) --> and(bag(c*)) ;";
+  ignore
+    (explain s "user rule erases a redundant predicate"
+       "SELECT Ids FROM SENSOR WHERE Reading <= 100 AND Celsius > 0");
+
+  (* 3. the DBI registers a brand-new external method and uses it from a
+     rule: interval reasoning that turns x > k into false when k exceeds
+     the declared maximum of the column *)
+  let max_reading = 100 in
+  let m_exceeds_max _ctx _env subst raw_args =
+    match raw_args with
+    | [ k_arg ] -> (
+      match k_arg with
+      | Term.Var x | Term.Cvar x -> (
+        match Eds_term.Subst.find_term subst x with
+        | Some (Term.Cst (Value.Int k)) when k >= max_reading -> Some subst
+        | _ -> None)
+      | _ -> None)
+    | _ -> None
+  in
+  Session.register_method s "exceeds_max" m_exceeds_max;
+  Session.add_rules s ~block:"sensor_knowledge"
+    "reading_max: @(1,2) > k / ISA(k, constant) --> false / exceeds_max(k) ;";
+  let plan =
+    explain s "user method proves a predicate unsatisfiable"
+      "SELECT Ids FROM SENSOR WHERE Reading > 200"
+  in
+  if Lera.obviously_empty plan.Session.rewritten then
+    Fmt.pr "=> the optimizer now knows sensor physics@."
+  else Fmt.pr "=> rule did not apply?!@.";
+
+  (* 4. the meta-rule language: the DBI can re-program the whole strategy *)
+  let rules = Eds_rewriter.Rulesets.all () in
+  let program =
+    Eds_rewriter.Rule_parser.(
+      resolve_program ~rules
+        (parse_meta
+           {| block(quick, {search_merge, push_select, const_fold, and_false}, 50) ;
+              seq({quick}, 1) ; |}))
+  in
+  Session.set_program s program;
+  ignore
+    (explain s "a minimal DBI-defined strategy (one block, limit 50)"
+       "SELECT Ids FROM SENSOR WHERE Celsius > 2 + 3")

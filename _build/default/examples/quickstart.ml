@@ -1,0 +1,60 @@
+(* Quickstart: create a schema, load data, run queries, and watch the
+   rewriter work.
+
+     dune exec examples/quickstart.exe *)
+
+module Session = Eds.Session
+module Relation = Session.Relation
+module Lera = Session.Lera
+module Engine = Session.Engine
+
+let show title rel =
+  Fmt.pr "@.%s@.%a(%d tuples)@." title Relation.pp rel (Relation.cardinality rel)
+
+let () =
+  let s = Session.create () in
+
+  (* 1. declare types and tables (ESQL DDL, paper Figure 2 style) *)
+  ignore
+    (Session.exec_script s
+       {|
+       TYPE Genre ENUMERATION OF ('Rock', 'Jazz', 'Classical') ;
+       TABLE ALBUM (Ida : NUMERIC, Name : CHAR, Style : Genre, Price : NUMERIC) ;
+       TABLE TRACK (Ida : NUMERIC, Title : CHAR, Seconds : NUMERIC) ;
+     |});
+
+  (* 2. insert data *)
+  ignore
+    (Session.exec_script s
+       {|
+       INSERT INTO ALBUM VALUES (1, 'Kind of Blue', 'Jazz', 12) ;
+       INSERT INTO ALBUM VALUES (2, 'Fragile', 'Rock', 9) ;
+       INSERT INTO ALBUM VALUES (3, 'Köln Concert', 'Jazz', 15) ;
+       INSERT INTO TRACK VALUES (1, 'So What', 545) ;
+       INSERT INTO TRACK VALUES (1, 'Blue in Green', 337) ;
+       INSERT INTO TRACK VALUES (2, 'Roundabout', 503) ;
+       INSERT INTO TRACK VALUES (3, 'Part I', 1562) ;
+     |});
+
+  (* 3. query through a view: the rewriter merges the view's search with
+     the query's and pushes the selections down *)
+  ignore
+    (Session.exec_string s
+       {|CREATE VIEW JazzAlbums (Ida, Name, Price) AS
+         SELECT Ida, Name, Price FROM ALBUM WHERE Style = 'Jazz'|});
+
+  let q = "SELECT Name, Title FROM JazzAlbums, TRACK WHERE JazzAlbums.Ida = TRACK.Ida AND Seconds > 400" in
+  let plan = Session.explain s q in
+  Fmt.pr "user query     : %s@." q;
+  Fmt.pr "translated LERA: %a@." Lera.pp plan.Session.translated;
+  Fmt.pr "rewritten LERA : %a@." Lera.pp plan.Session.rewritten;
+  Fmt.pr "rewriter stats : %a@." Engine.pp_stats plan.Session.rewrite_stats;
+
+  show "long jazz tracks:" (Session.query s q);
+
+  (* 4. an inconsistent query is detected before touching any data *)
+  let impossible = "SELECT Name FROM ALBUM WHERE Style = 'Punk'" in
+  let plan = Session.explain s impossible in
+  Fmt.pr "@.impossible query: %s@.rewritten to    : %a@." impossible Lera.pp
+    plan.Session.rewritten;
+  show "its result:" (Session.query s impossible)

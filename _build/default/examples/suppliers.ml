@@ -1,0 +1,93 @@
+(* The traditional-SQL side of ESQL (paper §2: "intended for traditional
+   data processing applications written in standard SQL as well as
+   non-traditional ones"): a suppliers/parts/orders database with views,
+   DML, adaptive optimization and session persistence.
+
+     dune exec examples/suppliers.exe *)
+
+module Session = Eds.Session
+module Storage = Eds.Storage
+module Relation = Session.Relation
+module Value = Session.Value
+module Database = Eds_engine.Database
+module Engine = Session.Engine
+
+let () =
+  let s = Session.create () in
+  Session.set_adaptive s true;
+  ignore
+    (Session.exec_script s
+       {|
+       TYPE Region ENUMERATION OF ('North', 'South', 'East', 'West') ;
+       TABLE SUPPLIER (Ids : NUMERIC, Sname : CHAR, Zone : Region) ;
+       TABLE PART (Idp : NUMERIC, Pname : CHAR, Price : NUMERIC) ;
+       TABLE ORDERS (Ids : NUMERIC, Idp : NUMERIC, Quantity : NUMERIC) ;
+       CREATE VIEW NorthSuppliers (Ids, Sname) AS
+         SELECT Ids, Sname FROM SUPPLIER WHERE Zone = 'North' ;
+       CREATE VIEW BigOrders (Ids, Idp, Quantity) AS
+         SELECT Ids, Idp, Quantity FROM ORDERS WHERE Quantity >= 50 ;
+     |});
+
+  (* generate a workload *)
+  let db = Session.database s in
+  let rng =
+    let state = ref 424243 in
+    fun bound ->
+      state := (!state * 1103515245) + 12345;
+      abs !state mod bound
+  in
+  let regions = [ "North"; "South"; "East"; "West" ] in
+  for i = 1 to 40 do
+    Database.insert db "SUPPLIER"
+      [
+        Value.Int i;
+        Value.Str (Fmt.str "supplier%d" i);
+        Value.Enum ("Region", List.nth regions (rng 4));
+      ]
+  done;
+  for p = 1 to 60 do
+    Database.insert db "PART"
+      [ Value.Int p; Value.Str (Fmt.str "part%d" p); Value.Int (5 + rng 95) ]
+  done;
+  for _ = 1 to 400 do
+    Database.insert db "ORDERS"
+      [ Value.Int (1 + rng 40); Value.Int (1 + rng 60); Value.Int (1 + rng 99) ]
+  done;
+
+  (* a three-way join through two views: the rewriter merges the views,
+     pushes the selections and evaluates the flat plan *)
+  let q =
+    {|SELECT Sname, Pname
+      FROM NorthSuppliers, BigOrders, PART
+      WHERE NorthSuppliers.Ids = BigOrders.Ids
+        AND BigOrders.Idp = PART.Idp
+        AND Price > 80|}
+  in
+  let plan = Session.explain s q in
+  Fmt.pr "pricey parts on big orders from northern suppliers:@.%a@." Relation.pp
+    (Session.query s q);
+  Fmt.pr "rewriting: %a@." Engine.pp_stats plan.Session.rewrite_stats;
+
+  (* adaptive limits at work: a key lookup skips rewriting entirely *)
+  let lookup = Session.explain s "SELECT Sname FROM SUPPLIER WHERE Ids = 7" in
+  Fmt.pr "@.key lookup under adaptive limits: %d rewrites (plan: %a)@."
+    lookup.Session.rewrite_stats.Engine.rewrites_applied Session.Lera.pp
+    lookup.Session.rewritten;
+
+  (* DML round: a price increase and a cancelled supplier *)
+  (match Session.exec_string s "UPDATE PART SET Price = Price + 5 WHERE Price < 20" with
+  | Session.Updated n -> Fmt.pr "@.%d cheap parts re-priced@." n
+  | _ -> ());
+  (match Session.exec_string s "DELETE FROM ORDERS WHERE Ids = 13" with
+  | Session.Deleted n -> Fmt.pr "%d orders of supplier 13 cancelled@." n
+  | _ -> ());
+
+  (* persistence: the whole session round-trips through text *)
+  let dumped = Storage.dump s in
+  let s' = Storage.restore dumped in
+  let count sess =
+    Relation.cardinality (Session.query sess "SELECT Ids, Idp, Quantity FROM ORDERS")
+  in
+  Fmt.pr "@.dump is %d bytes; orders before/after restore: %d/%d@."
+    (String.length dumped) (count s) (count s');
+  assert (count s = count s')

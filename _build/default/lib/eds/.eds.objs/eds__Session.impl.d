@@ -1,0 +1,1 @@
+lib/eds/session.ml: Eds_engine Eds_esql Eds_lera Eds_rewriter Eds_term Eds_value Fmt List Logs Option String

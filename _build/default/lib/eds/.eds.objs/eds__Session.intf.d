@@ -1,0 +1,1 @@
+lib/eds/session.mli: Eds_engine Eds_esql Eds_lera Eds_rewriter Eds_term Eds_value

@@ -1,0 +1,1 @@
+lib/eds/storage.ml: Buffer Eds_engine Eds_esql Eds_value Fmt Hashtbl In_channel List Out_channel Session String

@@ -1,0 +1,1 @@
+lib/eds/storage.mli: Session

@@ -1,0 +1,262 @@
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+module Adt = Eds_value.Adt
+module Term = Eds_term.Term
+module Lera = Eds_lera.Lera
+module Schema = Eds_lera.Schema
+module Relation = Eds_engine.Relation
+module Database = Eds_engine.Database
+module Eval = Eds_engine.Eval
+module Expr_eval = Eds_engine.Expr_eval
+module Ast = Eds_esql.Ast
+module Parser = Eds_esql.Parser
+module Lexer = Eds_esql.Lexer
+module Catalog = Eds_esql.Catalog
+module Translate = Eds_esql.Translate
+module Rule = Eds_rewriter.Rule
+module Rule_parser = Eds_rewriter.Rule_parser
+module Engine = Eds_rewriter.Engine
+module Optimizer = Eds_rewriter.Optimizer
+
+type t = {
+  cat : Catalog.t;
+  db : Database.t;
+  mutable config : Optimizer.config;
+  mutable rule_program : Rule.program;
+  mutable rewriting : bool;
+  mutable adaptive : bool;
+  mutable semantic_constraints : (string * Term.t) list;
+  mutable extra_methods : (string * Engine.method_fn) list;
+}
+
+exception Session_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Session_error s)) fmt
+
+let create ?(config = Optimizer.default_config) () =
+  let cat = Catalog.create () in
+  let db = Database.create ~types:(Catalog.types cat) ~adts:(Catalog.adts cat) () in
+  {
+    cat;
+    db;
+    config;
+    rule_program = Optimizer.program ~config ();
+    rewriting = true;
+    adaptive = false;
+    semantic_constraints = [];
+    extra_methods = [];
+  }
+
+let catalog s = s.cat
+let database s = s.db
+
+let set_config s config =
+  s.config <- config;
+  s.rule_program <- Optimizer.program ~config ()
+
+let set_rewriting s flag = s.rewriting <- flag
+let set_adaptive s flag = s.adaptive <- flag
+
+(* the catalog owns types and ADTs; keep the database's view in sync *)
+let sync s =
+  Database.set_types s.db (Catalog.types s.cat);
+  Database.set_adts s.db (Catalog.adts s.cat)
+
+let make_ctx s =
+  Optimizer.make_ctx
+    ~semantic_constraints:s.semantic_constraints
+    ~extra_methods:s.extra_methods
+    (Catalog.schema_env s.cat)
+
+type result =
+  | Done
+  | Inserted of int
+  | Deleted of int
+  | Updated of int
+  | Rows of Relation.t
+
+type plan = {
+  translated : Lera.rel;
+  rewritten : Lera.rel;
+  rewrite_stats : Engine.stats;
+}
+
+let wrap_errors f =
+  try f () with
+  | Lexer.Lex_error (msg, pos) -> error "syntax error at offset %d: %s" pos msg
+  | Parser.Parse_error msg -> error "parse error: %s" msg
+  | Catalog.Catalog_error msg -> error "catalog error: %s" msg
+  | Translate.Type_error msg -> error "type error: %s" msg
+  | Schema.Schema_error msg -> error "schema error: %s" msg
+  | Engine.Rewrite_error msg -> error "rewrite error: %s" msg
+  | Eval.Eval_error msg -> error "evaluation error: %s" msg
+  | Expr_eval.Eval_error msg -> error "evaluation error: %s" msg
+  | Rule_parser.Rule_parse_error msg -> error "rule error: %s" msg
+
+let plan_select s (sel : Ast.select) : plan =
+  let translated = Translate.select s.cat sel in
+  if not s.rewriting then
+    { translated; rewritten = translated; rewrite_stats = Engine.fresh_stats () }
+  else begin
+    let stats = Engine.fresh_stats () in
+    let program =
+      if s.adaptive then
+        Optimizer.program ~config:(Optimizer.adaptive_config translated) ()
+      else s.rule_program
+    in
+    let rewritten = Optimizer.rewrite ~program ~stats (make_ctx s) translated in
+    { translated; rewritten; rewrite_stats = stats }
+  end
+
+let run_plan ?stats s rel = wrap_errors (fun () -> Eval.run ?stats s.db rel)
+
+let estimate s rel =
+  let card name =
+    Option.map Relation.cardinality (Database.relation_opt s.db name)
+  in
+  Eds_lera.Cost.estimate ~relation_cardinality:card (Catalog.schema_env s.cat) rel
+
+let exec s (stmt : Ast.stmt) : result =
+  wrap_errors @@ fun () ->
+  match stmt with
+  | Ast.Create_type _ | Ast.Create_view _ ->
+    Catalog.apply_ddl s.cat stmt;
+    sync s;
+    Done
+  | Ast.Create_table { name; columns } ->
+    let schema = Catalog.declare_table s.cat ~name columns in
+    Database.add_relation s.db name (Relation.empty schema);
+    sync s;
+    Done
+  | Ast.Insert { table; values } -> (
+    match Catalog.table s.cat table with
+    | None -> error "unknown table %s" table
+    | Some schema ->
+      if List.length values <> Schema.arity schema then
+        error "INSERT into %s: %d values for %d columns" table (List.length values)
+          (Schema.arity schema);
+      let tuple =
+        List.map2
+          (fun (_, ty) e -> Translate.expr_to_value ~expected:ty s.cat e)
+          schema values
+      in
+      Database.insert s.db table tuple;
+      Inserted 1)
+  | Ast.Delete { table; where } -> (
+    match Catalog.table s.cat table with
+    | None -> error "unknown table %s" table
+    | Some schema ->
+      let qual =
+        match where with
+        | None -> Lera.tru
+        | Some w -> fst (Translate.expr_over_table s.cat ~table w)
+      in
+      let rel = Database.relation s.db table in
+      let keep, drop =
+        List.partition
+          (fun tup -> not (Expr_eval.eval_bool s.db ~inputs:[ tup ] qual))
+          rel.Relation.tuples
+      in
+      Database.add_relation s.db table (Relation.make schema keep);
+      Deleted (List.length drop))
+  | Ast.Update { table; assignments; where } -> (
+    match Catalog.table s.cat table with
+    | None -> error "unknown table %s" table
+    | Some schema ->
+      let qual =
+        match where with
+        | None -> Lera.tru
+        | Some w -> fst (Translate.expr_over_table s.cat ~table w)
+      in
+      let resolved =
+        List.map
+          (fun (col, e) ->
+            let lc = String.lowercase_ascii col in
+            match
+              List.find_index (fun (n, _) -> String.lowercase_ascii n = lc) schema
+            with
+            | Some idx -> (idx, fst (Translate.expr_over_table s.cat ~table e))
+            | None -> error "table %s has no column %s" table col)
+          assignments
+      in
+      let touched = ref 0 in
+      let update tup =
+        if Expr_eval.eval_bool s.db ~inputs:[ tup ] qual then begin
+          incr touched;
+          List.mapi
+            (fun idx v ->
+              match List.assoc_opt idx resolved with
+              | Some e -> Expr_eval.eval s.db ~inputs:[ tup ] e
+              | None -> v)
+            tup
+        end
+        else tup
+      in
+      let rel = Database.relation s.db table in
+      Database.add_relation s.db table
+        (Relation.make schema (List.map update rel.Relation.tuples));
+      Updated !touched)
+  | Ast.Select_stmt sel ->
+    let plan = plan_select s sel in
+    Rows (Eval.run s.db plan.rewritten)
+
+let exec_string s input = wrap_errors (fun () -> exec s (Parser.parse_stmt input))
+
+let exec_script s input =
+  wrap_errors (fun () -> List.map (exec s) (Parser.parse_program input))
+
+let query s input =
+  match exec_string s input with
+  | Rows rel -> rel
+  | Done | Inserted _ | Deleted _ | Updated _ -> error "expected a SELECT statement"
+
+let explain s input =
+  wrap_errors @@ fun () ->
+  match Parser.parse_stmt input with
+  | Ast.Select_stmt sel -> plan_select s sel
+  | _ -> error "EXPLAIN expects a SELECT statement"
+
+(* -- DBI extension surface ---------------------------------------------- *)
+
+let add_integrity_constraint s text =
+  wrap_errors @@ fun () ->
+  let c = Optimizer.parse_integrity_constraint text in
+  s.semantic_constraints <- s.semantic_constraints @ [ c ]
+
+let use_enum_domains s =
+  s.semantic_constraints <-
+    s.semantic_constraints @ Optimizer.enum_domain_constraints (Catalog.types s.cat)
+
+let add_rules s ~block ?(limit = None) text =
+  wrap_errors @@ fun () ->
+  let rules = Rule_parser.parse_rules text in
+  let blocks = s.rule_program.Rule.blocks in
+  let extended =
+    if List.exists (fun b -> b.Rule.block_name = block) blocks then
+      List.map
+        (fun b ->
+          if b.Rule.block_name = block then { b with Rule.rules = b.Rule.rules @ rules }
+          else b)
+        blocks
+    else blocks @ [ { Rule.block_name = block; rules; limit } ]
+  in
+  s.rule_program <- { s.rule_program with Rule.blocks = extended };
+  (* §4.2: warn the DBI when a new rule may loop under the block's limit *)
+  List.iter
+    (fun w ->
+      Logs.warn (fun m ->
+          m "%a" Eds_rewriter.Rule_analysis.pp_warning w))
+    (Eds_rewriter.Rule_analysis.check_program s.rule_program)
+
+let set_program s program = s.rule_program <- program
+let program s = s.rule_program
+
+let check_program s = Eds_rewriter.Rule_analysis.check_program s.rule_program
+
+let register_function s entry =
+  Catalog.set_adts s.cat (Adt.register (Catalog.adts s.cat) entry);
+  sync s
+
+let register_method s name fn = s.extra_methods <- (name, fn) :: s.extra_methods
+
+let new_object s v = Database.new_object s.db v

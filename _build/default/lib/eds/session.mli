@@ -1,0 +1,113 @@
+(** The EDS database session: the top-level façade tying together the
+    catalog, the in-memory database, the extensible rewriter and the
+    evaluator.  This is the API the examples and the [edsql] binary use:
+
+    {[
+      let s = Session.create () in
+      Session.exec_string s "TABLE FILM (Numf : NUMERIC, …)";
+      match Session.exec_string s "SELECT …" with
+      | Session.Rows rel -> Fmt.pr "%a" Relation.pp rel
+      | _ -> ()
+    ]} *)
+
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+module Adt = Eds_value.Adt
+module Term = Eds_term.Term
+module Lera = Eds_lera.Lera
+module Schema = Eds_lera.Schema
+module Relation = Eds_engine.Relation
+module Database = Eds_engine.Database
+module Eval = Eds_engine.Eval
+module Ast = Eds_esql.Ast
+module Catalog = Eds_esql.Catalog
+module Rule = Eds_rewriter.Rule
+module Engine = Eds_rewriter.Engine
+module Optimizer = Eds_rewriter.Optimizer
+
+type t
+
+val create : ?config:Optimizer.config -> unit -> t
+
+val catalog : t -> Catalog.t
+val database : t -> Database.t
+
+val set_config : t -> Optimizer.config -> unit
+val set_rewriting : t -> bool -> unit
+(** Disable/enable the rewriter entirely (queries run as translated). *)
+
+val set_adaptive : t -> bool -> unit
+(** Allocate block limits per query from its complexity
+    ({!Eds_rewriter.Optimizer.adaptive_config}) — the §7 "limits adjusted
+    dynamically" policy.  Off by default. *)
+
+(** {1 Executing ESQL} *)
+
+type result =
+  | Done  (** DDL executed *)
+  | Inserted of int  (** tuples inserted *)
+  | Deleted of int
+  | Updated of int
+  | Rows of Relation.t
+
+exception Session_error of string
+(** Wraps parse, type, schema and evaluation errors with context. *)
+
+val exec : t -> Ast.stmt -> result
+val exec_string : t -> string -> result
+(** One statement. *)
+
+val exec_script : t -> string -> result list
+(** A [;]-separated script. *)
+
+val query : t -> string -> Relation.t
+(** [exec_string] specialised to SELECT; raises {!Session_error} on
+    anything else. *)
+
+(** {1 Inspecting the rewriter} *)
+
+type plan = {
+  translated : Lera.rel;  (** canonical LERA straight out of translation *)
+  rewritten : Lera.rel;  (** after the rule program *)
+  rewrite_stats : Engine.stats;
+}
+
+val explain : t -> string -> plan
+(** Translate and rewrite a SELECT without executing it. *)
+
+val run_plan : ?stats:Eval.stats -> t -> Lera.rel -> Relation.t
+
+val estimate : t -> Lera.rel -> Eds_lera.Cost.t
+(** Static cost estimate against the live base-relation cardinalities. *)
+
+(** {1 Extending the optimizer (the DBI interface, §4 / §6.1)} *)
+
+val add_integrity_constraint : t -> string -> unit
+(** Declare a Figure-10 constraint, e.g.
+    ["F(x) / ISA(x, Point) --> F(x) AND ABS(x) > 0"]. *)
+
+val use_enum_domains : t -> unit
+(** Derive a domain constraint for every declared enumeration. *)
+
+val add_rules : t -> block:string -> ?limit:int option -> string -> unit
+(** Parse rule text and append it as a new block named [block] at the end
+    of the current program (or extend the block if it exists). *)
+
+val set_program : t -> Rule.program -> unit
+val program : t -> Rule.program
+
+val check_program : t -> Eds_rewriter.Rule_analysis.warning list
+(** Termination warnings (§4.2) for the current rule program; also
+    logged automatically by {!add_rules}. *)
+
+val register_function : t -> Adt.entry -> unit
+(** Extend the ADT function library — available immediately in queries,
+    rules and constant folding. *)
+
+val register_method : t -> string -> Engine.method_fn -> unit
+(** Register an external method usable from rule text. *)
+
+(** {1 Objects} *)
+
+val new_object : t -> Value.t -> Value.t
+(** Allocate an object in the store; returns its OID value. *)

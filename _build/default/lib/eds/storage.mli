@@ -1,0 +1,32 @@
+(** Dump and restore a whole session as text.
+
+    The dump is an ESQL script re-declaring the schema (types in
+    dependency order, tables, views) followed by directive comments that
+    ESQL ignores but {!restore} interprets:
+
+    {v
+    --@ 3 <Name: 'Quinn', Salary: 12000>      object store entry (OID 3)
+    --+ FILM [1, ['Zorba'], {'Adventure'}]    one tuple of a base relation
+    v}
+
+    Tuple payloads use the {!Eds_value.Value_text} syntax, so the dump
+    round-trips every value the engine can hold — including nested
+    collections, tuples and object references that plain ESQL INSERT
+    literals cannot express. *)
+
+exception Storage_error of string
+
+val dump : Session.t -> string
+(** Serialize schema, object store and base relations.  The rule program
+    and registered OCaml functions/methods are {e not} serialized (they
+    are code); re-register them after {!restore}.
+    Raises {!Storage_error} on types outside the ESQL-declarable set. *)
+
+val restore : string -> Session.t
+(** Rebuild a session from {!dump} output.  Raises {!Storage_error} (or
+    {!Session.Session_error}) on malformed input. *)
+
+val save : Session.t -> string -> unit
+(** [save s path] writes {!dump} to a file. *)
+
+val load : string -> Session.t

@@ -1,0 +1,1 @@
+lib/engine/database.ml: Eds_lera Eds_value Hashtbl Int List Option Relation String

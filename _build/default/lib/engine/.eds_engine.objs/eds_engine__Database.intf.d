@@ -1,0 +1,1 @@
+lib/engine/database.mli: Eds_lera Eds_value Relation

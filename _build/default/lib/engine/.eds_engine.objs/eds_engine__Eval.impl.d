@@ -1,0 +1,1 @@
+lib/engine/eval.ml: Database Eds_lera Eds_value Expr_eval Fmt List Relation String

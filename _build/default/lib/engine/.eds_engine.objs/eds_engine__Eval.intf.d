@@ -1,0 +1,1 @@
+lib/engine/eval.mli: Database Eds_lera Format Relation

@@ -1,0 +1,1 @@
+lib/engine/expr_eval.ml: Database Eds_lera Eds_value Fmt List String

@@ -1,0 +1,1 @@
+lib/engine/expr_eval.mli: Database Eds_lera Eds_value Relation

@@ -1,0 +1,1 @@
+lib/engine/relation.ml: Eds_lera Eds_value Fmt List

@@ -1,0 +1,1 @@
+lib/engine/relation.mli: Eds_lera Eds_value Format

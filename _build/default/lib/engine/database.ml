@@ -1,0 +1,84 @@
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+module Adt = Eds_value.Adt
+module Schema = Eds_lera.Schema
+
+type t = {
+  mutable type_env : Vtype.env;
+  mutable adt_registry : Adt.registry;
+  relations : (string, Relation.t) Hashtbl.t;
+  objects : (int, Value.t) Hashtbl.t;
+  mutable next_oid : int;
+}
+
+let create ?types ?adts () =
+  {
+    type_env = Option.value types ~default:Vtype.empty_env;
+    adt_registry = (match adts with Some r -> r | None -> Adt.builtins ());
+    relations = Hashtbl.create 16;
+    objects = Hashtbl.create 64;
+    next_oid = 1;
+  }
+
+let types db = db.type_env
+let adts db = db.adt_registry
+let set_types db env = db.type_env <- env
+let set_adts db reg = db.adt_registry <- reg
+
+let add_relation db name rel = Hashtbl.replace db.relations name rel
+let relation db name =
+  match Hashtbl.find_opt db.relations name with
+  | Some r -> r
+  | None -> raise Not_found
+
+let relation_opt db name = Hashtbl.find_opt db.relations name
+
+let relation_names db =
+  Hashtbl.fold (fun name _ acc -> name :: acc) db.relations [] |> List.sort String.compare
+
+let insert db name tup =
+  let rel = relation db name in
+  add_relation db name (Relation.make rel.Relation.schema (tup :: rel.Relation.tuples))
+
+let schema_env db =
+  {
+    Schema.types = db.type_env;
+    Schema.relations =
+      Hashtbl.fold (fun name r acc -> (name, r.Relation.schema) :: acc) db.relations [];
+    Schema.adts = db.adt_registry;
+  }
+
+let restore_object db oid v =
+  Hashtbl.replace db.objects oid v;
+  if oid >= db.next_oid then db.next_oid <- oid + 1
+
+let objects db =
+  Hashtbl.fold (fun oid v acc -> (oid, v) :: acc) db.objects []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let new_object db v =
+  let oid = db.next_oid in
+  db.next_oid <- oid + 1;
+  Hashtbl.replace db.objects oid v;
+  Value.Oid oid
+
+let deref db v =
+  match v with
+  | Value.Oid oid -> (
+    match Hashtbl.find_opt db.objects oid with
+    | Some bound -> bound
+    | None -> raise Not_found)
+  | Value.Null | Value.Bool _ | Value.Int _ | Value.Real _ | Value.Str _
+  | Value.Enum _ | Value.Tuple _ | Value.Set _ | Value.Bag _ | Value.List _
+  | Value.Array _ ->
+    v
+
+let update_object db oid v =
+  match oid with
+  | Value.Oid i ->
+    if not (Hashtbl.mem db.objects i) then raise Not_found;
+    Hashtbl.replace db.objects i v
+  | Value.Null | Value.Bool _ | Value.Int _ | Value.Real _ | Value.Str _
+  | Value.Enum _ | Value.Tuple _ | Value.Set _ | Value.Bag _ | Value.List _
+  | Value.Array _ ->
+    invalid_arg "Database.update_object: not an OID"

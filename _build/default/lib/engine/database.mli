@@ -1,0 +1,55 @@
+(** An in-memory EDS database instance: base relations, the object store
+    binding OIDs to values (paper §2.1: "an object has a unique identifier
+    with a value bound to it"), the type environment and the ADT function
+    registry. *)
+
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+module Adt = Eds_value.Adt
+module Schema = Eds_lera.Schema
+
+type t
+
+val create : ?types:Vtype.env -> ?adts:Adt.registry -> unit -> t
+(** A fresh database with the built-in ADT library. *)
+
+val types : t -> Vtype.env
+val adts : t -> Adt.registry
+val set_types : t -> Vtype.env -> unit
+val set_adts : t -> Adt.registry -> unit
+
+(** {1 Relations} *)
+
+val add_relation : t -> string -> Relation.t -> unit
+(** Create or replace a base relation. *)
+
+val relation : t -> string -> Relation.t
+(** Raises [Not_found]. *)
+
+val relation_opt : t -> string -> Relation.t option
+val relation_names : t -> string list
+
+val insert : t -> string -> Relation.tuple -> unit
+(** Insert one tuple; no-op if already present (set semantics). *)
+
+val schema_env : t -> Schema.env
+(** Environment for {!Eds_lera.Schema.of_rel} over this database. *)
+
+(** {1 Objects} *)
+
+val new_object : t -> Value.t -> Value.t
+(** Allocate a fresh OID bound to the given value; returns [Value.Oid]. *)
+
+val deref : t -> Value.t -> Value.t
+(** Value bound to an OID (the VALUE built-in of §3.3); non-OID values
+    are returned unchanged, so VALUE is idempotent on plain values.
+    Raises [Not_found] on a dangling OID. *)
+
+val update_object : t -> Value.t -> Value.t -> unit
+(** [update_object db oid v] rebinds an existing object. *)
+
+val restore_object : t -> int -> Value.t -> unit
+(** Bind a specific OID (dump/restore); keeps the allocator ahead of it. *)
+
+val objects : t -> (int * Value.t) list
+(** All objects, sorted by OID. *)

@@ -1,0 +1,291 @@
+module Value = Eds_value.Value
+module Lera = Eds_lera.Lera
+module Schema = Eds_lera.Schema
+
+type stats = {
+  mutable combinations : int;
+  mutable tuples_read : int;
+  mutable tuples_produced : int;
+  mutable fix_iterations : int;
+}
+
+let fresh_stats () =
+  { combinations = 0; tuples_read = 0; tuples_produced = 0; fix_iterations = 0 }
+
+let add_stats acc s =
+  acc.combinations <- acc.combinations + s.combinations;
+  acc.tuples_read <- acc.tuples_read + s.tuples_read;
+  acc.tuples_produced <- acc.tuples_produced + s.tuples_produced;
+  acc.fix_iterations <- acc.fix_iterations + s.fix_iterations
+
+let pp_stats ppf s =
+  Fmt.pf ppf "combinations=%d read=%d produced=%d fix_iters=%d" s.combinations
+    s.tuples_read s.tuples_produced s.fix_iterations
+
+type fix_mode = Naive | Seminaive
+
+exception Eval_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Eval_error s)) fmt
+
+(* Cartesian enumeration of operand tuples, counting each complete
+   combination.  Zero operands yield a single empty combination: a search
+   with no inputs is a one-tuple constant relation (used by the magic
+   seed of the Alexander transformation). *)
+let cartesian stats (rels : Relation.t list) (yield : Relation.tuple list -> unit) =
+  let rec go acc = function
+    | [] ->
+      stats.combinations <- stats.combinations + 1;
+      yield (List.rev acc)
+    | (r : Relation.t) :: rest ->
+      List.iter (fun tup -> go (tup :: acc) rest) r.Relation.tuples
+  in
+  go [] rels
+
+let is_false (q : Lera.scalar) =
+  match q with
+  | Lera.Cst (Eds_value.Value.Bool false) -> true
+  | _ -> false
+
+(* Replace the [i]-th occurrence (1-based, left-to-right) of recursion
+   variable [n] — written either [Rvar n] or [Base n] — by the result of
+   [f i].  Used by semi-naive differentiation. *)
+let map_occurrences n f r =
+  let counter = ref 0 in
+  let rec go r =
+    match r with
+    | Lera.Rvar m when String.equal m n ->
+      incr counter;
+      f !counter
+    | Lera.Base m when String.equal m n ->
+      incr counter;
+      f !counter
+    | Lera.Base _ | Lera.Rvar _ -> r
+    | Lera.Fix (m, body) -> if String.equal m n then r else Lera.Fix (m, go body)
+    | Lera.Filter (a, q) -> Lera.Filter (go a, q)
+    | Lera.Project (a, ps) -> Lera.Project (go a, ps)
+    | Lera.Join (a, b, q) -> Lera.Join (go a, go b, q)
+    | Lera.Union rs -> Lera.Union (List.map go rs)
+    | Lera.Diff (a, b) -> Lera.Diff (go a, go b)
+    | Lera.Inter (a, b) -> Lera.Inter (go a, go b)
+    | Lera.Search (rs, q, ps) -> Lera.Search (List.map go rs, q, ps)
+    | Lera.Nest (a, g, c) -> Lera.Nest (go a, g, c)
+    | Lera.Unnest (a, i) -> Lera.Unnest (go a, i)
+  in
+  go r
+
+let count_occurrences n r =
+  let c = ref 0 in
+  ignore
+    (map_occurrences n
+       (fun _ ->
+         incr c;
+         Lera.Rvar n)
+       r);
+  !c
+
+(* does [body] mention name [n] as a Base or Rvar (unbound by a nested fix)? *)
+let rec rvar_mentioned n (r : Lera.rel) =
+  match r with
+  | Lera.Base m | Lera.Rvar m -> String.equal m n
+  | Lera.Fix (m, body) -> (not (String.equal m n)) && rvar_mentioned n body
+  | Lera.Filter _ | Lera.Project _ | Lera.Join _ | Lera.Union _ | Lera.Diff _
+  | Lera.Inter _ | Lera.Search _ | Lera.Nest _ | Lera.Unnest _ ->
+    List.exists (rvar_mentioned n) (Lera.inputs r)
+
+type ctx = {
+  db : Database.t;
+  mode : fix_mode;
+  stats : stats;
+  rvars : (string * Relation.t) list;
+  fix_cache : (Lera.rel * Relation.t) list ref;
+      (* closed fixpoint subexpressions, memoized within one run: the
+         magic fixpoint appears as an operand of several answer arms *)
+}
+
+let rec run ?(mode = Seminaive) ?stats ?(rvars = []) db (r : Lera.rel) : Relation.t =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  eval { db; mode; stats; rvars; fix_cache = ref [] } r
+
+and eval ctx (r : Lera.rel) : Relation.t =
+  let { db; mode = _; stats; rvars; fix_cache = _ } = ctx in
+  match r with
+  | Lera.Base n -> (
+    match List.assoc_opt n rvars with
+    | Some rel -> rel
+    | None -> (
+      match Database.relation_opt db n with
+      | Some rel ->
+        stats.tuples_read <- stats.tuples_read + Relation.cardinality rel;
+        rel
+      | None -> error "unknown relation %s" n))
+  | Lera.Rvar n -> (
+    match List.assoc_opt n rvars with
+    | Some rel -> rel
+    | None -> error "unbound recursion variable %s" n)
+  | Lera.Filter (_, q) when is_false q -> Relation.empty (rel_schema ctx r)
+  | Lera.Filter (a, q) ->
+    let ra = eval ctx a in
+    let keep tup =
+      stats.combinations <- stats.combinations + 1;
+      Expr_eval.eval_bool db ~inputs:[ tup ] q
+    in
+    produce stats
+      (Relation.make ra.Relation.schema (List.filter keep ra.Relation.tuples))
+  | Lera.Project (a, ps) ->
+    let ra = eval ctx a in
+    let schema = rel_schema ctx r in
+    let project tup = List.map (fun p -> Expr_eval.eval db ~inputs:[ tup ] p) ps in
+    produce stats (Relation.make schema (List.map project ra.Relation.tuples))
+  | Lera.Join (_, _, q) when is_false q -> Relation.empty (rel_schema ctx r)
+  | Lera.Join (a, b, q) ->
+    let ra = eval ctx a and rb = eval ctx b in
+    let schema = ra.Relation.schema @ rb.Relation.schema in
+    let out = ref [] in
+    cartesian stats [ ra; rb ] (fun combo ->
+        match combo with
+        | [ ta; tb ] ->
+          if Expr_eval.eval_bool db ~inputs:[ ta; tb ] q then out := (ta @ tb) :: !out
+        | _ -> assert false);
+    produce stats (Relation.make schema !out)
+  | Lera.Union rs -> (
+    match List.map (eval ctx) rs with
+    | [] -> error "empty union"
+    | first :: rest -> produce stats (List.fold_left Relation.union first rest))
+  | Lera.Diff (a, b) -> produce stats (Relation.diff (eval ctx a) (eval ctx b))
+  | Lera.Inter (a, b) -> produce stats (Relation.inter (eval ctx a) (eval ctx b))
+  | Lera.Search (_, q, _) when is_false q -> Relation.empty (rel_schema ctx r)
+  | Lera.Search (rs, q, ps) ->
+    let inputs = List.map (eval ctx) rs in
+    let schema = rel_schema ctx r in
+    let out = ref [] in
+    cartesian stats inputs (fun combo ->
+        if Expr_eval.eval_bool db ~inputs:combo q then
+          out := List.map (fun p -> Expr_eval.eval db ~inputs:combo p) ps :: !out);
+    produce stats (Relation.make schema !out)
+  | Lera.Fix (n, body) ->
+    (* memoize closed fixpoints whose base relations are not shadowed by
+       an enclosing recursion variable *)
+    let closed =
+      Lera.free_rvars r = []
+      && not
+           (List.exists
+              (fun (rv, _) -> rvar_mentioned rv body)
+              ctx.rvars)
+    in
+    if not closed then produce stats (fixpoint ctx n body)
+    else begin
+      match
+        List.find_opt (fun (key, _) -> Lera.equal key r) !(ctx.fix_cache)
+      with
+      | Some (_, cached) -> cached
+      | None ->
+        let result = produce stats (fixpoint ctx n body) in
+        ctx.fix_cache := (r, result) :: !(ctx.fix_cache);
+        result
+    end
+  | Lera.Nest (a, group, nested) ->
+    let ra = eval ctx a in
+    let schema = rel_schema ctx r in
+    produce stats (Relation.make schema (nest_tuples ra group nested))
+  | Lera.Unnest (a, i) ->
+    let ra = eval ctx a in
+    let schema = rel_schema ctx r in
+    let explode tup =
+      let v = List.nth tup (i - 1) in
+      if not (Value.is_collection v) then
+        error "unnest: column %d holds %a" i Value.pp v
+      else
+        List.map
+          (fun e -> List.mapi (fun idx x -> if idx + 1 = i then e else x) tup)
+          (Value.elements v)
+    in
+    produce stats (Relation.make schema (List.concat_map explode ra.Relation.tuples))
+
+and produce stats rel =
+  stats.tuples_produced <- stats.tuples_produced + Relation.cardinality rel;
+  rel
+
+and rel_schema ctx r =
+  let rvar_schemas = List.map (fun (n, rel) -> (n, rel.Relation.schema)) ctx.rvars in
+  try Schema.of_rel ~rvars:rvar_schemas (Database.schema_env ctx.db) r
+  with Schema.Schema_error msg -> error "schema: %s" msg
+
+and nest_tuples (ra : Relation.t) group nested =
+  let key tup = List.map (fun j -> List.nth tup (j - 1)) group in
+  let payload tup =
+    match nested with
+    | [ j ] -> List.nth tup (j - 1)
+    | js -> Value.Tuple (List.map (fun j -> (Fmt.str "a%d" j, List.nth tup (j - 1))) js)
+  in
+  let groups = ref [] in
+  List.iter
+    (fun tup ->
+      let k = key tup in
+      match List.assoc_opt k !groups with
+      | Some items -> items := payload tup :: !items
+      | None -> groups := (k, ref [ payload tup ]) :: !groups)
+    ra.Relation.tuples;
+  List.rev_map (fun (k, items) -> k @ [ Value.set !items ]) !groups
+
+and fixpoint ctx n body =
+  let schema = rel_schema ctx (Lera.Fix (n, body)) in
+  match ctx.mode with
+  | Naive -> naive_fixpoint ctx n body schema
+  | Seminaive -> seminaive_fixpoint ctx n body schema
+
+and naive_fixpoint ctx n body schema =
+  let rec iterate current =
+    ctx.stats.fix_iterations <- ctx.stats.fix_iterations + 1;
+    let next = eval { ctx with rvars = (n, current) :: ctx.rvars } body in
+    if Relation.equal next current then current else iterate next
+  in
+  iterate (Relation.empty schema)
+
+(* Differential evaluation: arms without the recursion variable seed the
+   result; each cycle re-evaluates every recursive arm once per occurrence
+   of the variable, substituting the delta for that occurrence and the
+   accumulated relation for the others. *)
+and seminaive_fixpoint ctx n body schema =
+  let arms = match body with Lera.Union rs -> rs | r -> [ r ] in
+  let is_recursive arm = count_occurrences n arm > 0 in
+  let base_arms, rec_arms = List.partition (fun a -> not (is_recursive a)) arms in
+  let eval_with bindings arm = eval { ctx with rvars = bindings @ ctx.rvars } arm in
+  let base =
+    match base_arms with
+    | [] -> Relation.empty schema
+    | arms ->
+      List.fold_left
+        (fun acc arm -> Relation.union acc (eval_with [] arm))
+        (Relation.empty schema) arms
+  in
+  let rec iterate total delta =
+    if Relation.is_empty delta then total
+    else begin
+      ctx.stats.fix_iterations <- ctx.stats.fix_iterations + 1;
+      let new_tuples =
+        List.concat_map
+          (fun arm ->
+            let occurrences = count_occurrences n arm in
+            List.concat_map
+              (fun which ->
+                let variant =
+                  map_occurrences n
+                    (fun i -> if i = which then Lera.Rvar "__delta" else Lera.Rvar n)
+                    arm
+                in
+                let produced =
+                  eval_with [ (n, total); ("__delta", delta) ] variant
+                in
+                produced.Relation.tuples)
+              (List.init occurrences (fun i -> i + 1)))
+          rec_arms
+      in
+      let fresh =
+        List.filter (fun tup -> not (Relation.mem tup total)) new_tuples
+      in
+      let delta' = Relation.make schema fresh in
+      iterate (Relation.union total delta') delta'
+    end
+  in
+  if rec_arms = [] then base else iterate base base

@@ -1,0 +1,47 @@
+(** Instrumented LERA plan evaluator.
+
+    This is the execution substrate used to {e measure} the benefit of
+    each rewriting class: every operator reports the work it performs
+    into a {!stats} record (combinations enumerated by joins/searches,
+    base tuples scanned, fixpoint iterations), so benchmarks compare the
+    work of a query before and after rewriting rather than wall time
+    alone.
+
+    Evaluation is deliberately naive — qualifications are applied to
+    complete operand combinations, not pushed inside the enumeration —
+    because query rewriting, not physical optimization, is the paper's
+    subject: the rewriter's merging/permutation rules are precisely what
+    reduces the enumerated space. *)
+
+module Lera = Eds_lera.Lera
+
+type stats = {
+  mutable combinations : int;
+      (** operand combinations enumerated by filter/join/search *)
+  mutable tuples_read : int;  (** base relation tuples scanned *)
+  mutable tuples_produced : int;
+  mutable fix_iterations : int;
+}
+
+val fresh_stats : unit -> stats
+val add_stats : stats -> stats -> unit
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Fixpoint evaluation strategy (paper §3.2). *)
+type fix_mode =
+  | Naive  (** recompute the whole body each cycle *)
+  | Seminaive  (** differential: recursive arms join against the delta *)
+
+exception Eval_error of string
+
+val run :
+  ?mode:fix_mode ->
+  ?stats:stats ->
+  ?rvars:(string * Relation.t) list ->
+  Database.t ->
+  Lera.rel ->
+  Relation.t
+(** Evaluate an expression.  [rvars] supplies bindings for free recursion
+    variables (used internally and by tests).  Default mode is
+    [Seminaive].  Raises {!Eval_error} (or {!Expr_eval.Eval_error}) on
+    ill-formed plans. *)

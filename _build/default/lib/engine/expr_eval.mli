@@ -1,0 +1,18 @@
+(** Evaluation of LERA scalar expressions (qualifications and projection
+    expressions, paper §3.3–3.4).
+
+    Column references are resolved against one tuple per operand of the
+    enclosing operator; ADT calls go through the database's function
+    registry; [value] dereferences the object store point-wise. *)
+
+module Value = Eds_value.Value
+
+exception Eval_error of string
+
+val eval : Database.t -> inputs:Relation.tuple list -> Eds_lera.Lera.scalar -> Value.t
+(** Raises {!Eval_error} on unknown functions, bad column references or
+    ill-typed applications. *)
+
+val eval_bool : Database.t -> inputs:Relation.tuple list -> Eds_lera.Lera.scalar -> bool
+(** Like {!eval} but coerces the result to a boolean ([Null] is false,
+    three-valued logic collapsed as in the paper's strict conditions). *)

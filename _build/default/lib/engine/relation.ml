@@ -1,0 +1,58 @@
+module Value = Eds_value.Value
+module Schema = Eds_lera.Schema
+
+type tuple = Value.t list
+
+type t = {
+  schema : Schema.t;
+  tuples : tuple list;
+}
+
+let compare_tuples a b =
+  let rec go xs ys =
+    match xs, ys with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: xs', y :: ys' ->
+      let c = Value.compare x y in
+      if c <> 0 then c else go xs' ys'
+  in
+  go a b
+
+let make schema tuples =
+  let width = Schema.arity schema in
+  List.iter
+    (fun tup ->
+      if List.length tup <> width then
+        invalid_arg
+          (Fmt.str "Relation.make: tuple width %d differs from arity %d"
+             (List.length tup) width))
+    tuples;
+  { schema; tuples = List.sort_uniq compare_tuples tuples }
+
+let empty schema = { schema; tuples = [] }
+let cardinality r = List.length r.tuples
+let is_empty r = r.tuples = []
+
+let mem tup r =
+  List.exists (fun t -> compare_tuples tup t = 0) r.tuples
+
+let equal a b =
+  List.length a.tuples = List.length b.tuples
+  && List.for_all2 (fun x y -> compare_tuples x y = 0) a.tuples b.tuples
+
+let union a b = make a.schema (a.tuples @ b.tuples)
+
+let diff a b =
+  { a with tuples = List.filter (fun t -> not (mem t b)) a.tuples }
+
+let inter a b = { a with tuples = List.filter (fun t -> mem t b) a.tuples }
+
+let pp ppf r =
+  let names = List.map fst r.schema in
+  Fmt.pf ppf "%a@." (Fmt.list ~sep:(Fmt.any " | ") Fmt.string) names;
+  List.iter
+    (fun tup ->
+      Fmt.pf ppf "%a@." (Fmt.list ~sep:(Fmt.any " | ") Value.pp) tup)
+    r.tuples

@@ -1,0 +1,35 @@
+(** In-memory relations.
+
+    Relations have set semantics: construction deduplicates tuples, which
+    is what guarantees termination of the fixpoint operator (paper §3.2).
+    A tuple is a list of {!Value.t}, one per schema attribute. *)
+
+module Value = Eds_value.Value
+module Schema = Eds_lera.Schema
+
+type tuple = Value.t list
+
+type t = private {
+  schema : Schema.t;
+  tuples : tuple list;  (** sorted, duplicate-free *)
+}
+
+val make : Schema.t -> tuple list -> t
+(** Sorts and deduplicates.  Raises [Invalid_argument] if a tuple's width
+    differs from the schema's arity. *)
+
+val empty : Schema.t -> t
+val cardinality : t -> int
+val is_empty : t -> bool
+val mem : tuple -> t -> bool
+val equal : t -> t -> bool
+(** Same tuple sets (schemas are not compared beyond arity). *)
+
+val union : t -> t -> t
+val diff : t -> t -> t
+val inter : t -> t -> t
+
+val compare_tuples : tuple -> tuple -> int
+
+val pp : Format.formatter -> t -> unit
+(** Tabular dump, one tuple per line. *)

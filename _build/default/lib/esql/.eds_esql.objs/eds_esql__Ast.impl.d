@@ -1,0 +1,1 @@
+lib/esql/ast.ml: Eds_value Fmt

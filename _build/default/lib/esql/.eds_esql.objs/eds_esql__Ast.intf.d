@@ -1,0 +1,1 @@
+lib/esql/ast.mli: Eds_value Format

@@ -1,0 +1,1 @@
+lib/esql/catalog.ml: Ast Eds_lera Eds_value Fmt List Option String

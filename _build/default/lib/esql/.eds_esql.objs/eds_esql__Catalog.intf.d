@@ -1,0 +1,1 @@
+lib/esql/catalog.mli: Ast Eds_lera Eds_value

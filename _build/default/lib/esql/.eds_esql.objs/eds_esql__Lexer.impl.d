@@ -1,0 +1,1 @@
+lib/esql/lexer.ml: Buffer Fmt List String

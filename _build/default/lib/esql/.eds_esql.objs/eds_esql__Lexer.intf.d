@@ -1,0 +1,1 @@
+lib/esql/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/esql/parser.ml: Ast Eds_value Fmt Lexer List String

@@ -1,0 +1,1 @@
+lib/esql/parser.mli: Ast

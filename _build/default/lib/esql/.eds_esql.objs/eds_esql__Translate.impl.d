@@ -1,0 +1,1 @@
+lib/esql/translate.ml: Ast Catalog Eds_lera Eds_value Fmt List Option String

@@ -1,0 +1,1 @@
+lib/esql/translate.mli: Ast Catalog Eds_lera Eds_value

@@ -1,0 +1,132 @@
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+module Adt = Eds_value.Adt
+module Schema = Eds_lera.Schema
+
+type view = {
+  vname : string;
+  columns : string list;
+  body : Ast.select;
+  recursive : bool;
+}
+
+type t = {
+  mutable type_env : Vtype.env;
+  mutable table_schemas : (string * Schema.t) list;
+  mutable view_list : view list;
+  mutable adt_registry : Adt.registry;
+  mutable enum_counter : int;
+}
+
+exception Catalog_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Catalog_error s)) fmt
+
+let create ?adts () =
+  {
+    type_env = Vtype.empty_env;
+    table_schemas = [];
+    view_list = [];
+    adt_registry = (match adts with Some r -> r | None -> Adt.builtins ());
+    enum_counter = 0;
+  }
+
+let types cat = cat.type_env
+let adts cat = cat.adt_registry
+let set_adts cat reg = cat.adt_registry <- reg
+
+let find_ci assoc name =
+  let wanted = String.lowercase_ascii name in
+  List.find_opt (fun (n, _) -> String.lowercase_ascii n = wanted) assoc
+
+let table cat name = Option.map snd (find_ci cat.table_schemas name)
+let tables cat = cat.table_schemas
+
+let view cat name =
+  let wanted = String.lowercase_ascii name in
+  List.find_opt (fun v -> String.lowercase_ascii v.vname = wanted) cat.view_list
+
+let views cat = cat.view_list
+
+let schema_env cat =
+  {
+    Schema.types = cat.type_env;
+    Schema.relations = cat.table_schemas;
+    Schema.adts = cat.adt_registry;
+  }
+
+let rec resolve_type cat (te : Ast.type_expr) : Vtype.t =
+  match te with
+  | Ast.T_name n -> (
+    match String.uppercase_ascii n with
+    | "CHAR" | "VARCHAR" | "TEXTUAL" | "STRING" -> Vtype.String
+    | "NUMERIC" | "REAL" | "FLOAT" | "DOUBLE" -> Vtype.Real
+    | "INT" | "INTEGER" -> Vtype.Int
+    | "BOOLEAN" | "BOOL" -> Vtype.Bool
+    | _ -> (
+      match Vtype.find cat.type_env n with
+      | Some decl when decl.Vtype.is_object -> Vtype.Object decl.Vtype.name
+      | Some decl -> Vtype.Named decl.Vtype.name
+      | None -> error "unknown type %s" n))
+  | Ast.T_enum labels ->
+    (* anonymous enumeration: register it under a fresh name so values
+       carry a nominal type *)
+    cat.enum_counter <- cat.enum_counter + 1;
+    let name = Fmt.str "enum_%d" cat.enum_counter in
+    let ty = Vtype.Enum (name, labels) in
+    cat.type_env <-
+      Vtype.declare cat.type_env
+        { Vtype.name; definition = ty; is_object = false; supertype = None };
+    ty
+  | Ast.T_tuple fields ->
+    Vtype.Tuple (List.map (fun (n, t) -> (n, resolve_type cat t)) fields)
+  | Ast.T_set t -> Vtype.Set (resolve_type cat t)
+  | Ast.T_bag t -> Vtype.Bag (resolve_type cat t)
+  | Ast.T_list t -> Vtype.List (resolve_type cat t)
+  | Ast.T_array t -> Vtype.Array (resolve_type cat t)
+
+let declare_type cat ~name ~is_object ~supertype te =
+  let definition =
+    match te with
+    | Ast.T_enum labels -> Vtype.Enum (name, labels)
+    | _ -> resolve_type cat te
+  in
+  match
+    Vtype.declare cat.type_env { Vtype.name; definition; is_object; supertype }
+  with
+  | env -> cat.type_env <- env
+  | exception Invalid_argument msg -> error "%s" msg
+
+let declare_table cat ~name columns =
+  if Option.is_some (find_ci cat.table_schemas name) then
+    error "table %s already exists" name;
+  let schema = List.map (fun (n, te) -> (n, resolve_type cat te)) columns in
+  cat.table_schemas <- cat.table_schemas @ [ (name, schema) ];
+  schema
+
+(* A view is recursive when its own name appears in the FROM clause of any
+   arm of its body (paper §2.2, Figure 5). *)
+let select_mentions name (s : Ast.select) =
+  let wanted = String.lowercase_ascii name in
+  let rec go (s : Ast.select) =
+    List.exists (fun (n, _) -> String.lowercase_ascii n = wanted) s.Ast.from
+    || match s.Ast.union with Some rest -> go rest | None -> false
+  in
+  go s
+
+let declare_view cat ~name ~columns body =
+  if Option.is_some (view cat name) then error "view %s already exists" name;
+  let v = { vname = name; columns; body; recursive = select_mentions name body } in
+  cat.view_list <- cat.view_list @ [ v ];
+  v
+
+let apply_ddl cat (stmt : Ast.stmt) =
+  match stmt with
+  | Ast.Create_type { name; is_object; supertype; definition; functions = _ } ->
+    declare_type cat ~name ~is_object ~supertype definition
+  | Ast.Create_table { name; columns } -> ignore (declare_table cat ~name columns)
+  | Ast.Create_view { name; columns; body } ->
+    ignore (declare_view cat ~name ~columns body)
+  | Ast.Insert _ | Ast.Delete _ | Ast.Update _ ->
+    error "DML is handled by the session, not the catalog"
+  | Ast.Select_stmt _ -> error "SELECT is handled by the session, not the catalog"

@@ -1,0 +1,57 @@
+(** The ESQL catalog: declared types, base relation schemas, views and
+    their deductive (recursive) status.
+
+    The catalog is pure schema information — tuple storage lives in
+    {!Eds_engine.Database}.  DDL statements update the catalog; the
+    session layer mirrors table creation into the database. *)
+
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+module Adt = Eds_value.Adt
+module Schema = Eds_lera.Schema
+
+type view = {
+  vname : string;
+  columns : string list;  (** declared column names, [] = inherit *)
+  body : Ast.select;
+  recursive : bool;  (** the view's FROM clauses mention the view itself *)
+}
+
+type t
+
+exception Catalog_error of string
+
+val create : ?adts:Adt.registry -> unit -> t
+val types : t -> Vtype.env
+val adts : t -> Adt.registry
+val set_adts : t -> Adt.registry -> unit
+
+val table : t -> string -> Schema.t option
+(** case-insensitive lookup *)
+
+val tables : t -> (string * Schema.t) list
+val view : t -> string -> view option
+val views : t -> view list
+
+val schema_env : t -> Schema.env
+
+val resolve_type : t -> Ast.type_expr -> Vtype.t
+(** Resolve concrete type syntax ([CHAR], [NUMERIC], [SET OF …], declared
+    names) to a type.  Raises {!Catalog_error} on unknown names. *)
+
+val declare_type :
+  t ->
+  name:string ->
+  is_object:bool ->
+  supertype:string option ->
+  Ast.type_expr ->
+  unit
+
+val declare_table : t -> name:string -> (string * Ast.type_expr) list -> Schema.t
+(** Returns the resolved schema. *)
+
+val declare_view : t -> name:string -> columns:string list -> Ast.select -> view
+
+val apply_ddl : t -> Ast.stmt -> unit
+(** Apply [Create_type]/[Create_table]/[Create_view]; other statements
+    raise {!Catalog_error} (they are the session layer's job). *)

@@ -1,0 +1,158 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | SEMI
+  | COLON
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ARROW
+  | AT
+  | EOF
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %s" s
+  | INT i -> Fmt.pf ppf "integer %d" i
+  | FLOAT f -> Fmt.pf ppf "number %g" f
+  | STRING s -> Fmt.pf ppf "string '%s'" s
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | LBRACKET -> Fmt.string ppf "["
+  | RBRACKET -> Fmt.string ppf "]"
+  | COMMA -> Fmt.string ppf ","
+  | DOT -> Fmt.string ppf "."
+  | SEMI -> Fmt.string ppf ";"
+  | COLON -> Fmt.string ppf ":"
+  | STAR -> Fmt.string ppf "*"
+  | PLUS -> Fmt.string ppf "+"
+  | MINUS -> Fmt.string ppf "-"
+  | SLASH -> Fmt.string ppf "/"
+  | EQ -> Fmt.string ppf "="
+  | NEQ -> Fmt.string ppf "<>"
+  | LT -> Fmt.string ppf "<"
+  | LE -> Fmt.string ppf "<="
+  | GT -> Fmt.string ppf ">"
+  | GE -> Fmt.string ppf ">="
+  | ARROW -> Fmt.string ppf "-->"
+  | AT -> Fmt.string ppf "@"
+  | EOF -> Fmt.string ppf "end of input"
+
+exception Lex_error of string * int
+
+let error pos fmt = Fmt.kstr (fun s -> raise (Lex_error (s, pos))) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit pos tok = tokens := (tok, pos) :: !tokens in
+  let rec go i =
+    if i >= n then emit i EOF
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '-' when i + 2 < n && input.[i + 1] = '-' && input.[i + 2] = '>' ->
+        emit i ARROW;
+        go (i + 3)
+      | '-' when i + 1 < n && input.[i + 1] = '-' ->
+        let rec skip j = if j < n && input.[j] <> '\n' then skip (j + 1) else j in
+        go (skip (i + 2))
+      | '(' -> emit i LPAREN; go (i + 1)
+      | ')' -> emit i RPAREN; go (i + 1)
+      | '{' -> emit i LBRACE; go (i + 1)
+      | '}' -> emit i RBRACE; go (i + 1)
+      | '[' -> emit i LBRACKET; go (i + 1)
+      | ']' -> emit i RBRACKET; go (i + 1)
+      | ',' -> emit i COMMA; go (i + 1)
+      | '.' -> emit i DOT; go (i + 1)
+      | ';' -> emit i SEMI; go (i + 1)
+      | ':' -> emit i COLON; go (i + 1)
+      | '*' -> emit i STAR; go (i + 1)
+      | '+' -> emit i PLUS; go (i + 1)
+      | '-' -> emit i MINUS; go (i + 1)
+      | '/' -> emit i SLASH; go (i + 1)
+      | '=' -> emit i EQ; go (i + 1)
+      | '@' -> emit i AT; go (i + 1)
+      | '<' ->
+        if i + 1 < n && input.[i + 1] = '>' then begin
+          emit i NEQ;
+          go (i + 2)
+        end
+        else if i + 1 < n && input.[i + 1] = '=' then begin
+          emit i LE;
+          go (i + 2)
+        end
+        else begin
+          emit i LT;
+          go (i + 1)
+        end
+      | '>' ->
+        if i + 1 < n && input.[i + 1] = '=' then begin
+          emit i GE;
+          go (i + 2)
+        end
+        else begin
+          emit i GT;
+          go (i + 1)
+        end
+      | '\'' -> string_lit (i + 1) (Buffer.create 16) i
+      | c when is_digit c -> number i
+      | c when is_ident_start c -> ident i
+      | c -> error i "unexpected character %C" c
+  and string_lit i buf start =
+    if i >= n then error start "unterminated string literal"
+    else if input.[i] = '\'' then
+      if i + 1 < n && input.[i + 1] = '\'' then begin
+        Buffer.add_char buf '\'';
+        string_lit (i + 2) buf start
+      end
+      else begin
+        emit start (STRING (Buffer.contents buf));
+        go (i + 1)
+      end
+    else begin
+      Buffer.add_char buf input.[i];
+      string_lit (i + 1) buf start
+    end
+  and number start =
+    let rec digits j = if j < n && is_digit input.[j] then digits (j + 1) else j in
+    let int_end = digits start in
+    if int_end + 1 < n && input.[int_end] = '.' && is_digit input.[int_end + 1] then begin
+      let frac_end = digits (int_end + 1) in
+      emit start (FLOAT (float_of_string (String.sub input start (frac_end - start))));
+      go frac_end
+    end
+    else begin
+      emit start (INT (int_of_string (String.sub input start (int_end - start))));
+      go int_end
+    end
+  and ident start =
+    let rec chars j = if j < n && is_ident_char input.[j] then chars (j + 1) else j in
+    let stop = chars start in
+    emit start (IDENT (String.sub input start (stop - start)));
+    go stop
+  in
+  go 0;
+  List.rev !tokens

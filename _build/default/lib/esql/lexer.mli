@@ -1,0 +1,41 @@
+(** Hand-written lexer shared by the ESQL parser and the rule-language
+    parser (their token-level syntax coincides: identifiers, literals,
+    comparison operators and punctuation). *)
+
+type token =
+  | IDENT of string  (** case preserved; keyword recognition is the parser's *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (** single-quoted, [''] escapes a quote *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | SEMI
+  | COLON
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ARROW  (** [-->], the rule-language rewrite arrow *)
+  | AT  (** [@], OID literals *)
+  | EOF
+
+val pp_token : Format.formatter -> token -> unit
+
+exception Lex_error of string * int
+(** message and character offset *)
+
+val tokenize : string -> (token * int) list
+(** Tokenize a whole input; [--] starts a comment to end of line.  The
+    result always ends with [EOF].  Raises {!Lex_error}. *)

@@ -1,0 +1,420 @@
+module Value = Eds_value.Value
+
+exception Parse_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+let keywords =
+  [
+    "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "GROUP"; "BY"; "UNION"; "AS";
+    "AND"; "OR"; "NOT"; "IN"; "ALL"; "EXIST"; "EXISTS";
+    "CREATE"; "TYPE"; "TABLE"; "VIEW"; "INSERT"; "INTO"; "VALUES";
+    "DELETE"; "UPDATE"; "SET"; "HAVING";
+    "SUBTYPE"; "OF"; "OBJECT"; "TUPLE"; "SET"; "BAG"; "LIST"; "ARRAY";
+    "ENUMERATION"; "FUNCTION"; "TRUE"; "FALSE"; "NULL";
+  ]
+
+let reserved word = List.mem (String.uppercase_ascii word) keywords
+
+(* mutable token cursor *)
+type state = { mutable tokens : (Lexer.token * int) list }
+
+let peek st = match st.tokens with (t, _) :: _ -> t | [] -> Lexer.EOF
+
+let peek2 st =
+  match st.tokens with _ :: (t, _) :: _ -> t | _ -> Lexer.EOF
+
+let advance st =
+  match st.tokens with
+  | _ :: rest -> st.tokens <- rest
+  | [] -> ()
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let t = next st in
+  if t <> tok then error "expected %a but found %a" Lexer.pp_token tok Lexer.pp_token t
+
+(* case-insensitive keyword tests *)
+let is_kw word = function
+  | Lexer.IDENT s -> String.uppercase_ascii s = word
+  | _ -> false
+
+let peek_kw st word = is_kw word (peek st)
+
+let eat_kw st word =
+  if peek_kw st word then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_kw st word =
+  if not (eat_kw st word) then
+    error "expected %s but found %a" word Lexer.pp_token (peek st)
+
+let ident st =
+  match next st with
+  | Lexer.IDENT s when not (reserved s) -> s
+  | t -> error "expected an identifier, found %a" Lexer.pp_token t
+
+let any_ident st =
+  match next st with
+  | Lexer.IDENT s -> s
+  | t -> error "expected an identifier, found %a" Lexer.pp_token t
+
+let comma_separated st parse =
+  let rec more acc =
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      more (parse st :: acc)
+    end
+    else List.rev acc
+  in
+  more [ parse st ]
+
+(* -- expressions ------------------------------------------------------- *)
+
+let rec expr st = or_expr st
+
+and or_expr st =
+  let lhs = and_expr st in
+  if eat_kw st "OR" then Ast.Binop ("or", lhs, or_expr st) else lhs
+
+and and_expr st =
+  let lhs = not_expr st in
+  if eat_kw st "AND" then Ast.Binop ("and", lhs, and_expr st) else lhs
+
+and not_expr st =
+  if eat_kw st "NOT" then Ast.Not (not_expr st) else comparison st
+
+and comparison st =
+  let lhs = additive st in
+  match peek st with
+  | Lexer.EQ -> advance st; Ast.Binop ("=", lhs, additive st)
+  | Lexer.NEQ -> advance st; Ast.Binop ("<>", lhs, additive st)
+  | Lexer.LT -> advance st; Ast.Binop ("<", lhs, additive st)
+  | Lexer.LE -> advance st; Ast.Binop ("<=", lhs, additive st)
+  | Lexer.GT -> advance st; Ast.Binop (">", lhs, additive st)
+  | Lexer.GE -> advance st; Ast.Binop (">=", lhs, additive st)
+  | Lexer.IDENT s when String.uppercase_ascii s = "IN" ->
+    advance st;
+    Ast.In (lhs, primary st)
+  | _ -> lhs
+
+and additive st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.PLUS -> advance st; go (Ast.Binop ("+", lhs, multiplicative st))
+    | Lexer.MINUS -> advance st; go (Ast.Binop ("-", lhs, multiplicative st))
+    | _ -> lhs
+  in
+  go (multiplicative st)
+
+and multiplicative st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.STAR -> advance st; go (Ast.Binop ("*", lhs, unary st))
+    | Lexer.SLASH -> advance st; go (Ast.Binop ("/", lhs, unary st))
+    | _ -> lhs
+  in
+  go (unary st)
+
+and unary st =
+  match peek st with
+  | Lexer.MINUS ->
+    advance st;
+    (match unary st with
+    | Ast.Lit (Value.Int i) -> Ast.Lit (Value.Int (-i))
+    | Ast.Lit (Value.Real r) -> Ast.Lit (Value.Real (-.r))
+    | e -> Ast.Call ("minus", [ e ]))
+  | _ -> primary st
+
+and primary st =
+  match peek st with
+  | Lexer.INT i -> advance st; Ast.Lit (Value.Int i)
+  | Lexer.FLOAT f -> advance st; Ast.Lit (Value.Real f)
+  | Lexer.STRING s -> advance st; Ast.Lit (Value.Str s)
+  | Lexer.AT -> (
+    advance st;
+    match next st with
+    | Lexer.INT i -> Ast.Lit (Value.Oid i)
+    | t -> error "expected an OID number after @, found %a" Lexer.pp_token t)
+  | Lexer.LBRACE ->
+    advance st;
+    let items = if peek st = Lexer.RBRACE then [] else comma_separated st expr in
+    expect st Lexer.RBRACE;
+    Ast.Set_lit items
+  | Lexer.LBRACKET ->
+    advance st;
+    let items = if peek st = Lexer.RBRACKET then [] else comma_separated st expr in
+    expect st Lexer.RBRACKET;
+    Ast.List_lit items
+  | Lexer.LPAREN ->
+    advance st;
+    let e = expr st in
+    if peek st = Lexer.COMMA then begin
+      (* parenthesized list: IN ('a', 'b', …) *)
+      advance st;
+      let rest = comma_separated st expr in
+      expect st Lexer.RPAREN;
+      Ast.Set_lit (e :: rest)
+    end
+    else begin
+      expect st Lexer.RPAREN;
+      e
+    end
+  | Lexer.IDENT s when String.uppercase_ascii s = "TRUE" ->
+    advance st;
+    Ast.Lit (Value.Bool true)
+  | Lexer.IDENT s when String.uppercase_ascii s = "FALSE" ->
+    advance st;
+    Ast.Lit (Value.Bool false)
+  | Lexer.IDENT s when String.uppercase_ascii s = "NULL" ->
+    advance st;
+    Ast.Lit Value.Null
+  | Lexer.IDENT s when String.uppercase_ascii s = "ALL" && peek2 st = Lexer.LPAREN ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let e = expr st in
+    expect st Lexer.RPAREN;
+    Ast.Quant (Ast.All, e)
+  | Lexer.IDENT s
+    when (String.uppercase_ascii s = "EXIST" || String.uppercase_ascii s = "EXISTS")
+         && peek2 st = Lexer.LPAREN ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let e = expr st in
+    expect st Lexer.RPAREN;
+    Ast.Quant (Ast.Exist, e)
+  | Lexer.IDENT s when not (reserved s) -> (
+    advance st;
+    match peek st with
+    | Lexer.LPAREN ->
+      advance st;
+      let args = if peek st = Lexer.RPAREN then [] else comma_separated st expr in
+      expect st Lexer.RPAREN;
+      Ast.Call (s, args)
+    | Lexer.DOT ->
+      advance st;
+      Ast.Dot (s, any_ident st)
+    | _ -> Ast.Ident s)
+  | t -> error "unexpected %a in expression" Lexer.pp_token t
+
+(* -- types ------------------------------------------------------------- *)
+
+let rec type_expr st =
+  if eat_kw st "ENUMERATION" then begin
+    expect_kw st "OF";
+    expect st Lexer.LPAREN;
+    let label st' =
+      match next st' with
+      | Lexer.STRING s -> s
+      | t -> error "expected a string label, found %a" Lexer.pp_token t
+    in
+    let labels = comma_separated st label in
+    expect st Lexer.RPAREN;
+    Ast.T_enum labels
+  end
+  else if eat_kw st "TUPLE" then begin
+    expect st Lexer.LPAREN;
+    let field st' =
+      let name = ident st' in
+      if peek st' = Lexer.COLON then advance st';
+      (name, type_expr st')
+    in
+    let fields = comma_separated st field in
+    expect st Lexer.RPAREN;
+    Ast.T_tuple fields
+  end
+  else if eat_kw st "SET" then begin
+    expect_kw st "OF";
+    Ast.T_set (type_expr st)
+  end
+  else if eat_kw st "BAG" then begin
+    expect_kw st "OF";
+    Ast.T_bag (type_expr st)
+  end
+  else if eat_kw st "LIST" then begin
+    expect_kw st "OF";
+    Ast.T_list (type_expr st)
+  end
+  else if eat_kw st "ARRAY" then begin
+    expect_kw st "OF";
+    Ast.T_array (type_expr st)
+  end
+  else Ast.T_name (any_ident st)
+
+(* -- statements -------------------------------------------------------- *)
+
+let create_type st =
+  let name = ident st in
+  let supertype = if eat_kw st "SUBTYPE" then begin
+      expect_kw st "OF";
+      Some (ident st)
+    end
+    else None
+  in
+  let is_object = eat_kw st "OBJECT" in
+  let definition = type_expr st in
+  (* FUNCTION declarations: record the name, skip the parameter list *)
+  let rec functions acc =
+    if eat_kw st "FUNCTION" then begin
+      let fname = ident st in
+      expect st Lexer.LPAREN;
+      let rec skip depth =
+        match next st with
+        | Lexer.LPAREN -> skip (depth + 1)
+        | Lexer.RPAREN -> if depth > 0 then skip (depth - 1)
+        | Lexer.EOF -> error "unterminated FUNCTION declaration"
+        | _ -> skip depth
+      in
+      skip 0;
+      functions (fname :: acc)
+    end
+    else List.rev acc
+  in
+  Ast.Create_type { name; is_object; supertype; definition; functions = functions [] }
+
+let create_table st =
+  let name = ident st in
+  expect st Lexer.LPAREN;
+  let column st' =
+    let cname = ident st' in
+    if peek st' = Lexer.COLON then advance st';
+    (cname, type_expr st')
+  in
+  let columns = comma_separated st column in
+  expect st Lexer.RPAREN;
+  Ast.Create_table { name; columns }
+
+let rec select st =
+  expect_kw st "SELECT";
+  let distinct = eat_kw st "DISTINCT" in
+  let proj_item st' =
+    let e = expr st' in
+    let alias = if eat_kw st' "AS" then Some (ident st') else None in
+    (e, alias)
+  in
+  let proj = comma_separated st proj_item in
+  expect_kw st "FROM";
+  let from_item st' =
+    let name = ident st' in
+    let alias =
+      match peek st' with
+      | Lexer.IDENT a when not (reserved a) ->
+        advance st';
+        Some a
+      | _ -> None
+    in
+    (name, alias)
+  in
+  let from = comma_separated st from_item in
+  let where = if eat_kw st "WHERE" then Some (expr st) else None in
+  let group_by =
+    if eat_kw st "GROUP" then begin
+      expect_kw st "BY";
+      comma_separated st expr
+    end
+    else []
+  in
+  let having = if eat_kw st "HAVING" then Some (expr st) else None in
+  let union =
+    if eat_kw st "UNION" then
+      Some (if peek st = Lexer.LPAREN then parenthesized_select st else select st)
+    else None
+  in
+  { Ast.distinct; proj; from; where; group_by; having; union }
+
+and parenthesized_select st =
+  expect st Lexer.LPAREN;
+  let s = if peek st = Lexer.LPAREN then parenthesized_select st else select st in
+  expect st Lexer.RPAREN;
+  s
+
+let create_view st =
+  let name = ident st in
+  let columns =
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let cols = comma_separated st ident in
+      expect st Lexer.RPAREN;
+      cols
+    end
+    else []
+  in
+  expect_kw st "AS";
+  let body = if peek st = Lexer.LPAREN then parenthesized_select st else select st in
+  Ast.Create_view { name; columns; body }
+
+let delete st =
+  expect_kw st "FROM";
+  let table = ident st in
+  let where = if eat_kw st "WHERE" then Some (expr st) else None in
+  Ast.Delete { table; where }
+
+let update st =
+  let table = ident st in
+  expect_kw st "SET";
+  let assignment st' =
+    let col = ident st' in
+    expect st' Lexer.EQ;
+    (col, expr st')
+  in
+  let assignments = comma_separated st assignment in
+  let where = if eat_kw st "WHERE" then Some (expr st) else None in
+  Ast.Update { table; assignments; where }
+
+let insert st =
+  expect_kw st "INTO";
+  let table = ident st in
+  expect_kw st "VALUES";
+  expect st Lexer.LPAREN;
+  let values = comma_separated st expr in
+  expect st Lexer.RPAREN;
+  Ast.Insert { table; values }
+
+let stmt st =
+  if eat_kw st "CREATE" then begin
+    if eat_kw st "TYPE" then create_type st
+    else if eat_kw st "TABLE" then create_table st
+    else if eat_kw st "VIEW" then create_view st
+    else error "expected TYPE, TABLE or VIEW after CREATE"
+  end
+  else if eat_kw st "TYPE" then create_type st
+  else if eat_kw st "TABLE" then create_table st
+  else if eat_kw st "INSERT" then insert st
+  else if eat_kw st "DELETE" then delete st
+  else if eat_kw st "UPDATE" then update st
+  else if peek_kw st "SELECT" then Ast.Select_stmt (select st)
+  else error "expected a statement, found %a" Lexer.pp_token (peek st)
+
+(* -- entry points ------------------------------------------------------ *)
+
+let with_state input f =
+  let st = { tokens = Lexer.tokenize input } in
+  let result = f st in
+  if peek st = Lexer.SEMI then advance st;
+  (match peek st with
+  | Lexer.EOF -> ()
+  | t -> error "trailing input: %a" Lexer.pp_token t);
+  result
+
+let parse_stmt input = with_state input stmt
+let parse_select input = with_state input select
+let parse_expr input = with_state input expr
+
+let parse_program input =
+  let st = { tokens = Lexer.tokenize input } in
+  let rec go acc =
+    match peek st with
+    | Lexer.EOF -> List.rev acc
+    | Lexer.SEMI ->
+      advance st;
+      go acc
+    | _ -> go (stmt st :: acc)
+  in
+  go []

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for ESQL (paper §2).
+
+    Keywords are case-insensitive and [CREATE] is optional in front of
+    [TYPE] and [TABLE], matching the paper's Figure-2 spelling
+    ([TYPE Category ENUMERATION OF …], [TABLE FILM (Numf : NUMERIC, …)]). *)
+
+exception Parse_error of string
+(** Message includes the offending token. *)
+
+val parse_stmt : string -> Ast.stmt
+(** Parse exactly one statement (a trailing [;] is allowed). *)
+
+val parse_program : string -> Ast.stmt list
+(** Parse a [;]-separated sequence of statements. *)
+
+val parse_select : string -> Ast.select
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression — used by tests. *)
+
+val reserved : string -> bool
+(** Is this (case-insensitive) word an ESQL keyword? *)

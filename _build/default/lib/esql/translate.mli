@@ -1,0 +1,45 @@
+(** ESQL → LERA translation with type checking (paper §3.1, §5).
+
+    This performs the rewriter's first syntactic activity, "type checking
+    function rules": it resolves column names to positional references,
+    infers generic functions — the attribute-as-function sugar
+    [Salary(Refactor)] becomes [project(value(Refactor), 'Salary')] — and
+    inserts the necessary conversions (string literals compared against
+    enumeration domains become enumeration constants).
+
+    Views translate {e compositionally}: a view used in a FROM clause
+    contributes its own translated expression as an operand, so the query
+    reaching the rewriter still contains the "arbitrary processing order
+    imposed by the user-written views" that the merging rules then
+    normalize away.  Recursive views become [fix] operators (paper §3.2). *)
+
+module Value = Eds_value.Value
+module Lera = Eds_lera.Lera
+module Schema = Eds_lera.Schema
+
+exception Type_error of string
+
+val select : Catalog.t -> Ast.select -> Lera.rel
+(** Translate a (possibly UNION) select statement. *)
+
+val select_schema : Catalog.t -> Ast.select -> Schema.t
+(** Schema of the translation (convenience wrapper). *)
+
+val relation_of_name : Catalog.t -> string -> Lera.rel
+(** The LERA expression denoted by a table or view name: [Base] for
+    tables, the translated body for views, a [Fix] for recursive views.
+    Raises {!Type_error} for unknown names. *)
+
+val schema_of_name : Catalog.t -> string -> Schema.t
+(** Schema of {!relation_of_name}, with view columns renamed to the
+    view's declared column names. *)
+
+val expr_over_table :
+  Catalog.t -> table:string -> Ast.expr -> Lera.scalar * Catalog.Vtype.t
+(** Translate an expression whose columns resolve against a single base
+    table — the WHERE clause and SET expressions of DELETE/UPDATE. *)
+
+val expr_to_value : ?expected:Catalog.Vtype.t -> Catalog.t -> Ast.expr -> Value.t
+(** Constant-fold a literal expression (INSERT values).  [expected]
+    drives enum coercion of string literals.  Raises {!Type_error} on
+    non-constant expressions. *)

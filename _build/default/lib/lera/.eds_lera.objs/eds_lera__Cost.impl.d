@@ -1,0 +1,1 @@
+lib/lera/cost.ml: Eds_value Float Fmt Lera List

@@ -1,0 +1,1 @@
+lib/lera/cost.mli: Format Lera Schema

@@ -1,0 +1,1 @@
+lib/lera/lera.ml: Eds_value Fmt List String

@@ -1,0 +1,1 @@
+lib/lera/lera.mli: Eds_value Format

@@ -1,0 +1,1 @@
+lib/lera/lera_term.ml: Eds_term Eds_value Fmt Lera List Option String

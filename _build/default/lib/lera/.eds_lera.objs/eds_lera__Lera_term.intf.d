@@ -1,0 +1,1 @@
+lib/lera/lera_term.mli: Eds_term Lera

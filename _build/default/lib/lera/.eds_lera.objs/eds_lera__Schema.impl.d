@@ -1,0 +1,1 @@
+lib/lera/schema.ml: Eds_value Fmt Lera List Option String

@@ -1,0 +1,1 @@
+lib/lera/schema.mli: Eds_value Format Lera

@@ -1,0 +1,36 @@
+(** Static cost estimation for LERA expressions.
+
+    The rewriter transforms queries into "equivalent simpler ones with
+    better {e expected} performance" (paper §1) — this module provides
+    the expectation: a textbook cardinality/selectivity model giving
+    each plan an estimated output cardinality and an estimated cost in
+    enumerated operand combinations, the same unit the instrumented
+    evaluator reports, so estimates and measurements are comparable.
+
+    Heuristics (classic System-R-style constants): equality with a
+    constant selects 10 %, column-column equality 5 % (a key-foreign-key
+    guess), ranges 30 %, membership 25 %, other predicates 50 %;
+    conjunctions multiply, disjunctions add (capped at 1); a fixpoint is
+    charged [fix_rounds] evaluations of its body against a saturated
+    input estimate. *)
+
+type t = {
+  cardinality : float;  (** expected output tuples *)
+  cost : float;  (** expected enumerated combinations, cumulative *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+val estimate :
+  ?relation_cardinality:(string -> int option) ->
+  ?fix_rounds:int ->
+  Schema.env ->
+  Lera.rel ->
+  t
+(** [relation_cardinality] supplies base-relation sizes (e.g. from the
+    live database); unknown relations default to 1000 tuples.
+    [fix_rounds] (default 4) scales the fixpoint charge.  Never raises:
+    malformed sub-expressions contribute the default cardinality. *)
+
+val selectivity : Lera.scalar -> float
+(** Selectivity of a qualification under the heuristics above. *)

@@ -1,0 +1,42 @@
+(** Schemas of LERA expressions.
+
+    A schema is the ordered list of (attribute name, type) pairs of the
+    relation computed by an expression.  Schema inference is what lets
+    the rewriter's type-checking activity (paper §5, first activity)
+    "correctly infer types and add the necessary conversion functions",
+    and what the SCHEMA external function of Figure 8 computes. *)
+
+module Vtype = Eds_value.Vtype
+module Adt = Eds_value.Adt
+
+type t = (string * Vtype.t) list
+
+type env = {
+  types : Vtype.env;
+  relations : (string * t) list;  (** base relation schemas *)
+  adts : Adt.registry;
+}
+
+val arity : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+exception Schema_error of string
+
+val scalar_type : env -> inputs:t list -> Lera.scalar -> Vtype.t
+(** Type of a scalar over the given operand schemas.  Knows the generic
+    conversions of §3.3: [value] maps an object to its tuple value,
+    [project] extracts a tuple field (point-wise over collections), and
+    comparisons over a collection operand are boolean collections. *)
+
+val scalar_name : t list -> Lera.scalar -> string
+(** Output attribute name for a projection item: column references keep
+    their source name, [project(…, 'A')] is named [A], other calls are
+    named after the function. *)
+
+val of_rel : ?rvars:(string * t) list -> env -> Lera.rel -> t
+(** Schema of an expression.  [rvars] gives the schemas of free recursion
+    variables; for a [Fix] the recursion variable's schema is inferred
+    from the arms of its body that do not use it.
+    Raises {!Schema_error} on unknown relations, out-of-range columns or
+    ill-typed operators. *)

@@ -1,0 +1,1 @@
+lib/rewriter/engine.ml: Eds_lera Eds_term Eds_value Fmt Fun List Option Rule Seq String

@@ -1,0 +1,1 @@
+lib/rewriter/engine.mli: Eds_lera Eds_term Eds_value Format Rule

@@ -1,0 +1,1 @@
+lib/rewriter/magic.ml: Eds_lera Eds_value Int List Option String

@@ -1,0 +1,1 @@
+lib/rewriter/magic.mli: Eds_lera

@@ -1,0 +1,1 @@
+lib/rewriter/methods.ml: Eds_lera Eds_term Eds_value Engine Filename List Magic Option String

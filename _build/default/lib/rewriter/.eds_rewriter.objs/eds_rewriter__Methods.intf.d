@@ -1,0 +1,1 @@
+lib/rewriter/methods.mli: Engine

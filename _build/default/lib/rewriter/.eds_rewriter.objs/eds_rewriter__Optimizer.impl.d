@@ -1,0 +1,1 @@
+lib/rewriter/optimizer.ml: Eds_lera Eds_term Eds_value Engine Fmt List Methods Rule Rule_parser Rulesets

@@ -1,0 +1,1 @@
+lib/rewriter/optimizer.mli: Eds_lera Eds_term Eds_value Engine Rule

@@ -1,0 +1,1 @@
+lib/rewriter/rule.ml: Eds_term Fmt List

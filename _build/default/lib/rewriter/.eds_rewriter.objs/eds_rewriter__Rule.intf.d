@@ -1,0 +1,1 @@
+lib/rewriter/rule.mli: Eds_term Format

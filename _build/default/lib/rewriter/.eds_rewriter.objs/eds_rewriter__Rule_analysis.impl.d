@@ -1,0 +1,1 @@
+lib/rewriter/rule_analysis.ml: Eds_term Eds_value Fmt Hashtbl List Option Rule String

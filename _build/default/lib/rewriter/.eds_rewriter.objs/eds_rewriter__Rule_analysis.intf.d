@@ -1,0 +1,1 @@
+lib/rewriter/rule_analysis.mli: Format Rule

@@ -1,0 +1,1 @@
+lib/rewriter/rule_parser.ml: Eds_esql Eds_term Eds_value Fmt List Rule String

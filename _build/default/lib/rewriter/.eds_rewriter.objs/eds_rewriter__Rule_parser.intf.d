@@ -1,0 +1,1 @@
+lib/rewriter/rule_parser.mli: Eds_term Rule

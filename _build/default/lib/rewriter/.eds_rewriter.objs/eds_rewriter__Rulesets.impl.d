@@ -1,0 +1,1 @@
+lib/rewriter/rulesets.ml: List Rule Rule_parser

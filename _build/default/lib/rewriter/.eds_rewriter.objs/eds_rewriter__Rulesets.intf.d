@@ -1,0 +1,1 @@
+lib/rewriter/rulesets.mli: Rule

@@ -1,0 +1,419 @@
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+module Adt = Eds_value.Adt
+module Term = Eds_term.Term
+module Subst = Eds_term.Subst
+module Matcher = Eds_term.Matcher
+module Lera = Eds_lera.Lera
+module Schema = Eds_lera.Schema
+module Lera_term = Eds_lera.Lera_term
+
+type local_env = {
+  input_schemas : Schema.t list option;
+  rvars : (string * Schema.t) list;
+}
+
+type ctx = {
+  schema_env : Schema.env;
+  methods : (string * method_fn) list;
+  constraint_preds : (string * constraint_fn) list;
+  semantic_constraints : (string * Term.t) list;
+}
+
+and method_fn = ctx -> local_env -> Subst.t -> Term.t list -> Subst.t option
+and constraint_fn = ctx -> local_env -> Term.t list -> bool
+
+let ctx ?(methods = []) ?(constraint_preds = []) ?(semantic_constraints = [])
+    schema_env =
+  { schema_env; methods; constraint_preds; semantic_constraints }
+
+let top_env = { input_schemas = None; rvars = [] }
+
+type step = {
+  rule_name : string;
+  block_name : string;
+  redex : Term.t;  (** the subterm that was rewritten *)
+  replacement : Term.t;
+}
+
+let pp_step ppf s =
+  Fmt.pf ppf "[%s] %s:@   %a@   --> %a" s.block_name s.rule_name Term.pp s.redex
+    Term.pp s.replacement
+
+type stats = {
+  mutable conditions_checked : int;
+  mutable rewrites_applied : int;
+  mutable by_rule : (string * int) list;
+  mutable trace : step list;  (** most recent first; reversed by [steps] *)
+}
+
+let fresh_stats () =
+  { conditions_checked = 0; rewrites_applied = 0; by_rule = []; trace = [] }
+
+let steps stats = List.rev stats.trace
+
+let pp_stats ppf s =
+  Fmt.pf ppf "conditions=%d rewrites=%d [%a]" s.conditions_checked s.rewrites_applied
+    (Fmt.list ~sep:(Fmt.any "; ") (fun ppf (n, c) -> Fmt.pf ppf "%s:%d" n c))
+    s.by_rule
+
+let bump_rule stats name =
+  stats.rewrites_applied <- stats.rewrites_applied + 1;
+  let rec go = function
+    | [] -> [ (name, 1) ]
+    | (n, c) :: rest -> if n = name then (n, c + 1) :: rest else (n, c) :: go rest
+  in
+  stats.by_rule <- go stats.by_rule
+
+exception Rewrite_error of string
+
+(* -- scalar typing inside constraints ----------------------------------- *)
+
+(* Type of a (ground) scalar term under the local environment, when
+   derivable: constants, column references, and registered functions. *)
+let term_type c env (t : Term.t) : Vtype.t option =
+  match t with
+  | Term.Cst v -> Some (Vtype.type_of_value c.schema_env.Schema.types v)
+  | Term.App ("@", [ Term.Cst (Value.Int i); Term.Cst (Value.Int j) ]) -> (
+    match env.input_schemas with
+    | Some schemas -> (
+      match List.nth_opt schemas (i - 1) with
+      | Some sch -> Option.map snd (List.nth_opt sch (j - 1))
+      | None -> None)
+    | None -> None)
+  | Term.App (_, _) -> (
+    match Lera_term.scalar_of_term t with
+    | scalar -> (
+      match env.input_schemas with
+      | Some schemas -> (
+        try Some (Schema.scalar_type c.schema_env ~inputs:schemas scalar)
+        with Schema.Schema_error _ -> None)
+      | None -> None)
+    | exception Lera_term.Bridge_error _ -> None)
+  | Term.Var _ | Term.Cvar _ -> None
+  | Term.Coll (Term.Set, _) -> Some (Vtype.Set Vtype.Any)
+  | Term.Coll (Term.Bag, _) -> Some (Vtype.Bag Vtype.Any)
+  | Term.Coll (Term.List, _) -> Some (Vtype.List Vtype.Any)
+  | Term.Coll (Term.Array, _) -> Some (Vtype.Array Vtype.Any)
+  | Term.Coll (Term.Tuple, _) -> None
+
+(* -- built-in constraints ------------------------------------------------ *)
+
+let comparison_ops = [ "="; "<>"; "<"; "<="; ">"; ">=" ]
+
+let rec eval_constraint c env (t : Term.t) : bool =
+  match t with
+  | Term.Cst (Value.Bool b) -> b
+  | Term.App ("and", [ Term.Coll (Term.Bag, cs) ]) ->
+    List.for_all (eval_constraint c env) cs
+  | Term.App ("or", [ Term.Coll (Term.Bag, cs) ]) ->
+    List.exists (eval_constraint c env) cs
+  | Term.App ("not", [ a ]) -> not (eval_constraint c env a)
+  | Term.App (op, [ Term.Cst a; Term.Cst b ]) when List.mem op comparison_ops -> (
+    match Adt.apply c.schema_env.Schema.adts op [ a; b ] with
+    | Value.Bool r -> r
+    | _ -> false
+    | exception _ -> false)
+  | Term.App ("isa", [ a; ty ]) -> constraint_isa c env a ty
+  | Term.App ("notin", a :: members) ->
+    not (List.exists (Term.equal a) members)
+  | Term.App ("distinct", [ a; b ]) -> not (Term.equal a b)
+  | Term.App ("nonempty", args) -> args <> []
+  | Term.App ("ground", [ a ]) -> Term.is_ground a
+  | Term.App ("pred", [ a ]) -> constraint_pred c a
+  | Term.App ("refer_only", [ Term.Coll (_, quals); Term.Coll (_, prefix); group ]) ->
+    constraint_refer_only quals prefix group
+  | Term.App ("not_in_domain", [ k; s ]) -> constraint_not_in_domain c env k s
+  | Term.App ("empty_rel", [ r ]) -> (
+    (* provable emptiness of a relational operand (starved by a false
+       qualification somewhere inside) *)
+    match Lera_term.of_term r with
+    | rel -> Lera.obviously_empty rel
+    | exception Lera_term.Bridge_error _ -> false)
+  | Term.App (name, args) -> (
+    match List.assoc_opt name c.constraint_preds with
+    | Some fn -> fn c env args
+    | None -> false)
+  | Term.Var _ | Term.Cvar _ | Term.Cst _ | Term.Coll _ -> false
+
+(* ISA(x, y): subtype test.  The type side is written as a bare name in
+   rule syntax (hence a variable after parsing); [constant] means "x is a
+   constant", the collection kinds test the constructor, and any declared
+   type name tests against the derivable type of x. *)
+and constraint_isa c env a ty =
+  let type_name =
+    match ty with
+    | Term.Var n -> Some n
+    | Term.Cst (Value.Str n) -> Some (String.lowercase_ascii n)
+    | _ -> None
+  in
+  match type_name with
+  | None -> false
+  | Some "constant" -> ( match a with Term.Cst _ -> true | _ -> false)
+  | Some (("set" | "bag" | "list" | "array" | "collection" | "tuple") as kind) -> (
+    let value_is v =
+      match v, kind with
+      | Value.Set _, ("set" | "collection")
+      | Value.Bag _, ("bag" | "collection")
+      | Value.List _, ("list" | "collection")
+      | Value.Array _, ("array" | "collection")
+      | Value.Tuple _, "tuple" ->
+        true
+      | _ -> false
+    in
+    match a with
+    | Term.Cst v -> value_is v
+    | Term.Coll (Term.Set, _) -> kind = "set" || kind = "collection"
+    | Term.Coll (Term.Bag, _) -> kind = "bag" || kind = "collection"
+    | Term.Coll (Term.List, _) -> kind = "list" || kind = "collection"
+    | Term.Coll (Term.Array, _) -> kind = "array" || kind = "collection"
+    | Term.Coll (Term.Tuple, _) -> kind = "tuple"
+    | _ -> (
+      match term_type c env a with
+      | Some t -> (
+        let target =
+          match kind with
+          | "set" -> Vtype.Set Vtype.Any
+          | "bag" -> Vtype.Bag Vtype.Any
+          | "list" -> Vtype.List Vtype.Any
+          | "array" -> Vtype.Array Vtype.Any
+          | "tuple" -> Vtype.Tuple []
+          | _ -> Vtype.Collection Vtype.Any
+        in
+        match target with
+        | Vtype.Tuple [] -> (
+          match Vtype.expand c.schema_env.Schema.types t with
+          | Vtype.Tuple _ -> true
+          | _ -> false)
+        | _ -> Vtype.isa c.schema_env.Schema.types t target)
+      | None -> false))
+  | Some name -> (
+    let types = c.schema_env.Schema.types in
+    let target =
+      match String.lowercase_ascii name with
+      | "numeric" | "real" -> Some Vtype.Real
+      | "int" | "integer" -> Some Vtype.Int
+      | "char" | "string" -> Some Vtype.String
+      | "boolean" | "bool" -> Some Vtype.Bool
+      | _ -> (
+        (* declared names parse lowercased; search case-insensitively *)
+        let decls = Vtype.declarations types in
+        match
+          List.find_opt
+            (fun d -> String.lowercase_ascii d.Vtype.name = String.lowercase_ascii name)
+            decls
+        with
+        | Some d when d.Vtype.is_object -> Some (Vtype.Object d.Vtype.name)
+        | Some d -> Some (Vtype.Named d.Vtype.name)
+        | None -> None)
+    in
+    match target, term_type c env a with
+    | Some target_ty, Some t -> Vtype.isa types t target_ty
+    | _ -> false)
+
+and constraint_pred c a =
+  match a with
+  | Term.Cst (Value.Str f) | Term.Var f -> (
+    List.mem f comparison_ops
+    ||
+    match Adt.find c.schema_env.Schema.adts f with
+    | Some entry -> Vtype.equal entry.Adt.result_type Vtype.Bool
+    | None -> false)
+  | _ -> false
+
+(* refer_only(list(quals…), list(prefix…), group): every column reference
+   of the qualifications points at the operand following the prefix, and
+   within that operand at one of the first |group| attributes — i.e. the
+   non-nested, grouping attributes of a nest (Figure 8). *)
+and constraint_refer_only quals prefix group =
+  let slot = List.length prefix + 1 in
+  let width =
+    match group with
+    | Term.Coll (Term.Tuple, cols) -> List.length cols
+    | _ -> 0
+  in
+  quals <> []
+  && List.for_all
+       (fun q ->
+         List.for_all
+           (fun (i, j) -> i = slot && j <= width)
+           (Lera_term.cols_of q))
+       quals
+
+(* not_in_domain(k, col): k is a constant whose value cannot belong to the
+   enumeration domain of col's element type — the MEMBER('Cartoon', …)
+   inconsistency of §6.1. *)
+and constraint_not_in_domain c env k col =
+  match k, term_type c env col with
+  | Term.Cst kv, Some ty -> (
+    let types = c.schema_env.Schema.types in
+    let elem =
+      match Vtype.element_type types ty with Some e -> e | None -> ty
+    in
+    match Vtype.expand types elem with
+    | Vtype.Enum (_, labels) -> (
+      match kv with
+      | Value.Str s -> not (List.mem s labels)
+      | Value.Enum (_, s) -> not (List.mem s labels)
+      | _ -> true)
+    | _ -> false)
+  | _ -> false
+
+(* -- rule application ---------------------------------------------------- *)
+
+let run_methods c env rule subst =
+  let rec go subst = function
+    | [] -> Some subst
+    | (name, raw_args) :: rest -> (
+      match List.assoc_opt name c.methods with
+      | None -> raise (Rewrite_error (Fmt.str "unknown method %s in rule %s" name rule.Rule.name))
+      | Some fn -> (
+        match fn c env subst raw_args with
+        | Some subst' -> go subst' rest
+        | None -> None))
+  in
+  go subst rule.Rule.methods
+
+let apply_rule_at c env (rule : Rule.t) t : Term.t option =
+  let try_subst subst =
+    let holds =
+      List.for_all (fun ct -> eval_constraint c env (Subst.apply subst ct)) rule.constraints
+    in
+    if not holds then None
+    else
+      match run_methods c env rule subst with
+      | Some subst' -> Some (Lera_term.normalize (Subst.apply subst' rule.rhs))
+      | None -> None
+  in
+  Seq.find_map try_subst (Matcher.all ~pattern:rule.lhs t)
+
+(* local environment refinement while descending: when entering the
+   qualification or projection of a relational operator, record the
+   operand schemas; when entering a fixpoint body, bind the recursion
+   variable's schema. *)
+let child_envs c env (t : Term.t) : local_env list =
+  let schema_of_rel_term rt =
+    try Some (Schema.of_rel ~rvars:env.rvars c.schema_env (Lera_term.of_term rt))
+    with Schema.Schema_error _ | Lera_term.Bridge_error _ -> None
+  in
+  let with_inputs rels =
+    let schemas = List.map schema_of_rel_term rels in
+    if List.for_all Option.is_some schemas then
+      { env with input_schemas = Some (List.map Option.get schemas) }
+    else { env with input_schemas = None }
+  in
+  match t with
+  | Term.App ("search", [ Term.Coll (Term.List, rels); _; _ ]) ->
+    let qenv = with_inputs rels in
+    [ env; qenv; qenv ]
+  | Term.App ("filter", [ rel; _ ]) -> [ env; with_inputs [ rel ] ]
+  | Term.App ("proj", [ rel; _ ]) -> [ env; with_inputs [ rel ] ]
+  | Term.App ("join", [ r1; r2; _ ]) -> [ env; env; with_inputs [ r1; r2 ] ]
+  | Term.App ("fix", [ Term.Cst (Value.Str n); _ ]) -> (
+    match schema_of_rel_term t with
+    | Some sch -> [ env; { env with rvars = (n, sch) :: env.rvars } ]
+    | None -> [ env; env ])
+  | Term.App (_, args) | Term.Coll (_, args) -> List.map (Fun.const env) args
+  | Term.Var _ | Term.Cvar _ | Term.Cst _ -> []
+
+(* One rewrite step: scan top-down, leftmost; on success rebuild the path.
+   The budget counts rule-condition checks (lhs matches whose constraints
+   were evaluated). *)
+let rewrite_step c block stats budget t : Term.t option =
+  let record rule redex replacement =
+    stats.trace <-
+      {
+        rule_name = rule.Rule.name;
+        block_name = block.Rule.block_name;
+        redex;
+        replacement;
+      }
+      :: stats.trace
+  in
+  let rec at_node env t =
+    if !budget <= 0 then None
+    else
+      match try_rules env t block.Rule.rules with
+      | Some t' -> Some t'
+      | None -> into_children env t
+  and try_rules env t = function
+    | [] -> None
+    | rule :: rest ->
+      if !budget <= 0 then None
+      else begin
+        let matched = ref false in
+        let result =
+          Seq.find_map
+            (fun subst ->
+              if not !matched then begin
+                matched := true;
+                stats.conditions_checked <- stats.conditions_checked + 1;
+                decr budget
+              end;
+              let holds =
+                List.for_all
+                  (fun ct -> eval_constraint c env (Subst.apply subst ct))
+                  rule.Rule.constraints
+              in
+              if not holds then None
+              else
+                match run_methods c env rule subst with
+                | Some subst' ->
+                  Some (Lera_term.normalize (Subst.apply subst' rule.Rule.rhs))
+                | None -> None)
+            (Matcher.all ~pattern:rule.Rule.lhs t)
+        in
+        match result with
+        | Some t' ->
+          bump_rule stats rule.Rule.name;
+          record rule t t';
+          Some t'
+        | None -> try_rules env t rest
+      end
+  and into_children env t =
+    match t with
+    | Term.Var _ | Term.Cvar _ | Term.Cst _ -> None
+    | Term.App (_, args) | Term.Coll (_, args) ->
+      let envs = child_envs c env t in
+      let rec walk i = function
+        | [] -> None
+        | arg :: rest -> (
+          let cenv = match List.nth_opt envs i with Some e -> e | None -> env in
+          match at_node cenv arg with
+          | Some arg' ->
+            let args' = List.mapi (fun j a -> if j = i then arg' else a) args in
+            Some
+              (match t with
+              | Term.App (f, _) -> Term.App (f, args')
+              | Term.Coll (k, _) -> Term.Coll (k, args')
+              | _ -> assert false)
+          | None -> walk (i + 1) rest)
+      in
+      walk 0 args
+  in
+  at_node top_env t
+
+let run_block c ?stats (block : Rule.block) t =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let budget = ref (match block.Rule.limit with Some n -> n | None -> max_int) in
+  let rec loop t =
+    if !budget <= 0 then t
+    else
+      match rewrite_step c block stats budget t with
+      | Some t' -> loop (Lera_term.normalize t')
+      | None -> t
+  in
+  loop t
+
+let run c ?stats (program : Rule.program) t =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let round t =
+    List.fold_left (fun acc block -> run_block c ~stats block acc) t program.Rule.blocks
+  in
+  let rec loop n t =
+    if n <= 0 then t
+    else
+      let t' = round t in
+      if Term.equal t' t then t' else loop (n - 1) t'
+  in
+  loop program.Rule.rounds t

@@ -1,0 +1,51 @@
+(** The Alexander / Magic-Sets transformation on algebraic fixpoints
+    (paper §5.3, Figure 9).
+
+    Following the paper, the rewriting method is "implemented directly on
+    the algebra expression": given a [fix] whose result is restricted by
+    constant selections in an enclosing search, the transformation builds
+
+    - a {e magic} fixpoint computing the set of bindings reachable from
+      the query constants (the relevant facts), and
+    - a restricted {e answer} fixpoint whose every arm is guarded by the
+      magic relation,
+
+    so that the recursion only derives tuples relevant to the query.
+
+    Scope: linear recursive arms (one occurrence of the recursion
+    variable per arm) whose arms are [search] operators, with binding
+    propagation through column-equality joins — this covers the
+    transitive-closure and same-generation families.  The non-linear
+    composition arm of Figure 5 is first linearized by
+    {!linearize_tc}. *)
+
+module Lera = Eds_lera.Lera
+module Schema = Eds_lera.Schema
+
+val adornment : Lera.scalar -> slot:int -> arity:int -> (int * Lera.scalar) list
+(** [adornment qual ~slot ~arity] extracts the bound columns of the
+    fixpoint occupying operand [slot] of a search: top-level conjuncts of
+    the form [slot.j = constant] (either orientation).  Returns
+    [(j, constant)] pairs sorted by [j] — the adorned signature of the
+    recursive predicate. *)
+
+val linearize_tc : Lera.rel -> Lera.rel option
+(** Rewrite the non-linear transitive-closure arm
+    [search((R, R), [1.2 = 2.1], (1.1, 2.2))] of a fixpoint into its
+    right-linear equivalent [search((B, R), …)] where [B] is the union
+    of the non-recursive arms.  Sound because both compute the
+    transitive closure of the base.  [None] when the shape differs. *)
+
+val transform :
+  Schema.env ->
+  rvars:(string * Schema.t) list ->
+  Lera.rel ->
+  bound:(int * Lera.scalar) list ->
+  Lera.rel option
+(** [transform env ~rvars fix ~bound] builds the magic-rewritten
+    fixpoint.  [bound] comes from {!adornment} and must be non-empty.
+    Returns [None] when the fixpoint is outside the supported class
+    (non-linear arms after linearization, non-search arms, or bindings
+    that cannot be propagated into the recursive call).  The recursion
+    variable of the result is renamed [<name>_magic], which also marks
+    the fixpoint as already transformed. *)

@@ -1,0 +1,43 @@
+(** The built-in external-method library of the rewriter (paper §4.1).
+
+    "These external functions should be defined in the ADT function
+    library of the database.  A minimal set of basic functions is
+    built-in to increase the power of the language" — this module is
+    that minimal set.  Each method receives the current substitution and
+    its raw argument terms; input arguments are resolved through the
+    substitution and {e output} arguments (unbound variables) are bound
+    by the method, which may also veto the rule by failing.
+
+    Methods provided (argument lists shown as written in rules):
+
+    - [substitute(f, x*, b, z, f2)] — the Figure-7 SUBSTITUTE: rewrite
+      the outer scalar [f], given that the inner search at operand
+      position [|x*|+1] (projection [b], operand list [z]) is spliced in
+      place.
+    - [shift(g, x*, g2)] — renumber the operands of [g] by [|x*|].
+    - [schema(z, p)] — the Figure-8 SCHEMA: identity projection for the
+      operand list [z].
+    - [distribute(x*, z, y*, f, a, u)] — the search-through-union push:
+      [u] is the union of one search per member of [z].
+    - [split_input_qual(q, x*, r, qi, qj)] — select-pushdown split:
+      [qi] gets the conjuncts of [q] referring only to operand
+      [|x*|+1], renumbered for [r]; fails when nothing is pushable.
+    - [split_nest_qual(q, x*, g, qi, qj)] — Figure-8 nest push: like
+      above but restricted to the grouping columns [g] of a nest and
+      renumbered through it.
+    - [evaluate(e, a)] — Figure-12 EVALUATE: constant-fold a ground ADT
+      application through the function registry.
+    - [linearize(f, u)] — rewrite the non-linear transitive-closure arm
+      (Figure 5) into its right-linear equivalent.
+    - [adornment(x*, f, q, sig)] — Figure-9 ADORNMENT: the bound-column
+      signature of the fixpoint at operand [|x*|+1] under qualification
+      [q]; fails when nothing is bound or the fixpoint is already
+      transformed.
+    - [alexander(f, sig, u)] — Figure-9 ALEXANDER: the magic-rewritten
+      fixpoint.
+    - [domain_constraints(c*, added* )] — Figure-10: instantiate the
+      integrity-constraint templates of [ctx.semantic_constraints] for
+      the typed scalars of the conjuncts [c*]; fails when every
+      applicable constraint is already present. *)
+
+val all : (string * Engine.method_fn) list

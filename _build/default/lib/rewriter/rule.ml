@@ -1,0 +1,61 @@
+module Term = Eds_term.Term
+
+type t = {
+  name : string;
+  lhs : Term.t;
+  constraints : Term.t list;
+  rhs : Term.t;
+  methods : (string * Term.t list) list;
+}
+
+type block = {
+  block_name : string;
+  rules : t list;
+  limit : int option;
+}
+
+type program = {
+  blocks : block list;
+  rounds : int;
+}
+
+let comma = Fmt.any ", "
+
+let pp_method ppf (name, args) =
+  Fmt.pf ppf "%s(%a)" name (Fmt.list ~sep:comma Term.pp) args
+
+let pp ppf r =
+  Fmt.pf ppf "%s: %a / %a --> %a / %a" r.name Term.pp r.lhs
+    (Fmt.list ~sep:comma Term.pp) r.constraints Term.pp r.rhs
+    (Fmt.list ~sep:comma pp_method)
+    r.methods
+
+let pp_block ppf b =
+  let pp_limit ppf = function
+    | Some n -> Fmt.int ppf n
+    | None -> Fmt.string ppf "infinite"
+  in
+  Fmt.pf ppf "block(%s, {%a}, %a)" b.block_name
+    (Fmt.list ~sep:comma (fun ppf r -> Fmt.string ppf r.name))
+    b.rules pp_limit b.limit
+
+let pp_program ppf p =
+  Fmt.pf ppf "seq({%a}, %d)"
+    (Fmt.list ~sep:comma (fun ppf b -> Fmt.string ppf b.block_name))
+    p.blocks p.rounds
+
+let block ?limit block_name rules = { block_name; rules; limit }
+let program ?(rounds = 1) blocks = { blocks; rounds }
+
+let output_variables r =
+  let bound = ref (Term.vars r.lhs) in
+  let fresh t =
+    let vs = List.filter (fun v -> not (List.mem v !bound)) (Term.vars t) in
+    bound := !bound @ vs;
+    vs
+  in
+  let from_methods =
+    List.concat_map (fun (_, args) -> List.concat_map fresh args) r.methods
+  in
+  let from_rhs = fresh r.rhs in
+  from_methods @ from_rhs

@@ -1,0 +1,197 @@
+module Term = Eds_term.Term
+
+type size_behaviour =
+  | Decreasing
+  | Nonincreasing
+  | Eliminating of string
+  | Guarded_growth
+  | Increasing
+  | Unknown
+
+let pp_size_behaviour ppf = function
+  | Decreasing -> Fmt.string ppf "decreasing"
+  | Nonincreasing -> Fmt.string ppf "non-increasing"
+  | Eliminating s -> Fmt.pf ppf "eliminating '%s'" s
+  | Guarded_growth -> Fmt.string ppf "guarded growth"
+  | Increasing -> Fmt.string ppf "increasing"
+  | Unknown -> Fmt.string ppf "unknown (method outputs)"
+
+(* built-in methods whose outputs are size-bounded by their inputs and
+   introduce no relational operators of their own *)
+let default_trusted_methods =
+  [
+    "substitute"; "shift"; "schema"; "evaluate"; "split_input_qual";
+    "split_nest_qual"; "split_unnest_qual";
+  ]
+
+let symbol_counts t =
+  let counts = Hashtbl.create 8 in
+  let rec go t =
+    match t with
+    | Term.Var _ | Term.Cvar _ | Term.Cst _ -> ()
+    | Term.App (f, args) ->
+      Hashtbl.replace counts f (1 + Option.value ~default:0 (Hashtbl.find_opt counts f));
+      List.iter go args
+    | Term.Coll (_, args) -> List.iter go args
+  in
+  go t;
+  counts
+
+(* concrete node count (variables count 0 — their size is the binding's)
+   and per-variable occurrence counts *)
+let measure t =
+  let nodes = ref 0 in
+  let occurrences = Hashtbl.create 8 in
+  let bump x =
+    Hashtbl.replace occurrences x (1 + Option.value ~default:0 (Hashtbl.find_opt occurrences x))
+  in
+  let rec go t =
+    match t with
+    | Term.Var x | Term.Cvar x -> bump x
+    | Term.Cst _ -> incr nodes
+    | Term.App (_, args) | Term.Coll (_, args) ->
+      incr nodes;
+      List.iter go args
+  in
+  go t;
+  (!nodes, occurrences)
+
+let occurrences_of tbl x = Option.value ~default:0 (Hashtbl.find_opt tbl x)
+
+let size_behaviour ?(trusted_methods = default_trusted_methods) (r : Rule.t) :
+    size_behaviour =
+  let lhs_vars = Term.vars r.Rule.lhs in
+  let rhs_vars = Term.vars r.Rule.rhs in
+  let method_outputs = Rule.output_variables r in
+  let untrusted_outputs =
+    List.concat_map
+      (fun (name, args) ->
+        if List.mem name trusted_methods then []
+        else
+          List.concat_map
+            (fun a -> List.filter (fun v -> List.mem v method_outputs) (Term.vars a))
+            args)
+      r.Rule.methods
+  in
+  let guarded =
+    List.exists
+      (fun c ->
+        match c with
+        | Term.App (("notin" | "distinct"), _) -> true
+        | _ -> false)
+      r.Rule.constraints
+  in
+  if List.exists (fun v -> List.mem v untrusted_outputs) rhs_vars then Unknown
+  else begin
+    let lhs_nodes, lhs_occ = measure r.Rule.lhs in
+    let rhs_nodes, rhs_occ = measure r.Rule.rhs in
+    let duplicated =
+      List.exists
+        (fun v -> occurrences_of rhs_occ v > occurrences_of lhs_occ v)
+        lhs_vars
+    in
+    if not duplicated then begin
+      (* a linear rule that strictly consumes some operator terminates by
+         the multiset-of-that-symbol argument, even if it adds structure *)
+      let lhs_syms = symbol_counts r.Rule.lhs in
+      let rhs_syms = symbol_counts r.Rule.rhs in
+      let eliminated =
+        Hashtbl.fold
+          (fun s n acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+              if n > Option.value ~default:0 (Hashtbl.find_opt rhs_syms s) then Some s
+              else None)
+          lhs_syms None
+      in
+      match eliminated with
+      | Some s when rhs_nodes > lhs_nodes -> Eliminating s
+      | _ ->
+        if rhs_nodes > lhs_nodes then
+          if guarded then Guarded_growth else Increasing
+        else if rhs_nodes < lhs_nodes then Decreasing
+        else Nonincreasing
+    end
+    else if guarded then Guarded_growth
+    else Increasing
+  end
+
+type warning = {
+  block : string;
+  rule : string;
+  behaviour : size_behaviour;
+  message : string;
+}
+
+let pp_warning ppf w =
+  Fmt.pf ppf "[%s] rule %s is %a: %s" w.block w.rule pp_size_behaviour w.behaviour
+    w.message
+
+let check_block (b : Rule.block) : warning list =
+  match b.Rule.limit with
+  | Some _ -> []
+  | None ->
+    (* infinite limit: only shrinking and guarded rules are safe *)
+    List.filter_map
+      (fun (r : Rule.t) ->
+        let behaviour = size_behaviour r in
+        let warn message =
+          Some { block = b.Rule.block_name; rule = r.Rule.name; behaviour; message }
+        in
+        match behaviour with
+        | Decreasing | Nonincreasing | Guarded_growth | Eliminating _ -> None
+        | Increasing ->
+          warn
+            "the right-hand side can grow the query; give the block a finite \
+             limit (paper §4.2)"
+        | Unknown ->
+          warn
+            "method outputs make the result size unpredictable; consider a \
+             finite limit (paper §4.2)")
+      b.Rule.rules
+
+let check_program (p : Rule.program) : warning list =
+  List.concat_map check_block p.Rule.blocks
+
+(* -- overlap detection --------------------------------------------------- *)
+
+(* Could the two patterns match the same subject?  A sound
+   over-approximation of unifiability: variables match anything, binding
+   consistency is ignored, and any collection variable makes an argument
+   list length-compatible. *)
+let rec compatible (a : Term.t) (b : Term.t) : bool =
+  match a, b with
+  | Term.Var _, _ | _, Term.Var _ -> true
+  | Term.Cvar _, _ | _, Term.Cvar _ -> true
+  | Term.Cst u, Term.Cst v -> Eds_value.Value.equal u v
+  | Term.App (f, xs), Term.App (g, ys) ->
+    (Term.is_fvar f || Term.is_fvar g || String.equal f g)
+    && compatible_lists xs ys
+  | Term.Coll (k, xs), Term.Coll (k', ys) -> k = k' && compatible_lists xs ys
+  | (Term.Cst _ | Term.App _ | Term.Coll _), (Term.Cst _ | Term.App _ | Term.Coll _)
+    ->
+    false
+
+and compatible_lists xs ys =
+  let has_cvar = List.exists (function Term.Cvar _ -> true | _ -> false) in
+  if has_cvar xs || has_cvar ys then
+    (* a collection variable absorbs any leftover; require only that the
+       concrete patterns could each find a partner *)
+    true
+  else
+    List.length xs = List.length ys && List.for_all2 compatible xs ys
+
+let could_overlap (a : Rule.t) (b : Rule.t) = compatible a.Rule.lhs b.Rule.lhs
+
+let overlaps (b : Rule.block) : (string * string) list =
+  let rec pairs = function
+    | [] -> []
+    | (r : Rule.t) :: rest ->
+      List.filter_map
+        (fun (r' : Rule.t) ->
+          if could_overlap r r' then Some (r.Rule.name, r'.Rule.name) else None)
+        rest
+      @ pairs rest
+  in
+  pairs b.Rule.rules

@@ -1,0 +1,57 @@
+(** Static analysis of rule programs — the paper's §4.2 termination
+    discussion made executable.
+
+    "Termination of a rewriting rules system is undecidable.  However,
+    subsets of rewriting rules can be isolated that either increase or
+    decrease the number of terms in a query. […] for the extensible
+    rewriter, termination cannot be guaranteed in a safe way because the
+    database implementor can add or delete rewriting rules."  This module
+    computes the increase/decrease classification per rule and warns when
+    a block with an {e infinite} limit contains rules that may grow the
+    query — the situation §4.2 tells the DBI to bound with a limit. *)
+
+type size_behaviour =
+  | Decreasing  (** every application strictly shrinks the term *)
+  | Nonincreasing  (** never grows the term *)
+  | Eliminating of string
+      (** a linear rule that strictly consumes this operator symbol —
+          terminating by the multiset argument even when it adds other
+          structure (the canonicalization rules of Figure 7) *)
+  | Guarded_growth
+      (** grows the term, but a [notin]/[distinct] constraint bounds
+          re-derivation (the Figure-11 pattern) *)
+  | Increasing  (** may grow without a syntactic guard *)
+  | Unknown  (** method outputs make the right-hand side unpredictable *)
+
+val pp_size_behaviour : Format.formatter -> size_behaviour -> unit
+
+val size_behaviour : ?trusted_methods:string list -> Rule.t -> size_behaviour
+(** Conservative comparison of the two sides: node counts with variables
+    matched by multiplicity (a variable duplicated on the right may grow
+    the term under {e some} binding).  [trusted_methods] (defaulting to
+    the built-ins whose outputs are size-bounded by their inputs —
+    SUBSTITUTE, SHIFT, SCHEMA, EVALUATE and the qualification splits)
+    lets their output variables count as ordinary bound variables. *)
+
+type warning = {
+  block : string;
+  rule : string;
+  behaviour : size_behaviour;
+  message : string;
+}
+
+val pp_warning : Format.formatter -> warning -> unit
+
+val check_block : Rule.block -> warning list
+(** Warnings for a block: potentially-growing or unpredictable rules
+    under an infinite limit. *)
+
+val check_program : Rule.program -> warning list
+
+val could_overlap : Rule.t -> Rule.t -> bool
+(** Sound over-approximation: can the two left-hand sides match the same
+    subject?  When true, the two rules compete for redexes and their
+    order within the block matters. *)
+
+val overlaps : Rule.block -> (string * string) list
+(** Competing rule pairs within a block, in block order. *)

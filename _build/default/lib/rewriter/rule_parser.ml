@@ -1,0 +1,421 @@
+module Value = Eds_value.Value
+module Term = Eds_term.Term
+module Lexer = Eds_esql.Lexer
+
+exception Rule_parse_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Rule_parse_error s)) fmt
+
+type state = { mutable tokens : (Lexer.token * int) list }
+
+let peek st = match st.tokens with (t, _) :: _ -> t | [] -> Lexer.EOF
+let peek2 st = match st.tokens with _ :: (t, _) :: _ -> t | _ -> Lexer.EOF
+
+let advance st =
+  match st.tokens with
+  | _ :: rest -> st.tokens <- rest
+  | [] -> ()
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let t = next st in
+  if t <> tok then error "expected %a but found %a" Lexer.pp_token tok Lexer.pp_token t
+
+let is_kw word = function
+  | Lexer.IDENT s -> String.uppercase_ascii s = word
+  | _ -> false
+
+let eat_kw st word =
+  if is_kw word (peek st) then begin
+    advance st;
+    true
+  end
+  else false
+
+let collection_kinds =
+  [
+    ("SET", Term.Set);
+    ("BAG", Term.Bag);
+    ("LIST", Term.List);
+    ("ARRAY", Term.Array);
+    ("TUPLE", Term.Tuple);
+  ]
+
+(* A single capital letter F-K is a function variable (Figure 6). *)
+let is_function_variable name =
+  String.length name = 1 && name.[0] >= 'F' && name.[0] <= 'K'
+
+(* [x*] is a collection variable; [x * y] is multiplication.  The star is
+   read as variable marker when no operand can follow it. *)
+let star_is_cvar_marker st =
+  match peek2 st with
+  | Lexer.IDENT _ | Lexer.INT _ | Lexer.FLOAT _ | Lexer.STRING _ | Lexer.LPAREN
+  | Lexer.LBRACE | Lexer.AT ->
+    false
+  | _ -> true
+
+let rec term st = or_term st
+
+and or_term st =
+  let lhs = and_term st in
+  if eat_kw st "OR" then
+    let rhs = or_term st in
+    flatten_junction "or" lhs rhs
+  else lhs
+
+and and_term st =
+  let lhs = comparison st in
+  if eat_kw st "AND" then
+    let rhs = and_term st in
+    flatten_junction "and" lhs rhs
+  else lhs
+
+and flatten_junction op lhs rhs =
+  let parts t =
+    match t with
+    | Term.App (o, [ Term.Coll (Term.Bag, cs) ]) when o = op -> cs
+    | _ -> [ t ]
+  in
+  Term.app op [ Term.Coll (Term.Bag, parts lhs @ parts rhs) ]
+
+and comparison st =
+  let lhs = additive st in
+  let binop op =
+    advance st;
+    Term.app op [ lhs; additive st ]
+  in
+  match peek st with
+  | Lexer.EQ -> binop "="
+  | Lexer.NEQ -> binop "<>"
+  | Lexer.LT -> binop "<"
+  | Lexer.LE -> binop "<="
+  | Lexer.GT -> binop ">"
+  | Lexer.GE -> binop ">="
+  | _ -> lhs
+
+and additive st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      go (Term.app "+" [ lhs; multiplicative st ])
+    | Lexer.MINUS ->
+      advance st;
+      go (Term.app "-" [ lhs; multiplicative st ])
+    | _ -> lhs
+  in
+  go (multiplicative st)
+
+(* NB: infix '/' is not available inside rule terms — it separates the
+   rule's parts (Figure 6); write division as div(x, y). *)
+and multiplicative st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.STAR when not (star_is_cvar_marker st) ->
+      advance st;
+      go (Term.app "*" [ lhs; atom st ])
+    | _ -> lhs
+  in
+  go (atom st)
+
+and atom st =
+  match next st with
+  | Lexer.INT i -> Term.int i
+  | Lexer.FLOAT f -> Term.Cst (Value.Real f)
+  | Lexer.STRING s -> Term.str s
+  | Lexer.MINUS -> (
+    match next st with
+    | Lexer.INT i -> Term.int (-i)
+    | Lexer.FLOAT f -> Term.Cst (Value.Real (-.f))
+    | t -> error "expected a number after unary minus, found %a" Lexer.pp_token t)
+  | Lexer.LPAREN ->
+    let t = term st in
+    expect st Lexer.RPAREN;
+    t
+  | Lexer.LBRACE ->
+    (* constant set literal, e.g. the Figure-10 Category domain *)
+    let members =
+      if peek st = Lexer.RBRACE then []
+      else begin
+        let rec go acc =
+          let t = term st in
+          let v =
+            match t with
+            | Term.Cst v -> v
+            | _ -> error "set literals must contain constants, found %a" Term.pp t
+          in
+          if peek st = Lexer.COMMA then begin
+            advance st;
+            go (v :: acc)
+          end
+          else List.rev (v :: acc)
+        in
+        go []
+      end
+    in
+    expect st Lexer.RBRACE;
+    Term.Cst (Value.set members)
+  | Lexer.AT ->
+    expect st Lexer.LPAREN;
+    let i = integer st in
+    expect st Lexer.COMMA;
+    let j = integer st in
+    expect st Lexer.RPAREN;
+    Term.app "@" [ Term.int i; Term.int j ]
+  | Lexer.IDENT s -> ident_atom st s
+  | t -> error "unexpected %a in term" Lexer.pp_token t
+
+and integer st =
+  match next st with
+  | Lexer.INT i -> i
+  | t -> error "expected an integer, found %a" Lexer.pp_token t
+
+and ident_atom st s =
+  match String.uppercase_ascii s with
+  | "TRUE" -> Term.tru
+  | "FALSE" -> Term.fls
+  | "NOT" when peek st = Lexer.LPAREN ->
+    advance st;
+    let t = term st in
+    expect st Lexer.RPAREN;
+    Term.app "not" [ t ]
+  | upper -> (
+    match peek st with
+    | Lexer.LPAREN -> (
+      advance st;
+      let args = arguments st in
+      expect st Lexer.RPAREN;
+      match List.assoc_opt upper collection_kinds with
+      | Some kind -> Term.Coll (kind, args)
+      | None ->
+        if is_function_variable s then Term.App (Term.fvar s, args)
+        else if upper = "AND" || upper = "OR" then begin
+          (* prefix n-ary form: AND(a, b, c) or AND(BAG(…)) *)
+          match args with
+          | [ Term.Coll (Term.Bag, _) ] -> Term.app upper args
+          | _ -> Term.app upper [ Term.Coll (Term.Bag, args) ]
+        end
+        else Term.app s args)
+    | Lexer.STAR when star_is_cvar_marker st ->
+      advance st;
+      Term.cvar (String.lowercase_ascii s)
+    | _ ->
+      (* a bare capital F-K still denotes the function variable, so that
+         constraints like pred(F) share the binding of F(…) patterns *)
+      if is_function_variable s then Term.Var (Term.fvar s)
+      else Term.var (String.lowercase_ascii s))
+
+and arguments st =
+  if peek st = Lexer.RPAREN then []
+  else begin
+    let rec go acc =
+      let t = term st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        go (t :: acc)
+      end
+      else List.rev (t :: acc)
+    in
+    go []
+  end
+
+(* -- rules -------------------------------------------------------------- *)
+
+let term_list st stop =
+  if peek st = stop || peek st = Lexer.EOF then []
+  else begin
+    let rec go acc =
+      let t = term st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        go (t :: acc)
+      end
+      else List.rev (t :: acc)
+    in
+    go []
+  end
+
+let method_call st =
+  match next st with
+  | Lexer.IDENT f ->
+    expect st Lexer.LPAREN;
+    let args = arguments st in
+    expect st Lexer.RPAREN;
+    (String.lowercase_ascii f, args)
+  | t -> error "expected a method name, found %a" Lexer.pp_token t
+
+let method_list st =
+  match peek st with
+  | Lexer.SEMI | Lexer.EOF -> []
+  | _ ->
+    let rec go acc =
+      let m = method_call st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        go (m :: acc)
+      end
+      else List.rev (m :: acc)
+    in
+    go []
+
+let rule_body st name =
+  let lhs = term st in
+  let constraints =
+    if peek st = Lexer.SLASH then begin
+      advance st;
+      term_list st Lexer.ARROW
+    end
+    else []
+  in
+  expect st Lexer.ARROW;
+  let rhs = term st in
+  let methods =
+    if peek st = Lexer.SLASH then begin
+      advance st;
+      method_list st
+    end
+    else []
+  in
+  { Rule.name; lhs; constraints; rhs; methods }
+
+let named_rule st =
+  match peek st, peek2 st with
+  | Lexer.IDENT name, Lexer.COLON ->
+    advance st;
+    advance st;
+    rule_body st name
+  | _ -> rule_body st "anonymous"
+
+let with_state input f =
+  let tokens =
+    try Lexer.tokenize input
+    with Lexer.Lex_error (msg, pos) -> error "lexical error at %d: %s" pos msg
+  in
+  let st = { tokens } in
+  let result = f st in
+  if peek st = Lexer.SEMI then advance st;
+  (match peek st with
+  | Lexer.EOF -> ()
+  | t -> error "trailing input: %a" Lexer.pp_token t);
+  result
+
+let parse_rule input = with_state input named_rule
+let parse_term input = with_state input term
+
+let parse_rules input =
+  let tokens =
+    try Lexer.tokenize input
+    with Lexer.Lex_error (msg, pos) -> error "lexical error at %d: %s" pos msg
+  in
+  let st = { tokens } in
+  let rec go acc =
+    match peek st with
+    | Lexer.EOF -> List.rev acc
+    | Lexer.SEMI ->
+      advance st;
+      go acc
+    | _ -> go (named_rule st :: acc)
+  in
+  go []
+
+(* -- meta-rules --------------------------------------------------------- *)
+
+type meta =
+  | Block_decl of { name : string; rule_names : string list; limit : int option }
+  | Seq_decl of { block_names : string list; rounds : int }
+
+let name_list st =
+  expect st Lexer.LBRACE;
+  let rec go acc =
+    match next st with
+    | Lexer.IDENT s -> (
+      match peek st with
+      | Lexer.COMMA ->
+        advance st;
+        go (s :: acc)
+      | _ -> List.rev (s :: acc))
+    | t -> error "expected a name, found %a" Lexer.pp_token t
+  in
+  let names = if peek st = Lexer.RBRACE then [] else go [] in
+  expect st Lexer.RBRACE;
+  names
+
+let meta_decl st =
+  match next st with
+  | Lexer.IDENT s when String.uppercase_ascii s = "BLOCK" ->
+    expect st Lexer.LPAREN;
+    let name =
+      match next st with
+      | Lexer.IDENT n -> n
+      | t -> error "expected a block name, found %a" Lexer.pp_token t
+    in
+    expect st Lexer.COMMA;
+    let rule_names = name_list st in
+    expect st Lexer.COMMA;
+    let limit =
+      match next st with
+      | Lexer.INT n -> Some n
+      | Lexer.IDENT s when String.uppercase_ascii s = "INFINITE" -> None
+      | t -> error "expected a limit, found %a" Lexer.pp_token t
+    in
+    expect st Lexer.RPAREN;
+    Block_decl { name; rule_names; limit }
+  | Lexer.IDENT s when String.uppercase_ascii s = "SEQ" ->
+    expect st Lexer.LPAREN;
+    let block_names = name_list st in
+    expect st Lexer.COMMA;
+    let rounds =
+      match next st with
+      | Lexer.INT n -> n
+      | t -> error "expected a round count, found %a" Lexer.pp_token t
+    in
+    expect st Lexer.RPAREN;
+    Seq_decl { block_names; rounds }
+  | t -> error "expected block(…) or seq(…), found %a" Lexer.pp_token t
+
+let parse_meta input =
+  let tokens =
+    try Lexer.tokenize input
+    with Lexer.Lex_error (msg, pos) -> error "lexical error at %d: %s" pos msg
+  in
+  let st = { tokens } in
+  let rec go acc =
+    match peek st with
+    | Lexer.EOF -> List.rev acc
+    | Lexer.SEMI ->
+      advance st;
+      go acc
+    | _ -> go (meta_decl st :: acc)
+  in
+  go []
+
+let resolve_program ~rules metas =
+  let find_rule name =
+    match List.find_opt (fun (r : Rule.t) -> r.Rule.name = name) rules with
+    | Some r -> r
+    | None -> error "unknown rule %s in block declaration" name
+  in
+  let blocks =
+    List.filter_map
+      (function
+        | Block_decl { name; rule_names; limit } ->
+          Some { Rule.block_name = name; rules = List.map find_rule rule_names; limit }
+        | Seq_decl _ -> None)
+      metas
+  in
+  let find_block name =
+    match List.find_opt (fun b -> b.Rule.block_name = name) blocks with
+    | Some b -> b
+    | None -> error "unknown block %s in seq declaration" name
+  in
+  match
+    List.find_map
+      (function Seq_decl { block_names; rounds } -> Some (block_names, rounds) | Block_decl _ -> None)
+      metas
+  with
+  | Some (names, rounds) -> { Rule.blocks = List.map find_block names; rounds }
+  | None -> error "a rule program needs a seq({…}, n) declaration"

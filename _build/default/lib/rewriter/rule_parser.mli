@@ -1,0 +1,47 @@
+(** Parser for the rule language's concrete syntax (paper §4.1, Figure 6)
+    and the meta-rule language (§4.2).
+
+    A rule is written
+    [name: lhs / constraint, … --> rhs / method(…), …] where both
+    constraint and method lists may be empty (the paper writes a bare
+    [/] for an empty list, which is also accepted).
+
+    Terms: identifiers are variables ([x]), a trailing [*] makes a
+    collection variable ([x*]), a single capital letter F–K applied to
+    arguments is a function variable, [SET(…)]/[BAG(…)]/[LIST(…)]/
+    [ARRAY(…)]/[TUPLE(…)] are collection constructors, any other
+    [ident(…)] is a function application, and infix [=], [<>], [<],
+    [<=], [>], [>=], [AND], [OR], arithmetic and [NOT(…)] are sugar for
+    the corresponding applications.  [AND]/[OR] chains parse to the
+    n-ary unordered form [and(bag(…))] used by the LERA encoding.
+    [@(i, j)] is a column reference.  [{…}] with literal members is a
+    constant set.
+
+    Meta-rules: [block(name, {rule, …}, limit)] with [limit] a number or
+    the word [infinite], and [seq({block, …}, rounds)]. *)
+
+module Term = Eds_term.Term
+
+exception Rule_parse_error of string
+
+val parse_rule : string -> Rule.t
+(** Parse one (optionally [name:]-prefixed) rule.  Unnamed rules get the
+    name ["anonymous"]. *)
+
+val parse_rules : string -> Rule.t list
+(** Parse a sequence of named rules separated by [;].  [--] comments. *)
+
+val parse_term : string -> Term.t
+
+(** Parsed meta-rule declarations, before rule-name resolution. *)
+type meta =
+  | Block_decl of { name : string; rule_names : string list; limit : int option }
+  | Seq_decl of { block_names : string list; rounds : int }
+
+val parse_meta : string -> meta list
+
+val resolve_program : rules:Rule.t list -> meta list -> Rule.program
+(** Build a {!Rule.program} from meta declarations, resolving rule names
+    against [rules].  The same rule may appear in several blocks and the
+    same block several times in the sequence (paper §4.2).  Raises
+    {!Rule_parse_error} on unknown names or when no [seq] is given. *)

@@ -1,0 +1,1 @@
+lib/term/matcher.ml: Eds_value Fmt List Option Seq String Subst Term

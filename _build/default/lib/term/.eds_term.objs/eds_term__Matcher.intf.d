@@ -1,0 +1,1 @@
+lib/term/matcher.mli: Seq Subst Term

@@ -1,0 +1,1 @@
+lib/term/subst.ml: Eds_value Fmt List Map String Term

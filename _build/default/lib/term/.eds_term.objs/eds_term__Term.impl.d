@@ -1,0 +1,1 @@
+lib/term/term.ml: Eds_value Fmt Int List String

@@ -1,0 +1,123 @@
+module Value = Eds_value.Value
+
+let ( let* ) s f = Seq.concat_map f s
+
+let of_option = function Some x -> Seq.return x | None -> Seq.empty
+
+(* [pick ts] enumerates (element, remaining elements) choices. *)
+let pick ts =
+  let rec go before after () =
+    match after with
+    | [] -> Seq.Nil
+    | t :: rest ->
+      Seq.Cons ((t, List.rev_append before rest), go (t :: before) rest)
+  in
+  go [] ts
+
+(* [splits ts] enumerates (prefix, suffix) pairs, shortest prefix first. *)
+let splits ts =
+  let rec go prefix_rev suffix () =
+    let here = (List.rev prefix_rev, suffix) in
+    match suffix with
+    | [] -> Seq.Cons (here, Seq.empty)
+    | t :: rest -> Seq.Cons (here, go (t :: prefix_rev) rest)
+  in
+  go [] ts
+
+(* [distributions groups ts] enumerates all ways to distribute elements
+   [ts] into [List.length groups] lists, preserving element order inside
+   each list.  Elements go to the first group first. *)
+let distributions n ts =
+  let rec go ts =
+    match ts with
+    | [] -> Seq.return (List.init n (fun _ -> []))
+    | t :: rest ->
+      let* tails = go rest in
+      let add_at i =
+        List.mapi (fun j group -> if i = j then t :: group else group) tails
+      in
+      Seq.init n add_at
+  in
+  go ts
+
+let rec match_term pat t subst : Subst.t Seq.t =
+  match pat, t with
+  | Term.Var x, _ -> of_option (Subst.bind subst x (Subst.One t))
+  | Term.Cst c, Term.Cst c' -> if Value.equal c c' then Seq.return subst else Seq.empty
+  | Term.App (f, ps), Term.App (g, ts) ->
+    if Term.is_fvar f then
+      (* function variable: any head symbol matches and is bound (the
+         paper's F, G, H, … of Figure 6) *)
+      let* subst' =
+        of_option (Subst.bind subst f (Subst.One (Term.Cst (Value.Str g))))
+      in
+      match_ordered Term.List ps ts subst'
+    else if String.equal f g then match_ordered Term.List ps ts subst
+    else Seq.empty
+  | Term.Coll (k, ps), Term.Coll (k', ts) ->
+    if k <> k' then Seq.empty
+    else begin
+      match k with
+      | Term.List | Term.Array | Term.Tuple -> match_ordered k ps ts subst
+      | Term.Set | Term.Bag -> match_unordered k ps ts subst
+    end
+  | Term.Cvar x, _ ->
+    invalid_arg
+      (Fmt.str "Matcher: collection variable %s* outside a collection constructor" x)
+  | (Term.Cst _ | Term.App _ | Term.Coll _), (Term.Var _ | Term.Cvar _ | Term.Cst _ | Term.App _ | Term.Coll _)
+    ->
+    Seq.empty
+
+and match_ordered k ps ts subst =
+  match ps with
+  | [] -> if ts = [] then Seq.return subst else Seq.empty
+  | Term.Cvar x :: ps' ->
+    let* prefix, suffix = splits ts in
+    let* subst' = of_option (Subst.bind subst x (Subst.Many (k, prefix))) in
+    match_ordered k ps' suffix subst'
+  | p :: ps' -> (
+    match ts with
+    | [] -> Seq.empty
+    | t :: ts' ->
+      let* subst' = match_term p t subst in
+      match_ordered k ps' ts' subst')
+
+and match_unordered k ps ts subst =
+  let cvars, concrete =
+    List.partition (function Term.Cvar _ -> true | Term.Var _ | Term.Cst _ | Term.App _ | Term.Coll _ -> false) ps
+  in
+  let cvar_names =
+    List.map (function Term.Cvar x -> x | Term.Var _ | Term.Cst _ | Term.App _ | Term.Coll _ -> assert false) cvars
+  in
+  (* match each concrete sub-pattern against some distinct element *)
+  let rec match_concrete ps ts subst =
+    match ps with
+    | [] -> leftover ts subst
+    | p :: ps' ->
+      let* t, rest = pick ts in
+      let* subst' = match_term p t subst in
+      match_concrete ps' rest subst'
+  (* then distribute the leftover elements over the collection variables *)
+  and leftover ts subst =
+    match cvar_names with
+    | [] -> if ts = [] then Seq.return subst else Seq.empty
+    | [ x ] -> of_option (Subst.bind subst x (Subst.Many (k, ts)))
+    | xs ->
+      let* groups = distributions (List.length xs) ts in
+      let bind_all subst' x group =
+        match subst' with
+        | None -> None
+        | Some s -> Subst.bind s x (Subst.Many (k, group))
+      in
+      of_option (List.fold_left2 bind_all (Some subst) xs groups)
+  in
+  match_concrete concrete ts subst
+
+let all ~pattern t = match_term pattern t Subst.empty
+
+let first ~pattern t =
+  match (all ~pattern t) () with
+  | Seq.Nil -> None
+  | Seq.Cons (s, _) -> Some s
+
+let matches ~pattern t = Option.is_some (first ~pattern t)

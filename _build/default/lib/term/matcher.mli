@@ -1,0 +1,28 @@
+(** Pattern matching of rule left-hand sides against query terms
+    (paper §4.1).
+
+    Matching is syntactic for ordered constructors and associative-
+    commutative for [SET]/[BAG] constructors: a concrete sub-pattern may
+    match {e any} element, and a collection variable captures the
+    remaining sub-multiset.  Because several matches may exist and a
+    rule's constraints can reject some of them, the matcher enumerates
+    all matches lazily; the rewriter takes the first one whose
+    constraints hold. *)
+
+val all : pattern:Term.t -> Term.t -> Subst.t Seq.t
+(** All substitutions [s] such that [Subst.apply s pattern] equals the
+    subject term ({!Term.equal}, i.e. modulo ordering in unordered
+    constructors).  Non-linear patterns (repeated variables) require
+    equal bindings.
+
+    Enumeration order: for lists, collection variables try shorter
+    prefixes first; for sets/bags, concrete sub-patterns try elements in
+    the subject's order, and when several collection variables share the
+    leftover, elements are distributed to the first variable first.
+
+    Raises [Invalid_argument] if the pattern uses a collection variable
+    outside a collection constructor. *)
+
+val first : pattern:Term.t -> Term.t -> Subst.t option
+
+val matches : pattern:Term.t -> Term.t -> bool

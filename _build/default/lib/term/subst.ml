@@ -1,0 +1,75 @@
+module Value = Eds_value.Value
+
+type binding =
+  | One of Term.t
+  | Many of Term.ckind * Term.t list
+
+module Smap = Map.Make (String)
+
+type t = binding Smap.t
+
+let empty = Smap.empty
+let is_empty = Smap.is_empty
+let bindings s = Smap.bindings s
+let find s x = Smap.find_opt x s
+
+let find_term s x =
+  match Smap.find_opt x s with
+  | Some (One t) -> Some t
+  | Some (Many (k, ts)) -> Some (Term.Coll (k, ts))
+  | None -> None
+
+let binding_equal a b =
+  match a, b with
+  | One x, One y -> Term.equal x y
+  | Many (k, xs), Many (k', ys) ->
+    k = k' && Term.equal (Term.Coll (k, xs)) (Term.Coll (k', ys))
+  | One _, Many _ | Many _, One _ -> false
+
+let bind s x b =
+  match Smap.find_opt x s with
+  | None -> Some (Smap.add x b s)
+  | Some b' -> if binding_equal b b' then Some s else None
+
+let bind_exn s x b =
+  match bind s x b with
+  | Some s' -> s'
+  | None -> invalid_arg (Fmt.str "Subst.bind_exn: conflicting binding for %s" x)
+
+let rec apply s t =
+  match t with
+  | Term.Var x -> ( match find_term s x with Some u -> u | None -> t)
+  | Term.Cvar x -> ( match find_term s x with Some u -> u | None -> t)
+  | Term.Cst _ -> t
+  | Term.App (f, args) ->
+    (* function variables resolve to the matched symbol; collection
+       variables splice into argument lists just as in constructors *)
+    let head =
+      if Term.is_fvar f then begin
+        match Smap.find_opt f s with
+        | Some (One (Term.Cst (Value.Str g))) -> g
+        | Some _ | None -> f
+      end
+      else f
+    in
+    Term.App (head, List.concat_map (splice s) args)
+  | Term.Coll (k, args) -> Term.Coll (k, List.concat_map (splice s) args)
+
+(* Inside a collection constructor, a bound collection variable splices its
+   elements; every other argument substitutes to a single term. *)
+and splice s t =
+  match t with
+  | Term.Cvar x -> (
+    match Smap.find_opt x s with
+    | Some (Many (_, ts)) -> List.map (apply s) ts
+    | Some (One u) -> [ u ]
+    | None -> [ t ])
+  | Term.Var _ | Term.Cst _ | Term.App _ | Term.Coll _ -> [ apply s t ]
+
+let pp ppf s =
+  let pp_binding ppf (x, b) =
+    match b with
+    | One t -> Fmt.pf ppf "%s ↦ %a" x Term.pp t
+    | Many (k, ts) -> Fmt.pf ppf "%s* ↦ %a" x Term.pp (Term.Coll (k, ts))
+  in
+  Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any "; ") pp_binding) (bindings s)

@@ -1,0 +1,45 @@
+(** Substitutions binding variables to terms and collection variables to
+    sub-collections (paper §4.1).
+
+    A collection variable is bound to a {e list} of terms tagged with the
+    kind of the constructor it was matched inside.  Applying a
+    substitution splices such bindings into enclosing collection
+    constructors ([LIST(x*, t)] with [x* ↦ [a; b]] becomes
+    [LIST(a, b, t')]); a collection variable used directly as a function
+    argument — e.g. the right-hand side [append(x*, z, w)] of Figure 7 —
+    denotes the sub-collection itself and becomes a collection
+    constructor. *)
+
+type binding =
+  | One of Term.t
+  | Many of Term.ckind * Term.t list
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val bindings : t -> (string * binding) list
+
+val find : t -> string -> binding option
+val find_term : t -> string -> Term.t option
+(** Like {!find} but a [Many] binding is returned as a collection
+    constructor term. *)
+
+val bind : t -> string -> binding -> t option
+(** [bind s x b] extends [s]; if [x] is already bound the result is
+    [Some s] when the existing binding is {!binding_equal} to [b] and
+    [None] otherwise (non-linear patterns). *)
+
+val bind_exn : t -> string -> binding -> t
+(** Like {!bind} but raises [Invalid_argument] on conflict — for methods
+    that compute fresh output bindings. *)
+
+val binding_equal : binding -> binding -> bool
+(** [Many] bindings of unordered kinds compare as multisets. *)
+
+val apply : t -> Term.t -> Term.t
+(** Apply the substitution.  Unbound variables are left in place (rule
+    right-hand sides may contain method-output variables that are bound
+    later). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,134 @@
+module Value = Eds_value.Value
+
+type ckind = Set | Bag | List | Array | Tuple
+
+type t =
+  | Var of string
+  | Cvar of string
+  | Cst of Value.t
+  | App of string * t list
+  | Coll of ckind * t list
+
+let app f args = App (String.lowercase_ascii f, args)
+
+let fvar name = "?" ^ String.lowercase_ascii name
+let is_fvar symbol = String.length symbol > 0 && symbol.[0] = '?'
+
+let fvar_name symbol =
+  if not (is_fvar symbol) then invalid_arg ("Term.fvar_name: " ^ symbol);
+  String.sub symbol 1 (String.length symbol - 1)
+let var x = Var x
+let cvar x = Cvar x
+let cst v = Cst v
+let int i = Cst (Value.Int i)
+let str s = Cst (Value.Str s)
+
+let bool = function
+  | Cst (Value.Bool b) -> Some b
+  | Cst (Value.Null | Value.Int _ | Value.Real _ | Value.Str _ | Value.Enum _
+        | Value.Oid _ | Value.Tuple _ | Value.Set _ | Value.Bag _ | Value.List _
+        | Value.Array _)
+  | Var _ | Cvar _ | App _ | Coll _ ->
+    None
+
+let tru = Cst (Value.Bool true)
+let fls = Cst (Value.Bool false)
+
+let kind_rank = function Set -> 0 | Bag -> 1 | List -> 2 | Array -> 3 | Tuple -> 4
+
+let rank = function
+  | Var _ -> 0
+  | Cvar _ -> 1
+  | Cst _ -> 2
+  | App _ -> 3
+  | Coll _ -> 4
+
+(* Set and Bag argument lists compare as multisets: they are sorted before
+   the pairwise comparison, which makes equal/compare order-insensitive
+   inside unordered constructors. *)
+let rec compare a b =
+  match a, b with
+  | Var x, Var y | Cvar x, Cvar y -> String.compare x y
+  | Cst u, Cst v -> Value.compare u v
+  | App (f, xs), App (g, ys) ->
+    let c = String.compare f g in
+    if c <> 0 then c else compare_lists xs ys
+  | Coll (k, xs), Coll (k', ys) ->
+    let c = Int.compare (kind_rank k) (kind_rank k') in
+    if c <> 0 then c
+    else begin
+      match k with
+      | Set | Bag -> compare_lists (List.sort compare xs) (List.sort compare ys)
+      | List | Array | Tuple -> compare_lists xs ys
+    end
+  | (Var _ | Cvar _ | Cst _ | App _ | Coll _), _ -> Int.compare (rank a) (rank b)
+
+and compare_lists xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c <> 0 then c else compare_lists xs' ys'
+
+let equal a b = compare a b = 0
+
+let kind_name = function
+  | Set -> "set"
+  | Bag -> "bag"
+  | List -> "list"
+  | Array -> "array"
+  | Tuple -> "tuple"
+
+(* printed infix, parenthesized, so that the printer's output reparses *)
+let infix_symbols = [ "="; "<>"; "<"; "<="; ">"; ">="; "+"; "-"; "*" ]
+
+let rec pp ppf = function
+  | Var x ->
+    if is_fvar x then Fmt.string ppf (String.uppercase_ascii (fvar_name x))
+    else Fmt.string ppf x
+  | Cvar x -> Fmt.pf ppf "%s*" x
+  | Cst v -> Value.pp ppf v
+  | App (f, [ a; b ]) when List.mem f infix_symbols ->
+    Fmt.pf ppf "(%a %s %a)" pp a f pp b
+  | App (f, []) -> Fmt.pf ppf "%s()" (head_name f)
+  | App (f, args) -> Fmt.pf ppf "%s(%a)" (head_name f) pp_args args
+  | Coll (k, args) -> Fmt.pf ppf "%s(%a)" (kind_name k) pp_args args
+
+and head_name f = if is_fvar f then String.uppercase_ascii (fvar_name f) else f
+
+and pp_args ppf args = Fmt.list ~sep:(Fmt.any ", ") pp ppf args
+
+let to_string t = Fmt.str "%a" pp t
+
+let rec size = function
+  | Var _ | Cvar _ | Cst _ -> 1
+  | App (_, args) | Coll (_, args) -> List.fold_left (fun n t -> n + size t) 1 args
+
+let vars t =
+  let rec go acc = function
+    | Var x | Cvar x -> if List.mem x acc then acc else x :: acc
+    | Cst _ -> acc
+    | App (_, args) | Coll (_, args) -> List.fold_left go acc args
+  in
+  List.rev (go [] t)
+
+let rec is_ground = function
+  | Var _ | Cvar _ -> false
+  | Cst _ -> true
+  | App (_, args) | Coll (_, args) -> List.for_all is_ground args
+
+let subterms t =
+  let rec go acc = function
+    | (Var _ | Cvar _ | Cst _) as u -> u :: acc
+    | (App (_, args) | Coll (_, args)) as u -> List.fold_left go (u :: acc) args
+  in
+  List.rev (go [] t)
+
+let map_children f = function
+  | (Var _ | Cvar _ | Cst _) as t -> t
+  | App (g, args) -> App (g, List.map f args)
+  | Coll (k, args) -> Coll (k, List.map f args)
+
+let fold f acc t = List.fold_left f acc (subterms t)

@@ -1,0 +1,82 @@
+(** Terms of the rewriting formalism (paper §4.1, Figure 6).
+
+    A term is a variable, a collection variable ([x*]), a constant, a
+    function application [F(t1, …, tn)] — where F may be a LERA operator
+    interpreted as a function, an ADT function or an optimizer built-in —
+    or a collection constructor [SET(…)], [BAG(…)], [LIST(…)], [ARRAY(…)],
+    [TUPLE(…)].
+
+    Collection variables are symbols representing sub-collections; they
+    only occur inside collection constructors, where they let one rule
+    handle argument lists of any length (e.g. the n-ary search merging
+    rule of Figure 7). *)
+
+module Value = Eds_value.Value
+
+
+type ckind = Set | Bag | List | Array | Tuple
+
+type t =
+  | Var of string
+  | Cvar of string  (** collection variable, written [x*] *)
+  | Cst of Value.t
+  | App of string * t list  (** function symbols are stored lowercase *)
+  | Coll of ckind * t list
+
+val app : string -> t list -> t
+(** Smart constructor: lowercases the function symbol, the convention used
+    throughout (the concrete rule syntax is case-insensitive). *)
+
+val fvar : string -> string
+(** [fvar "f"] is the {e function variable} symbol written [F] in the
+    paper's grammar (Figure 6: [<function variable> ::= F | G | H | …]).
+    A pattern [App (fvar "f", args)] matches an application with {e any}
+    head symbol and binds the symbol name; see {!Matcher}.  Encoded as a
+    ["?"]-prefixed symbol. *)
+
+val is_fvar : string -> bool
+val fvar_name : string -> string
+(** Inverse of {!fvar}; raises [Invalid_argument] if {!is_fvar} is false. *)
+
+val var : string -> t
+val cvar : string -> t
+val cst : Value.t -> t
+val int : int -> t
+val str : string -> t
+val bool : t -> bool option
+(** [bool t] is [Some b] iff [t] is the constant true/false. *)
+
+val tru : t
+val fls : t
+
+val equal : t -> t -> bool
+(** Structural equality, {e modulo ordering} inside [Set] and [Bag]
+    constructors (their argument lists are compared as multisets). *)
+
+val compare : t -> t -> int
+(** Total order compatible with {!equal}. *)
+
+val kind_name : ckind -> string
+
+val pp : Format.formatter -> t -> unit
+(** Rule-language concrete syntax: [search(list(r1, r2), and(bag(…)), …)]. *)
+
+val to_string : t -> string
+
+val size : t -> int
+(** Number of nodes — the paper's measure for termination arguments
+    ("subsets of rewriting rules … either increase or decrease the number
+    of terms in a query"). *)
+
+val vars : t -> string list
+(** Names of all variables and collection variables, without duplicates. *)
+
+val is_ground : t -> bool
+
+val subterms : t -> t list
+(** The term and all its subterms, pre-order. *)
+
+val map_children : (t -> t) -> t -> t
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over all subterms. *)

@@ -1,0 +1,1 @@
+lib/value/adt.ml: Collection Float Fmt List Map String Value Vtype

@@ -1,0 +1,1 @@
+lib/value/adt.mli: Value Vtype

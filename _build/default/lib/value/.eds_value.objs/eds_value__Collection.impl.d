@@ -1,0 +1,1 @@
+lib/value/collection.ml: Fmt Stdlib Value

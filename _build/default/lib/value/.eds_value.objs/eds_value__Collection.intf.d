@@ -1,0 +1,1 @@
+lib/value/collection.mli: Value

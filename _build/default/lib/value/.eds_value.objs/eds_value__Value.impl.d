@@ -1,0 +1,1 @@
+lib/value/value.ml: Bool Float Fmt Hashtbl Int List String

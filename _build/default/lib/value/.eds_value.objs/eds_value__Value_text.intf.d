@@ -1,0 +1,1 @@
+lib/value/value_text.mli: Value

@@ -1,0 +1,1 @@
+lib/value/vtype.ml: Fmt List Map String Value

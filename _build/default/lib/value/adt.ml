@@ -1,0 +1,215 @@
+type property =
+  | Commutative
+  | Associative
+  | Idempotent
+  | Transitive
+  | Reflexive
+  | Symmetric
+  | Antisymmetric
+
+type entry = {
+  name : string;
+  arity : int option;
+  arg_types : Vtype.t list;
+  result_type : Vtype.t;
+  properties : property list;
+  impl : Value.t list -> Value.t;
+}
+
+module Smap = Map.Make (String)
+
+type registry = entry Smap.t
+
+let key name = String.lowercase_ascii name
+let register reg e = Smap.add (key e.name) e reg
+let find reg name = Smap.find_opt (key name) reg
+let names reg = List.map (fun (_, e) -> e.name) (Smap.bindings reg)
+
+let has_property reg name p =
+  match find reg name with
+  | Some e -> List.mem p e.properties
+  | None -> false
+
+let apply reg name args =
+  match find reg name with
+  | None -> raise Not_found
+  | Some e -> (
+    match e.arity with
+    | Some n when List.length args <> n ->
+      invalid_arg
+        (Fmt.str "Adt.apply: %s expects %d arguments, got %d" e.name n (List.length args))
+    | Some _ | None -> e.impl args)
+
+(* -- implementations ------------------------------------------------- *)
+
+let bad name args =
+  invalid_arg
+    (Fmt.str "Adt: %s applied to (%a)" name (Fmt.list ~sep:(Fmt.any ", ") Value.pp) args)
+
+let arith name int_op float_op args =
+  match args with
+  | [ Value.Int a; Value.Int b ] -> Value.Int (int_op a b)
+  | [ a; b ] -> Value.Real (float_op (Value.as_float a) (Value.as_float b))
+  | _ -> bad name args
+
+(* Comparisons broadcast point-wise over a collection operand so that
+   quantified ESQL predicates like ALL (Salary(Actors) > 10000) evaluate a
+   collection of booleans. *)
+let rec cmp name test args =
+  match args with
+  | [ a; b ] when Value.is_collection a && not (Value.is_collection b) ->
+    Collection.map (fun x -> cmp name test [ x; b ]) a
+  | [ a; b ] when Value.is_collection b && not (Value.is_collection a) ->
+    Collection.map (fun y -> cmp name test [ a; y ]) b
+  | [ a; b ] -> Value.Bool (test (Value.compare a b))
+  | _ -> bad name args
+
+let logic name op args =
+  match args with
+  | [ Value.Bool a; Value.Bool b ] -> Value.Bool (op a b)
+  | _ -> bad name args
+
+let entry ?arity ?(args = []) ?(props = []) name result impl =
+  { name; arity; arg_types = args; result_type = result; properties = props; impl }
+
+let project args =
+  match args with
+  | [ v; Value.Str field ] -> (
+    (* point-wise on collections of tuples (paper §2.2, Figure 4) *)
+    match v with
+    | Value.Tuple _ -> Value.field field v
+    | Value.Set _ | Value.Bag _ | Value.List _ | Value.Array _ ->
+      Collection.map (Value.field field) v
+    | Value.Null | Value.Bool _ | Value.Int _ | Value.Real _ | Value.Str _
+    | Value.Enum _ | Value.Oid _ ->
+      bad "project" args)
+  | _ -> bad "project" args
+
+let scalar_entries =
+  [
+    entry "+" ~arity:2 ~props:[ Commutative; Associative ] Vtype.Real
+      (arith "+" ( + ) ( +. ));
+    entry "-" ~arity:2 Vtype.Real (arith "-" ( - ) ( -. ));
+    entry "*" ~arity:2 ~props:[ Commutative; Associative ] Vtype.Real
+      (arith "*" ( * ) ( *. ));
+    entry "/" ~arity:2 Vtype.Real (fun args ->
+        match args with
+        | [ a; b ] ->
+          let fb = Value.as_float b in
+          if fb = 0. then Value.Null else Value.Real (Value.as_float a /. fb)
+        | _ -> bad "/" args);
+    entry "minus" ~arity:1 Vtype.Real (fun args ->
+        match args with
+        | [ Value.Int a ] -> Value.Int (-a)
+        | [ Value.Real a ] -> Value.Real (-.a)
+        | _ -> bad "minus" args);
+    entry "abs" ~arity:1 Vtype.Real (fun args ->
+        match args with
+        | [ Value.Int a ] -> Value.Int (abs a)
+        | [ Value.Real a ] -> Value.Real (Float.abs a)
+        | _ -> bad "abs" args);
+    entry "=" ~arity:2 ~props:[ Commutative; Transitive; Reflexive; Symmetric ]
+      Vtype.Bool
+      (cmp "=" (fun c -> c = 0));
+    entry "<>" ~arity:2 ~props:[ Commutative; Symmetric ] Vtype.Bool
+      (cmp "<>" (fun c -> c <> 0));
+    entry "<" ~arity:2 ~props:[ Transitive ] Vtype.Bool (cmp "<" (fun c -> c < 0));
+    entry "<=" ~arity:2 ~props:[ Transitive; Reflexive; Antisymmetric ] Vtype.Bool
+      (cmp "<=" (fun c -> c <= 0));
+    entry ">" ~arity:2 ~props:[ Transitive ] Vtype.Bool (cmp ">" (fun c -> c > 0));
+    entry ">=" ~arity:2 ~props:[ Transitive; Reflexive; Antisymmetric ] Vtype.Bool
+      (cmp ">=" (fun c -> c >= 0));
+    entry "and" ~arity:2 ~props:[ Commutative; Associative; Idempotent ] Vtype.Bool
+      (logic "and" ( && ));
+    entry "or" ~arity:2 ~props:[ Commutative; Associative; Idempotent ] Vtype.Bool
+      (logic "or" ( || ));
+    entry "not" ~arity:1 Vtype.Bool (fun args ->
+        match args with
+        | [ Value.Bool a ] -> Value.Bool (not a)
+        | _ -> bad "not" args);
+    entry "concat" ~arity:2 ~props:[ Associative ] Vtype.String (fun args ->
+        match args with
+        | [ Value.Str a; Value.Str b ] -> Value.Str (a ^ b)
+        | _ -> bad "concat" args);
+    entry "length" ~arity:1 Vtype.Int (fun args ->
+        match args with
+        | [ Value.Str a ] -> Value.Int (String.length a)
+        | [ v ] when Value.is_collection v -> Value.Int (Collection.cardinality v)
+        | _ -> bad "length" args);
+    entry "project" ~arity:2 Vtype.Any project;
+  ]
+
+let coll1 name f = function [ v ] -> f v | args -> bad name args
+let coll2 name f = function [ a; b ] -> f a b | args -> bad name args
+
+let collection_entries =
+  [
+    entry "member" ~arity:2 Vtype.Bool
+      (coll2 "member" (fun x c -> Value.Bool (Collection.member x c)));
+    entry "union" ~arity:2 ~props:[ Commutative; Associative; Idempotent ]
+      (Vtype.Collection Vtype.Any)
+      (coll2 "union" Collection.union);
+    entry "intersection" ~arity:2 ~props:[ Commutative; Associative; Idempotent ]
+      (Vtype.Collection Vtype.Any)
+      (coll2 "intersection" Collection.inter);
+    entry "difference" ~arity:2
+      (Vtype.Collection Vtype.Any)
+      (coll2 "difference" Collection.diff);
+    entry "include" ~arity:2 ~props:[ Transitive; Reflexive; Antisymmetric ] Vtype.Bool
+      (coll2 "include" (fun big small -> Value.Bool (Collection.includes big small)));
+    entry "insert" ~arity:2 (Vtype.Collection Vtype.Any) (coll2 "insert" Collection.insert);
+    entry "remove" ~arity:2 (Vtype.Collection Vtype.Any) (coll2 "remove" Collection.remove);
+    entry "isempty" ~arity:1 Vtype.Bool
+      (coll1 "isempty" (fun c -> Value.Bool (Collection.is_empty c)));
+    entry "cardinality" ~arity:1 Vtype.Int
+      (coll1 "cardinality" (fun c -> Value.Int (Collection.cardinality c)));
+    entry "choice" ~arity:1 Vtype.Any (coll1 "choice" Collection.choice);
+    entry "makeset" (Vtype.Set Vtype.Any) (fun args -> Collection.make_set args);
+    entry "makebag" (Vtype.Bag Vtype.Any) (fun args -> Value.bag args);
+    entry "makelist" (Vtype.List Vtype.Any) (fun args -> Value.list args);
+    entry "append" ~arity:2 ~props:[ Associative ]
+      (Vtype.List Vtype.Any)
+      (coll2 "append" Collection.append);
+    entry "count" ~arity:2 Vtype.Int
+      (coll2 "count" (fun x c -> Value.Int (Collection.count x c)));
+    entry "nth" ~arity:2 Vtype.Any
+      (coll2 "nth" (fun c i -> Collection.nth c (Value.as_int i)));
+    entry "first" ~arity:1 Vtype.Any (coll1 "first" Collection.first);
+    entry "last" ~arity:1 Vtype.Any (coll1 "last" Collection.last);
+    entry "sum" ~arity:1 Vtype.Real
+      (coll1 "sum" (fun c ->
+           let xs = Value.elements c in
+           if List.for_all (function Value.Int _ -> true | _ -> false) xs then
+             Value.Int (List.fold_left (fun acc x -> acc + Value.as_int x) 0 xs)
+           else Value.Real (List.fold_left (fun acc x -> acc +. Value.as_float x) 0. xs)));
+    entry "min" ~arity:1 Vtype.Any
+      (coll1 "min" (fun c ->
+           match Value.elements c with
+           | [] -> Value.Null
+           | x :: xs -> List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) x xs));
+    entry "max" ~arity:1 Vtype.Any
+      (coll1 "max" (fun c ->
+           match Value.elements c with
+           | [] -> Value.Null
+           | x :: xs -> List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) x xs));
+    entry "avg" ~arity:1 Vtype.Real
+      (coll1 "avg" (fun c ->
+           match Value.elements c with
+           | [] -> Value.Null
+           | xs ->
+             Value.Real
+               (List.fold_left (fun acc x -> acc +. Value.as_float x) 0. xs
+               /. float_of_int (List.length xs))));
+    entry "all" ~arity:1 Vtype.Bool
+      (coll1 "all" (fun c -> Value.Bool (Collection.for_all c)));
+    entry "exist" ~arity:1 Vtype.Bool
+      (coll1 "exist" (fun c -> Value.Bool (Collection.exists c)));
+    entry "toset" ~arity:1 (Vtype.Set Vtype.Any) (coll1 "toset" (Collection.convert Set));
+    entry "tobag" ~arity:1 (Vtype.Bag Vtype.Any) (coll1 "tobag" (Collection.convert Bag));
+    entry "tolist" ~arity:1 (Vtype.List Vtype.Any) (coll1 "tolist" (Collection.convert List));
+    entry "toarray" ~arity:1 (Vtype.Array Vtype.Any)
+      (coll1 "toarray" (Collection.convert Array));
+  ]
+
+let builtins () =
+  List.fold_left register Smap.empty (scalar_entries @ collection_entries)

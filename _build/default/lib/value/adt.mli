@@ -1,0 +1,63 @@
+(** Extensible ADT function registry (paper §2.1, §4.1).
+
+    The rewriter's rule language calls "any function known in the system —
+    LERA operators interpreted as functions, ADT functions or optimizer
+    built-in functions".  This module is the system's function table: it
+    maps a function name to an implementation over {!Value.t} together
+    with a signature and algebraic properties.  The database implementor
+    extends the optimizer library by registering new functions here
+    ({!register}), exactly as EDS's DBI extended the C++ ADT library.
+
+    The registry is used by (a) the engine's expression evaluator and
+    (b) the rewriter's EVALUATE method for constant folding (paper Fig. 12:
+    [F(x,y) / ISA(x,constant), ISA(y,constant) --> a / EVALUATE(F(x,y),a)]). *)
+
+(** Algebraic properties exploited by semantic rewriting (paper §6:
+    "the properties of these algebraic operations and predicates comprise
+    the implicit semantic knowledge"). *)
+type property =
+  | Commutative
+  | Associative
+  | Idempotent
+  | Transitive  (** binary predicates: =, <, <=, INCLUDE, … *)
+  | Reflexive
+  | Symmetric
+  | Antisymmetric
+
+type entry = {
+  name : string;
+  arity : int option;  (** [None] = variadic *)
+  arg_types : Vtype.t list;  (** padded/cycled for variadic functions *)
+  result_type : Vtype.t;
+  properties : property list;
+  impl : Value.t list -> Value.t;
+}
+
+type registry
+
+val builtins : unit -> registry
+(** A fresh registry pre-loaded with: arithmetic (+, -, *, /, abs, minus),
+    comparisons (=, <>, <, <=, >, >=), boolean connectives (and, or, not),
+    string functions (concat, length), the Figure-1 collection functions
+    (member, union, intersection, difference, include, insert, remove,
+    is_empty, convert_*, choice, makeset, append, count, nth, first, last),
+    quantifiers (all, exist), and tuple projection (project).
+
+    Comparison of a collection with a scalar broadcasts point-wise,
+    yielding a collection of booleans consumed by all/exist (paper Fig. 4:
+    [ALL (Salary(Actors) > 10000)]). *)
+
+val register : registry -> entry -> registry
+(** Add or replace a function.  Returns an updated registry (persistent —
+    a DBI extension never mutates the base library under other users). *)
+
+val find : registry -> string -> entry option
+(** Lookup is case-insensitive, as ESQL keywords and function names are. *)
+
+val names : registry -> string list
+
+val has_property : registry -> string -> property -> bool
+
+val apply : registry -> string -> Value.t list -> Value.t
+(** Apply a registered function.  Raises [Not_found] for unknown names and
+    [Invalid_argument] on arity mismatch. *)

@@ -1,0 +1,138 @@
+type kind = Set | Bag | List | Array
+
+let kind_of : Value.t -> kind option = function
+  | Value.Set _ -> Some Set
+  | Value.Bag _ -> Some Bag
+  | Value.List _ -> Some List
+  | Value.Array _ -> Some Array
+  | Value.Null | Value.Bool _ | Value.Int _ | Value.Real _ | Value.Str _
+  | Value.Enum _ | Value.Oid _ | Value.Tuple _ ->
+    None
+
+let kind_name = function
+  | Set -> "SET"
+  | Bag -> "BAG"
+  | List -> "LIST"
+  | Array -> "ARRAY"
+
+let elements_of name v =
+  match kind_of v with
+  | Some _ -> Value.elements v
+  | None -> invalid_arg (Fmt.str "Collection.%s: not a collection: %a" name Value.pp v)
+
+let rebuild kind xs =
+  match kind with
+  | Set -> Value.set xs
+  | Bag -> Value.bag xs
+  | List -> Value.list xs
+  | Array -> Value.array xs
+
+let kind_exn name v =
+  match kind_of v with
+  | Some k -> k
+  | None -> invalid_arg (Fmt.str "Collection.%s: not a collection: %a" name Value.pp v)
+
+let convert k v = rebuild k (elements_of "convert" v)
+let is_empty v = elements_of "is_empty" v = []
+
+let equal a b =
+  let ka = kind_exn "equal" a and kb = kind_exn "equal" b in
+  if ka <> kb then
+    invalid_arg
+      (Fmt.str "Collection.equal: incompatible kinds %s and %s" (kind_name ka) (kind_name kb));
+  Value.equal a b
+
+let insert x v = rebuild (kind_exn "insert" v) (elements_of "insert" v @ [ x ])
+
+let remove x v =
+  let rec drop_one = function
+    | [] -> []
+    | y :: ys -> if Value.equal x y then ys else y :: drop_one ys
+  in
+  match v with
+  | Value.Set xs -> Value.Set (Stdlib.List.filter (fun y -> not (Value.equal x y)) xs)
+  | Value.Bag xs -> Value.Bag (drop_one xs)
+  | Value.List xs -> Value.List (drop_one xs)
+  | Value.Array xs -> Value.Array (drop_one xs)
+  | Value.Null | Value.Bool _ | Value.Int _ | Value.Real _ | Value.Str _
+  | Value.Enum _ | Value.Oid _ | Value.Tuple _ ->
+    invalid_arg (Fmt.str "Collection.remove: not a collection: %a" Value.pp v)
+
+let cardinality v = Stdlib.List.length (elements_of "cardinality" v)
+let member x v = Stdlib.List.exists (Value.equal x) (elements_of "member" v)
+
+let same_kind name a b =
+  let ka = kind_exn name a and kb = kind_exn name b in
+  if ka <> kb then
+    invalid_arg
+      (Fmt.str "Collection.%s: incompatible kinds %s and %s" name (kind_name ka) (kind_name kb));
+  ka
+
+let union a b =
+  let k = same_kind "union" a b in
+  rebuild k (elements_of "union" a @ elements_of "union" b)
+
+let inter a b =
+  let k = same_kind "inter" a b in
+  let xs = elements_of "inter" a in
+  (* bag intersection keeps the minimum number of occurrences *)
+  let remaining = ref (elements_of "inter" b) in
+  let take x =
+    let rec go acc = function
+      | [] -> None
+      | y :: ys ->
+        if Value.equal x y then Some (Stdlib.List.rev_append acc ys) else go (y :: acc) ys
+    in
+    match go [] !remaining with
+    | Some rest ->
+      remaining := rest;
+      true
+    | None -> false
+  in
+  rebuild k (Stdlib.List.filter take xs)
+
+let diff a b =
+  let k = same_kind "diff" a b in
+  let remaining = ref (elements_of "diff" b) in
+  let absent x =
+    let rec go acc = function
+      | [] -> None
+      | y :: ys ->
+        if Value.equal x y then Some (Stdlib.List.rev_append acc ys) else go (y :: acc) ys
+    in
+    match go [] !remaining with
+    | Some rest ->
+      remaining := rest;
+      false
+    | None -> true
+  in
+  rebuild k (Stdlib.List.filter absent (elements_of "diff" a))
+
+let includes big small = is_empty (diff small big)
+
+let choice v =
+  match elements_of "choice" v with
+  | x :: _ -> x
+  | [] -> invalid_arg "Collection.choice: empty collection"
+
+let make_set xs = Value.set xs
+
+let count x v =
+  Stdlib.List.length (Stdlib.List.filter (Value.equal x) (elements_of "count" v))
+
+let append a b =
+  match same_kind "append" a b with
+  | (List | Array) as k -> rebuild k (elements_of "append" a @ elements_of "append" b)
+  | Set | Bag -> invalid_arg "Collection.append: applies to lists and arrays"
+
+let nth v i =
+  let xs = elements_of "nth" v in
+  if i < 1 || i > Stdlib.List.length xs then
+    invalid_arg (Fmt.str "Collection.nth: index %d out of bounds" i)
+  else Stdlib.List.nth xs (i - 1)
+
+let first v = nth v 1
+let last v = nth v (cardinality v)
+let for_all v = Stdlib.List.for_all Value.as_bool (elements_of "for_all" v)
+let exists v = Stdlib.List.exists Value.as_bool (elements_of "exists" v)
+let map f v = rebuild (kind_exn "map" v) (Stdlib.List.map f (elements_of "map" v))

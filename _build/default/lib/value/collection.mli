@@ -1,0 +1,86 @@
+(** Generic collection ADTs (paper §2.1, Figure 1).
+
+    The collection hierarchy has [collection] at its root with subtypes
+    set, bag, list and array.  Functions defined at the collection level
+    (convert, is_empty, equal, insert, remove) apply to all four; each
+    subtype adds its own operations (member, union, intersection,
+    difference, include, choice, make_set, append, …).
+
+    All functions operate on {!Value.t} collections and raise
+    [Invalid_argument] when applied to a non-collection or to collections
+    of incompatible kinds, mirroring the strict typing of LERA. *)
+
+type kind = Set | Bag | List | Array
+
+val kind_of : Value.t -> kind option
+val kind_name : kind -> string
+
+(** {1 Collection-level functions (root of the hierarchy)} *)
+
+val convert : kind -> Value.t -> Value.t
+(** [convert k c] converts collection [c] into kind [k]; e.g. converting a
+    bag to a set removes duplicates (the paper's example). *)
+
+val is_empty : Value.t -> bool
+val equal : Value.t -> Value.t -> bool
+(** Equality of two collections of the same kind (set/bag equality is
+    order-insensitive thanks to the canonical form). *)
+
+val insert : Value.t -> Value.t -> Value.t
+(** [insert x c] adds an element ([List]/[Array]: appended at the end). *)
+
+val remove : Value.t -> Value.t -> Value.t
+(** [remove x c] removes [x] (one occurrence for bags/lists/arrays). *)
+
+val cardinality : Value.t -> int
+
+(** {1 Set / bag functions} *)
+
+val member : Value.t -> Value.t -> bool
+(** Works on every collection kind (MEMBER of the paper). *)
+
+val union : Value.t -> Value.t -> Value.t
+(** Set union, additive bag union, or list/array concatenation. *)
+
+val inter : Value.t -> Value.t -> Value.t
+val diff : Value.t -> Value.t -> Value.t
+val includes : Value.t -> Value.t -> bool
+(** [includes big small] — the INCLUDE predicate: [small] ⊆ [big]. *)
+
+val choice : Value.t -> Value.t
+(** An arbitrary element of a non-empty collection ([choice] of
+    [Manna85]); raises [Invalid_argument] on an empty collection. *)
+
+val make_set : Value.t list -> Value.t
+(** The MakeSet method: builds a set from an enumeration of elements. *)
+
+val count : Value.t -> Value.t -> int
+(** Number of occurrences of an element in a bag (or any collection). *)
+
+(** {1 List / array functions} *)
+
+val append : Value.t -> Value.t -> Value.t
+(** List/array concatenation (APPEND of the paper). *)
+
+val nth : Value.t -> int -> Value.t
+(** 1-based indexing; raises [Invalid_argument] when out of bounds. *)
+
+val first : Value.t -> Value.t
+val last : Value.t -> Value.t
+
+(** {1 Quantifiers}
+
+    [ALL] and [EXIST] of ESQL: applied to a collection of booleans
+    (obtained by point-wise application of a predicate, see
+    {!Eds_engine.Expr_eval}). *)
+
+val for_all : Value.t -> bool
+val exists : Value.t -> bool
+
+(** {1 Point-wise application}
+
+    Applying a function to a collection applies it to every element (the
+    paper: "the application of the projection function to a set of tuples
+    gives the set of projected tuples"). *)
+
+val map : (Value.t -> Value.t) -> Value.t -> Value.t

@@ -1,0 +1,164 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Real of float
+  | Str of string
+  | Enum of string * string
+  | Oid of int
+  | Tuple of (string * t) list
+  | Set of t list
+  | Bag of t list
+  | List of t list
+  | Array of t list
+
+(* Rank used to order values of distinct constructors; Int and Real share a
+   rank so that they compare numerically. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Real _ -> 2
+  | Str _ | Enum _ -> 3
+  | Oid _ -> 5
+  | Tuple _ -> 6
+  | Set _ -> 7
+  | Bag _ -> 8
+  | List _ -> 9
+  | Array _ -> 10
+
+let rec compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Real x, Real y -> Float.compare x y
+  | Int x, Real y -> Float.compare (float_of_int x) y
+  | Real x, Int y -> Float.compare x (float_of_int y)
+  (* enumeration values compare by label and equal their string
+     spelling, as SQL enum literals do; the type name is typing-only *)
+  | Str x, Str y -> String.compare x y
+  | Enum (_, lx), Enum (_, ly) -> String.compare lx ly
+  | Enum (_, lx), Str y -> String.compare lx y
+  | Str x, Enum (_, ly) -> String.compare x ly
+  | Oid x, Oid y -> Int.compare x y
+  | Tuple xs, Tuple ys -> compare_fields xs ys
+  | Set xs, Set ys | Bag xs, Bag ys | List xs, List ys | Array xs, Array ys ->
+    compare_lists xs ys
+  | ( (Null | Bool _ | Int _ | Real _ | Str _ | Enum _ | Oid _
+      | Tuple _ | Set _ | Bag _ | List _ | Array _),
+      _ ) ->
+    Int.compare (rank a) (rank b)
+
+and compare_lists xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c <> 0 then c else compare_lists xs' ys'
+
+and compare_fields xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | (nx, x) :: xs', (ny, y) :: ys' ->
+    let c = String.compare nx ny in
+    if c <> 0 then c
+    else
+      let c = compare x y in
+      if c <> 0 then c else compare_fields xs' ys'
+
+let equal a b = compare a b = 0
+
+let rec hash v =
+  match v with
+  | Null -> 17
+  | Bool b -> Hashtbl.hash b
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Real r -> Hashtbl.hash r
+  | Str s -> Hashtbl.hash s
+  | Enum (_, l) -> Hashtbl.hash l
+  | Oid i -> 31 * i + 5
+  | Tuple fs -> List.fold_left (fun acc (n, x) -> (acc * 31) + Hashtbl.hash n + hash x) 3 fs
+  | Set xs -> hash_list 7 xs
+  | Bag xs -> hash_list 11 xs
+  | List xs -> hash_list 13 xs
+  | Array xs -> hash_list 19 xs
+
+and hash_list seed xs = List.fold_left (fun acc x -> (acc * 31) + hash x) seed xs
+
+(* embedded quotes double, as in SQL, so printed strings reparse *)
+let escape_quotes s =
+  if String.contains s '\'' then
+    String.concat "''" (String.split_on_char '\'' s)
+  else s
+
+let rec pp ppf v =
+  match v with
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Real r -> Fmt.float ppf r
+  | Str s -> Fmt.pf ppf "'%s'" (escape_quotes s)
+  | Enum (_, l) -> Fmt.pf ppf "'%s'" (escape_quotes l)
+  | Oid i -> Fmt.pf ppf "@%d" i
+  | Tuple fs ->
+    let pp_field ppf (n, x) = Fmt.pf ppf "%s: %a" n pp x in
+    Fmt.pf ppf "<%a>" (Fmt.list ~sep:(Fmt.any ", ") pp_field) fs
+  | Set xs -> Fmt.pf ppf "{%a}" pp_elems xs
+  | Bag xs -> Fmt.pf ppf "bag{%a}" pp_elems xs
+  | List xs -> Fmt.pf ppf "[%a]" pp_elems xs
+  | Array xs -> Fmt.pf ppf "[|%a|]" pp_elems xs
+
+and pp_elems ppf xs = Fmt.list ~sep:(Fmt.any ", ") pp ppf xs
+
+let to_string v = Fmt.str "%a" pp v
+
+let set xs =
+  let sorted = List.sort_uniq compare xs in
+  Set sorted
+
+let bag xs = Bag (List.sort compare xs)
+let list xs = List xs
+let array xs = Array xs
+let tuple fs = Tuple fs
+
+let is_collection = function
+  | Set _ | Bag _ | List _ | Array _ -> true
+  | Null | Bool _ | Int _ | Real _ | Str _ | Enum _ | Oid _ | Tuple _ -> false
+
+let elements = function
+  | Set xs | Bag xs | List xs | Array xs -> xs
+  | (Null | Bool _ | Int _ | Real _ | Str _ | Enum _ | Oid _ | Tuple _) as v ->
+    invalid_arg (Fmt.str "Value.elements: not a collection: %a" pp v)
+
+let tuple_fields = function
+  | Tuple fs -> fs
+  | ( Null | Bool _ | Int _ | Real _ | Str _ | Enum _ | Oid _
+    | Set _ | Bag _ | List _ | Array _ ) as v ->
+    invalid_arg (Fmt.str "Value.tuple_fields: not a tuple: %a" pp v)
+
+let field name v =
+  match List.assoc_opt name (tuple_fields v) with
+  | Some x -> x
+  | None -> raise Not_found
+
+let as_bool = function
+  | Bool b -> b
+  | v -> invalid_arg (Fmt.str "Value.as_bool: %a" pp v)
+
+let as_int = function
+  | Int i -> i
+  | v -> invalid_arg (Fmt.str "Value.as_int: %a" pp v)
+
+let as_float = function
+  | Int i -> float_of_int i
+  | Real r -> r
+  | v -> invalid_arg (Fmt.str "Value.as_float: %a" pp v)
+
+let as_string = function
+  | Str s -> s
+  | Enum (_, l) -> l
+  | v -> invalid_arg (Fmt.str "Value.as_string: %a" pp v)

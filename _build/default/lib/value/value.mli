@@ -1,0 +1,71 @@
+(** Universal value model of the EDS server (paper §2.1).
+
+    ESQL data is partitioned into {e values} and {e objects}: a value is an
+    instance of an ADT, while an object has a unique identifier ([Oid]) with
+    a value bound to it (the binding lives in the object store of
+    {!Eds_engine.Database}).  Complex values are built by combining the
+    generic ADTs tuple, set, bag, list and array at multiple levels. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Real of float
+  | Str of string
+  | Enum of string * string  (** [Enum (type_name, label)] *)
+  | Oid of int  (** object identity; the bound value lives in the object store *)
+  | Tuple of (string * t) list  (** field order is the declared order *)
+  | Set of t list  (** canonical: strictly increasing under {!compare} *)
+  | Bag of t list  (** canonical: sorted under {!compare}, duplicates kept *)
+  | List of t list
+  | Array of t list
+
+val compare : t -> t -> int
+(** Total structural order.  [Int] and [Real] compare numerically across the
+    two constructors so that [Int 1 = Real 1.]. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Concrete-syntax printer: ['Quinn'], [{1, 2}] (set), [bag{1, 1}],
+    [[1, 2]] (list), [[|1, 2|]] (array), [<a: 1, b: 2>] (tuple) —
+    parseable back with {!Value_text.parse}. *)
+
+val to_string : t -> string
+
+(** {1 Smart constructors}
+
+    [set] and [bag] establish the canonical form required by {!compare};
+    always build collections through them. *)
+
+val set : t list -> t
+val bag : t list -> t
+val list : t list -> t
+val array : t list -> t
+val tuple : (string * t) list -> t
+
+(** {1 Accessors} *)
+
+val is_collection : t -> bool
+
+val elements : t -> t list
+(** Elements of any collection. Raises [Invalid_argument] on non-collections. *)
+
+val tuple_fields : t -> (string * t) list
+(** Fields of a tuple. Raises [Invalid_argument] otherwise. *)
+
+val field : string -> t -> t
+(** [field name tup] projects a tuple on field [name].
+    Raises [Not_found] if the field is absent. *)
+
+val as_bool : t -> bool
+(** Raises [Invalid_argument] on non-booleans. *)
+
+val as_int : t -> int
+val as_float : t -> float
+(** Numeric coercions; [as_float] accepts [Int] too. *)
+
+val as_string : t -> string
+(** Contents of [Str] or label of [Enum]. *)

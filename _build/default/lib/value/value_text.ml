@@ -1,0 +1,208 @@
+exception Parse_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+type state = {
+  input : string;
+  mutable pos : int;
+}
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect st c =
+  skip_ws st;
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> error "expected %C at %d, found %C" c st.pos c'
+  | None -> error "expected %C at end of input" c
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+
+let eat_word st s =
+  if looking_at st s then begin
+    st.pos <- st.pos + String.length s;
+    true
+  end
+  else false
+
+let is_digit c = c >= '0' && c <= '9'
+
+let parse_number st =
+  let start = st.pos in
+  if peek st = Some '-' then advance st;
+  let rec digits () =
+    match peek st with
+    | Some c when is_digit c ->
+      advance st;
+      digits ()
+    | _ -> ()
+  in
+  digits ();
+  let is_float = ref false in
+  (match peek st with
+  | Some '.' ->
+    is_float := true;
+    advance st;
+    digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    advance st;
+    (match peek st with
+    | Some ('+' | '-') -> advance st
+    | _ -> ());
+    digits ()
+  | _ -> ());
+  let text = String.sub st.input start (st.pos - start) in
+  if text = "" || text = "-" then error "expected a number at %d" start;
+  if !is_float then Value.Real (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Value.Int i
+    | None -> Value.Real (float_of_string text)
+
+let parse_string st =
+  expect st '\'';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error "unterminated string"
+    | Some '\'' ->
+      advance st;
+      if peek st = Some '\'' then begin
+        Buffer.add_char buf '\'';
+        advance st;
+        go ()
+      end
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Value.Str (Buffer.contents buf)
+
+let parse_ident st =
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some c
+      when (c >= 'a' && c <= 'z')
+           || (c >= 'A' && c <= 'Z')
+           || c = '_'
+           || is_digit c ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  if st.pos = start then error "expected an identifier at %d" start;
+  String.sub st.input start (st.pos - start)
+
+let rec parse_value st : Value.t =
+  skip_ws st;
+  if eat_word st "null" then Value.Null
+  else if eat_word st "true" then Value.Bool true
+  else if eat_word st "false" then Value.Bool false
+  else if eat_word st "bag{" then begin
+    let items = parse_items st '}' in
+    expect st '}';
+    Value.bag items
+  end
+  else begin
+    match peek st with
+    | Some '\'' -> parse_string st
+    | Some '@' ->
+      advance st;
+      (match parse_number st with
+      | Value.Int i -> Value.Oid i
+      | _ -> error "OID must be an integer")
+    | Some '{' ->
+      advance st;
+      let items = parse_items st '}' in
+      expect st '}';
+      Value.set items
+    | Some '[' ->
+      advance st;
+      if peek st = Some '|' then begin
+        advance st;
+        let items = parse_items st '|' in
+        expect st '|';
+        expect st ']';
+        Value.array items
+      end
+      else begin
+        let items = parse_items st ']' in
+        expect st ']';
+        Value.list items
+      end
+    | Some '<' ->
+      advance st;
+      let fields = parse_fields st in
+      expect st '>';
+      Value.tuple fields
+    | Some c when is_digit c || c = '-' -> parse_number st
+    | Some c -> error "unexpected %C at %d" c st.pos
+    | None -> error "unexpected end of input"
+  end
+
+and parse_items st closing =
+  skip_ws st;
+  if peek st = Some closing then []
+  else begin
+    let rec go acc =
+      let v = parse_value st in
+      skip_ws st;
+      if peek st = Some ',' then begin
+        advance st;
+        go (v :: acc)
+      end
+      else List.rev (v :: acc)
+    in
+    go []
+  end
+
+and parse_fields st =
+  skip_ws st;
+  if peek st = Some '>' then []
+  else begin
+    let rec go acc =
+      skip_ws st;
+      let name = parse_ident st in
+      expect st ':';
+      let v = parse_value st in
+      skip_ws st;
+      if peek st = Some ',' then begin
+        advance st;
+        go ((name, v) :: acc)
+      end
+      else List.rev ((name, v) :: acc)
+    in
+    go []
+  end
+
+let parse input =
+  let st = { input; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length input then error "trailing input at %d" st.pos;
+  v
+
+let parse_opt input = try Some (parse input) with Parse_error _ -> None
+
+let to_string = Value.to_string

@@ -1,0 +1,18 @@
+(** Textual round-trip for values: a parser for the concrete syntax that
+    {!Value.pp} prints — [null], [true], [42], [3.5], ['it''s'], [@7],
+    [{1, 2}] (set), [bag{1, 1}], [[1, 2]] (list), [[|1, 2|]] (array),
+    [<a: 1, b: 'x'>] (tuple).
+
+    Used by the session's dump/restore facility ({!Eds.Storage}) and as
+    a property-test oracle ([parse (to_string v) = v]). *)
+
+exception Parse_error of string
+
+val parse : string -> Value.t
+(** Parse exactly one value; raises {!Parse_error} on malformed input or
+    trailing characters. *)
+
+val parse_opt : string -> Value.t option
+
+val to_string : Value.t -> string
+(** Alias for {!Value.to_string}; the two functions are inverse. *)

@@ -1,0 +1,171 @@
+type t =
+  | Any
+  | Bool
+  | Int
+  | Real
+  | String
+  | Enum of string * string list
+  | Tuple of (string * t) list
+  | Set of t
+  | Bag of t
+  | List of t
+  | Array of t
+  | Collection of t
+  | Named of string
+  | Object of string
+
+let rec equal a b =
+  match a, b with
+  | Any, Any | Bool, Bool | Int, Int | Real, Real | String, String -> true
+  | Enum (n, ls), Enum (n', ls') -> String.equal n n' && List.equal String.equal ls ls'
+  | Tuple fs, Tuple fs' ->
+    List.equal (fun (n, x) (n', x') -> String.equal n n' && equal x x') fs fs'
+  | Set x, Set y | Bag x, Bag y | List x, List y | Array x, Array y
+  | Collection x, Collection y ->
+    equal x y
+  | Named n, Named n' | Object n, Object n' -> String.equal n n'
+  | ( ( Any | Bool | Int | Real | String | Enum _ | Tuple _ | Set _ | Bag _
+      | List _ | Array _ | Collection _ | Named _ | Object _ ),
+      _ ) ->
+    false
+
+let rec pp ppf = function
+  | Any -> Fmt.string ppf "ANY"
+  | Bool -> Fmt.string ppf "BOOLEAN"
+  | Int -> Fmt.string ppf "INT"
+  | Real -> Fmt.string ppf "NUMERIC"
+  | String -> Fmt.string ppf "CHAR"
+  | Enum (n, _) -> Fmt.pf ppf "%s" n
+  | Tuple fs ->
+    let pp_field ppf (n, x) = Fmt.pf ppf "%s: %a" n pp x in
+    Fmt.pf ppf "TUPLE (%a)" (Fmt.list ~sep:(Fmt.any ", ") pp_field) fs
+  | Set x -> Fmt.pf ppf "SET OF %a" pp x
+  | Bag x -> Fmt.pf ppf "BAG OF %a" pp x
+  | List x -> Fmt.pf ppf "LIST OF %a" pp x
+  | Array x -> Fmt.pf ppf "ARRAY OF %a" pp x
+  | Collection x -> Fmt.pf ppf "COLLECTION OF %a" pp x
+  | Named n -> Fmt.string ppf n
+  | Object n -> Fmt.string ppf n
+
+let to_string ty = Fmt.str "%a" pp ty
+
+type decl = {
+  name : string;
+  definition : t;
+  is_object : bool;
+  supertype : string option;
+}
+
+module Smap = Map.Make (String)
+
+type env = decl Smap.t
+
+let empty_env = Smap.empty
+
+let declare env d =
+  if Smap.mem d.name env then invalid_arg (Fmt.str "Vtype.declare: %s already declared" d.name);
+  (match d.supertype with
+  | Some s when not (Smap.mem s env) ->
+    invalid_arg (Fmt.str "Vtype.declare: unknown supertype %s" s)
+  | Some _ | None -> ());
+  Smap.add d.name d env
+
+let find env name = Smap.find_opt name env
+let declarations env = List.map snd (Smap.bindings env)
+
+(* Object types inherit the fields of their supertype: the expanded tuple
+   type is the concatenation of ancestor fields (root first). *)
+let rec object_fields env name =
+  match Smap.find_opt name env with
+  | None -> invalid_arg (Fmt.str "Vtype.expand: unknown type %s" name)
+  | Some d ->
+    let inherited =
+      match d.supertype with None -> [] | Some s -> object_fields env s
+    in
+    let own = match d.definition with Tuple fs -> fs | _ -> [] in
+    inherited @ own
+
+let expand env ty =
+  match ty with
+  | Named n -> (
+    match Smap.find_opt n env with
+    | None -> invalid_arg (Fmt.str "Vtype.expand: unknown type %s" n)
+    | Some d -> d.definition)
+  | Object n -> Tuple (object_fields env n)
+  | Any | Bool | Int | Real | String | Enum _ | Tuple _ | Set _ | Bag _
+  | List _ | Array _ | Collection _ ->
+    ty
+
+(* Reflexive-transitive closure of the declared SUBTYPE OF relation. *)
+let rec object_isa env sub super =
+  String.equal sub super
+  ||
+  match Smap.find_opt sub env with
+  | None -> false
+  | Some d -> (
+    match d.supertype with None -> false | Some s -> object_isa env s super)
+
+let rec isa env sub super =
+  equal sub super
+  ||
+  match sub, super with
+  | _, Any -> true
+  | Named n, _ when not (equal sub super) -> isa env (expand env (Named n)) super
+  | _, Named n when not (equal sub super) -> isa env sub (expand env (Named n))
+  | Bool, Bool | Int, Int | Real, Real | String, String -> true
+  | Int, Real -> true
+  | Enum (n, ls), Enum (n', ls') -> String.equal n n' && List.equal String.equal ls ls'
+  | Enum _, String -> true
+  | Tuple fs, Tuple fs' ->
+    (* width + depth subtyping: sub must provide every field of super *)
+    List.for_all
+      (fun (n', t') ->
+        match List.assoc_opt n' fs with
+        | Some t -> isa env t t'
+        | None -> false)
+      fs'
+  | Set x, Set y | Bag x, Bag y | List x, List y | Array x, Array y -> isa env x y
+  | (Set x | Bag x | List x | Array x | Collection x), Collection y -> isa env x y
+  | Object n, Object n' -> object_isa env n n'
+  | Object n, Tuple _ -> isa env (expand env (Object n)) super
+  | ( ( Any | Bool | Int | Real | String | Enum _ | Tuple _ | Set _ | Bag _
+      | List _ | Array _ | Collection _ | Named _ | Object _ ),
+      _ ) ->
+    false
+
+let rec type_of_value env (v : Value.t) : t =
+  match v with
+  | Value.Null -> Any
+  | Value.Bool _ -> Bool
+  | Value.Int _ -> Int
+  | Value.Real _ -> Real
+  | Value.Str _ -> String
+  | Value.Enum (n, _) -> (
+    match Smap.find_opt n env with
+    | Some { definition = Enum _ as e; _ } -> e
+    | Some _ | None -> Enum (n, []))
+  | Value.Oid _ -> Any
+  | Value.Tuple fs -> Tuple (List.map (fun (n, x) -> (n, type_of_value env x)) fs)
+  | Value.Set xs -> Set (join_types env xs)
+  | Value.Bag xs -> Bag (join_types env xs)
+  | Value.List xs -> List (join_types env xs)
+  | Value.Array xs -> Array (join_types env xs)
+
+and join_types env = function
+  | [] -> Any
+  | x :: xs ->
+    let tx = type_of_value env x in
+    if List.for_all (fun y -> equal (type_of_value env y) tx) xs then tx else Any
+
+let field_type env ty name =
+  match expand env ty with
+  | Tuple fs -> List.assoc_opt name fs
+  | Any | Bool | Int | Real | String | Enum _ | Set _ | Bag _ | List _
+  | Array _ | Collection _ | Named _ | Object _ ->
+    None
+
+let element_type env ty =
+  match expand env ty with
+  | Set x | Bag x | List x | Array x | Collection x -> Some x
+  | Any | Bool | Int | Real | String | Enum _ | Tuple _ | Named _ | Object _ ->
+    None

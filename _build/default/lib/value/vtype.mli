@@ -1,0 +1,70 @@
+(** ESQL type system (paper §2.1).
+
+    Types cover the SQL base domains, enumerations, the generic ADTs
+    (tuple, set, bag, list, array — all subtypes of [collection]), and
+    user-declared named types.  Named types are declared in a type
+    environment ({!env}) which also records the object-type inheritance
+    hierarchy ([SUBTYPE OF]) used by the [ISA] predicate of the rule
+    language (paper §4.1). *)
+
+type t =
+  | Any  (** top of the subtyping order *)
+  | Bool
+  | Int
+  | Real  (** [Int] ISA [Real]; ESQL NUMERIC maps to [Real] *)
+  | String
+  | Enum of string * string list  (** name and labels *)
+  | Tuple of (string * t) list
+  | Set of t
+  | Bag of t
+  | List of t
+  | Array of t
+  | Collection of t  (** common supertype of the four collection ADTs *)
+  | Named of string  (** reference to a declared (value) type *)
+  | Object of string  (** reference to a declared object type *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Declaration of a named type in the environment. *)
+type decl = {
+  name : string;
+  definition : t;  (** underlying structure; for object types, their value type *)
+  is_object : bool;  (** declared with OBJECT — instances carry an OID *)
+  supertype : string option;  (** [SUBTYPE OF] parent, object types only *)
+}
+
+type env
+
+val empty_env : env
+
+val declare : env -> decl -> env
+(** Raises [Invalid_argument] if [decl.name] is already declared or the
+    supertype is unknown. *)
+
+val find : env -> string -> decl option
+val declarations : env -> decl list
+
+val expand : env -> t -> t
+(** Resolve [Named]/[Object] references one level (objects expand to their
+    tuple-of-fields value type).  Raises [Invalid_argument] on an unknown
+    name. *)
+
+val isa : env -> t -> t -> bool
+(** [isa env sub super] is the ISA predicate of the rule language: true if
+    [sub] is a subtype of (or equal to) [super].  The order includes:
+    [Int] ISA [Real]; every collection ADT ISA [Collection]; element types
+    covariantly; tuple width subtyping; declared object inheritance; [Enum]
+    ISA [String]; everything ISA [Any]. *)
+
+val type_of_value : env -> Value.t -> t
+(** Most specific structural type of a ground value ([Oid] maps to
+    [Object] only when the environment can resolve it; otherwise [Any]). *)
+
+val field_type : env -> t -> string -> t option
+(** Type of field [name] in a tuple-shaped type (expanding named and object
+    types as needed). *)
+
+val element_type : env -> t -> t option
+(** Element type of a collection-shaped type. *)

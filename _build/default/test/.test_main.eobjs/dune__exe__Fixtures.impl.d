@@ -1,0 +1,1 @@
+test/fixtures.ml: Eds_engine Eds_lera Eds_value List

@@ -1,0 +1,1 @@
+test/test_adt.ml: Alcotest Eds_engine Eds_lera Eds_value Option

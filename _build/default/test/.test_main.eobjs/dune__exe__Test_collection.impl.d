@@ -1,0 +1,1 @@
+test/test_collection.ml: Alcotest Eds_value List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Eds Eds_engine Eds_value Fmt List String

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Eds_engine Eds_lera Eds_rewriter Eds_value Fixtures Fmt

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Eds_engine Eds_lera Eds_value Fixtures Fmt List QCheck2 QCheck_alcotest

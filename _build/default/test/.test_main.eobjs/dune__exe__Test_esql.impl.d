@@ -1,0 +1,1 @@
+test/test_esql.ml: Alcotest Eds_esql Eds_lera Eds_value Fmt List Option

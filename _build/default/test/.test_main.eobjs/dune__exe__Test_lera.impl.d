@@ -1,0 +1,1 @@
+test/test_lera.ml: Alcotest Eds_engine Eds_lera Eds_term Eds_value Fixtures Fmt List String

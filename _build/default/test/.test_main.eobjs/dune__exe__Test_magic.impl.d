@@ -1,0 +1,1 @@
+test/test_magic.ml: Alcotest Eds_engine Eds_lera Eds_rewriter Eds_value Fixtures List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rewriter.ml: Alcotest Eds Eds_engine Eds_esql Eds_lera Eds_rewriter Eds_term Eds_value Fixtures Fmt List Option QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Eds_engine Eds_lera Eds_rewriter Eds_term Eds_value Fixtures Fmt List QCheck2 QCheck_alcotest Seq

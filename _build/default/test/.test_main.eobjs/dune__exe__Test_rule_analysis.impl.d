@@ -1,0 +1,1 @@
+test/test_rule_analysis.ml: Alcotest Eds_rewriter Fmt List

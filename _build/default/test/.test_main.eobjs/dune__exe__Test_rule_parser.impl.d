@@ -1,0 +1,1 @@
+test/test_rule_parser.ml: Alcotest Eds_rewriter Eds_term Eds_value Fmt List String

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Eds Eds_engine Eds_lera Eds_rewriter Eds_term Eds_value List

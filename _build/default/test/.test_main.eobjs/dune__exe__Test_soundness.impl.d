@@ -1,0 +1,1 @@
+test/test_soundness.ml: Eds_engine Eds_lera Eds_rewriter Eds_value List QCheck2 QCheck_alcotest

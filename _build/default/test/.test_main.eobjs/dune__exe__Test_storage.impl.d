@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Eds Eds_engine Eds_value Filename Float Fmt List QCheck2 QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_term.ml: Alcotest Eds_term Eds_value List Option QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Eds_value Float Fmt List QCheck2 QCheck_alcotest

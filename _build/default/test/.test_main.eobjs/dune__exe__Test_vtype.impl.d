@@ -1,0 +1,1 @@
+test/test_vtype.ml: Alcotest Eds_value List

@@ -1,0 +1,147 @@
+(* Shared test fixtures: the Figure-2 film database and small graph
+   databases for fixpoint experiments. *)
+
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+module Schema = Eds_lera.Schema
+module Relation = Eds_engine.Relation
+module Database = Eds_engine.Database
+
+let film_types () =
+  let open Vtype in
+  let ( |+ ) env d = declare env d in
+  empty_env
+  |+ {
+       name = "Category";
+       definition =
+         Enum ("Category", [ "Comedy"; "Adventure"; "Science Fiction"; "Western" ]);
+       is_object = false;
+       supertype = None;
+     }
+  |+ {
+       name = "Point";
+       definition = Tuple [ ("ABS", Real); ("ORD", Real) ];
+       is_object = false;
+       supertype = None;
+     }
+  |+ {
+       name = "Person";
+       definition =
+         Tuple
+           [
+             ("Name", String);
+             ("Firstname", Set String);
+             ("Caricature", List (Named "Point"));
+           ];
+       is_object = true;
+       supertype = None;
+     }
+  |+ {
+       name = "Actor";
+       definition = Tuple [ ("Salary", Real) ];
+       is_object = true;
+       supertype = Some "Person";
+     }
+  |+ { name = "Text"; definition = List String; is_object = false; supertype = None }
+  |+ {
+       name = "SetCategory";
+       definition = Set (Named "Category");
+       is_object = false;
+       supertype = None;
+     }
+  |+ {
+       name = "Pairs";
+       definition = List (Tuple [ ("Pros", Int); ("Cons", Int) ]);
+       is_object = false;
+       supertype = None;
+     }
+
+let category label = Value.Enum ("Category", label)
+
+let actor db ~name ~salary =
+  Database.new_object db
+    (Value.tuple
+       [
+         ("Name", Value.Str name);
+         ("Firstname", Value.set []);
+         ("Caricature", Value.list []);
+         ("Salary", Value.Real salary);
+       ])
+
+(* The Figure-2 schema populated with a small cast.  Returns the database
+   and the actor OIDs keyed by name. *)
+let film_db () =
+  let db = Database.create ~types:(film_types ()) () in
+  let quinn = actor db ~name:"Quinn" ~salary:12_000. in
+  let marlon = actor db ~name:"Marlon" ~salary:25_000. in
+  let rita = actor db ~name:"Rita" ~salary:8_000. in
+  let greta = actor db ~name:"Greta" ~salary:15_000. in
+  let film_schema =
+    [
+      ("Numf", Vtype.Real);
+      ("Title", Vtype.Named "Text");
+      ("Categories", Vtype.Named "SetCategory");
+    ]
+  in
+  let title words = Value.list (List.map (fun w -> Value.Str w) words) in
+  let cats labels = Value.set (List.map category labels) in
+  Database.add_relation db "FILM"
+    (Relation.make film_schema
+       [
+         [ Value.Int 1; title [ "Zorba" ]; cats [ "Adventure"; "Comedy" ] ];
+         [ Value.Int 2; title [ "The"; "Wild"; "One" ]; cats [ "Adventure" ] ];
+         [ Value.Int 3; title [ "Gilda" ]; cats [ "Comedy" ] ];
+         [ Value.Int 4; title [ "Ninotchka" ]; cats [ "Comedy"; "Western" ] ];
+       ]);
+  let appears_schema = [ ("Numf", Vtype.Real); ("Refactor", Vtype.Object "Actor") ] in
+  Database.add_relation db "APPEARS_IN"
+    (Relation.make appears_schema
+       [
+         [ Value.Int 1; quinn ];
+         [ Value.Int 1; marlon ];
+         [ Value.Int 2; marlon ];
+         [ Value.Int 3; rita ];
+         [ Value.Int 3; quinn ];
+         [ Value.Int 4; greta ];
+       ]);
+  let dominate_schema =
+    [
+      ("Numf", Vtype.Real);
+      ("Refactor1", Vtype.Object "Actor");
+      ("Refactor2", Vtype.Object "Actor");
+      ("Score", Vtype.Named "Pairs");
+    ]
+  in
+  let score = Value.list [] in
+  Database.add_relation db "DOMINATE"
+    (Relation.make dominate_schema
+       [
+         [ Value.Int 1; marlon; quinn; score ];
+         [ Value.Int 1; quinn; rita; score ];
+         [ Value.Int 3; rita; greta; score ];
+       ]);
+  (db, [ ("Quinn", quinn); ("Marlon", marlon); ("Rita", rita); ("Greta", greta) ])
+
+(* A chain graph a1 -> a2 -> ... -> an in relation EDGE(Src, Dst). *)
+let chain_db n =
+  let db = Database.create () in
+  let schema = [ ("Src", Vtype.Int); ("Dst", Vtype.Int) ] in
+  let edges = List.init (n - 1) (fun i -> [ Value.Int (i + 1); Value.Int (i + 2) ]) in
+  Database.add_relation db "EDGE" (Relation.make schema edges);
+  db
+
+(* A random sparse graph over [n] nodes with [m] edges (deterministic). *)
+let graph_db ~nodes ~edges =
+  let db = Database.create () in
+  let schema = [ ("Src", Vtype.Int); ("Dst", Vtype.Int) ] in
+  let state = ref 123456789 in
+  let next_int bound =
+    state := (!state * 1103515245) + 12345;
+    abs !state mod bound
+  in
+  let tuples =
+    List.init edges (fun _ ->
+        [ Value.Int (1 + next_int nodes); Value.Int (1 + next_int nodes) ])
+  in
+  Database.add_relation db "EDGE" (Relation.make schema tuples);
+  db

@@ -1,0 +1,186 @@
+(* Coverage for the ADT function registry and the engine's expression
+   evaluator: every built-in function, broadcasting, error paths. *)
+
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+module Adt = Eds_value.Adt
+module Lera = Eds_lera.Lera
+module Database = Eds_engine.Database
+module Expr_eval = Eds_engine.Expr_eval
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let reg = Adt.builtins ()
+
+let apply name args = Adt.apply reg name args
+
+let i n = Value.Int n
+let r f = Value.Real f
+let s x = Value.Str x
+let b x = Value.Bool x
+let vset xs = Value.set xs
+let vlist xs = Value.list xs
+
+let test_arithmetic () =
+  Alcotest.check value "int +" (i 5) (apply "+" [ i 2; i 3 ]);
+  Alcotest.check value "mixed + is real" (r 5.5) (apply "+" [ i 2; r 3.5 ]);
+  Alcotest.check value "-" (i (-1)) (apply "-" [ i 2; i 3 ]);
+  Alcotest.check value "*" (i 6) (apply "*" [ i 2; i 3 ]);
+  Alcotest.check value "/" (r 2.5) (apply "/" [ i 5; i 2 ]);
+  Alcotest.check value "division by zero is null" Value.Null (apply "/" [ i 5; i 0 ]);
+  Alcotest.check value "minus" (i (-4)) (apply "minus" [ i 4 ]);
+  Alcotest.check value "abs" (r 2.5) (apply "abs" [ r (-2.5) ])
+
+let test_comparisons_and_logic () =
+  Alcotest.check value "=" (b true) (apply "=" [ i 3; r 3. ]);
+  Alcotest.check value "<>" (b true) (apply "<>" [ i 3; i 4 ]);
+  Alcotest.check value "<=" (b true) (apply "<=" [ s "a"; s "b" ]);
+  Alcotest.check value "and" (b false) (apply "and" [ b true; b false ]);
+  Alcotest.check value "or" (b true) (apply "or" [ b true; b false ]);
+  Alcotest.check value "not" (b false) (apply "not" [ b true ])
+
+let test_broadcast_comparison () =
+  (* the Figure-4 mechanism: comparing a collection with a scalar yields a
+     collection of booleans *)
+  let salaries = vset [ i 5; i 15 ] in
+  Alcotest.check value "broadcast left"
+    (vset [ b false; b true ])
+    (apply ">" [ salaries; i 10 ]);
+  Alcotest.check value "broadcast right"
+    (vset [ b true; b false ])
+    (apply ">" [ i 10; salaries ]);
+  Alcotest.check value "all over broadcast" (b false)
+    (apply "all" [ apply ">" [ salaries; i 10 ] ]);
+  Alcotest.check value "exist over broadcast" (b true)
+    (apply "exist" [ apply ">" [ salaries; i 10 ] ])
+
+let test_strings () =
+  Alcotest.check value "concat" (s "ab") (apply "concat" [ s "a"; s "b" ]);
+  Alcotest.check value "length of string" (i 3) (apply "length" [ s "abc" ]);
+  Alcotest.check value "length of collection" (i 2) (apply "length" [ vset [ i 1; i 2 ] ])
+
+let test_collection_functions () =
+  let s12 = vset [ i 1; i 2 ] in
+  Alcotest.check value "member" (b true) (apply "member" [ i 1; s12 ]);
+  Alcotest.check value "union" (vset [ i 1; i 2; i 3 ]) (apply "union" [ s12; vset [ i 3 ] ]);
+  Alcotest.check value "intersection" (vset [ i 1 ]) (apply "intersection" [ s12; vset [ i 1 ] ]);
+  Alcotest.check value "difference" (vset [ i 2 ]) (apply "difference" [ s12; vset [ i 1 ] ]);
+  Alcotest.check value "include" (b true) (apply "include" [ s12; vset [ i 1 ] ]);
+  Alcotest.check value "insert" (vset [ i 1; i 2; i 3 ]) (apply "insert" [ i 3; s12 ]);
+  Alcotest.check value "remove" (vset [ i 2 ]) (apply "remove" [ i 1; s12 ]);
+  Alcotest.check value "isempty" (b false) (apply "isempty" [ s12 ]);
+  Alcotest.check value "cardinality" (i 2) (apply "cardinality" [ s12 ]);
+  Alcotest.check value "makeset" s12 (apply "makeset" [ i 2; i 1; i 2 ]);
+  Alcotest.check value "append" (vlist [ i 1; i 2 ]) (apply "append" [ vlist [ i 1 ]; vlist [ i 2 ] ]);
+  Alcotest.check value "count" (i 2) (apply "count" [ i 1; Value.bag [ i 1; i 1 ] ]);
+  Alcotest.check value "nth" (i 2) (apply "nth" [ vlist [ i 1; i 2 ]; i 2 ]);
+  Alcotest.check value "first" (i 1) (apply "first" [ vlist [ i 1; i 2 ] ]);
+  Alcotest.check value "last" (i 2) (apply "last" [ vlist [ i 1; i 2 ] ]);
+  Alcotest.check value "toset dedups" (vset [ i 1 ]) (apply "toset" [ Value.bag [ i 1; i 1 ] ]);
+  Alcotest.check value "tolist" (vlist [ i 1; i 2 ]) (apply "tolist" [ s12 ])
+
+let test_numeric_aggregates () =
+  let str x = Value.Str x in
+  let s = vset [ i 2; i 5; i 11 ] in
+  Alcotest.check value "sum" (i 18) (apply "sum" [ s ]);
+  Alcotest.check value "min" (i 2) (apply "min" [ s ]);
+  Alcotest.check value "max" (i 11) (apply "max" [ s ]);
+  Alcotest.check value "avg" (r 6.) (apply "avg" [ s ]);
+  Alcotest.check value "sum of reals" (r 3.5) (apply "sum" [ vlist [ r 1.5; i 2 ] ]);
+  Alcotest.check value "min of strings" (str "a") (apply "min" [ vset [ str "b"; str "a" ] ]);
+  Alcotest.check value "avg of empty is null" Value.Null (apply "avg" [ vset [] ]);
+  Alcotest.check value "min of empty is null" Value.Null (apply "min" [ vset [] ])
+
+let test_project_function () =
+  let tup = Value.tuple [ ("A", i 1); ("B", s "x") ] in
+  Alcotest.check value "project field" (s "x") (apply "project" [ tup; s "B" ]);
+  Alcotest.check value "project maps over sets"
+    (vset [ i 1 ])
+    (apply "project" [ vset [ tup ]; s "A" ])
+
+let test_registry_api () =
+  Alcotest.(check bool) "case-insensitive lookup" true
+    (Option.is_some (Adt.find reg "MeMbEr"));
+  Alcotest.(check bool) "transitive property recorded" true
+    (Adt.has_property reg "<" Adt.Transitive);
+  Alcotest.(check bool) "commutative property recorded" true
+    (Adt.has_property reg "+" Adt.Commutative);
+  Alcotest.(check bool) "unknown function" true
+    (try
+       ignore (apply "frobnicate" [ i 1 ]);
+       false
+     with Not_found -> true);
+  Alcotest.(check bool) "arity mismatch" true
+    (try
+       ignore (apply "not" [ b true; b false ]);
+       false
+     with Invalid_argument _ -> true);
+  (* registration replaces and is persistent *)
+  let reg' =
+    Adt.register reg
+      {
+        Adt.name = "member";
+        arity = Some 2;
+        arg_types = [];
+        result_type = Vtype.Bool;
+        properties = [];
+        impl = (fun _ -> b false);
+      }
+  in
+  Alcotest.check value "override in new registry" (b false)
+    (Adt.apply reg' "member" [ i 1; vset [ i 1 ] ]);
+  Alcotest.check value "original untouched" (b true)
+    (apply "member" [ i 1; vset [ i 1 ] ])
+
+let test_expr_eval_value_paths () =
+  let db = Database.create () in
+  let oid = Database.new_object db (Value.tuple [ ("N", i 7) ]) in
+  let eval = Expr_eval.eval db ~inputs:[ [ oid; vset [ oid ] ] ] in
+  Alcotest.check value "value of an oid" (Value.tuple [ ("N", i 7) ])
+    (eval (Lera.Call ("value", [ Lera.col 1 1 ])));
+  Alcotest.check value "value maps over collections"
+    (vset [ Value.tuple [ ("N", i 7) ] ])
+    (eval (Lera.Call ("value", [ Lera.col 1 2 ])));
+  Alcotest.check value "value of a non-oid is identity" (i 3)
+    (eval (Lera.Call ("value", [ Lera.Cst (i 3) ])));
+  (* dangling reference *)
+  Alcotest.(check bool) "dangling oid raises Eval_error" true
+    (try
+       ignore (eval (Lera.Call ("value", [ Lera.Cst (Value.Oid 999) ])));
+       false
+     with Expr_eval.Eval_error _ -> true)
+
+let test_expr_eval_errors () =
+  let db = Database.create () in
+  let eval = Expr_eval.eval db ~inputs:[ [ i 1 ] ] in
+  let fails e =
+    try
+      ignore (eval e);
+      false
+    with Expr_eval.Eval_error _ -> true
+  in
+  Alcotest.(check bool) "bad column operand" true (fails (Lera.col 3 1));
+  Alcotest.(check bool) "bad column attribute" true (fails (Lera.col 1 9));
+  Alcotest.(check bool) "unknown function" true
+    (fails (Lera.Call ("zap", [ Lera.col 1 1; Lera.col 1 1 ])));
+  Alcotest.(check bool) "non-boolean qualification" true
+    (try
+       ignore (Expr_eval.eval_bool db ~inputs:[ [ i 1 ] ] (Lera.col 1 1));
+       false
+     with Expr_eval.Eval_error _ -> true);
+  Alcotest.(check bool) "null is false in qualifications" true
+    (Expr_eval.eval_bool db ~inputs:[ [ i 1 ] ] (Lera.Cst Value.Null) = false)
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "comparisons and logic" `Quick test_comparisons_and_logic;
+    Alcotest.test_case "broadcast comparisons (Fig. 4)" `Quick test_broadcast_comparison;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "collection functions" `Quick test_collection_functions;
+    Alcotest.test_case "numeric aggregates" `Quick test_numeric_aggregates;
+    Alcotest.test_case "project function" `Quick test_project_function;
+    Alcotest.test_case "registry API" `Quick test_registry_api;
+    Alcotest.test_case "value() evaluation paths" `Quick test_expr_eval_value_paths;
+    Alcotest.test_case "evaluation errors" `Quick test_expr_eval_errors;
+  ]

@@ -1,0 +1,137 @@
+(* Tests for the Figure-1 generic collection ADT operations. *)
+
+module Value = Eds_value.Value
+module Collection = Eds_value.Collection
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let s123 = Value.set [ Value.Int 1; Value.Int 2; Value.Int 3 ]
+let s23 = Value.set [ Value.Int 2; Value.Int 3 ]
+
+let test_convert_bag_to_set () =
+  (* the paper's example: converting a bag to a set removes duplicates *)
+  let b = Value.bag [ Value.Int 1; Value.Int 1; Value.Int 2 ] in
+  Alcotest.check value "dedup" (Value.set [ Value.Int 1; Value.Int 2 ])
+    (Collection.convert Set b)
+
+let test_is_empty () =
+  Alcotest.(check bool) "empty set" true (Collection.is_empty (Value.set []));
+  Alcotest.(check bool) "non-empty list" false (Collection.is_empty (Value.list [ Value.Int 1 ]))
+
+let test_insert_remove () =
+  Alcotest.check value "insert into set" s123 (Collection.insert (Value.Int 1) s123);
+  Alcotest.check value "remove from set" s23 (Collection.remove (Value.Int 1) s123);
+  let b = Value.bag [ Value.Int 1; Value.Int 1 ] in
+  Alcotest.check value "remove one occurrence from bag"
+    (Value.bag [ Value.Int 1 ])
+    (Collection.remove (Value.Int 1) b);
+  let l = Value.list [ Value.Int 1; Value.Int 2 ] in
+  Alcotest.check value "insert appends to list"
+    (Value.list [ Value.Int 1; Value.Int 2; Value.Int 3 ])
+    (Collection.insert (Value.Int 3) l)
+
+let test_member () =
+  Alcotest.(check bool) "member" true (Collection.member (Value.Int 2) s123);
+  Alcotest.(check bool) "not member" false (Collection.member (Value.Int 9) s123)
+
+let test_set_algebra () =
+  Alcotest.check value "union" s123 (Collection.union (Value.set [ Value.Int 1 ]) s23);
+  Alcotest.check value "inter" s23 (Collection.inter s123 s23);
+  Alcotest.check value "diff" (Value.set [ Value.Int 1 ]) (Collection.diff s123 s23);
+  Alcotest.(check bool) "includes" true (Collection.includes s123 s23);
+  Alcotest.(check bool) "not includes" false (Collection.includes s23 s123)
+
+let test_bag_algebra () =
+  let b1 = Value.bag [ Value.Int 1; Value.Int 1; Value.Int 2 ] in
+  let b2 = Value.bag [ Value.Int 1; Value.Int 2; Value.Int 2 ] in
+  Alcotest.check value "bag inter keeps min occurrences"
+    (Value.bag [ Value.Int 1; Value.Int 2 ])
+    (Collection.inter b1 b2);
+  Alcotest.check value "bag diff removes per occurrence"
+    (Value.bag [ Value.Int 1 ])
+    (Collection.diff b1 b2);
+  Alcotest.(check int) "bag count" 2 (Collection.count (Value.Int 1) b1)
+
+let test_kind_mismatch_rejected () =
+  let l = Value.list [ Value.Int 1 ] in
+  Alcotest.(check bool) "union of set and list raises" true
+    (try
+       ignore (Collection.union s123 l);
+       false
+     with Invalid_argument _ -> true)
+
+let test_choice_and_makeset () =
+  Alcotest.(check bool) "choice returns a member" true
+    (Collection.member (Collection.choice s123) s123);
+  Alcotest.check value "make_set" s123
+    (Collection.make_set [ Value.Int 3; Value.Int 2; Value.Int 1; Value.Int 2 ])
+
+let test_list_positional () =
+  let l = Value.list [ Value.Str "a"; Value.Str "b"; Value.Str "c" ] in
+  Alcotest.check value "nth" (Value.Str "b") (Collection.nth l 2);
+  Alcotest.check value "first" (Value.Str "a") (Collection.first l);
+  Alcotest.check value "last" (Value.Str "c") (Collection.last l);
+  Alcotest.check value "append"
+    (Value.list [ Value.Str "a"; Value.Str "b"; Value.Str "c"; Value.Str "a" ])
+    (Collection.append l (Value.list [ Value.Str "a" ]))
+
+let test_quantifiers () =
+  let bools b = Value.set (List.map (fun x -> Value.Bool x) b) in
+  Alcotest.(check bool) "all true" true (Collection.for_all (bools [ true; true ]));
+  Alcotest.(check bool) "all with false" false (Collection.for_all (bools [ true; false ]));
+  Alcotest.(check bool) "exist" true (Collection.exists (bools [ false; true ]));
+  Alcotest.(check bool) "exist none" false (Collection.exists (bools [ false ]))
+
+(* -- properties -------------------------------------------------------- *)
+
+let int_set_gen =
+  QCheck2.Gen.map
+    (fun xs -> Value.set (List.map (fun i -> Value.Int i) xs))
+    QCheck2.Gen.(list_size (int_range 0 10) (int_range 0 20))
+
+let prop_union_commutative =
+  QCheck2.Test.make ~name:"set union commutative" ~count:200
+    (QCheck2.Gen.pair int_set_gen int_set_gen) (fun (a, b) ->
+      Value.equal (Collection.union a b) (Collection.union b a))
+
+let prop_inter_included =
+  QCheck2.Test.make ~name:"intersection included in both" ~count:200
+    (QCheck2.Gen.pair int_set_gen int_set_gen) (fun (a, b) ->
+      let i = Collection.inter a b in
+      Collection.includes a i && Collection.includes b i)
+
+let prop_diff_disjoint =
+  QCheck2.Test.make ~name:"difference disjoint from subtrahend" ~count:200
+    (QCheck2.Gen.pair int_set_gen int_set_gen) (fun (a, b) ->
+      Collection.is_empty (Collection.inter (Collection.diff a b) b))
+
+let prop_insert_member =
+  QCheck2.Test.make ~name:"insert then member" ~count:200
+    (QCheck2.Gen.pair QCheck2.Gen.(int_range 0 50) int_set_gen) (fun (x, s) ->
+      Collection.member (Value.Int x) (Collection.insert (Value.Int x) s))
+
+let prop_convert_set_idempotent =
+  QCheck2.Test.make ~name:"convert to set is idempotent" ~count:200 int_set_gen
+    (fun s -> Value.equal (Collection.convert Set s) s)
+
+let suite =
+  [
+    Alcotest.test_case "convert bag to set dedups" `Quick test_convert_bag_to_set;
+    Alcotest.test_case "is_empty" `Quick test_is_empty;
+    Alcotest.test_case "insert/remove" `Quick test_insert_remove;
+    Alcotest.test_case "member" `Quick test_member;
+    Alcotest.test_case "set algebra" `Quick test_set_algebra;
+    Alcotest.test_case "bag algebra" `Quick test_bag_algebra;
+    Alcotest.test_case "kind mismatch rejected" `Quick test_kind_mismatch_rejected;
+    Alcotest.test_case "choice and make_set" `Quick test_choice_and_makeset;
+    Alcotest.test_case "list positional ops" `Quick test_list_positional;
+    Alcotest.test_case "ALL / EXIST quantifiers" `Quick test_quantifiers;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_union_commutative;
+        prop_inter_included;
+        prop_diff_disjoint;
+        prop_insert_member;
+        prop_convert_set_idempotent;
+      ]

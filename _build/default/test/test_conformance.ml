@@ -1,0 +1,164 @@
+(* Conformance sweep: a catalog of diverse ESQL queries over the film
+   schema, each executed with rewriting off, with the default program,
+   and with adaptive limits — all three must agree.  This is the broad
+   regression net over the whole pipeline. *)
+
+module Session = Eds.Session
+module Relation = Eds_engine.Relation
+module Database = Eds_engine.Database
+module Value = Eds_value.Value
+
+let ddl =
+  {|
+  TYPE Category ENUMERATION OF ('Comedy', 'Adventure', 'Science Fiction', 'Western') ;
+  TYPE Person OBJECT TUPLE (Name : CHAR, Firstname : SET OF CHAR) ;
+  TYPE Actor SUBTYPE OF Person OBJECT TUPLE (Salary : NUMERIC) ;
+  TYPE Text LIST OF CHAR ;
+  TABLE FILM (Numf : NUMERIC, Title : Text, Categories : SET OF Category, Year : NUMERIC) ;
+  TABLE APPEARS_IN (Numf : NUMERIC, Refactor : Actor) ;
+  CREATE VIEW FilmActors (Title, Categories, Actors) AS
+    SELECT Title, Categories, MakeSet(Refactor)
+    FROM FILM, APPEARS_IN
+    WHERE FILM.Numf = APPEARS_IN.Numf
+    GROUP BY Title, Categories ;
+  CREATE VIEW Recent (Numf, Title) AS
+    SELECT Numf, Title FROM FILM WHERE Year >= 1950 ;
+  CREATE VIEW COSTARS (A1, A2) AS
+    SELECT X.Refactor, Y.Refactor
+    FROM APPEARS_IN X, APPEARS_IN Y
+    WHERE X.Numf = Y.Numf ;
+  CREATE VIEW INFLUENCES (Src, Dst) AS
+    ( SELECT A1, A2 FROM COSTARS
+      UNION
+      SELECT I1.Src, I2.Dst FROM INFLUENCES I1, INFLUENCES I2
+      WHERE I1.Dst = I2.Src ) ;
+|}
+
+let sessions () =
+  let build () =
+    let s = Session.create () in
+    ignore (Session.exec_script s ddl);
+    let actor name salary =
+      Session.new_object s
+        (Value.tuple
+           [
+             ("Name", Value.Str name);
+             ("Firstname", Value.set []);
+             ("Salary", Value.Real salary);
+           ])
+    in
+    let names = [ "ann"; "bob"; "cal"; "dot"; "eve"; "fay"; "gus"; "hal" ] in
+    let actors = List.map (fun n -> actor n (float_of_int (4000 + (String.length n * 3000)))) names in
+    let db = Session.database s in
+    let cats = [ "Comedy"; "Adventure"; "Science Fiction"; "Western" ] in
+    for f = 1 to 12 do
+      let chosen =
+        List.filteri (fun i _ -> (f + i) mod 3 = 0) cats
+        |> List.map (fun c -> Value.Enum ("Category", c))
+      in
+      Database.insert db "FILM"
+        [
+          Value.Int f;
+          Value.list [ Value.Str (Fmt.str "film%d" f) ];
+          Value.set chosen;
+          Value.Int (1930 + (f * 7 mod 60));
+        ];
+      List.iteri
+        (fun i a ->
+          if (f + i) mod 4 = 0 then Database.insert db "APPEARS_IN" [ Value.Int f; a ])
+        actors
+    done;
+    s
+  in
+  let s_off = build () in
+  Session.set_rewriting s_off false;
+  let s_def = build () in
+  let s_ada = build () in
+  Session.set_adaptive s_ada true;
+  (s_off, s_def, s_ada)
+
+let queries =
+  [
+    "SELECT Numf FROM FILM";
+    "SELECT Numf, Year FROM FILM WHERE Year > 1960";
+    "SELECT Title FROM FILM WHERE MEMBER('Western', Categories)";
+    "SELECT Title FROM FILM WHERE NOT MEMBER('Western', Categories)";
+    "SELECT Title FROM FILM WHERE MEMBER('Comedy', Categories) AND Year < 1970";
+    "SELECT Title FROM FILM WHERE Year < 1940 OR Year > 1980";
+    "SELECT Numf FROM FILM WHERE Year + 10 > 1950 AND Year * 2 < 4000";
+    "SELECT Numf FROM FILM WHERE Year IN (1937, 1944, 1951)";
+    "SELECT Title FROM FILM WHERE length(Title) >= 1";
+    "SELECT Name(Refactor) FROM APPEARS_IN WHERE Salary(Refactor) > 20000";
+    "SELECT Title FROM FILM, APPEARS_IN WHERE FILM.Numf = APPEARS_IN.Numf AND Salary(Refactor) <= 16000";
+    "SELECT Numf FROM Recent WHERE Numf > 5";
+    "SELECT Recent.Title FROM Recent, APPEARS_IN WHERE Recent.Numf = APPEARS_IN.Numf AND Name(Refactor) = 'cal'";
+    "SELECT Title FROM FilmActors WHERE ALL (Salary(Actors) > 5000)";
+    "SELECT Title FROM FilmActors WHERE EXIST (Salary(Actors) > 20000)";
+    "SELECT Title, cardinality(MakeSet(Refactor)) FROM FILM, APPEARS_IN WHERE FILM.Numf = APPEARS_IN.Numf GROUP BY Title";
+    "SELECT Title FROM FILM, APPEARS_IN WHERE FILM.Numf = APPEARS_IN.Numf GROUP BY Title HAVING cardinality(MakeSet(Refactor)) > 1";
+    "SELECT Day FROM DAYS WHERE Day = 'x'";  (* replaced below *)
+    "SELECT Numf FROM FILM WHERE Year = Year";
+    "SELECT Numf FROM FILM WHERE Year > 1900 AND Year > 1800";
+    "SELECT Numf FROM FILM WHERE Year > 2000 AND Year < 1800";
+    "SELECT Numf FROM FILM WHERE MEMBER('Cartoon', Categories)";
+    "SELECT Numf FROM FILM UNION SELECT Numf FROM Recent";
+    "SELECT Name(Src) FROM INFLUENCES WHERE Name(Dst) = 'eve'";
+    "SELECT Numf FROM FILM WHERE Numf - 3 = 0";
+    "SELECT Numf FROM FILM WHERE NOT (Year < 1950)";
+  ]
+
+(* one entry is a placeholder for a syntactically distinct shape *)
+let queries =
+  List.map
+    (fun q ->
+      if q = "SELECT Day FROM DAYS WHERE Day = 'x'" then
+        "SELECT Numf FROM FILM WHERE Numf = 1 AND Numf = 1"
+      else q)
+    queries
+
+let test_all_modes_agree () =
+  let s_off, s_def, s_ada = sessions () in
+  List.iter
+    (fun q ->
+      let r_off = Session.query s_off q in
+      let r_def = Session.query s_def q in
+      let r_ada = Session.query s_ada q in
+      Alcotest.(check bool)
+        (Fmt.str "default = off: %s" q)
+        true (Relation.equal r_off r_def);
+      Alcotest.(check bool)
+        (Fmt.str "adaptive = off: %s" q)
+        true (Relation.equal r_off r_ada))
+    queries
+
+let test_rewriting_never_worse_on_selective_queries () =
+  (* for the selective queries of the sweep, the default program must not
+     increase the evaluator's work *)
+  let _, s_def, _ = sessions () in
+  let selective =
+    [
+      "SELECT Title FROM FILM WHERE Numf = 3";
+      "SELECT Recent.Title FROM Recent, APPEARS_IN WHERE Recent.Numf = APPEARS_IN.Numf AND Recent.Numf = 2";
+      "SELECT Numf FROM FILM WHERE MEMBER('Cartoon', Categories)";
+    ]
+  in
+  List.iter
+    (fun q ->
+      let plan = Session.explain s_def q in
+      let work rel =
+        let stats = Eds_engine.Eval.fresh_stats () in
+        ignore (Session.run_plan ~stats s_def rel);
+        stats.Eds_engine.Eval.combinations
+      in
+      let before = work plan.Session.translated in
+      let after = work plan.Session.rewritten in
+      Alcotest.(check bool)
+        (Fmt.str "%s: %d <= %d" q after before)
+        true (after <= before))
+    selective
+
+let suite =
+  [
+    Alcotest.test_case "all modes agree on the sweep" `Slow test_all_modes_agree;
+    Alcotest.test_case "rewriting never worse when selective" `Quick test_rewriting_never_worse_on_selective_queries;
+  ]

@@ -1,0 +1,130 @@
+(* Tests for the static cost model: estimates must agree in *shape* with
+   the instrumented evaluator (pushed < unpushed, magic < naive on
+   selective queries) even though absolute numbers are heuristic. *)
+
+module Value = Eds_value.Value
+module Lera = Eds_lera.Lera
+module Cost = Eds_lera.Cost
+module Database = Eds_engine.Database
+module Eval = Eds_engine.Eval
+module Optimizer = Eds_rewriter.Optimizer
+
+let env_of db = Database.schema_env db
+
+let card_of db name =
+  match Database.relation_opt db name with
+  | Some r -> Some (Eds_engine.Relation.cardinality r)
+  | None -> None
+
+let estimate db q =
+  Cost.estimate ~relation_cardinality:(card_of db) (env_of db) q
+
+let test_selectivity_shapes () =
+  let open Lera in
+  let col = Lera.col 1 1 in
+  let const = Cst (Value.Int 5) in
+  Alcotest.(check bool) "eq-const more selective than range" true
+    (Cost.selectivity (eq col const) < Cost.selectivity (Call ("<", [ col; const ])));
+  Alcotest.(check bool) "conjunction multiplies" true
+    (Cost.selectivity (conj [ eq col const; eq (Lera.col 1 2) const ])
+    < Cost.selectivity (eq col const));
+  Alcotest.(check bool) "disjunction adds" true
+    (Cost.selectivity (disj [ eq col const; eq (Lera.col 1 2) const ])
+    > Cost.selectivity (eq col const));
+  Alcotest.(check (float 0.0001)) "true is 1" 1. (Cost.selectivity tru);
+  Alcotest.(check (float 0.0001)) "false is 0" 0. (Cost.selectivity fls);
+  Alcotest.(check (float 0.0001)) "not inverts" 0.7
+    (Cost.selectivity (Call ("not", [ Call ("<", [ col; const ]) ])))
+
+let test_base_uses_live_cardinality () =
+  let db = Fixtures.chain_db 11 in
+  let e = estimate db (Lera.Base "EDGE") in
+  Alcotest.(check (float 0.01)) "ten edges" 10. e.Cost.cardinality
+
+let test_pushdown_estimated_cheaper () =
+  let db = Fixtures.graph_db ~nodes:30 ~edges:120 in
+  let sel = Lera.eq (Lera.col 1 1) (Lera.Cst (Value.Int 3)) in
+  let unpushed =
+    Lera.Search
+      ( [ Lera.Base "EDGE"; Lera.Base "EDGE" ],
+        Lera.conj [ Lera.eq (Lera.col 1 2) (Lera.col 2 1); sel ],
+        [ Lera.col 1 1; Lera.col 2 2 ] )
+  in
+  let pushed =
+    Lera.Search
+      ( [ Lera.Filter (Lera.Base "EDGE", sel); Lera.Base "EDGE" ],
+        Lera.eq (Lera.col 1 2) (Lera.col 2 1),
+        [ Lera.col 1 1; Lera.col 2 2 ] )
+  in
+  let eu = estimate db unpushed and ep = estimate db pushed in
+  Alcotest.(check bool)
+    (Fmt.str "pushed (%a) cheaper than unpushed (%a)" Cost.pp ep Cost.pp eu)
+    true (ep.Cost.cost < eu.Cost.cost);
+  (* and the estimate agrees with the measured ordering *)
+  let work q =
+    let stats = Eval.fresh_stats () in
+    ignore (Eval.run ~stats db q);
+    stats.Eval.combinations
+  in
+  Alcotest.(check bool) "measured ordering matches" true (work pushed < work unpushed)
+
+let test_estimate_tracks_default_rewriting () =
+  (* the default program should never increase the estimated cost on the
+     canonical pushdown query *)
+  let db = Fixtures.graph_db ~nodes:20 ~edges:60 in
+  let q =
+    Lera.Search
+      ( [ Lera.Base "EDGE"; Lera.Base "EDGE" ],
+        Lera.conj
+          [
+            Lera.eq (Lera.col 1 2) (Lera.col 2 1);
+            Lera.eq (Lera.col 1 1) (Lera.Cst (Value.Int 3));
+          ],
+        [ Lera.col 2 2 ] )
+  in
+  let ctx = Optimizer.make_ctx (env_of db) in
+  let q' = Optimizer.rewrite ctx q in
+  let before = estimate db q and after = estimate db q' in
+  Alcotest.(check bool)
+    (Fmt.str "after (%a) ≤ before (%a)" Cost.pp after Cost.pp before)
+    true
+    (after.Cost.cost <= before.Cost.cost)
+
+let test_fixpoint_estimate_scales () =
+  let db = Fixtures.chain_db 10 in
+  let tc =
+    Lera.Fix
+      ( "TC",
+        Lera.Union
+          [
+            Lera.Base "EDGE";
+            Lera.Search
+              ( [ Lera.Base "EDGE"; Lera.Rvar "TC" ],
+                Lera.eq (Lera.col 1 2) (Lera.col 2 1),
+                [ Lera.col 1 1; Lera.col 2 2 ] );
+          ] )
+  in
+  let e_edge = estimate db (Lera.Base "EDGE") in
+  let e_tc = estimate db tc in
+  Alcotest.(check bool) "closure estimated larger than the base" true
+    (e_tc.Cost.cardinality > e_edge.Cost.cardinality);
+  Alcotest.(check bool) "fixpoint costs more than one scan" true
+    (e_tc.Cost.cost > e_edge.Cost.cost)
+
+let test_never_raises_on_junk () =
+  let db = Database.create () in
+  (* unknown relation, unbound rvar: estimates still come back *)
+  let e = estimate db (Lera.Filter (Lera.Base "NOWHERE", Lera.tru)) in
+  Alcotest.(check bool) "default cardinality" true (e.Cost.cardinality > 0.);
+  let e2 = estimate db (Lera.Rvar "LOOSE") in
+  Alcotest.(check bool) "rvar default" true (e2.Cost.cardinality > 0.)
+
+let suite =
+  [
+    Alcotest.test_case "selectivity shapes" `Quick test_selectivity_shapes;
+    Alcotest.test_case "live base cardinalities" `Quick test_base_uses_live_cardinality;
+    Alcotest.test_case "pushdown estimated cheaper" `Quick test_pushdown_estimated_cheaper;
+    Alcotest.test_case "default rewriting never raises estimate" `Quick test_estimate_tracks_default_rewriting;
+    Alcotest.test_case "fixpoint estimate scales" `Quick test_fixpoint_estimate_scales;
+    Alcotest.test_case "robust on junk input" `Quick test_never_raises_on_junk;
+  ]

@@ -1,0 +1,308 @@
+(* Tests for the execution substrate: expression evaluation, operators,
+   fixpoints (naive vs semi-naive) and the work counters. *)
+
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+module Lera = Eds_lera.Lera
+module Relation = Eds_engine.Relation
+module Database = Eds_engine.Database
+module Expr_eval = Eds_engine.Expr_eval
+module Eval = Eds_engine.Eval
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let run = Eval.run
+
+let tuples (r : Relation.t) = r.Relation.tuples
+
+let test_expr_basics () =
+  let db = Database.create () in
+  let eval = Expr_eval.eval db ~inputs:[ [ Value.Int 7; Value.Str "a" ] ] in
+  Alcotest.check value "column" (Value.Int 7) (eval (Lera.col 1 1));
+  Alcotest.check value "arith" (Value.Int 10)
+    (eval (Lera.Call ("+", [ Lera.col 1 1; Lera.Cst (Value.Int 3) ])));
+  Alcotest.check value "comparison" (Value.Bool true)
+    (eval (Lera.Call ("<", [ Lera.Cst (Value.Int 1); Lera.col 1 1 ])));
+  Alcotest.check value "n-ary and short-circuits" (Value.Bool false)
+    (eval
+       (Lera.conj
+          [
+            Lera.fls;
+            Lera.Call ("this_function_does_not_exist", [ Lera.col 1 1 ]);
+          ]))
+
+let test_expr_value_and_projection () =
+  let db, actors = Fixtures.film_db () in
+  let quinn = List.assoc "Quinn" actors in
+  let eval = Expr_eval.eval db ~inputs:[ [ quinn ] ] in
+  Alcotest.check value "value() dereferences"
+    (Value.Str "Quinn")
+    (eval
+       (Lera.Call
+          ( "project",
+            [ Lera.Call ("value", [ Lera.col 1 1 ]); Lera.Cst (Value.Str "Name") ] )));
+  Alcotest.check value "attribute-as-function sugar" (Value.Real 12_000.)
+    (eval (Lera.Call ("salary", [ Lera.col 1 1 ])))
+
+let test_filter_and_project () =
+  let db, _ = Fixtures.film_db () in
+  let q =
+    Lera.Project
+      ( Lera.Filter
+          ( Lera.Base "FILM",
+            Lera.Call
+              ("member", [ Lera.Cst (Fixtures.category "Adventure"); Lera.col 1 3 ]) ),
+        [ Lera.col 1 1 ] )
+  in
+  let result = run db q in
+  Alcotest.(check int) "two adventure films" 2 (Relation.cardinality result);
+  Alcotest.(check bool) "film 1 kept" true (Relation.mem [ Value.Int 1 ] result)
+
+let test_member_enum_vs_string () =
+  (* enum values compare by label and equal their string spelling (SQL
+     literal semantics), so both the coerced enum constant and the raw
+     string literal are members *)
+  let cats = Value.set [ Fixtures.category "Adventure" ] in
+  let db = Database.create () in
+  let eval = Expr_eval.eval db ~inputs:[ [ cats ] ] in
+  Alcotest.check value "enum constant is member" (Value.Bool true)
+    (eval
+       (Lera.Call
+          ("member", [ Lera.Cst (Fixtures.category "Adventure"); Lera.col 1 1 ])));
+  Alcotest.check value "string literal is member too" (Value.Bool true)
+    (eval (Lera.Call ("member", [ Lera.Cst (Value.Str "Adventure"); Lera.col 1 1 ])))
+
+let test_search_equivalent_to_filter_join () =
+  let db, _ = Fixtures.film_db () in
+  let join_quals =
+    Lera.conj
+      [
+        Lera.eq (Lera.col 1 1) (Lera.col 2 1);
+        Lera.eq
+          (Lera.Call ("name", [ Lera.col 1 2 ]))
+          (Lera.Cst (Value.Str "Quinn"));
+      ]
+  in
+  let search =
+    Lera.Search
+      ( [ Lera.Base "APPEARS_IN"; Lera.Base "FILM" ],
+        join_quals,
+        [ Lera.col 2 2 ] )
+  in
+  let composed =
+    Lera.Project
+      (Lera.Join (Lera.Base "APPEARS_IN", Lera.Base "FILM", join_quals), [ Lera.col 1 4 ])
+  in
+  (* col 1 4 in the joined 5-wide schema = FILM.Title *)
+  let rs = run db search and rc = run db composed in
+  Alcotest.(check int) "same cardinality" (Relation.cardinality rs) (Relation.cardinality rc);
+  Alcotest.(check bool) "same tuples" true (Relation.equal rs rc);
+  Alcotest.(check int) "Quinn appears in two films" 2 (Relation.cardinality rs)
+
+let test_union_diff_inter () =
+  let db = Fixtures.chain_db 4 in
+  let edge = Lera.Base "EDGE" in
+  let first = Lera.Filter (edge, Lera.eq (Lera.col 1 1) (Lera.Cst (Value.Int 1))) in
+  Alcotest.(check int) "union dedups" 3
+    (Relation.cardinality (run db (Lera.Union [ edge; first ])));
+  Alcotest.(check int) "diff" 2 (Relation.cardinality (run db (Lera.Diff (edge, first))));
+  Alcotest.(check int) "inter" 1 (Relation.cardinality (run db (Lera.Inter (edge, first))))
+
+let tc_fix =
+  (* transitive closure, the Figure-5 shape (non-linear) *)
+  Lera.Fix
+    ( "TC",
+      Lera.Union
+        [
+          Lera.Base "EDGE";
+          Lera.Search
+            ( [ Lera.Base "TC"; Lera.Base "TC" ],
+              Lera.eq (Lera.col 1 2) (Lera.col 2 1),
+              [ Lera.col 1 1; Lera.col 2 2 ] );
+        ] )
+
+let test_fixpoint_chain () =
+  let db = Fixtures.chain_db 6 in
+  let result = run db tc_fix in
+  (* chain of 6 nodes: closure has n(n-1)/2 = 15 pairs *)
+  Alcotest.(check int) "15 closure pairs" 15 (Relation.cardinality result);
+  Alcotest.(check bool) "1 reaches 6" true (Relation.mem [ Value.Int 1; Value.Int 6 ] result)
+
+let test_fixpoint_modes_agree () =
+  let db = Fixtures.graph_db ~nodes:12 ~edges:20 in
+  let naive = run ~mode:Eval.Naive db tc_fix in
+  let semi = run ~mode:Eval.Seminaive db tc_fix in
+  Alcotest.(check bool) "naive = semi-naive" true (Relation.equal naive semi)
+
+let test_seminaive_cheaper () =
+  let db = Fixtures.chain_db 16 in
+  let s_naive = Eval.fresh_stats () in
+  let s_semi = Eval.fresh_stats () in
+  ignore (run ~mode:Eval.Naive ~stats:s_naive db tc_fix);
+  ignore (run ~mode:Eval.Seminaive ~stats:s_semi db tc_fix);
+  Alcotest.(check bool)
+    (Fmt.str "semi-naive (%d) < naive (%d)" s_semi.Eval.combinations
+       s_naive.Eval.combinations)
+    true
+    (s_semi.Eval.combinations < s_naive.Eval.combinations)
+
+let test_nest_unnest () =
+  let db, _ = Fixtures.film_db () in
+  let nested = Lera.Nest (Lera.Base "APPEARS_IN", [ 1 ], [ 2 ]) in
+  let r = run db nested in
+  Alcotest.(check int) "one group per film" 4 (Relation.cardinality r);
+  let film1 =
+    List.find (fun t -> Value.equal (List.hd t) (Value.Int 1)) (tuples r)
+  in
+  (match film1 with
+  | [ _; actors ] ->
+    Alcotest.(check int) "film 1 has two actors" 2
+      (List.length (Value.elements actors))
+  | _ -> Alcotest.fail "bad tuple shape");
+  (* unnest is a left inverse on this data *)
+  let back = run db (Lera.Unnest (nested, 2)) in
+  Alcotest.(check bool) "unnest(nest(r)) = r" true
+    (Relation.equal back (run db (Lera.Base "APPEARS_IN")))
+
+let test_filter_pushdown_reduces_work () =
+  (* the permutation rules' benefit, measured: filtering EDGE before the
+     join enumerates far fewer combinations *)
+  let db = Fixtures.graph_db ~nodes:30 ~edges:120 in
+  let unpushed =
+    Lera.Search
+      ( [ Lera.Base "EDGE"; Lera.Base "EDGE" ],
+        Lera.conj
+          [
+            Lera.eq (Lera.col 1 2) (Lera.col 2 1);
+            Lera.eq (Lera.col 1 1) (Lera.Cst (Value.Int 3));
+          ],
+        [ Lera.col 1 1; Lera.col 2 2 ] )
+  in
+  let pushed =
+    Lera.Search
+      ( [
+          Lera.Filter
+            (Lera.Base "EDGE", Lera.eq (Lera.col 1 1) (Lera.Cst (Value.Int 3)));
+          Lera.Base "EDGE";
+        ],
+        Lera.eq (Lera.col 1 2) (Lera.col 2 1),
+        [ Lera.col 1 1; Lera.col 2 2 ] )
+  in
+  let s1 = Eval.fresh_stats () and s2 = Eval.fresh_stats () in
+  let r1 = run ~stats:s1 db unpushed in
+  let r2 = run ~stats:s2 db pushed in
+  Alcotest.(check bool) "same result" true (Relation.equal r1 r2);
+  Alcotest.(check bool)
+    (Fmt.str "pushed (%d) < unpushed (%d)" s2.Eval.combinations s1.Eval.combinations)
+    true
+    (s2.Eval.combinations < s1.Eval.combinations)
+
+let test_rvar_binding () =
+  let db = Fixtures.chain_db 3 in
+  let edge = Eval.run db (Lera.Base "EDGE") in
+  let r = Eval.run ~rvars:[ ("X", edge) ] db (Lera.Rvar "X") in
+  Alcotest.(check bool) "rvar resolves" true (Relation.equal r edge);
+  Alcotest.(check bool) "unbound rvar fails" true
+    (try
+       ignore (Eval.run db (Lera.Rvar "Y"));
+       false
+     with Eval.Eval_error _ -> true)
+
+let test_unnest_empty_collections () =
+  (* unnesting an empty set yields no tuples for that row *)
+  let db = Database.create () in
+  let schema = [ ("K", Vtype.Int); ("S", Vtype.Set Vtype.Int) ] in
+  Database.add_relation db "T"
+    (Relation.make schema
+       [
+         [ Value.Int 1; Value.set [ Value.Int 7; Value.Int 8 ] ];
+         [ Value.Int 2; Value.set [] ];
+       ]);
+  let r = run db (Lera.Unnest (Lera.Base "T", 2)) in
+  Alcotest.(check int) "two exploded tuples" 2 (Relation.cardinality r);
+  Alcotest.(check bool) "row with empty set vanished" false
+    (List.exists (fun t -> Value.equal (List.hd t) (Value.Int 2)) r.Relation.tuples)
+
+let test_nest_unnest_property =
+  (* unnest(nest(r)) = r whenever every group is non-empty (always true
+     of a nest's own output) *)
+  QCheck2.Test.make ~name:"unnest ∘ nest is the identity" ~count:50
+    QCheck2.Gen.(list_size (int_range 0 20) (pair (int_range 0 5) (int_range 0 5)))
+    (fun pairs ->
+      let db = Database.create () in
+      let schema = [ ("A", Vtype.Int); ("B", Vtype.Int) ] in
+      Database.add_relation db "T"
+        (Relation.make schema
+           (List.map (fun (a, b) -> [ Value.Int a; Value.Int b ]) pairs));
+      let back = run db (Lera.Unnest (Lera.Nest (Lera.Base "T", [ 1 ], [ 2 ]), 2)) in
+      Relation.equal back (run db (Lera.Base "T")))
+
+let test_deep_nesting_eval () =
+  (* five stacked operators evaluate without issue *)
+  let db = Fixtures.chain_db 8 in
+  let q =
+    Lera.Project
+      ( Lera.Filter
+          ( Lera.Union
+              [
+                Lera.Search
+                  ( [ Lera.Base "EDGE"; Lera.Base "EDGE" ],
+                    Lera.eq (Lera.col 1 2) (Lera.col 2 1),
+                    [ Lera.col 1 1; Lera.col 2 2 ] );
+                Lera.Base "EDGE";
+              ],
+            Lera.Call ("<", [ Lera.col 1 1; Lera.Cst (Value.Int 5) ]) ),
+        [ Lera.col 1 2 ] )
+  in
+  Alcotest.(check bool) "non-empty" true (Relation.cardinality (run db q) > 0)
+
+let test_fix_inside_search_inside_fix () =
+  (* a closed fixpoint nested as an operand of another fixpoint's arm *)
+  let db = Fixtures.chain_db 5 in
+  let inner_tc =
+    Lera.Fix
+      ( "I",
+        Lera.Union
+          [
+            Lera.Base "EDGE";
+            Lera.Search
+              ( [ Lera.Base "EDGE"; Lera.Rvar "I" ],
+                Lera.eq (Lera.col 1 2) (Lera.col 2 1),
+                [ Lera.col 1 1; Lera.col 2 2 ] );
+          ] )
+  in
+  let outer =
+    Lera.Fix
+      ( "O",
+        Lera.Union
+          [
+            inner_tc;
+            Lera.Search
+              ( [ Lera.Rvar "O"; Lera.Base "EDGE" ],
+                Lera.eq (Lera.col 1 2) (Lera.col 2 1),
+                [ Lera.col 1 1; Lera.col 2 2 ] );
+          ] )
+  in
+  (* outer adds nothing beyond the closure *)
+  Alcotest.(check bool) "nested fix evaluates to the closure" true
+    (Relation.equal (run db outer) (run db inner_tc))
+
+let suite =
+  [
+    Alcotest.test_case "scalar expression basics" `Quick test_expr_basics;
+    Alcotest.test_case "value() and projection" `Quick test_expr_value_and_projection;
+    Alcotest.test_case "filter and project" `Quick test_filter_and_project;
+    Alcotest.test_case "member over enum set" `Quick test_member_enum_vs_string;
+    Alcotest.test_case "search = filter∘join∘project" `Quick test_search_equivalent_to_filter_join;
+    Alcotest.test_case "union/diff/inter" `Quick test_union_diff_inter;
+    Alcotest.test_case "fixpoint on a chain" `Quick test_fixpoint_chain;
+    Alcotest.test_case "naive and semi-naive agree" `Quick test_fixpoint_modes_agree;
+    Alcotest.test_case "semi-naive does less work" `Quick test_seminaive_cheaper;
+    Alcotest.test_case "nest and unnest" `Quick test_nest_unnest;
+    Alcotest.test_case "filter pushdown reduces work" `Quick test_filter_pushdown_reduces_work;
+    Alcotest.test_case "recursion variable binding" `Quick test_rvar_binding;
+    Alcotest.test_case "unnest of empty collections" `Quick test_unnest_empty_collections;
+    Alcotest.test_case "deep operator nesting" `Quick test_deep_nesting_eval;
+    Alcotest.test_case "fix nested in fix" `Quick test_fix_inside_search_inside_fix;
+  ]
+  @ [ QCheck_alcotest.to_alcotest test_nest_unnest_property ]

@@ -1,0 +1,489 @@
+(* Tests for the ESQL front end: lexer, parser, catalog and the
+   translating type checker, exercised on the paper's Figures 2-5. *)
+
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+module Lera = Eds_lera.Lera
+module Schema = Eds_lera.Schema
+module Lexer = Eds_esql.Lexer
+module Parser = Eds_esql.Parser
+module Ast = Eds_esql.Ast
+module Catalog = Eds_esql.Catalog
+module Translate = Eds_esql.Translate
+
+let rel = Alcotest.testable Lera.pp Lera.equal
+
+(* The Figure-2 schema, as ESQL DDL. *)
+let figure2_ddl =
+  {|
+  TYPE Category ENUMERATION OF ('Comedy', 'Adventure', 'Science Fiction', 'Western') ;
+  TYPE Point TUPLE (ABS : REAL, ORD : REAL) ;
+  TYPE Person OBJECT TUPLE (
+    Name : CHAR,
+    Firstname : SET OF CHAR,
+    Caricature : LIST OF Point) ;
+  TYPE Actor SUBTYPE OF Person OBJECT TUPLE (Salary : NUMERIC)
+    FUNCTION IncreaseSalary(This Actor, Val NUMERIC) ;
+  TYPE Text LIST OF CHAR ;
+  TYPE SetCategory SET OF Category ;
+  TYPE Pairs LIST OF TUPLE (Pros : INT, Cons : INT) ;
+  TABLE FILM (Numf : NUMERIC, Title : Text, Categories : SetCategory) ;
+  TABLE APPEARS_IN (Numf : NUMERIC, Refactor : Actor) ;
+  TABLE DOMINATE (Numf : NUMERIC, Refactor1 : Actor, Refactor2 : Actor, Score : Pairs) ;
+|}
+
+let catalog () =
+  let cat = Catalog.create () in
+  List.iter (Catalog.apply_ddl cat) (Parser.parse_program figure2_ddl);
+  cat
+
+(* Figure 3 query *)
+let figure3 =
+  {|SELECT Title, Categories, Salary(Refactor)
+    FROM FILM, APPEARS_IN
+    WHERE FILM.Numf = APPEARS_IN.Numf
+      AND Name(Refactor) = 'Quinn'
+      AND MEMBER('Adventure', Categories)|}
+
+(* Figure 4 view + query *)
+let figure4_view =
+  {|CREATE VIEW FilmActors (Title, Categories, Actors) AS
+    SELECT Title, Categories, MakeSet(Refactor)
+    FROM FILM, APPEARS_IN
+    WHERE FILM.Numf = APPEARS_IN.Numf
+    GROUP BY Title, Categories|}
+
+let figure4_query =
+  {|SELECT Title FROM FilmActors
+    WHERE MEMBER('Adventure', Categories) AND ALL (Salary(Actors) > 10000)|}
+
+(* Figure 5 view + query *)
+let figure5_view =
+  {|CREATE VIEW BETTER_THAN (Refactor1, Refactor2) AS
+    ( SELECT Refactor1, Refactor2 FROM DOMINATE
+      UNION
+      SELECT B1.Refactor1, B2.Refactor2
+      FROM BETTER_THAN B1, BETTER_THAN B2
+      WHERE B1.Refactor2 = B2.Refactor1 )|}
+
+let figure5_query =
+  {|SELECT Name(Refactor1) FROM BETTER_THAN WHERE Name(Refactor2) = 'Quinn'|}
+
+(* -- lexer -------------------------------------------------------------- *)
+
+let test_lexer_basics () =
+  let toks = List.map fst (Lexer.tokenize "SELECT x, 'it''s' FROM t WHERE a <= 1.5 --c\n;") in
+  Alcotest.(check int) "token count" 12 (List.length toks);
+  (match toks with
+  | Lexer.IDENT "SELECT" :: Lexer.IDENT "x" :: Lexer.COMMA
+    :: Lexer.STRING "it's" :: _ ->
+    ()
+  | _ -> Alcotest.fail "unexpected tokens");
+  Alcotest.(check bool) "arrow token" true
+    (List.exists (fun (t, _) -> t = Lexer.ARROW) (Lexer.tokenize "a --> b"))
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "unterminated string" true
+    (try
+       ignore (Lexer.tokenize "'oops");
+       false
+     with Lexer.Lex_error _ -> true);
+  Alcotest.(check bool) "bad character" true
+    (try
+       ignore (Lexer.tokenize "a ? b");
+       false
+     with Lexer.Lex_error _ -> true)
+
+(* -- parser ------------------------------------------------------------- *)
+
+let test_parse_figure2 () =
+  let stmts = Parser.parse_program figure2_ddl in
+  Alcotest.(check int) "ten statements" 10 (List.length stmts);
+  match List.nth stmts 3 with
+  | Ast.Create_type { name = "Actor"; supertype = Some "Person"; is_object = true;
+                      functions = [ "IncreaseSalary" ]; _ } ->
+    ()
+  | s -> Alcotest.failf "Actor decl mis-parsed: %a" Ast.pp_stmt s
+
+let test_parse_select_shape () =
+  let s = Parser.parse_select figure3 in
+  Alcotest.(check int) "three projections" 3 (List.length s.Ast.proj);
+  Alcotest.(check int) "two FROM items" 2 (List.length s.Ast.from);
+  Alcotest.(check bool) "has WHERE" true (Option.is_some s.Ast.where)
+
+let test_parse_union_view () =
+  match Parser.parse_stmt figure5_view with
+  | Ast.Create_view { name = "BETTER_THAN"; columns = [ "Refactor1"; "Refactor2" ]; body } ->
+    Alcotest.(check bool) "body is a union" true (Option.is_some body.Ast.union);
+    let arm2 = Option.get body.Ast.union in
+    Alcotest.(check (list (pair string (option string))))
+      "aliased self-references"
+      [ ("BETTER_THAN", Some "B1"); ("BETTER_THAN", Some "B2") ]
+      arm2.Ast.from
+  | s -> Alcotest.failf "view mis-parsed: %a" Ast.pp_stmt s
+
+let test_parse_operator_precedence () =
+  match Parser.parse_expr "a = 1 AND b = 2 OR NOT c < 3" with
+  | Ast.Binop ("or", Ast.Binop ("and", _, _), Ast.Not (Ast.Binop ("<", _, _))) -> ()
+  | e -> Alcotest.failf "precedence wrong: %a" Ast.pp_expr e
+
+let test_parse_quantifier_and_collections () =
+  (match Parser.parse_expr "ALL (Salary(Actors) > 10000)" with
+  | Ast.Quant (Ast.All, Ast.Binop (">", Ast.Call ("Salary", [ Ast.Ident "Actors" ]), _)) -> ()
+  | e -> Alcotest.failf "quantifier: %a" Ast.pp_expr e);
+  match Parser.parse_expr "x IN ('a', 'b')" with
+  | Ast.In (Ast.Ident "x", Ast.Set_lit [ _; _ ]) -> ()
+  | e -> Alcotest.failf "IN list: %a" Ast.pp_expr e
+
+let test_parse_errors () =
+  let fails input =
+    try
+      ignore (Parser.parse_stmt input);
+      false
+    with Parser.Parse_error _ | Lexer.Lex_error _ -> true
+  in
+  Alcotest.(check bool) "missing FROM" true (fails "SELECT x");
+  Alcotest.(check bool) "trailing garbage" true (fails "SELECT x FROM t t2 t3");
+  Alcotest.(check bool) "reserved as name" true (fails "TABLE SELECT (a : INT)")
+
+let test_parse_dml () =
+  (match Parser.parse_stmt "DELETE FROM FILM WHERE Numf = 1" with
+  | Ast.Delete { table = "FILM"; where = Some _ } -> ()
+  | s -> Alcotest.failf "delete: %a" Ast.pp_stmt s);
+  (match Parser.parse_stmt "DELETE FROM FILM" with
+  | Ast.Delete { where = None; _ } -> ()
+  | s -> Alcotest.failf "unconditional delete: %a" Ast.pp_stmt s);
+  (match Parser.parse_stmt "UPDATE FILM SET Numf = Numf + 1, Title = ['x'] WHERE Numf > 2" with
+  | Ast.Update { table = "FILM"; assignments = [ ("Numf", _); ("Title", _) ]; where = Some _ } ->
+    ()
+  | s -> Alcotest.failf "update: %a" Ast.pp_stmt s);
+  let fails input =
+    try
+      ignore (Parser.parse_stmt input);
+      false
+    with Parser.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "update without SET" true (fails "UPDATE FILM Numf = 1");
+  Alcotest.(check bool) "delete without FROM" true (fails "DELETE FILM")
+
+let test_stmt_pp_reparses () =
+  (* every statement's printer emits text the parser accepts again *)
+  let stmts =
+    Parser.parse_program figure2_ddl
+    @ [
+        Parser.parse_stmt figure4_view;
+        Parser.parse_stmt figure5_view;
+        Parser.parse_stmt "INSERT INTO FILM VALUES (9, ['t'], {'Comedy'})";
+        Parser.parse_stmt "DELETE FROM FILM WHERE Numf = 9";
+        Parser.parse_stmt "UPDATE FILM SET Numf = 1 WHERE Numf = 9";
+        Parser.parse_stmt figure3;
+      ]
+  in
+  List.iter
+    (fun stmt ->
+      let printed = Fmt.str "%a" Ast.pp_stmt stmt in
+      match Parser.parse_stmt printed with
+      | _ -> ()
+      | exception (Parser.Parse_error msg | Lexer.Lex_error (msg, _)) ->
+        Alcotest.failf "did not reparse: %s@.%s" printed msg)
+    stmts
+
+let test_lexer_positions () =
+  let toks = Lexer.tokenize "ab cd" in
+  (match toks with
+  | [ (Lexer.IDENT "ab", 0); (Lexer.IDENT "cd", 3); (Lexer.EOF, _) ] -> ()
+  | _ -> Alcotest.fail "positions wrong");
+  (* error position points at the offending character *)
+  match Lexer.tokenize "ab ? cd" with
+  | _ -> Alcotest.fail "expected a lex error"
+  | exception Lexer.Lex_error (_, 3) -> ()
+  | exception Lexer.Lex_error (_, p) -> Alcotest.failf "position %d" p
+
+(* -- catalog ------------------------------------------------------------ *)
+
+let test_catalog_types () =
+  let cat = catalog () in
+  Alcotest.(check bool) "Actor ISA Person" true
+    (Vtype.isa (Catalog.types cat) (Vtype.Object "Actor") (Vtype.Object "Person"));
+  match Catalog.table cat "film" with
+  | Some schema ->
+    Alcotest.(check (list string)) "FILM columns (ci lookup)"
+      [ "Numf"; "Title"; "Categories" ]
+      (List.map fst schema)
+  | None -> Alcotest.fail "FILM not found"
+
+let test_catalog_view_recursion_flag () =
+  let cat = catalog () in
+  Catalog.apply_ddl cat (Parser.parse_stmt figure4_view);
+  Catalog.apply_ddl cat (Parser.parse_stmt figure5_view);
+  Alcotest.(check bool) "FilmActors non-recursive" false
+    (Option.get (Catalog.view cat "FilmActors")).Catalog.recursive;
+  Alcotest.(check bool) "BETTER_THAN recursive" true
+    (Option.get (Catalog.view cat "BETTER_THAN")).Catalog.recursive
+
+let test_catalog_duplicate_rejected () =
+  let cat = catalog () in
+  Alcotest.(check bool) "duplicate table" true
+    (try
+       Catalog.apply_ddl cat (Parser.parse_stmt "TABLE FILM (x : INT)");
+       false
+     with Catalog.Catalog_error _ -> true)
+
+(* -- translation -------------------------------------------------------- *)
+
+(* the paper's §3.1 target, modulo FROM-clause operand order (we keep the
+   user's order FILM, APPEARS_IN; the paper lists APPEARS_IN first) *)
+let expected_fig3 =
+  Lera.Search
+    ( [ Lera.Base "FILM"; Lera.Base "APPEARS_IN" ],
+      Lera.conj
+        [
+          Lera.eq (Lera.col 1 1) (Lera.col 2 1);
+          Lera.eq
+            (Lera.Call
+               ( "project",
+                 [ Lera.Call ("value", [ Lera.col 2 2 ]); Lera.Cst (Value.Str "Name") ] ))
+            (Lera.Cst (Value.Str "Quinn"));
+          Lera.Call
+            ( "member",
+              [ Lera.Cst (Value.Enum ("Category", "Adventure")); Lera.col 1 3 ] );
+        ],
+      [
+        Lera.col 1 2;
+        Lera.col 1 3;
+        Lera.Call
+          ( "project",
+            [ Lera.Call ("value", [ Lera.col 2 2 ]); Lera.Cst (Value.Str "Salary") ] );
+      ] )
+
+let test_translate_figure3 () =
+  let cat = catalog () in
+  let r = Translate.select cat (Parser.parse_select figure3) in
+  Alcotest.check rel "canonical compound search" expected_fig3 r
+
+let test_translate_inserts_conversions () =
+  (* Salary(Refactor) > 1000 must become project(value(…), 'Salary') — the
+     §3.3 example *)
+  let cat = catalog () in
+  let r =
+    Translate.select cat
+      (Parser.parse_select "SELECT Numf FROM APPEARS_IN WHERE Salary(Refactor) > 1000")
+  in
+  match r with
+  | Lera.Search
+      ( _,
+        Lera.Call
+          ( ">",
+            [
+              Lera.Call
+                ( "project",
+                  [ Lera.Call ("value", [ Lera.Col (1, 2) ]); Lera.Cst (Value.Str "Salary") ]
+                );
+              Lera.Cst (Value.Int 1000);
+            ] ),
+        _ ) ->
+    ()
+  | _ -> Alcotest.failf "conversions missing: %a" Lera.pp r
+
+let test_translate_enum_coercion () =
+  let cat = catalog () in
+  let r =
+    Translate.select cat
+      (Parser.parse_select
+         "SELECT Numf FROM FILM WHERE MEMBER('Western', Categories)")
+  in
+  match r with
+  | Lera.Search (_, Lera.Call ("member", [ Lera.Cst (Value.Enum ("Category", "Western")); _ ]), _)
+    ->
+    ()
+  | _ -> Alcotest.failf "enum literal not coerced: %a" Lera.pp r
+
+let test_translate_figure4_nest () =
+  let cat = catalog () in
+  Catalog.apply_ddl cat (Parser.parse_stmt figure4_view);
+  let v = Option.get (Catalog.view cat "FilmActors") in
+  ignore v;
+  let r = Translate.relation_of_name cat "FilmActors" in
+  (match r with
+  | Lera.Nest (Lera.Search ([ _; _ ], _, proj), [ 1; 2 ], [ 3 ]) ->
+    Alcotest.(check int) "inner projection has 3 items" 3 (List.length proj)
+  | _ -> Alcotest.failf "expected nest over search: %a" Lera.pp r);
+  let sch = Translate.schema_of_name cat "FilmActors" in
+  Alcotest.(check (list string)) "view column names"
+    [ "Title"; "Categories"; "Actors" ]
+    (List.map fst sch)
+
+let test_translate_figure4_query () =
+  let cat = catalog () in
+  Catalog.apply_ddl cat (Parser.parse_stmt figure4_view);
+  let r = Translate.select cat (Parser.parse_select figure4_query) in
+  (* the view body appears as an operand of the outer search: the
+     "arbitrary processing order imposed by the user-written views" *)
+  match r with
+  | Lera.Search ([ Lera.Nest _ ], qual, [ Lera.Col (1, 1) ]) ->
+    let quals = Lera.conjuncts qual in
+    Alcotest.(check int) "two conjuncts" 2 (List.length quals);
+    Alcotest.(check bool) "quantifier translated" true
+      (List.exists
+         (fun q ->
+           match q with
+           | Lera.Call ("all", [ Lera.Call (">", [ Lera.Call ("project", _); _ ]) ]) -> true
+           | _ -> false)
+         quals)
+  | _ -> Alcotest.failf "unexpected translation: %a" Lera.pp r
+
+let test_translate_figure5_fix () =
+  let cat = catalog () in
+  Catalog.apply_ddl cat (Parser.parse_stmt figure5_view);
+  let r = Translate.select cat (Parser.parse_select figure5_query) in
+  match r with
+  | Lera.Search ([ Lera.Fix ("BETTER_THAN", Lera.Union [ base; recursive ]) ], _, _) ->
+    (match base with
+    | Lera.Search ([ Lera.Base "DOMINATE" ], _, [ Lera.Col (1, 2); Lera.Col (1, 3) ]) -> ()
+    | _ -> Alcotest.failf "base arm: %a" Lera.pp base);
+    (match recursive with
+    | Lera.Search
+        ( [ Lera.Base "BETTER_THAN"; Lera.Base "BETTER_THAN" ],
+          Lera.Call ("=", [ Lera.Col (1, 2); Lera.Col (2, 1) ]),
+          [ Lera.Col (1, 1); Lera.Col (2, 2) ] ) ->
+      ()
+    | _ -> Alcotest.failf "recursive arm: %a" Lera.pp recursive)
+  | _ -> Alcotest.failf "expected search over fix: %a" Lera.pp r
+
+let test_translate_errors () =
+  let cat = catalog () in
+  let fails q =
+    try
+      ignore (Translate.select cat (Parser.parse_select q));
+      false
+    with Translate.Type_error _ -> true
+  in
+  Alcotest.(check bool) "unknown column" true (fails "SELECT zzz FROM FILM");
+  Alcotest.(check bool) "ambiguous column" true
+    (fails "SELECT Numf FROM FILM, APPEARS_IN");
+  Alcotest.(check bool) "unknown attribute" true
+    (fails "SELECT Wage(Refactor) FROM APPEARS_IN");
+  Alcotest.(check bool) "quantifier over scalar" true
+    (fails "SELECT Numf FROM FILM WHERE ALL (Numf > 1)");
+  Alcotest.(check bool) "unknown table" true (fails "SELECT a FROM NOWHERE")
+
+let test_aggregates_over_makeset () =
+  (* aggregates are collection ADT functions over the MakeSet nest:
+     cardinality = COUNT, all/exist = quantified predicates *)
+  let cat = catalog () in
+  let r =
+    Translate.select cat
+      (Parser.parse_select
+         {|SELECT Title, cardinality(MakeSet(Refactor))
+           FROM FILM, APPEARS_IN WHERE FILM.Numf = APPEARS_IN.Numf
+           GROUP BY Title|})
+  in
+  (match r with
+  | Lera.Project
+      ( Lera.Nest (Lera.Search _, [ 1 ], [ 2 ]),
+        [ Lera.Col (1, 1); Lera.Call ("cardinality", [ Lera.Col (1, 2) ]) ] ) ->
+    ()
+  | _ -> Alcotest.failf "aggregate shape: %a" Lera.pp r);
+  (* non-grouped, non-nested projection rejected *)
+  Alcotest.(check bool) "stray projection rejected" true
+    (try
+       ignore
+         (Translate.select cat
+            (Parser.parse_select
+               {|SELECT Categories, MakeSet(Refactor)
+                 FROM FILM, APPEARS_IN WHERE FILM.Numf = APPEARS_IN.Numf
+                 GROUP BY Title|}));
+       false
+     with Translate.Type_error _ -> true)
+
+let test_translate_more_errors () =
+  let cat = catalog () in
+  let fails q =
+    try
+      ignore (Translate.select cat (Parser.parse_select q));
+      false
+    with Translate.Type_error _ -> true
+  in
+  Alcotest.(check bool) "non-boolean WHERE" true
+    (fails "SELECT Numf FROM FILM WHERE Numf + 1");
+  Alcotest.(check bool) "attribute on scalar" true
+    (fails "SELECT Name(Numf) FROM FILM");
+  Alcotest.(check bool) "two different MakeSet args" true
+    (fails
+       "SELECT Title, MakeSet(Refactor), MakeSet(APPEARS_IN.Numf) FROM FILM, APPEARS_IN WHERE FILM.Numf = APPEARS_IN.Numf GROUP BY Title");
+  Alcotest.(check bool) "self-reference outside recursive view is unknown" true
+    (fails "SELECT a FROM NOT_A_VIEW");
+  (* mutual recursion between views is detected, not looped on *)
+  Catalog.apply_ddl cat
+    (Parser.parse_stmt "CREATE VIEW VA (Numf) AS SELECT Numf FROM VB");
+  Catalog.apply_ddl cat
+    (Parser.parse_stmt "CREATE VIEW VB (Numf) AS SELECT Numf FROM VA");
+  Alcotest.(check bool) "mutual recursion rejected" true
+    (fails "SELECT Numf FROM VA")
+
+let test_view_column_count_mismatch () =
+  let cat = catalog () in
+  Catalog.apply_ddl cat
+    (Parser.parse_stmt "CREATE VIEW BAD (OnlyOne) AS SELECT Numf, Title FROM FILM");
+  Alcotest.(check bool) "arity mismatch reported" true
+    (try
+       ignore (Translate.relation_of_name cat "BAD");
+       false
+     with Translate.Type_error _ -> true)
+
+let test_union_view_arity_checked () =
+  let cat = catalog () in
+  Catalog.apply_ddl cat
+    (Parser.parse_stmt
+       {|CREATE VIEW MIXED (A) AS
+         ( SELECT Numf FROM FILM UNION SELECT Numf, Title FROM FILM )|});
+  Alcotest.(check bool) "union arm arity mismatch detected" true
+    (try
+       ignore
+         (Schema.of_rel
+            (Catalog.schema_env cat)
+            (Translate.relation_of_name cat "MIXED"));
+       false
+     with Schema.Schema_error _ | Translate.Type_error _ -> true)
+
+let test_expr_to_value () =
+  let cat = catalog () in
+  let v =
+    Translate.expr_to_value cat
+      ~expected:(Vtype.Named "SetCategory")
+      (Parser.parse_expr "{'Comedy', 'Western'}")
+  in
+  Alcotest.(check bool) "coerced to enum set" true
+    (Value.equal v
+       (Value.set
+          [ Value.Enum ("Category", "Comedy"); Value.Enum ("Category", "Western") ]))
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parse Figure-2 DDL" `Quick test_parse_figure2;
+    Alcotest.test_case "parse select shape" `Quick test_parse_select_shape;
+    Alcotest.test_case "parse recursive union view" `Quick test_parse_union_view;
+    Alcotest.test_case "operator precedence" `Quick test_parse_operator_precedence;
+    Alcotest.test_case "quantifiers and IN lists" `Quick test_parse_quantifier_and_collections;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse DML" `Quick test_parse_dml;
+    Alcotest.test_case "statement printers reparse" `Quick test_stmt_pp_reparses;
+    Alcotest.test_case "lexer positions" `Quick test_lexer_positions;
+    Alcotest.test_case "catalog types (Fig. 2)" `Quick test_catalog_types;
+    Alcotest.test_case "view recursion detection" `Quick test_catalog_view_recursion_flag;
+    Alcotest.test_case "catalog duplicate rejected" `Quick test_catalog_duplicate_rejected;
+    Alcotest.test_case "Fig. 3 translates to the paper's search" `Quick test_translate_figure3;
+    Alcotest.test_case "§3.3 conversion insertion" `Quick test_translate_inserts_conversions;
+    Alcotest.test_case "enum literal coercion" `Quick test_translate_enum_coercion;
+    Alcotest.test_case "Fig. 4 view becomes nest" `Quick test_translate_figure4_nest;
+    Alcotest.test_case "Fig. 4 query with quantifier" `Quick test_translate_figure4_query;
+    Alcotest.test_case "Fig. 5 view becomes fix" `Quick test_translate_figure5_fix;
+    Alcotest.test_case "translation errors" `Quick test_translate_errors;
+    Alcotest.test_case "aggregates over MakeSet" `Quick test_aggregates_over_makeset;
+    Alcotest.test_case "more translation errors" `Quick test_translate_more_errors;
+    Alcotest.test_case "view column count mismatch" `Quick test_view_column_count_mismatch;
+    Alcotest.test_case "union view arity checked" `Quick test_union_view_arity_checked;
+    Alcotest.test_case "INSERT constant folding" `Quick test_expr_to_value;
+  ]

@@ -1,0 +1,232 @@
+(* Tests for the LERA algebra: schemas, pretty printing, term bridge and
+   the column utilities used by the external methods (paper §3, §4). *)
+
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+module Term = Eds_term.Term
+module Lera = Eds_lera.Lera
+module Schema = Eds_lera.Schema
+module Lera_term = Eds_lera.Lera_term
+module Database = Eds_engine.Database
+
+let term = Alcotest.testable Term.pp Term.equal
+let rel = Alcotest.testable Lera.pp Lera.equal
+let scalar = Alcotest.testable Lera.pp_scalar Lera.equal_scalar
+
+(* the paper's §3.1 translation of the Figure-3 query *)
+let fig3_search =
+  Lera.Search
+    ( [ Lera.Base "APPEARS_IN"; Lera.Base "FILM" ],
+      Lera.conj
+        [
+          Lera.eq (Lera.col 1 1) (Lera.col 2 1);
+          Lera.eq
+            (Lera.Call ("name", [ Lera.col 1 2 ]))
+            (Lera.Cst (Value.Str "Quinn"));
+          Lera.Call ("member", [ Lera.Cst (Value.Str "Adventure"); Lera.col 2 3 ]);
+        ],
+      [ Lera.col 2 2; Lera.col 2 3; Lera.Call ("salary", [ Lera.col 1 2 ]) ] )
+
+let fig5_fix =
+  (* fix(BETTER_THAN, union({DOMINATE', search((BT, BT), [1.2=2.1], (1.1, 2.2))})) *)
+  Lera.Fix
+    ( "BETTER_THAN",
+      Lera.Union
+        [
+          Lera.Search
+            ( [ Lera.Base "DOMINATE" ],
+              Lera.tru,
+              [ Lera.col 1 2; Lera.col 1 3 ] );
+          Lera.Search
+            ( [ Lera.Base "BETTER_THAN"; Lera.Base "BETTER_THAN" ],
+              Lera.eq (Lera.col 1 2) (Lera.col 2 1),
+              [ Lera.col 1 1; Lera.col 2 2 ] );
+        ] )
+
+let env () =
+  let db, _ = Fixtures.film_db () in
+  Database.schema_env db
+
+let test_conj_flattens () =
+  let a = Lera.eq (Lera.col 1 1) (Lera.col 2 1) in
+  let b = Lera.Call ("member", [ Lera.Cst (Value.Int 1); Lera.col 1 2 ]) in
+  let c = Lera.Call ("<", [ Lera.col 1 3; Lera.Cst (Value.Int 9) ]) in
+  Alcotest.check scalar "nested conj flattens"
+    (Lera.conj [ a; b; c ])
+    (Lera.conj [ Lera.conj [ a; b ]; c ]);
+  Alcotest.(check int) "three conjuncts" 3
+    (List.length (Lera.conjuncts (Lera.conj [ a; b; c ])));
+  Alcotest.check scalar "empty conj is true" Lera.tru (Lera.conj []);
+  Alcotest.check scalar "singleton collapses" a (Lera.conj [ a ])
+
+let test_operator_count () =
+  Alcotest.(check int) "fig3 search is one operator" 1 (Lera.operator_count fig3_search);
+  Alcotest.(check int) "fig5 has fix + union + 2 searches" 4
+    (Lera.operator_count fig5_fix)
+
+let test_schema_fig3 () =
+  let sch = Schema.of_rel (env ()) fig3_search in
+  Alcotest.(check (list string)) "attribute names"
+    [ "Title"; "Categories"; "salary" ]
+    (List.map fst sch)
+
+let test_schema_fixpoint () =
+  let sch = Schema.of_rel (env ()) fig5_fix in
+  Alcotest.(check int) "binary result" 2 (Schema.arity sch)
+
+let test_schema_errors () =
+  let check_fails name r =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Schema.of_rel (env ()) r);
+         false
+       with Schema.Schema_error _ -> true)
+  in
+  check_fails "unknown relation" (Lera.Base "NOPE");
+  check_fails "column out of range"
+    (Lera.Project (Lera.Base "FILM", [ Lera.col 1 9 ]));
+  check_fails "union arity mismatch"
+    (Lera.Union [ Lera.Base "FILM"; Lera.Base "APPEARS_IN" ]);
+  check_fails "fix without base arm"
+    (Lera.Fix ("R", Lera.Search ([ Lera.Rvar "R" ], Lera.tru, [ Lera.col 1 1 ])))
+
+let test_nest_schema () =
+  (* nest APPEARS_IN by film number collecting actor refs: (Numf, {Actor}) *)
+  let nested = Lera.Nest (Lera.Base "APPEARS_IN", [ 1 ], [ 2 ]) in
+  let sch = Schema.of_rel (env ()) nested in
+  Alcotest.(check (list string)) "names" [ "Numf"; "Refactor" ] (List.map fst sch);
+  match sch with
+  | [ _; (_, Vtype.Set (Vtype.Object "Actor")) ] -> ()
+  | _ -> Alcotest.failf "unexpected schema %a" Schema.pp sch
+
+let test_bridge_round_trip () =
+  let round r = Lera_term.of_term (Lera_term.to_term r) in
+  Alcotest.check rel "fig3" fig3_search (round fig3_search);
+  Alcotest.check rel "fig5" fig5_fix (round fig5_fix);
+  let nested =
+    Lera.Unnest (Lera.Nest (Lera.Filter (Lera.Base "FILM", Lera.tru), [ 1 ], [ 2 ]), 2)
+  in
+  Alcotest.check rel "nest/unnest/filter" nested (round nested)
+
+let test_bridge_conjunction_is_bag () =
+  match Lera_term.to_term fig3_search with
+  | Term.App ("search", [ _; Term.App ("and", [ Term.Coll (Term.Bag, cs) ]); _ ]) ->
+    Alcotest.(check int) "three conjuncts in a bag" 3 (List.length cs)
+  | t -> Alcotest.failf "unexpected encoding %a" Term.pp t
+
+let test_normalize_flattens_and () =
+  let c1 = Term.app "=" [ Term.int 1; Term.int 1 ] in
+  let c2 = Term.app "<" [ Term.int 1; Term.int 2 ] in
+  let nested =
+    Term.app "and"
+      [
+        Term.Coll
+          ( Term.Bag,
+            [ Term.app "and" [ Term.Coll (Term.Bag, [ c1; c2 ]) ]; c1 ] );
+      ]
+  in
+  Alcotest.check term "flattened, deduplicated (∧ is idempotent)"
+    (Term.app "and" [ Term.Coll (Term.Bag, [ c1; c2 ]) ])
+    (Lera_term.normalize nested);
+  Alcotest.check term "singleton collapses" c1
+    (Lera_term.normalize (Term.app "and" [ Term.Coll (Term.Bag, [ c1 ]) ]));
+  Alcotest.check term "empty and is true" Term.tru
+    (Lera_term.normalize (Term.app "and" [ Term.Coll (Term.Bag, []) ]))
+
+let test_normalize_evaluates_constructors () =
+  let l1 = Term.Coll (Term.List, [ Term.int 1 ]) in
+  let l2 = Term.Coll (Term.List, [ Term.int 2; Term.int 3 ]) in
+  Alcotest.check term "append concatenates"
+    (Term.Coll (Term.List, [ Term.int 1; Term.int 2; Term.int 3 ]))
+    (Lera_term.normalize (Term.app "append" [ l1; l2 ]));
+  let s1 = Term.Coll (Term.Set, [ Term.int 1 ]) in
+  let s2 = Term.Coll (Term.Set, [ Term.int 2 ]) in
+  Alcotest.check term "set_union merges"
+    (Term.Coll (Term.Set, [ Term.int 1; Term.int 2 ]))
+    (Lera_term.normalize (Term.app "set_union" [ s1; s2 ]));
+  (* not evaluated when an argument is still symbolic *)
+  let sym = Term.app "append" [ l1; Term.var "z" ] in
+  Alcotest.check term "symbolic append kept" sym (Lera_term.normalize sym)
+
+let test_shift_and_merge_subst () =
+  let t =
+    Lera_term.scalar_to_term
+      (Lera.conj
+         [
+           Lera.eq (Lera.col 1 1) (Lera.col 2 1);
+           Lera.Call (">", [ Lera.col 2 2; Lera.Cst (Value.Int 5) ]);
+         ])
+  in
+  let shifted = Lera_term.shift_cols ~by:2 t in
+  Alcotest.(check (list (pair int int))) "shifted columns"
+    [ (3, 1); (4, 1); (4, 2) ]
+    (Lera_term.cols_of shifted)
+
+let test_merge_subst_replaces_through_projection () =
+  (* outer references 2.1 and 2.2 where operand 2 is an inner search with
+     projection (1.2, salary(1.1)) over one input: slot=2, inner_arity=1 *)
+  let outer =
+    Lera_term.scalar_to_term
+      (Lera.conj
+         [
+           Lera.eq (Lera.col 2 1) (Lera.Cst (Value.Str "x"));
+           Lera.Call (">", [ Lera.col 2 2; Lera.Cst (Value.Int 5) ]);
+           Lera.eq (Lera.col 1 1) (Lera.col 3 1);
+         ])
+  in
+  let proj =
+    [
+      Lera_term.scalar_to_term (Lera.col 1 2);
+      Lera_term.scalar_to_term (Lera.Call ("salary", [ Lera.col 1 1 ]));
+    ]
+  in
+  let merged = Lera_term.merge_subst ~slot:2 ~inner_arity:1 ~proj outer in
+  let expected =
+    Lera_term.scalar_to_term
+      (Lera.conj
+         [
+           Lera.eq (Lera.col 2 2) (Lera.Cst (Value.Str "x"));
+           Lera.Call
+             (">", [ Lera.Call ("salary", [ Lera.col 2 1 ]); Lera.Cst (Value.Int 5) ]);
+           Lera.eq (Lera.col 1 1) (Lera.col 3 1);
+         ])
+  in
+  Alcotest.check term "merged" expected merged
+
+let test_pp_tree () =
+  let q =
+    Lera.Fix
+      ( "R",
+        Lera.Union
+          [
+            Lera.Base "E";
+            Lera.Search
+              ( [ Lera.Rvar "R"; Lera.Base "E" ],
+                Lera.eq (Lera.col 1 2) (Lera.col 2 1),
+                [ Lera.col 1 1; Lera.col 2 2 ] );
+          ] )
+  in
+  let text = Fmt.str "%a" Lera.pp_tree q in
+  let lines = String.split_on_char '\n' (String.trim text) in
+  Alcotest.(check int) "one line per operator/leaf" 6 (List.length lines);
+  Alcotest.(check bool) "root unindented" true
+    (String.length (List.hd lines) > 0 && (List.hd lines).[0] <> ' ');
+  Alcotest.(check bool) "children indented" true
+    (List.exists (fun l -> String.length l > 2 && String.sub l 0 2 = "  ") lines)
+
+let suite =
+  [
+    Alcotest.test_case "conj flattens and collapses" `Quick test_conj_flattens;
+    Alcotest.test_case "operator count" `Quick test_operator_count;
+    Alcotest.test_case "schema of Fig. 3 search" `Quick test_schema_fig3;
+    Alcotest.test_case "schema of Fig. 5 fixpoint" `Quick test_schema_fixpoint;
+    Alcotest.test_case "schema errors" `Quick test_schema_errors;
+    Alcotest.test_case "nest schema" `Quick test_nest_schema;
+    Alcotest.test_case "term bridge round trip" `Quick test_bridge_round_trip;
+    Alcotest.test_case "conjunction encodes as bag" `Quick test_bridge_conjunction_is_bag;
+    Alcotest.test_case "normalize flattens and/or" `Quick test_normalize_flattens_and;
+    Alcotest.test_case "normalize evaluates constructors" `Quick test_normalize_evaluates_constructors;
+    Alcotest.test_case "shift_cols" `Quick test_shift_and_merge_subst;
+    Alcotest.test_case "merge_subst through projection" `Quick test_merge_subst_replaces_through_projection;
+    Alcotest.test_case "pp_tree" `Quick test_pp_tree;
+  ]

@@ -1,0 +1,250 @@
+(* Focused tests for the Alexander/magic transformation (paper §5.3):
+   the structure of the generated magic and answer fixpoints, the
+   supported-class boundary, and randomized equivalence. *)
+
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+module Lera = Eds_lera.Lera
+module Relation = Eds_engine.Relation
+module Database = Eds_engine.Database
+module Eval = Eds_engine.Eval
+module Magic = Eds_rewriter.Magic
+
+let rel = Alcotest.testable Lera.pp Lera.equal
+
+let env_of db = Database.schema_env db
+
+(* right-linear TC over EDGE *)
+let rl_tc =
+  Lera.Fix
+    ( "TC",
+      Lera.Union
+        [
+          Lera.Base "EDGE";
+          Lera.Search
+            ( [ Lera.Base "EDGE"; Lera.Rvar "TC" ],
+              Lera.eq (Lera.col 1 2) (Lera.col 2 1),
+              [ Lera.col 1 1; Lera.col 2 2 ] );
+        ] )
+
+let test_transform_structure () =
+  let db = Fixtures.chain_db 5 in
+  let bound = [ (1, Lera.Cst (Value.Int 1)) ] in
+  match Magic.transform (env_of db) ~rvars:[] rl_tc ~bound with
+  | None -> Alcotest.fail "transformation refused"
+  | Some (Lera.Fix (name, Lera.Union arms)) ->
+    Alcotest.(check string) "answer renamed with the _magic marker" "TC_magic" name;
+    Alcotest.(check int) "one guarded arm per original arm" 2 (List.length arms);
+    (* every arm gained the magic fixpoint as last operand *)
+    List.iter
+      (fun arm ->
+        match arm with
+        | Lera.Search (inputs, _, _) -> (
+          match List.rev inputs with
+          | Lera.Fix (mname, _) :: _ ->
+            Alcotest.(check string) "magic operand" "TC_m" mname
+          | _ -> Alcotest.fail "no magic operand")
+        | _ -> Alcotest.fail "arm is not a search")
+      arms
+  | Some r -> Alcotest.failf "unexpected result %a" Lera.pp r
+
+let test_magic_seed_is_constant_relation () =
+  let db = Fixtures.chain_db 5 in
+  let bound = [ (1, Lera.Cst (Value.Int 3)) ] in
+  match Magic.transform (env_of db) ~rvars:[] rl_tc ~bound with
+  | Some (Lera.Fix (_, Lera.Union (Lera.Search (inputs, _, _) :: _))) -> (
+    match List.rev inputs with
+    | Lera.Fix (_, Lera.Union (seed :: _)) :: _ ->
+      (* evaluating the seed alone yields exactly the query constant *)
+      let r = Eval.run db seed in
+      Alcotest.(check int) "one seed tuple" 1 (Relation.cardinality r);
+      Alcotest.(check bool) "the constant" true (Relation.mem [ Value.Int 3 ] r)
+    | _ -> Alcotest.fail "no magic fix")
+  | _ -> Alcotest.fail "transformation refused"
+
+let test_magic_relation_contents_chain () =
+  (* on a chain, binding column 1 to node 3: the magic set for the
+     right-linear rule bt(x,y) :- edge(x,z), bt(z,y)… here the binding is
+     on x, which propagates through EDGE: magic = nodes reachable from 3 *)
+  let db = Fixtures.chain_db 6 in
+  let bound = [ (1, Lera.Cst (Value.Int 3)) ] in
+  match Magic.transform (env_of db) ~rvars:[] rl_tc ~bound with
+  | Some (Lera.Fix (_, Lera.Union (Lera.Search (inputs, _, _) :: _))) -> (
+    match List.rev inputs with
+    | (Lera.Fix _ as magic) :: _ ->
+      let r = Eval.run db magic in
+      (* 3 plus everything reachable from 3 via EDGE: 3,4,5,6 *)
+      Alcotest.(check int) "frontier size" 4 (Relation.cardinality r);
+      Alcotest.(check bool) "contains the seed" true (Relation.mem [ Value.Int 3 ] r);
+      Alcotest.(check bool) "does not contain upstream nodes" false
+        (Relation.mem [ Value.Int 2 ] r)
+    | _ -> Alcotest.fail "no magic fix")
+  | _ -> Alcotest.fail "transformation refused"
+
+let test_refusals () =
+  let db = Fixtures.chain_db 4 in
+  let env = env_of db in
+  (* no bound columns *)
+  Alcotest.(check bool) "empty adornment refused" true
+    (Magic.transform env ~rvars:[] rl_tc ~bound:[] = None);
+  (* not a fixpoint *)
+  Alcotest.(check bool) "non-fix refused" true
+    (Magic.transform env ~rvars:[] (Lera.Base "EDGE")
+       ~bound:[ (1, Lera.Cst (Value.Int 1)) ]
+    = None);
+  (* no base arm *)
+  let no_base =
+    Lera.Fix
+      ( "R",
+        Lera.Search ([ Lera.Rvar "R" ], Lera.tru, [ Lera.col 1 1; Lera.col 1 2 ]) )
+  in
+  Alcotest.(check bool) "no base arm refused" true
+    (Magic.transform env ~rvars:[] no_base ~bound:[ (1, Lera.Cst (Value.Int 1)) ] = None);
+  (* binding that cannot propagate: bound column computed by an expression *)
+  let opaque =
+    Lera.Fix
+      ( "R",
+        Lera.Union
+          [
+            Lera.Base "EDGE";
+            Lera.Search
+              ( [ Lera.Base "EDGE"; Lera.Rvar "R" ],
+                Lera.tru,
+                [
+                  Lera.Call ("+", [ Lera.col 2 1; Lera.Cst (Value.Int 1) ]);
+                  Lera.col 2 2;
+                ] );
+          ] )
+  in
+  Alcotest.(check bool) "unpropagatable binding refused" true
+    (Magic.transform env ~rvars:[] opaque ~bound:[ (1, Lera.Cst (Value.Int 1)) ] = None)
+
+let test_nonlinear_without_linearization_refused () =
+  let db = Fixtures.chain_db 4 in
+  let nonlinear =
+    Lera.Fix
+      ( "TC",
+        Lera.Union
+          [
+            Lera.Base "EDGE";
+            Lera.Search
+              ( [ Lera.Rvar "TC"; Lera.Rvar "TC" ],
+                Lera.eq (Lera.col 1 2) (Lera.col 2 1),
+                [ Lera.col 1 1; Lera.col 2 2 ] );
+          ] )
+  in
+  Alcotest.(check bool) "two occurrences refused (linearize first)" true
+    (Magic.transform (env_of db) ~rvars:[] nonlinear
+       ~bound:[ (1, Lera.Cst (Value.Int 1)) ]
+    = None)
+
+let test_linearize_refusals () =
+  (* arms that merely look like TC must not linearize *)
+  let wrong_proj =
+    Lera.Fix
+      ( "R",
+        Lera.Union
+          [
+            Lera.Base "EDGE";
+            Lera.Search
+              ( [ Lera.Rvar "R"; Lera.Rvar "R" ],
+                Lera.eq (Lera.col 1 2) (Lera.col 2 1),
+                [ Lera.col 2 2; Lera.col 1 1 ] );
+          ] )
+  in
+  Alcotest.(check bool) "reversed projection not linearized" true
+    (Magic.linearize_tc wrong_proj = None);
+  let wrong_join =
+    Lera.Fix
+      ( "R",
+        Lera.Union
+          [
+            Lera.Base "EDGE";
+            Lera.Search
+              ( [ Lera.Rvar "R"; Lera.Rvar "R" ],
+                Lera.eq (Lera.col 1 1) (Lera.col 2 2),
+                [ Lera.col 1 1; Lera.col 2 2 ] );
+          ] )
+  in
+  Alcotest.(check bool) "wrong join condition not linearized" true
+    (Magic.linearize_tc wrong_join = None)
+
+let test_both_column_bindings_twice () =
+  (* transform with both columns bound (adornment bb) *)
+  let db = Fixtures.chain_db 8 in
+  let bound = [ (1, Lera.Cst (Value.Int 2)); (2, Lera.Cst (Value.Int 6)) ] in
+  match Magic.transform (env_of db) ~rvars:[] rl_tc ~bound with
+  | None -> Alcotest.fail "bb adornment refused"
+  | Some rewritten ->
+    let outer proj fix =
+      Lera.Search
+        ( [ fix ],
+          Lera.conj
+            [
+              Lera.eq (Lera.col 1 1) (Lera.Cst (Value.Int 2));
+              Lera.eq (Lera.col 1 2) (Lera.Cst (Value.Int 6));
+            ],
+          proj )
+    in
+    let p = [ Lera.col 1 1; Lera.col 1 2 ] in
+    Alcotest.(check bool) "bb results agree" true
+      (Relation.equal (Eval.run db (outer p rl_tc)) (Eval.run db (outer p rewritten)))
+
+let prop_magic_equivalent_on_random_graphs =
+  QCheck2.Test.make ~name:"magic ≡ original on random graphs" ~count:25
+    QCheck2.Gen.(triple (int_range 4 14) (int_range 4 30) (int_range 1 14))
+    (fun (nodes, edges, start) ->
+      QCheck2.assume (start <= nodes);
+      let db = Fixtures.graph_db ~nodes ~edges in
+      let bound = [ (1, Lera.Cst (Value.Int start)) ] in
+      match Magic.transform (env_of db) ~rvars:[] rl_tc ~bound with
+      | None -> false
+      | Some rewritten ->
+        let outer fix =
+          Lera.Search
+            ( [ fix ],
+              Lera.eq (Lera.col 1 1) (Lera.Cst (Value.Int start)),
+              [ Lera.col 1 2 ] )
+        in
+        Relation.equal (Eval.run db (outer rl_tc)) (Eval.run db (outer rewritten)))
+
+(* The paper is explicit that such rules are heuristic ("do not guarantee
+   a better processing plan", §5.2): when nearly everything is reachable
+   the magic guard costs more than it saves.  The claim to check is the
+   selective case: a query constant near the end of a chain reaches only
+   a handful of nodes, and there magic must win. *)
+let prop_magic_cheaper_when_selective =
+  QCheck2.Test.make ~name:"magic wins when the relevant fraction is small" ~count:10
+    QCheck2.Gen.(int_range 20 40)
+    (fun n ->
+      let start = n - 4 in
+      let db = Fixtures.chain_db n in
+      let bound = [ (1, Lera.Cst (Value.Int start)) ] in
+      match Magic.transform (env_of db) ~rvars:[] rl_tc ~bound with
+      | None -> false
+      | Some rewritten ->
+        let outer fix =
+          Lera.Search
+            ( [ fix ],
+              Lera.eq (Lera.col 1 1) (Lera.Cst (Value.Int start)),
+              [ Lera.col 1 2 ] )
+        in
+        let work q =
+          let stats = Eval.fresh_stats () in
+          ignore (Eval.run ~stats db q);
+          stats.Eval.combinations
+        in
+        work (outer rewritten) < work (outer rl_tc))
+
+let suite =
+  [
+    Alcotest.test_case "answer/magic fixpoint structure" `Quick test_transform_structure;
+    Alcotest.test_case "magic seed" `Quick test_magic_seed_is_constant_relation;
+    Alcotest.test_case "magic set = reachable frontier" `Quick test_magic_relation_contents_chain;
+    Alcotest.test_case "refusals outside the class" `Quick test_refusals;
+    Alcotest.test_case "non-linear refused pre-linearization" `Quick test_nonlinear_without_linearization_refused;
+    Alcotest.test_case "linearization shape checks" `Quick test_linearize_refusals;
+    Alcotest.test_case "bb adornment" `Quick test_both_column_bindings_twice;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_magic_equivalent_on_random_graphs; prop_magic_cheaper_when_selective ]

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "eds-rewriter"
+    [
+      ("value", Test_value.suite);
+      ("collection", Test_collection.suite);
+      ("vtype", Test_vtype.suite);
+      ("adt", Test_adt.suite);
+      ("term", Test_term.suite);
+      ("lera", Test_lera.suite);
+      ("engine", Test_engine.suite);
+      ("esql", Test_esql.suite);
+      ("rule-parser", Test_rule_parser.suite);
+      ("rule-analysis", Test_rule_analysis.suite);
+      ("rewriter", Test_rewriter.suite);
+      ("magic", Test_magic.suite);
+      ("session", Test_session.suite);
+      ("soundness", Test_soundness.suite);
+      ("cost", Test_cost.suite);
+      ("storage", Test_storage.suite);
+      ("robustness", Test_robustness.suite);
+      ("conformance", Test_conformance.suite);
+    ]

@@ -1,0 +1,165 @@
+(* Robustness: matcher enumeration completeness, bridge error paths, and
+   how the engine behaves when a user rule damages the query term. *)
+
+module Value = Eds_value.Value
+module Term = Eds_term.Term
+module Subst = Eds_term.Subst
+module Matcher = Eds_term.Matcher
+module Lera = Eds_lera.Lera
+module Lera_term = Eds_lera.Lera_term
+module Database = Eds_engine.Database
+module Rule = Eds_rewriter.Rule
+module Rule_parser = Eds_rewriter.Rule_parser
+module Engine = Eds_rewriter.Engine
+module Optimizer = Eds_rewriter.Optimizer
+
+let i n = Term.int n
+let set ts = Term.Coll (Term.Set, ts)
+let lst ts = Term.Coll (Term.List, ts)
+
+(* every enumerated match, applied to the pattern, rebuilds the subject *)
+let prop_all_matches_valid =
+  let open QCheck2.Gen in
+  let subject_gen =
+    let* n = int_range 0 5 in
+    let* items = list_repeat n (int_range 0 3) in
+    return (set (List.map i items))
+  in
+  QCheck2.Test.make ~name:"every set match is valid" ~count:200 subject_gen
+    (fun subject ->
+      let pattern = set [ Term.Cvar "rest"; Term.var "one" ] in
+      Seq.for_all
+        (fun s -> Term.equal (Subst.apply s pattern) subject)
+        (Matcher.all ~pattern subject))
+
+let prop_set_match_count =
+  (* with k distinct elements, pattern SET(rest*, one) has exactly k
+     matches *)
+  let open QCheck2.Gen in
+  QCheck2.Test.make ~name:"set match count equals cardinality" ~count:100
+    (int_range 0 6) (fun k ->
+      let subject = set (List.init k (fun n -> i n)) in
+      let pattern = set [ Term.Cvar "rest"; Term.var "one" ] in
+      List.length (List.of_seq (Matcher.all ~pattern subject)) = k)
+
+let prop_list_split_count =
+  (* LIST of two cvars over an n-element list has n+1 splits *)
+  QCheck2.Test.make ~name:"list split count" ~count:100 QCheck2.Gen.(int_range 0 8)
+    (fun n ->
+      let subject = lst (List.init n i) in
+      let pattern = lst [ Term.Cvar "a"; Term.Cvar "b" ] in
+      List.length (List.of_seq (Matcher.all ~pattern subject)) = n + 1)
+
+let prop_bag_partition_count =
+  (* BAG of two cvars over n distinct elements has 2^n partitions *)
+  QCheck2.Test.make ~name:"bag partition count" ~count:50 QCheck2.Gen.(int_range 0 6)
+    (fun n ->
+      let subject = Term.Coll (Term.Bag, List.init n i) in
+      let pattern = Term.Coll (Term.Bag, [ Term.Cvar "a"; Term.Cvar "b" ]) in
+      List.length (List.of_seq (Matcher.all ~pattern subject)) = 1 lsl n)
+
+(* -- bridge error paths --------------------------------------------------- *)
+
+let test_bridge_rejects_non_lera () =
+  let bad = [
+    Term.app "search" [ Term.int 1; Term.tru; Term.int 2 ];
+    Term.app "fix" [ Term.int 3; Term.app "rel" [ Term.str "R" ] ];
+    Term.var "x";
+    Term.app "unnest" [ Term.app "rel" [ Term.str "R" ]; Term.str "no" ];
+  ]
+  in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Fmt.str "rejected: %a" Term.pp t)
+        true
+        (try
+           ignore (Lera_term.of_term t);
+           false
+         with Lera_term.Bridge_error _ -> true))
+    bad
+
+let test_scalar_bridge_round_trip () =
+  let scalars =
+    [
+      Lera.Cst (Value.Real 2.5);
+      Lera.col 3 4;
+      Lera.Call ("project", [ Lera.Call ("value", [ Lera.col 1 1 ]); Lera.Cst (Value.Str "F") ]);
+      Lera.conj [ Lera.eq (Lera.col 1 1) (Lera.col 2 2); Lera.fls ];
+      Lera.disj [ Lera.tru; Lera.Call ("member", [ Lera.col 1 1; Lera.Cst (Value.set []) ]) ];
+    ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Fmt.str "round trip %a" Lera.pp_scalar s)
+        true
+        (Lera.equal_scalar s (Lera_term.scalar_of_term (Lera_term.scalar_to_term s))))
+    scalars
+
+(* -- engine under hostile rules -------------------------------------------- *)
+
+let test_destructive_user_rule_reported () =
+  (* a rule that rewrites a relational node into a non-LERA term: the
+     rewrite runs, but lifting back reports a clear error *)
+  let db = Fixtures.chain_db 3 in
+  let ctx = Optimizer.make_ctx (Database.schema_env db) in
+  let vandal = Rule_parser.parse_rule "vandal: rel(n) --> broken(n)" in
+  let program = { Rule.blocks = [ Rule.block "user" ~limit:5 [ vandal ] ]; rounds = 1 } in
+  Alcotest.(check bool) "Rewrite_error raised" true
+    (try
+       ignore (Optimizer.rewrite ~program ctx (Lera.Base "EDGE"));
+       false
+     with Engine.Rewrite_error _ -> true)
+
+let test_unknown_method_reported () =
+  let db = Fixtures.chain_db 3 in
+  let ctx = Optimizer.make_ctx (Database.schema_env db) in
+  let rule = Rule_parser.parse_rule "r: rel(n) --> rel(m) / no_such_method(n, m)" in
+  let program = { Rule.blocks = [ Rule.block "user" ~limit:5 [ rule ] ]; rounds = 1 } in
+  Alcotest.(check bool) "unknown method raises Rewrite_error" true
+    (try
+       ignore (Optimizer.rewrite ~program ctx (Lera.Base "EDGE"));
+       false
+     with Engine.Rewrite_error _ -> true)
+
+let test_constraint_on_unknown_predicate_is_false () =
+  (* an unregistered constraint predicate never holds: the rule silently
+     does not apply (the paper's "rule is only applied … if all the
+     constraints are true") *)
+  let db = Fixtures.chain_db 3 in
+  let ctx = Optimizer.make_ctx (Database.schema_env db) in
+  let rule = Rule_parser.parse_rule "r: rel(n) / mystery(n) --> rel(n)" in
+  let program = { Rule.blocks = [ Rule.block "user" ~limit:5 [ rule ] ]; rounds = 1 } in
+  let stats = Engine.fresh_stats () in
+  let q = Lera.Base "EDGE" in
+  let q' = Optimizer.rewrite ~program ~stats ctx q in
+  Alcotest.(check bool) "query unchanged" true (Lera.equal q q');
+  Alcotest.(check int) "no rewrites" 0 stats.Engine.rewrites_applied;
+  Alcotest.(check bool) "but the condition was checked (and counted)" true
+    (stats.Engine.conditions_checked > 0)
+
+let test_limit_zero_blocks_even_matching_rules () =
+  let db = Fixtures.chain_db 3 in
+  let ctx = Optimizer.make_ctx (Database.schema_env db) in
+  let rule = Rule_parser.parse_rule "r: rel(n) --> rvar(n)" in
+  let program = { Rule.blocks = [ Rule.block "user" ~limit:0 [ rule ] ]; rounds = 1 } in
+  let q' = Optimizer.rewrite ~program ctx (Lera.Base "EDGE") in
+  Alcotest.(check bool) "limit 0 stops everything" true (Lera.equal (Lera.Base "EDGE") q')
+
+let suite =
+  [
+    Alcotest.test_case "bridge rejects non-LERA terms" `Quick test_bridge_rejects_non_lera;
+    Alcotest.test_case "scalar bridge round trip" `Quick test_scalar_bridge_round_trip;
+    Alcotest.test_case "destructive user rule reported" `Quick test_destructive_user_rule_reported;
+    Alcotest.test_case "unknown method reported" `Quick test_unknown_method_reported;
+    Alcotest.test_case "unknown constraint predicate is false" `Quick test_constraint_on_unknown_predicate_is_false;
+    Alcotest.test_case "limit 0 blocks matching rules" `Quick test_limit_zero_blocks_even_matching_rules;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_all_matches_valid;
+        prop_set_match_count;
+        prop_list_split_count;
+        prop_bag_partition_count;
+      ]

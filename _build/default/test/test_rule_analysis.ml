@@ -1,0 +1,90 @@
+(* Tests for the §4.2 termination analysis. *)
+
+module Rule = Eds_rewriter.Rule
+module Rule_parser = Eds_rewriter.Rule_parser
+module Rule_analysis = Eds_rewriter.Rule_analysis
+module Rulesets = Eds_rewriter.Rulesets
+module Optimizer = Eds_rewriter.Optimizer
+
+let behaviour =
+  Alcotest.testable Rule_analysis.pp_size_behaviour (fun a b -> a = b)
+
+let classify text = Rule_analysis.size_behaviour (Rule_parser.parse_rule text)
+
+let test_classification () =
+  Alcotest.check behaviour "projection-style rule shrinks" Rule_analysis.Decreasing
+    (classify "shrink: f(g(x), y) --> g(x)");
+  Alcotest.check behaviour "renaming keeps size" Rule_analysis.Nonincreasing
+    (classify "rename: f(x, y) --> g(y, x)");
+  Alcotest.check behaviour "duplication grows" Rule_analysis.Increasing
+    (classify "dup: f(x) --> g(x, x)");
+  Alcotest.check behaviour "extra structure grows" Rule_analysis.Increasing
+    (classify "wrap: f(x) --> f(g(x))");
+  Alcotest.check behaviour "notin guards growth" Rule_analysis.Guarded_growth
+    (classify
+       "trans: and(bag(c*, x = y, y = z)) / notin(x = z, c*) --> and(bag(c*, x = y, y = z, x = z))");
+  Alcotest.check behaviour "method outputs are unknown" Rule_analysis.Unknown
+    (classify "m: f(x) --> g(out) / compute(x, out)")
+
+let test_figure11_rules_are_guarded () =
+  (* the paper's growth rules all carry NOTIN guards *)
+  List.iter
+    (fun name ->
+      let rule = Rulesets.find name in
+      Alcotest.check behaviour name Rule_analysis.Guarded_growth
+        (Rule_analysis.size_behaviour rule))
+    [ "eq_transitivity"; "lt_transitivity"; "le_transitivity"; "eq_substitution" ]
+
+let test_default_program_is_warning_free () =
+  (* every potentially growing block of the default program either has a
+     finite limit or only guarded/shrinking rules *)
+  let warnings = Rule_analysis.check_program (Optimizer.program ()) in
+  List.iter (fun w -> Fmt.epr "%a@." Rule_analysis.pp_warning w) warnings;
+  Alcotest.(check int) "no warnings" 0 (List.length warnings)
+
+let test_looping_rule_flagged () =
+  let bad = Rule_parser.parse_rule "loop: f(x) --> f(g(x))" in
+  let block = Rule.block "user" [ bad ] in
+  let warnings = Rule_analysis.check_block block in
+  Alcotest.(check int) "one warning" 1 (List.length warnings);
+  Alcotest.(check string) "names the rule" "loop" (List.hd warnings).Rule_analysis.rule;
+  (* a finite limit silences it — the paper's own remedy *)
+  Alcotest.(check int) "finite limit accepted" 0
+    (List.length (Rule_analysis.check_block (Rule.block ~limit:10 "user" [ bad ])))
+
+let test_overlap_detection () =
+  let parse = Rule_parser.parse_rule in
+  let r1 = parse "a: f(x, g(y)) --> x" in
+  let r2 = parse "b: f(g(z), w) --> w" in
+  let r3 = parse "c: h(x) --> x" in
+  Alcotest.(check bool) "same head overlaps" true (Rule_analysis.could_overlap r1 r2);
+  Alcotest.(check bool) "different head does not" false
+    (Rule_analysis.could_overlap r1 r3);
+  Alcotest.(check bool) "incompatible constants do not" false
+    (Rule_analysis.could_overlap (parse "d: f(1) --> g(1)") (parse "e: f(2) --> g(2)"));
+  Alcotest.(check bool) "function variable overlaps anything applied" true
+    (Rule_analysis.could_overlap (parse "fv: F(x) --> x") r3)
+
+let test_known_competing_rules () =
+  (* the development history of this repo: push_select used to steal the
+     redexes of the more specific nest/unnest pushes — the analysis makes
+     that visible *)
+  let block =
+    Rule.block "permutation" (Rulesets.permutation ())
+  in
+  let pairs = Rule_analysis.overlaps block in
+  let mem a b = List.mem (a, b) pairs || List.mem (b, a) pairs in
+  Alcotest.(check bool) "unnest push competes with select push" true
+    (mem "push_search_unnest" "push_select");
+  Alcotest.(check bool) "nest push competes with select push" true
+    (mem "push_search_nest" "push_select")
+
+let suite =
+  [
+    Alcotest.test_case "size-behaviour classification" `Quick test_classification;
+    Alcotest.test_case "Figure-11 rules are guarded" `Quick test_figure11_rules_are_guarded;
+    Alcotest.test_case "default program warning-free" `Quick test_default_program_is_warning_free;
+    Alcotest.test_case "looping user rule flagged" `Quick test_looping_rule_flagged;
+    Alcotest.test_case "overlap detection" `Quick test_overlap_detection;
+    Alcotest.test_case "known competing rules found" `Quick test_known_competing_rules;
+  ]

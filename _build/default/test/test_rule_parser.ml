@@ -1,0 +1,176 @@
+(* Tests for the rule-language parser (paper §4.1-4.2, Figure 6). *)
+
+module Value = Eds_value.Value
+module Term = Eds_term.Term
+module Rule = Eds_rewriter.Rule
+module Rule_parser = Eds_rewriter.Rule_parser
+module Rulesets = Eds_rewriter.Rulesets
+
+let term = Alcotest.testable Term.pp Term.equal
+
+let test_parse_simple_rule () =
+  let r = Rule_parser.parse_rule "r1: f(x, y) / x = y --> g(x) / m(x, out)" in
+  Alcotest.(check string) "name" "r1" r.Rule.name;
+  Alcotest.check term "lhs" (Term.app "f" [ Term.var "x"; Term.var "y" ]) r.Rule.lhs;
+  Alcotest.(check int) "one constraint" 1 (List.length r.Rule.constraints);
+  Alcotest.check term "rhs" (Term.app "g" [ Term.var "x" ]) r.Rule.rhs;
+  Alcotest.(check int) "one method" 1 (List.length r.Rule.methods)
+
+let test_parse_paper_syntax_example () =
+  (* the syntactically-correct rule of §4.1:
+     F(SET(x#, G(y, f))) / MEMBER(y, x#), f = TRUE --> F(x#) where # marks a cvar *)
+  let r =
+    Rule_parser.parse_rule
+      "F(SET(x*, G(y, f))) / MEMBER(y, x*), f = TRUE --> F(SET(x*)) /"
+  in
+  (match r.Rule.lhs with
+  | Term.App (f, [ Term.Coll (Term.Set, [ Term.Cvar "x"; Term.App (g, _) ]) ]) ->
+    Alcotest.(check bool) "F is a function variable" true (Term.is_fvar f);
+    Alcotest.(check bool) "G is a function variable" true (Term.is_fvar g)
+  | t -> Alcotest.failf "lhs shape: %a" Term.pp t);
+  Alcotest.(check int) "two constraints" 2 (List.length r.Rule.constraints)
+
+let test_parse_collection_variables () =
+  Alcotest.check term "cvar vs multiplication"
+    (Term.app "*" [ Term.var "x"; Term.var "y" ])
+    (Rule_parser.parse_term "x * y");
+  Alcotest.check term "trailing star is a cvar"
+    (Term.Coll (Term.List, [ Term.Cvar "x"; Term.var "y" ]))
+    (Rule_parser.parse_term "list(x*, y)")
+
+let test_parse_and_or_normal_form () =
+  Alcotest.check term "infix AND chains flatten"
+    (Term.app "and"
+       [
+         Term.Coll
+           ( Term.Bag,
+             [
+               Term.app "=" [ Term.var "a"; Term.var "b" ];
+               Term.app "<" [ Term.var "c"; Term.var "d" ];
+               Term.var "e";
+             ] );
+       ])
+    (Rule_parser.parse_term "a = b AND c < d AND e");
+  Alcotest.check term "prefix AND over a bag stays"
+    (Rule_parser.parse_term "and(bag(p, q))")
+    (Rule_parser.parse_term "p AND q")
+
+let test_parse_set_literal_and_column () =
+  Alcotest.check term "constant set"
+    (Term.Cst (Value.set [ Value.Str "a"; Value.Str "b" ]))
+    (Rule_parser.parse_term "{'a', 'b'}");
+  Alcotest.check term "column reference"
+    (Term.app "@" [ Term.int 1; Term.int 2 ])
+    (Rule_parser.parse_term "@(1, 2)")
+
+let test_parse_errors () =
+  let fails s =
+    try
+      ignore (Rule_parser.parse_rule s);
+      false
+    with Rule_parser.Rule_parse_error _ -> true
+  in
+  Alcotest.(check bool) "missing arrow" true (fails "f(x) / x = 1");
+  Alcotest.(check bool) "garbage" true (fails "f(x) --> g(x) extra");
+  Alcotest.(check bool) "unterminated" true (fails "f(x --> g(x)")
+
+let test_default_library_parses () =
+  (* every figure-derived rule set loads *)
+  Alcotest.(check int) "merging rules" 6 (List.length (Rulesets.merging ()));
+  Alcotest.(check int) "permutation rules" 8 (List.length (Rulesets.permutation ()));
+  Alcotest.(check int) "fixpoint rules" 2 (List.length (Rulesets.fixpoint ()));
+  Alcotest.(check int) "semantic rules" 6 (List.length (Rulesets.semantic ()));
+  Alcotest.(check bool) "simplification rules present" true
+    (List.length (Rulesets.simplification ()) >= 20);
+  (* names are unique within each set (the same rule may appear in
+     several blocks, §4.2 — union_singleton does) *)
+  List.iter
+    (fun (label, rules) ->
+      let names = List.map (fun (r : Rule.t) -> r.Rule.name) rules in
+      Alcotest.(check int)
+        (Fmt.str "unique names in %s" label)
+        (List.length names)
+        (List.length (List.sort_uniq String.compare names)))
+    [
+      ("merging", Rulesets.merging ());
+      ("permutation", Rulesets.permutation ());
+      ("fixpoint", Rulesets.fixpoint ());
+      ("semantic", Rulesets.semantic ());
+      ("simplification", Rulesets.simplification ());
+    ]
+
+let test_rule_pp_round_trip () =
+  (* printing a parsed rule and reparsing yields the same rule *)
+  List.iter
+    (fun (r : Rule.t) ->
+      let printed = Fmt.str "%a" Rule.pp r in
+      let r' = Rule_parser.parse_rule printed in
+      Alcotest.(check bool)
+        (Fmt.str "round trip %s" r.Rule.name)
+        true
+        (Term.equal r.Rule.lhs r'.Rule.lhs && Term.equal r.Rule.rhs r'.Rule.rhs
+        && List.equal Term.equal r.Rule.constraints r'.Rule.constraints))
+    (Rulesets.all ())
+
+let test_meta_parsing () =
+  let metas =
+    Rule_parser.parse_meta
+      {|
+      block(merge, {search_merge, union_merge}, infinite) ;
+      block(simplify, {and_false}, 50) ;
+      seq({merge, simplify, merge}, 2) ;
+    |}
+  in
+  Alcotest.(check int) "three declarations" 3 (List.length metas);
+  let prog = Rule_parser.resolve_program ~rules:(Rulesets.all ()) metas in
+  Alcotest.(check int) "three blocks in sequence (merge twice)" 3
+    (List.length prog.Rule.blocks);
+  Alcotest.(check int) "rounds" 2 prog.Rule.rounds;
+  (match (List.nth prog.Rule.blocks 1).Rule.limit with
+  | Some 50 -> ()
+  | _ -> Alcotest.fail "simplify limit");
+  Alcotest.(check bool) "unknown rule rejected" true
+    (try
+       ignore
+         (Rule_parser.resolve_program ~rules:[]
+            [ Rule_parser.Block_decl { name = "b"; rule_names = [ "nope" ]; limit = None } ]);
+       false
+     with Rule_parser.Rule_parse_error _ -> true)
+
+let test_figure10_constraint_declarations () =
+  (* the exact Figure-10 declarations parse into (type, template) pairs *)
+  let open Eds_rewriter.Optimizer in
+  let ty, template =
+    parse_integrity_constraint "F(x) / ISA(x, Point) --> F(x) AND ABS(x) > 0"
+  in
+  Alcotest.(check string) "type" "point" ty;
+  Alcotest.check term "template"
+    (Term.app ">" [ Term.app "abs" [ Term.var "x" ]; Term.int 0 ])
+    template;
+  let ty2, template2 =
+    parse_integrity_constraint
+      "F(x) / ISA(x, Category) --> F(x) AND member(x, {'Comedy', 'Adventure'})"
+  in
+  Alcotest.(check string) "type 2" "category" ty2;
+  (match template2 with
+  | Term.App ("member", [ Term.Var "x"; Term.Cst _ ]) -> ()
+  | t -> Alcotest.failf "template 2: %a" Term.pp t);
+  Alcotest.(check bool) "non-constraint shape rejected" true
+    (try
+       ignore (parse_integrity_constraint "f(x) --> g(x)");
+       false
+     with Rule_parser.Rule_parse_error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "simple rule" `Quick test_parse_simple_rule;
+    Alcotest.test_case "§4.1 example rule" `Quick test_parse_paper_syntax_example;
+    Alcotest.test_case "cvar vs multiplication" `Quick test_parse_collection_variables;
+    Alcotest.test_case "AND/OR normal form" `Quick test_parse_and_or_normal_form;
+    Alcotest.test_case "set literals and columns" `Quick test_parse_set_literal_and_column;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "default library parses" `Quick test_default_library_parses;
+    Alcotest.test_case "rule pp round trip" `Quick test_rule_pp_round_trip;
+    Alcotest.test_case "meta-rules: block and seq" `Quick test_meta_parsing;
+    Alcotest.test_case "Figure-10 declarations" `Quick test_figure10_constraint_declarations;
+  ]

@@ -1,0 +1,165 @@
+(* Tests for the value-text round trip and session dump/restore. *)
+
+module Value = Eds_value.Value
+module Value_text = Eds_value.Value_text
+module Relation = Eds_engine.Relation
+module Database = Eds_engine.Database
+module Session = Eds.Session
+module Storage = Eds.Storage
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let test_value_text_basics () =
+  let round s = Value_text.parse s in
+  Alcotest.check value "int" (Value.Int 42) (round "42");
+  Alcotest.check value "negative real" (Value.Real (-2.5)) (round "-2.5");
+  Alcotest.check value "string with quote" (Value.Str "it's") (round "'it''s'");
+  Alcotest.check value "null" Value.Null (round "null");
+  Alcotest.check value "bool" (Value.Bool true) (round "true");
+  Alcotest.check value "oid" (Value.Oid 7) (round "@7");
+  Alcotest.check value "set" (Value.set [ Value.Int 1; Value.Int 2 ]) (round "{1, 2}");
+  Alcotest.check value "bag" (Value.bag [ Value.Int 1; Value.Int 1 ]) (round "bag{1, 1}");
+  Alcotest.check value "list" (Value.list [ Value.Int 1 ]) (round "[1]");
+  Alcotest.check value "array" (Value.array [ Value.Int 1 ]) (round "[|1|]");
+  Alcotest.check value "tuple"
+    (Value.tuple [ ("a", Value.Int 1); ("b", Value.Str "x") ])
+    (round "<a: 1, b: 'x'>");
+  (* the ambiguity that motivated the bag syntax: set of sets *)
+  Alcotest.check value "set of sets"
+    (Value.set [ Value.set [ Value.Int 1 ] ])
+    (round "{{1}}")
+
+let test_value_text_errors () =
+  let fails s = Value_text.parse_opt s = None in
+  Alcotest.(check bool) "trailing garbage" true (fails "1 2");
+  Alcotest.(check bool) "unterminated string" true (fails "'x");
+  Alcotest.(check bool) "unterminated set" true (fails "{1, 2");
+  Alcotest.(check bool) "bad oid" true (fails "@x");
+  Alcotest.(check bool) "empty" true (fails "")
+
+let rec value_gen depth =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [
+        return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) (int_range (-1000) 1000);
+        map (fun f -> Value.Real (Float.round (f *. 4.) /. 4.)) (float_range (-50.) 50.);
+        map (fun s -> Value.Str s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 8));
+        map (fun s -> Value.Str (s ^ "'" ^ s)) (string_size ~gen:(char_range 'a' 'c') (int_range 0 2));
+        map (fun i -> Value.Oid i) (int_range 1 50);
+      ]
+  in
+  if depth = 0 then scalar
+  else
+    frequency
+      [
+        (4, scalar);
+        (1, map Value.set (list_size (int_range 0 3) (value_gen (depth - 1))));
+        (1, map Value.bag (list_size (int_range 0 3) (value_gen (depth - 1))));
+        (1, map Value.list (list_size (int_range 0 3) (value_gen (depth - 1))));
+        (1, map Value.array (list_size (int_range 0 3) (value_gen (depth - 1))));
+        ( 1,
+          map
+            (fun xs -> Value.tuple (List.mapi (fun i v -> (Fmt.str "f%d" i, v)) xs))
+            (list_size (int_range 1 3) (value_gen (depth - 1))) );
+      ]
+
+let prop_value_round_trip =
+  QCheck2.Test.make ~name:"value text round trip" ~count:300
+    ~print:Value.to_string (value_gen 3) (fun v ->
+      Value.equal v (Value_text.parse (Value.to_string v)))
+
+(* -- session dump/restore ------------------------------------------------- *)
+
+let film_session () =
+  let s = Session.create () in
+  ignore
+    (Session.exec_script s
+       {|
+       TYPE Category ENUMERATION OF ('Comedy', 'Adventure') ;
+       TYPE Person OBJECT TUPLE (Name : CHAR, Salary : NUMERIC) ;
+       TYPE Text LIST OF CHAR ;
+       TABLE FILM (Numf : NUMERIC, Title : Text, Categories : SET OF Category) ;
+       TABLE CAST_IN (Numf : NUMERIC, Who : Person) ;
+       CREATE VIEW Adventures (Numf) AS
+         SELECT Numf FROM FILM WHERE MEMBER('Adventure', Categories) ;
+     |});
+  let quinn =
+    Session.new_object s
+      (Value.tuple [ ("Name", Value.Str "Quinn"); ("Salary", Value.Real 12000.) ])
+  in
+  let db = Session.database s in
+  Database.insert db "FILM"
+    [
+      Value.Int 1;
+      Value.list [ Value.Str "Zorba" ];
+      Value.set [ Value.Enum ("Category", "Adventure") ];
+    ];
+  Database.insert db "FILM"
+    [ Value.Int 2; Value.list [ Value.Str "Gilda" ]; Value.set [] ];
+  Database.insert db "CAST_IN" [ Value.Int 1; quinn ];
+  s
+
+let test_dump_restore_round_trip () =
+  let s = film_session () in
+  let dumped = Storage.dump s in
+  let s' = Storage.restore dumped in
+  (* relations identical *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Fmt.str "relation %s preserved" name)
+        true
+        (Relation.equal
+           (Database.relation (Session.database s) name)
+           (Database.relation (Session.database s') name)))
+    [ "FILM"; "CAST_IN" ];
+  (* object store preserved *)
+  Alcotest.(check int) "objects preserved" 1
+    (List.length (Database.objects (Session.database s')));
+  (* views still work, including through objects *)
+  Alcotest.(check int) "view works after restore" 1
+    (Relation.cardinality (Session.query s' "SELECT Numf FROM Adventures"));
+  Alcotest.(check int) "object deref works after restore" 1
+    (Relation.cardinality
+       (Session.query s' "SELECT Numf FROM CAST_IN WHERE Name(Who) = 'Quinn'"))
+
+let test_dump_is_stable () =
+  let s = film_session () in
+  let d1 = Storage.dump s in
+  let d2 = Storage.dump (Storage.restore d1) in
+  Alcotest.(check string) "dump(restore(dump)) = dump" d1 d2
+
+let test_restore_rejects_garbage () =
+  Alcotest.(check bool) "bad object payload" true
+    (try
+       ignore (Storage.restore "--@ 1 <oops\n");
+       false
+     with Storage.Storage_error _ -> true);
+  Alcotest.(check bool) "bad tuple table" true
+    (try
+       ignore (Storage.restore "--+ NOPE [1]\n");
+       false
+     with Storage.Storage_error _ | Session.Session_error _ | Not_found -> true)
+
+let test_save_load_files () =
+  let s = film_session () in
+  let path = Filename.temp_file "eds_dump" ".esql" in
+  Storage.save s path;
+  let s' = Storage.load path in
+  Sys.remove path;
+  Alcotest.(check int) "loaded session answers queries" 2
+    (Relation.cardinality (Session.query s' "SELECT Numf FROM FILM"))
+
+let suite =
+  [
+    Alcotest.test_case "value text basics" `Quick test_value_text_basics;
+    Alcotest.test_case "value text errors" `Quick test_value_text_errors;
+    Alcotest.test_case "dump/restore round trip" `Quick test_dump_restore_round_trip;
+    Alcotest.test_case "dump is stable" `Quick test_dump_is_stable;
+    Alcotest.test_case "restore rejects garbage" `Quick test_restore_rejects_garbage;
+    Alcotest.test_case "save/load files" `Quick test_save_load_files;
+  ]
+  @ [ QCheck_alcotest.to_alcotest prop_value_round_trip ]

@@ -1,0 +1,202 @@
+(* Tests for terms, substitutions and the collection-variable matcher
+   (paper §4.1). *)
+
+module Value = Eds_value.Value
+module Term = Eds_term.Term
+module Subst = Eds_term.Subst
+module Matcher = Eds_term.Matcher
+
+let term = Alcotest.testable Term.pp Term.equal
+
+let f args = Term.app "f" args
+let g args = Term.app "g" args
+let x = Term.var "x"
+let y = Term.var "y"
+let xs = Term.cvar "xs"
+let ys = Term.cvar "ys"
+let i n = Term.int n
+let set ts = Term.Coll (Term.Set, ts)
+let lst ts = Term.Coll (Term.List, ts)
+let bag ts = Term.Coll (Term.Bag, ts)
+
+let all_matches pattern t = List.of_seq (Matcher.all ~pattern t)
+
+let test_equal_modulo_set_order () =
+  Alcotest.check term "sets compare as multisets" (set [ i 1; i 2 ]) (set [ i 2; i 1 ]);
+  Alcotest.(check bool) "lists are ordered" false
+    (Term.equal (lst [ i 1; i 2 ]) (lst [ i 2; i 1 ]))
+
+let test_match_simple_var () =
+  match Matcher.first ~pattern:(f [ x; y ]) (f [ i 1; g [ i 2 ] ]) with
+  | None -> Alcotest.fail "expected a match"
+  | Some s ->
+    Alcotest.check term "x" (i 1) (Option.get (Subst.find_term s "x"));
+    Alcotest.check term "y" (g [ i 2 ]) (Option.get (Subst.find_term s "y"))
+
+let test_match_nonlinear () =
+  Alcotest.(check bool) "f(x,x) matches equal args" true
+    (Matcher.matches ~pattern:(f [ x; x ]) (f [ i 1; i 1 ]));
+  Alcotest.(check bool) "f(x,x) rejects distinct args" false
+    (Matcher.matches ~pattern:(f [ x; x ]) (f [ i 1; i 2 ]))
+
+let test_match_list_cvar_splits () =
+  (* LIST(xs*, y, ys* ) against a 3-element list: y can be any element *)
+  let pattern = lst [ xs; y; ys ] in
+  let subject = lst [ i 1; i 2; i 3 ] in
+  let matches = all_matches pattern subject in
+  Alcotest.(check int) "three ways to pick y" 3 (List.length matches);
+  let ys_of s = Option.get (Subst.find_term s "y") in
+  Alcotest.(check bool) "each element picked once" true
+    (List.sort Term.compare (List.map ys_of matches) = [ i 1; i 2; i 3 ])
+
+let test_match_list_cvar_binding_spliced () =
+  let pattern = lst [ xs; g [ y ]; ys ] in
+  let subject = lst [ i 1; g [ i 5 ]; i 3; i 4 ] in
+  match Matcher.first ~pattern subject with
+  | None -> Alcotest.fail "expected a match"
+  | Some s ->
+    Alcotest.check term "prefix" (lst [ i 1 ]) (Option.get (Subst.find_term s "xs"));
+    Alcotest.check term "suffix" (lst [ i 3; i 4 ]) (Option.get (Subst.find_term s "ys"));
+    (* applying the substitution to the pattern rebuilds the subject *)
+    Alcotest.check term "round trip" subject (Subst.apply s pattern)
+
+let test_match_set_any_position () =
+  (* SET(xs*, g(y)) finds g wherever it sits in the set *)
+  let pattern = set [ xs; g [ y ] ] in
+  let subject = set [ i 1; g [ i 9 ]; i 3 ] in
+  match Matcher.first ~pattern subject with
+  | None -> Alcotest.fail "expected a match"
+  | Some s ->
+    Alcotest.check term "y" (i 9) (Option.get (Subst.find_term s "y"));
+    Alcotest.check term "rest"
+      (set [ i 1; i 3 ])
+      (Option.get (Subst.find_term s "xs"))
+
+let test_match_set_no_cvar_exact () =
+  Alcotest.(check bool) "set pattern needs exact multiset" false
+    (Matcher.matches ~pattern:(set [ x ]) (set [ i 1; i 2 ]));
+  Alcotest.(check bool) "unordered singleton" true
+    (Matcher.matches ~pattern:(set [ x ]) (set [ i 7 ]))
+
+let test_match_bag_two_cvars_partition () =
+  (* the Figure-8 nest rule shape: AND(BAG(quali*, qualj* )) — all 2^n
+     partitions of the conjuncts are enumerated *)
+  let pattern = bag [ xs; ys ] in
+  let subject = bag [ i 1; i 2 ] in
+  let matches = all_matches pattern subject in
+  Alcotest.(check int) "2^2 partitions" 4 (List.length matches)
+
+let test_match_failure_wrong_head () =
+  Alcotest.(check bool) "g does not match f" false
+    (Matcher.matches ~pattern:(f [ x ]) (g [ i 1 ]))
+
+let test_cvar_in_app_args () =
+  (* collection variables in application arguments match positionally,
+     which is what lets F(u*, x, v* ) patterns find an argument anywhere *)
+  (match Matcher.first ~pattern:(f [ xs ]) (f [ i 1; i 2 ]) with
+  | Some s ->
+    Alcotest.check term "xs takes all args" (lst [ i 1; i 2 ])
+      (Option.get (Subst.find_term s "xs"))
+  | None -> Alcotest.fail "expected a match");
+  Alcotest.(check bool) "bare cvar pattern still rejected" true
+    (try
+       ignore (Matcher.first ~pattern:(Term.Cvar "xs") (f [ i 1 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_function_variable () =
+  (* Figure 6: F | G | H … match any function symbol *)
+  let pattern = Term.App (Term.fvar "p", [ xs; x; ys ]) in
+  match Matcher.first ~pattern (Term.app "member" [ i 1; i 2 ]) with
+  | None -> Alcotest.fail "expected a match"
+  | Some s ->
+    Alcotest.check term "head bound" (Term.str "member")
+      (Option.get (Subst.find_term s (Term.fvar "p")));
+    (* rebuilding the rhs with the bound head *)
+    Alcotest.check term "rhs uses matched symbol"
+      (Term.app "member" [ i 1; i 2 ])
+      (Subst.apply s pattern)
+
+let test_subst_apply_unbound_left () =
+  let s = Subst.bind_exn Subst.empty "x" (Subst.One (i 1)) in
+  Alcotest.check term "unbound y stays" (f [ i 1; y ]) (Subst.apply s (f [ x; y ]))
+
+let test_subst_cvar_as_function_argument () =
+  (* cvars splice into application argument lists, like constructors *)
+  let s = Subst.bind_exn Subst.empty "xs" (Subst.Many (Term.List, [ i 1; i 2 ])) in
+  Alcotest.check term "spliced arguments"
+    (Term.app "append" [ i 1; i 2; y ])
+    (Subst.apply s (Term.app "append" [ Term.Cvar "xs"; y ]))
+
+let test_size_and_vars () =
+  let t = f [ x; g [ y; i 1 ]; set [ Term.Cvar "c" ] ] in
+  Alcotest.(check int) "size" 7 (Term.size t);
+  Alcotest.(check (list string)) "vars in order" [ "x"; "y"; "c" ] (Term.vars t)
+
+(* -- properties -------------------------------------------------------- *)
+
+let rec term_gen depth =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun n -> Term.int n) (int_range 0 9);
+        map (fun c -> Term.str (String.make 1 c)) (char_range 'a' 'e');
+      ]
+  in
+  if depth = 0 then leaf
+  else
+    frequency
+      [
+        (2, leaf);
+        ( 2,
+          map2
+            (fun f' args -> Term.app (String.make 1 f') args)
+            (char_range 'f' 'h')
+            (list_size (int_range 0 3) (term_gen (depth - 1))) );
+        ( 1,
+          map2
+            (fun k args ->
+              Term.Coll ((if k then Term.Set else Term.List), args))
+            bool
+            (list_size (int_range 0 3) (term_gen (depth - 1))) );
+      ]
+
+let prop_ground_matches_itself =
+  QCheck2.Test.make ~name:"every ground term matches itself" ~count:200 (term_gen 3)
+    (fun t -> Matcher.matches ~pattern:t t)
+
+let prop_match_round_trip =
+  (* for patterns with variables: applying any returned substitution to the
+     pattern yields a term equal to the subject *)
+  QCheck2.Test.make ~name:"substitution of a match rebuilds the subject" ~count:200
+    (QCheck2.Gen.pair (term_gen 2) (term_gen 2)) (fun (a, b) ->
+      let pattern = Term.app "pair" [ Term.var "v"; b ] in
+      let subject = Term.app "pair" [ a; b ] in
+      match Matcher.first ~pattern subject with
+      | None -> false
+      | Some s -> Term.equal (Subst.apply s pattern) subject)
+
+let prop_size_positive =
+  QCheck2.Test.make ~name:"size is positive and counts subterms" ~count:200 (term_gen 3)
+    (fun t -> Term.size t = List.length (Term.subterms t) && Term.size t > 0)
+
+let suite =
+  [
+    Alcotest.test_case "set equality modulo order" `Quick test_equal_modulo_set_order;
+    Alcotest.test_case "simple variable match" `Quick test_match_simple_var;
+    Alcotest.test_case "non-linear patterns" `Quick test_match_nonlinear;
+    Alcotest.test_case "list cvar enumerates splits" `Quick test_match_list_cvar_splits;
+    Alcotest.test_case "list cvar binding splices" `Quick test_match_list_cvar_binding_spliced;
+    Alcotest.test_case "set element found anywhere" `Quick test_match_set_any_position;
+    Alcotest.test_case "set without cvar is exact" `Quick test_match_set_no_cvar_exact;
+    Alcotest.test_case "bag with two cvars partitions" `Quick test_match_bag_two_cvars_partition;
+    Alcotest.test_case "wrong head fails" `Quick test_match_failure_wrong_head;
+    Alcotest.test_case "cvar in application arguments" `Quick test_cvar_in_app_args;
+    Alcotest.test_case "function variables (Fig. 6)" `Quick test_function_variable;
+    Alcotest.test_case "apply keeps unbound variables" `Quick test_subst_apply_unbound_left;
+    Alcotest.test_case "cvar as function argument" `Quick test_subst_cvar_as_function_argument;
+    Alcotest.test_case "size and vars" `Quick test_size_and_vars;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_ground_matches_itself; prop_match_round_trip; prop_size_positive ]

@@ -1,0 +1,122 @@
+(* Unit and property tests for the value model (paper §2.1). *)
+
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+
+let check_value = Alcotest.check value_testable
+
+let test_numeric_cross_compare () =
+  Alcotest.(check bool) "Int 1 = Real 1." true Value.(equal (Int 1) (Real 1.));
+  Alcotest.(check bool) "Int 2 > Real 1.5" true (Value.compare (Value.Int 2) (Value.Real 1.5) > 0);
+  Alcotest.(check bool) "Real 0.5 < Int 1" true (Value.compare (Value.Real 0.5) (Value.Int 1) < 0)
+
+let test_set_canonical () =
+  check_value "duplicates removed and order ignored"
+    (Value.set [ Value.Int 3; Value.Int 1 ])
+    (Value.set [ Value.Int 1; Value.Int 3; Value.Int 1 ]);
+  Alcotest.(check bool) "sets with same elements are equal" true
+    (Value.equal
+       (Value.set [ Value.Str "b"; Value.Str "a" ])
+       (Value.set [ Value.Str "a"; Value.Str "b" ]))
+
+let test_bag_keeps_duplicates () =
+  let b = Value.bag [ Value.Int 1; Value.Int 1; Value.Int 2 ] in
+  Alcotest.(check int) "bag cardinality" 3 (List.length (Value.elements b));
+  Alcotest.(check bool) "bag <> set" false
+    (Value.equal b (Value.set [ Value.Int 1; Value.Int 2 ]))
+
+let test_tuple_field () =
+  let t = Value.tuple [ ("abs", Value.Real 1.0); ("ord", Value.Real 2.0) ] in
+  check_value "field ord" (Value.Real 2.0) (Value.field "ord" t);
+  Alcotest.check_raises "missing field" Not_found (fun () ->
+      ignore (Value.field "zzz" t))
+
+let test_pp_round_shapes () =
+  Alcotest.(check string) "string literal" "'Quinn'" (Value.to_string (Value.Str "Quinn"));
+  Alcotest.(check string) "set" "{1, 2}"
+    (Value.to_string (Value.set [ Value.Int 2; Value.Int 1 ]));
+  Alcotest.(check string) "tuple" "<x: 1, y: 'a'>"
+    (Value.to_string (Value.tuple [ ("x", Value.Int 1); ("y", Value.Str "a") ]))
+
+let test_hash_consistent_with_equal () =
+  let a = Value.Int 4 and b = Value.Real 4.0 in
+  Alcotest.(check bool) "equal values" true (Value.equal a b);
+  Alcotest.(check int) "equal hashes" (Value.hash a) (Value.hash b)
+
+(* -- generators -------------------------------------------------------- *)
+
+let rec value_gen depth =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [
+        return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) (int_range (-100) 100);
+        map (fun f -> Value.Real (Float.round (f *. 8.) /. 8.)) (float_range (-10.) 10.);
+        map (fun s -> Value.Str s) (string_size ~gen:printable (int_range 0 6));
+      ]
+  in
+  if depth = 0 then scalar
+  else
+    frequency
+      [
+        (3, scalar);
+        (1, map Value.set (list_size (int_range 0 4) (value_gen (depth - 1))));
+        (1, map Value.bag (list_size (int_range 0 4) (value_gen (depth - 1))));
+        (1, map Value.list (list_size (int_range 0 4) (value_gen (depth - 1))));
+        ( 1,
+          map
+            (fun xs -> Value.tuple (List.mapi (fun i v -> (Fmt.str "f%d" i, v)) xs))
+            (list_size (int_range 1 3) (value_gen (depth - 1))) );
+      ]
+
+let gen = value_gen 2
+
+let prop_compare_reflexive =
+  QCheck2.Test.make ~name:"compare is reflexive" ~count:200 gen (fun v ->
+      Value.compare v v = 0)
+
+let prop_compare_antisymmetric =
+  QCheck2.Test.make ~name:"compare is antisymmetric" ~count:200
+    (QCheck2.Gen.pair gen gen) (fun (a, b) ->
+      let c = Value.compare a b and c' = Value.compare b a in
+      (c = 0 && c' = 0) || (c > 0 && c' < 0) || (c < 0 && c' > 0))
+
+let prop_compare_transitive =
+  QCheck2.Test.make ~name:"compare is transitive" ~count:200
+    (QCheck2.Gen.triple gen gen gen) (fun (a, b, c) ->
+      let sorted = List.sort Value.compare [ a; b; c ] in
+      match sorted with
+      | [ x; y; z ] -> Value.compare x y <= 0 && Value.compare y z <= 0 && Value.compare x z <= 0
+      | _ -> false)
+
+let prop_set_idempotent =
+  QCheck2.Test.make ~name:"set construction is idempotent" ~count:200
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 8) gen) (fun xs ->
+      Value.equal (Value.set xs) (Value.set (xs @ xs)))
+
+let prop_hash_equal =
+  QCheck2.Test.make ~name:"equal values hash equally" ~count:200
+    (QCheck2.Gen.pair gen gen) (fun (a, b) ->
+      (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+let suite =
+  [
+    Alcotest.test_case "numeric cross-constructor compare" `Quick test_numeric_cross_compare;
+    Alcotest.test_case "set canonical form" `Quick test_set_canonical;
+    Alcotest.test_case "bag keeps duplicates" `Quick test_bag_keeps_duplicates;
+    Alcotest.test_case "tuple field access" `Quick test_tuple_field;
+    Alcotest.test_case "printer shapes" `Quick test_pp_round_shapes;
+    Alcotest.test_case "hash consistent with equal" `Quick test_hash_consistent_with_equal;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_compare_reflexive;
+        prop_compare_antisymmetric;
+        prop_compare_transitive;
+        prop_set_idempotent;
+        prop_hash_equal;
+      ]

@@ -1,0 +1,155 @@
+(* Tests for the type system and the ISA predicate (paper §2.1, §4.1). *)
+
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+
+(* the Figure-2 type environment *)
+let film_env () =
+  let open Vtype in
+  empty_env
+  |> fun env ->
+  declare env
+    {
+      name = "Category";
+      definition =
+        Enum ("Category", [ "Comedy"; "Adventure"; "Science Fiction"; "Western" ]);
+      is_object = false;
+      supertype = None;
+    }
+  |> fun env ->
+  declare env
+    {
+      name = "Point";
+      definition = Tuple [ ("ABS", Real); ("ORD", Real) ];
+      is_object = false;
+      supertype = None;
+    }
+  |> fun env ->
+  declare env
+    {
+      name = "Person";
+      definition =
+        Tuple
+          [
+            ("Name", String);
+            ("Firstname", Set String);
+            ("Caricature", List (Named "Point"));
+          ];
+      is_object = true;
+      supertype = None;
+    }
+  |> fun env ->
+  declare env
+    {
+      name = "Actor";
+      definition = Tuple [ ("Salary", Real) ];
+      is_object = true;
+      supertype = Some "Person";
+    }
+  |> fun env ->
+  declare env
+    {
+      name = "Text";
+      definition = List String;
+      is_object = false;
+      supertype = None;
+    }
+  |> fun env ->
+  declare env
+    {
+      name = "SetCategory";
+      definition = Set (Named "Category");
+      is_object = false;
+      supertype = None;
+    }
+
+let test_declare_rejects_duplicates () =
+  let env = film_env () in
+  Alcotest.(check bool) "duplicate raises" true
+    (try
+       ignore
+         (Vtype.declare env
+            { name = "Point"; definition = Vtype.Int; is_object = false; supertype = None });
+       false
+     with Invalid_argument _ -> true)
+
+let test_isa_numeric () =
+  let env = Vtype.empty_env in
+  Alcotest.(check bool) "Int ISA Real" true (Vtype.isa env Vtype.Int Vtype.Real);
+  Alcotest.(check bool) "Real not ISA Int" false (Vtype.isa env Vtype.Real Vtype.Int);
+  Alcotest.(check bool) "everything ISA Any" true (Vtype.isa env Vtype.String Vtype.Any)
+
+let test_isa_collection_hierarchy () =
+  let env = Vtype.empty_env in
+  (* Figure 1: set, bag, list, array are subtypes of collection *)
+  Alcotest.(check bool) "SET ISA COLLECTION" true
+    (Vtype.isa env (Vtype.Set Vtype.Int) (Vtype.Collection Vtype.Int));
+  Alcotest.(check bool) "BAG ISA COLLECTION" true
+    (Vtype.isa env (Vtype.Bag Vtype.Int) (Vtype.Collection Vtype.Int));
+  Alcotest.(check bool) "LIST ISA COLLECTION" true
+    (Vtype.isa env (Vtype.List Vtype.Int) (Vtype.Collection Vtype.Int));
+  Alcotest.(check bool) "ARRAY ISA COLLECTION" true
+    (Vtype.isa env (Vtype.Array Vtype.Int) (Vtype.Collection Vtype.Int));
+  Alcotest.(check bool) "SET not ISA BAG" false
+    (Vtype.isa env (Vtype.Set Vtype.Int) (Vtype.Bag Vtype.Int));
+  Alcotest.(check bool) "element covariance" true
+    (Vtype.isa env (Vtype.Set Vtype.Int) (Vtype.Collection Vtype.Real))
+
+let test_isa_objects () =
+  let env = film_env () in
+  Alcotest.(check bool) "Actor ISA Person" true
+    (Vtype.isa env (Vtype.Object "Actor") (Vtype.Object "Person"));
+  Alcotest.(check bool) "Person not ISA Actor" false
+    (Vtype.isa env (Vtype.Object "Person") (Vtype.Object "Actor"))
+
+let test_object_fields_inherited () =
+  let env = film_env () in
+  match Vtype.expand env (Vtype.Object "Actor") with
+  | Vtype.Tuple fs ->
+    Alcotest.(check (list string)) "inherited fields first"
+      [ "Name"; "Firstname"; "Caricature"; "Salary" ]
+      (List.map fst fs)
+  | ty -> Alcotest.failf "expected a tuple, got %a" Vtype.pp ty
+
+let test_field_and_element_types () =
+  let env = film_env () in
+  (match Vtype.field_type env (Vtype.Object "Actor") "Salary" with
+  | Some Vtype.Real -> ()
+  | Some ty -> Alcotest.failf "Salary: %a" Vtype.pp ty
+  | None -> Alcotest.fail "Salary not found");
+  match Vtype.element_type env (Vtype.Named "SetCategory") with
+  | Some (Vtype.Named "Category") -> ()
+  | Some ty -> Alcotest.failf "element: %a" Vtype.pp ty
+  | None -> Alcotest.fail "element type not found"
+
+let test_type_of_value () =
+  let env = film_env () in
+  Alcotest.(check bool) "int value" true
+    (Vtype.equal (Vtype.type_of_value env (Value.Int 3)) Vtype.Int);
+  Alcotest.(check bool) "homogeneous set" true
+    (Vtype.equal
+       (Vtype.type_of_value env (Value.set [ Value.Int 1; Value.Int 2 ]))
+       (Vtype.Set Vtype.Int));
+  Alcotest.(check bool) "enum resolves declaration" true
+    (match Vtype.type_of_value env (Value.Enum ("Category", "Comedy")) with
+    | Vtype.Enum ("Category", labels) -> List.mem "Adventure" labels
+    | _ -> false)
+
+let test_isa_tuple_width () =
+  let env = Vtype.empty_env in
+  let narrow = Vtype.Tuple [ ("a", Vtype.Int) ] in
+  let wide = Vtype.Tuple [ ("a", Vtype.Int); ("b", Vtype.String) ] in
+  Alcotest.(check bool) "wide ISA narrow" true (Vtype.isa env wide narrow);
+  Alcotest.(check bool) "narrow not ISA wide" false (Vtype.isa env narrow wide)
+
+let suite =
+  [
+    Alcotest.test_case "declare rejects duplicates" `Quick test_declare_rejects_duplicates;
+    Alcotest.test_case "ISA numeric widening" `Quick test_isa_numeric;
+    Alcotest.test_case "ISA collection hierarchy (Fig. 1)" `Quick test_isa_collection_hierarchy;
+    Alcotest.test_case "ISA object inheritance" `Quick test_isa_objects;
+    Alcotest.test_case "object fields inherited" `Quick test_object_fields_inherited;
+    Alcotest.test_case "field and element types" `Quick test_field_and_element_types;
+    Alcotest.test_case "type_of_value" `Quick test_type_of_value;
+    Alcotest.test_case "ISA tuple width subtyping" `Quick test_isa_tuple_width;
+  ]
