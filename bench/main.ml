@@ -141,6 +141,26 @@ let t_limits_zero, t_limits_inf =
   ( Test.make ~name:"c1/rewrite, all limits 0" (with_config Optimizer.zero_config),
     Test.make ~name:"c1/rewrite, default limits" (with_config Optimizer.default_config) )
 
+let t_engine_indexed, t_engine_reference =
+  let ctx, translated = Workloads.view_stack_rewrite ~depth:10 in
+  let t = Eds_lera.Lera_term.to_term translated in
+  let no_limits =
+    {
+      Optimizer.merging_limit = None;
+      fixpoint_limit = None;
+      permutation_limit = None;
+      semantic_limit = None;
+      simplification_limit = None;
+      rounds = 4;
+    }
+  in
+  let program = Optimizer.program ~config:no_limits () in
+  ( Test.make ~name:"e1/engine indexed (10-view stack)"
+      (Staged.stage (fun () -> ignore (Optimizer.rewrite_term ~program ctx t))),
+    Test.make ~name:"e1/engine reference (10-view stack)"
+      (Staged.stage (fun () ->
+           ignore (Optimizer.rewrite_term_reference ~program ctx t))) )
+
 let tests () =
   [
     t_collections;
@@ -156,6 +176,8 @@ let tests () =
     t_semantic;
     t_limits_zero;
     t_limits_inf;
+    t_engine_indexed;
+    t_engine_reference;
   ]
 
 let run_bechamel () =

@@ -269,6 +269,121 @@ let f12 () =
       row "  %-62s → %a@." src Term.pp t')
     cases
 
+(* -- E1: engine instrumentation ---------------------------------------------- *)
+
+(* the rewrite loop itself: the indexed engine (head-symbol dispatch,
+   incremental re-scan, schema memoization) against the reference engine
+   on deep view stacks.  All limits are infinite so that the budget never
+   binds — both engines must then produce identical terms and traces, and
+   the work counters isolate what the indexing and the re-scan save. *)
+let e1 () =
+  section "E1" "engine instrumentation: indexed vs reference rewrite loop";
+  let no_limits =
+    {
+      Optimizer.merging_limit = None;
+      fixpoint_limit = None;
+      permutation_limit = None;
+      semantic_limit = None;
+      simplification_limit = None;
+      rounds = 4;
+    }
+  in
+  let program = Optimizer.program ~config:no_limits () in
+  let same_steps a b =
+    List.length a = List.length b
+    && List.for_all2
+         (fun (x : Engine.step) (y : Engine.step) ->
+           x.Engine.rule_name = y.Engine.rule_name
+           && x.Engine.block_name = y.Engine.block_name
+           && Term.equal x.Engine.redex y.Engine.redex
+           && Term.equal x.Engine.replacement y.Engine.replacement)
+         a b
+  in
+  let total_time s =
+    List.fold_left (fun acc (_, bs) -> acc +. bs.Engine.time_s) 0. s.Engine.per_block
+  in
+  let pct num den = 100. *. float_of_int num /. float_of_int (max 1 (num + den)) in
+  row "  %-8s %-22s %-22s %-10s %-12s %s@." "depth" "match attempts (i/r)"
+    "conditions (i/r)" "ratio" "index hit%" "schema hit%";
+  let deepest = ref None in
+  List.iter
+    (fun depth ->
+      let ctx, translated = Workloads.view_stack_rewrite ~depth in
+      let t = Eds_lera.Lera_term.to_term translated in
+      let s_idx = Engine.fresh_stats () and s_ref = Engine.fresh_stats () in
+      let t_idx = Optimizer.rewrite_term ~program ~stats:s_idx ctx t in
+      let t_ref = Optimizer.rewrite_term_reference ~program ~stats:s_ref ctx t in
+      let same =
+        Term.equal t_idx t_ref && same_steps (Engine.steps s_idx) (Engine.steps s_ref)
+      in
+      if not same then row "  depth %d: ENGINES DISAGREE@." depth;
+      row "  %-8d %-22s %-22s %-10s %-12.1f %.1f@." depth
+        (Fmt.str "%d / %d" s_idx.Engine.match_attempts s_ref.Engine.match_attempts)
+        (Fmt.str "%d / %d" s_idx.Engine.conditions_checked s_ref.Engine.conditions_checked)
+        (Fmt.str "%.1fx" (ratio s_ref.Engine.match_attempts s_idx.Engine.match_attempts))
+        (pct s_idx.Engine.index_hits s_idx.Engine.index_misses)
+        (pct s_idx.Engine.schema_hits s_idx.Engine.schema_misses);
+      if depth = 10 then deepest := Some s_idx)
+    [ 4; 7; 10 ];
+  (* wall-clock, averaged over repeated runs (a single rewrite is
+     sub-millisecond and too noisy to time on its own) *)
+  let repeats = 30 in
+  let timed rewrite ctx t =
+    let s = Engine.fresh_stats () in
+    for _ = 1 to repeats do
+      ignore (rewrite s ctx t)
+    done;
+    ( float_of_int s.Engine.rewrites_applied /. max 1e-9 (total_time s),
+      total_time s *. 1000. /. float_of_int repeats )
+  in
+  (match !deepest with
+  | None -> ()
+  | Some s_idx ->
+    let ctx, translated = Workloads.view_stack_rewrite ~depth:10 in
+    let t = Eds_lera.Lera_term.to_term translated in
+    let sps_idx, ms_idx =
+      timed (fun s -> Optimizer.rewrite_term ~program ~stats:s) ctx t
+    in
+    let sps_ref, ms_ref =
+      timed (fun s -> Optimizer.rewrite_term_reference ~program ~stats:s) ctx t
+    in
+    row "  depth 10 throughput: indexed %.0f steps/s (%.2f ms), reference %.0f steps/s (%.2f ms)@."
+      sps_idx ms_idx sps_ref ms_ref;
+    row "  per-block (indexed, depth 10, one run):@.";
+    List.iter
+      (fun entry -> row "    %a@." Engine.pp_block_stats entry)
+      s_idx.Engine.per_block);
+  (* the same comparison on the C1 view join, whose catalog schemas make
+     the per-visit schema derivation expensive *)
+  let s = Workloads.film_session ~films:10 ~actors:10 in
+  let cat = Session.catalog s in
+  let translated =
+    Eds_esql.Translate.select cat
+      (Eds_esql.Parser.parse_select
+         {|SELECT FilmActors.Title FROM FilmActors, FILM
+           WHERE FilmActors.Title = FILM.Title
+             AND MEMBER('Adventure', FilmActors.Categories)
+             AND FILM.Numf = 3|})
+  in
+  let ctx = Optimizer.make_ctx (Eds_esql.Catalog.schema_env cat) in
+  let t = Eds_lera.Lera_term.to_term translated in
+  let s_idx = Engine.fresh_stats () and s_ref = Engine.fresh_stats () in
+  let t_idx = Optimizer.rewrite_term ~program ~stats:s_idx ctx t in
+  let t_ref = Optimizer.rewrite_term_reference ~program ~stats:s_ref ctx t in
+  let _, ms_idx =
+    timed (fun s -> Optimizer.rewrite_term ~program ~stats:s) ctx t
+  in
+  let _, ms_ref =
+    timed (fun s -> Optimizer.rewrite_term_reference ~program ~stats:s) ctx t
+  in
+  row
+    "  film view join: attempts %d / %d (%.1fx), schema derivations %d / %d, %.2f / %.2f ms, agree %b@."
+    s_idx.Engine.match_attempts s_ref.Engine.match_attempts
+    (ratio s_ref.Engine.match_attempts s_idx.Engine.match_attempts)
+    s_idx.Engine.schema_misses s_ref.Engine.schema_misses ms_idx ms_ref
+    (Term.equal t_idx t_ref
+    && same_steps (Engine.steps s_idx) (Engine.steps s_ref))
+
 (* -- C1: the §7 block-limit trade-off ----------------------------------------- *)
 
 (* the paper's conclusion: simple queries need a 0 limit (rewriting cannot
@@ -531,6 +646,7 @@ let all () =
   f9 ();
   f10_11 ();
   f12 ();
+  e1 ();
   c1 ();
   c2 ();
   c3 ();

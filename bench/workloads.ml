@@ -158,6 +158,20 @@ let view_stack_session ~depth =
   done;
   s
 
+(* the rewrite-engine instrumentation subject (EXPERIMENTS.md E1): the
+   query over the deepest view, translated but not yet rewritten, plus a
+   rewriting context — the merging rules then have [depth] successive
+   searches to collapse, so the term goes through many rewrite steps *)
+let view_stack_rewrite ~depth =
+  let s = view_stack_session ~depth in
+  let cat = Session.catalog s in
+  let translated =
+    Eds_esql.Translate.select cat
+      (Eds_esql.Parser.parse_select (Fmt.str "SELECT A FROM V%d WHERE B > 50" depth))
+  in
+  let ctx = Eds_rewriter.Optimizer.make_ctx (Eds_esql.Catalog.schema_env cat) in
+  (ctx, translated)
+
 let eval_work db rel =
   let stats = Eds_engine.Eval.fresh_stats () in
   ignore (Eds_engine.Eval.run ~stats db rel);

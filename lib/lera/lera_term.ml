@@ -141,41 +141,83 @@ let flatten_union_members members =
       | _ -> [ m ])
     members
 
+(* Normalization preserves physical identity of already-normal subterms:
+   the rewrite engine re-normalizes the whole query after every step, and
+   returning [t] itself (==) whenever nothing changed means only the
+   rebuilt spine above a redex is reallocated; everything else keeps its
+   identity, which the engine's incremental re-scan and schema cache key
+   on.  The helpers below implement the copy-avoidance. *)
+
+let map_sharing f xs =
+  let changed = ref false in
+  let ys =
+    List.map
+      (fun x ->
+        let y = f x in
+        if not (y == x) then changed := true;
+        y)
+      xs
+  in
+  if !changed then ys else xs
+
+let rec strictly_sorted = function
+  | a :: (b :: _ as rest) -> Term.compare a b < 0 && strictly_sorted rest
+  | [] | [ _ ] -> true
+
+let sort_uniq_sharing xs =
+  if strictly_sorted xs then xs else List.sort_uniq Term.compare xs
+
+let list_sharing old fresh =
+  if List.length fresh = List.length old && List.for_all2 ( == ) fresh old then old
+  else fresh
+
 let rec normalize (t : Term.t) : Term.t =
   match t with
   | Term.Var _ | Term.Cvar _ | Term.Cst _ -> t
   | Term.Coll (Term.Set, args) ->
     (* set constructors (e.g. a union's operand set) are canonicalized:
        sorted, duplicates removed *)
-    Term.Coll (Term.Set, List.sort_uniq Term.compare (List.map normalize args))
-  | Term.Coll (k, args) -> Term.Coll (k, List.map normalize args)
-  | Term.App (f, args) -> (
-    let args = List.map normalize args in
+    let args' = sort_uniq_sharing (map_sharing normalize args) in
+    if args' == args then t else Term.Coll (Term.Set, args')
+  | Term.Coll (k, args) ->
+    let args' = map_sharing normalize args in
+    if args' == args then t else Term.Coll (k, args')
+  | Term.App (f, args0) -> (
+    let args = map_sharing normalize args0 in
     match f, args with
-    | ("and" | "or"), [ Term.Coll (Term.Bag, cs) ] -> junction f cs
+    | ("and" | "or"), [ Term.Coll (Term.Bag, cs) ] -> (
+      match junction f cs with
+      | Term.App (_, [ Term.Coll (Term.Bag, cs') ]) when cs' == cs && args == args0
+        ->
+        t
+      | t' -> t')
     | ("and" | "or"), (_ :: _ :: _ as cs) -> junction f cs
     | "union", [ Term.Coll (Term.Set, members) ] ->
-      Term.App
-        ( "union",
-          [
-            Term.Coll
-              ( Term.Set,
-                List.sort_uniq Term.compare (flatten_union_members members) );
-          ] )
-    | "search", [ ins; q; p ] -> Term.App ("search", [ ins; requalify q; p ])
-    | "filter", [ r; q ] -> Term.App ("filter", [ r; requalify q ])
-    | "join", [ a; b; q ] -> Term.App ("join", [ a; b; requalify q ])
+      let members' =
+        sort_uniq_sharing (list_sharing members (flatten_union_members members))
+      in
+      if members' == members && args == args0 then t
+      else Term.App ("union", [ Term.Coll (Term.Set, members') ])
+    | "search", [ ins; q; p ] ->
+      let q' = requalify q in
+      if q' == q && args == args0 then t else Term.App ("search", [ ins; q'; p ])
+    | "filter", [ r; q ] ->
+      let q' = requalify q in
+      if q' == q && args == args0 then t else Term.App ("filter", [ r; q' ])
+    | "join", [ a; b; q ] ->
+      let q' = requalify q in
+      if q' == q && args == args0 then t else Term.App ("join", [ a; b; q' ])
     | _ -> (
       match eval_constructor f args with
       | Some t' -> t'
-      | None -> Term.App (f, args)))
+      | None -> if args == args0 then t else Term.App (f, args)))
 
 and junction op cs =
   (* conjunction and disjunction are commutative and idempotent, so the
      argument bag is canonicalized: sorted, duplicates removed.  This
      also keeps growth rules (transitivity, equality substitution) from
      re-deriving conjuncts that are already present. *)
-  match List.sort_uniq Term.compare (flatten_junction op cs) with
+  match sort_uniq_sharing (list_sharing cs (flatten_junction op cs)) with
   | [] -> if String.equal op "and" then Term.tru else Term.fls
   | [ c ] -> c
   | cs' -> Term.App (op, [ Term.Coll (Term.Bag, cs') ])

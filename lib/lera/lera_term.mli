@@ -34,7 +34,12 @@ val normalize : Term.t -> Term.t
     (concatenation of list/tuple constructors) and [set_union] (union of
     set constructors) once their arguments are explicit constructors.
     Logical laws such as [f ∧ false → false] are deliberately {e not}
-    applied here — they are Figure-12 rewrite rules. *)
+    applied here — they are Figure-12 rewrite rules.
+
+    Sharing: when a subterm is already in normal form the function
+    returns it physically unchanged ([normalize t == t]); after a
+    rewrite step only the spine above the redex is reallocated.  The
+    engine's incremental re-scan and schema memoization rely on this. *)
 
 (** {1 Column utilities over scalar terms}
 

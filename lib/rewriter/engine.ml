@@ -40,20 +40,60 @@ let pp_step ppf s =
   Fmt.pf ppf "[%s] %s:@   %a@   --> %a" s.block_name s.rule_name Term.pp s.redex
     Term.pp s.replacement
 
+type block_stats = {
+  mutable time_s : float;
+  mutable nodes : int;
+  mutable conditions : int;
+  mutable rewrites : int;
+}
+
 type stats = {
   mutable conditions_checked : int;
   mutable rewrites_applied : int;
+  mutable nodes_visited : int;
+  mutable match_attempts : int;
+  mutable index_hits : int;
+  mutable index_misses : int;
+  mutable schema_hits : int;
+  mutable schema_misses : int;
   mutable by_rule : (string * int) list;
+  mutable per_block : (string * block_stats) list;
   mutable trace : step list;  (** most recent first; reversed by [steps] *)
 }
 
 let fresh_stats () =
-  { conditions_checked = 0; rewrites_applied = 0; by_rule = []; trace = [] }
+  {
+    conditions_checked = 0;
+    rewrites_applied = 0;
+    nodes_visited = 0;
+    match_attempts = 0;
+    index_hits = 0;
+    index_misses = 0;
+    schema_hits = 0;
+    schema_misses = 0;
+    by_rule = [];
+    per_block = [];
+    trace = [];
+  }
 
 let steps stats = List.rev stats.trace
 
+let block_stats stats name =
+  match List.assoc_opt name stats.per_block with
+  | Some bs -> bs
+  | None ->
+    let bs = { time_s = 0.; nodes = 0; conditions = 0; rewrites = 0 } in
+    stats.per_block <- stats.per_block @ [ (name, bs) ];
+    bs
+
+let pp_block_stats ppf (name, bs) =
+  Fmt.pf ppf "%s: %.3fms nodes=%d conditions=%d rewrites=%d" name
+    (bs.time_s *. 1000.) bs.nodes bs.conditions bs.rewrites
+
 let pp_stats ppf s =
-  Fmt.pf ppf "conditions=%d rewrites=%d [%a]" s.conditions_checked s.rewrites_applied
+  Fmt.pf ppf "conditions=%d rewrites=%d nodes=%d attempts=%d index=%d/%d schema=%d/%d [%a]"
+    s.conditions_checked s.rewrites_applied s.nodes_visited s.match_attempts
+    s.index_hits s.index_misses s.schema_hits s.schema_misses
     (Fmt.list ~sep:(Fmt.any "; ") (fun ppf (n, c) -> Fmt.pf ppf "%s:%d" n c))
     s.by_rule
 
@@ -118,7 +158,16 @@ let rec eval_constraint c env (t : Term.t) : bool =
   | Term.App ("notin", a :: members) ->
     not (List.exists (Term.equal a) members)
   | Term.App ("distinct", [ a; b ]) -> not (Term.equal a b)
-  | Term.App ("nonempty", args) -> args <> []
+  | Term.App ("nonempty", [ Term.Coll (_, elems) ]) ->
+    (* a lone collection argument is a matched collection term (a variable
+       bound to list(…), set(…), …): test its elements, not the fact that
+       one argument is present — nonempty(list()) must be false *)
+    elems <> []
+  | Term.App ("nonempty", [ Term.Cst v ]) when Value.is_collection v ->
+    Value.elements v <> []
+  | Term.App ("nonempty", args) ->
+    (* spliced collection variable: x* becomes the elements themselves *)
+    args <> []
   | Term.App ("ground", [ a ]) -> Term.is_ground a
   | Term.App ("pred", [ a ]) -> constraint_pred c a
   | Term.App ("refer_only", [ Term.Coll (_, quals); Term.Coll (_, prefix); group ]) ->
@@ -274,30 +323,113 @@ let run_methods c env rule subst =
   in
   go subst rule.Rule.methods
 
-let apply_rule_at c env (rule : Rule.t) t : Term.t option =
-  let try_subst subst =
-    let holds =
-      List.for_all (fun ct -> eval_constraint c env (Subst.apply subst ct)) rule.constraints
-    in
-    if not holds then None
-    else
-      match run_methods c env rule subst with
-      | Some subst' -> Some (Lera_term.normalize (Subst.apply subst' rule.rhs))
-      | None -> None
+(* Shared core of rule application.  Enumerates the rule's matches
+   lazily; each substitution whose constraints are about to be evaluated
+   costs one condition check — [on_check] charges it against the block
+   budget and returns false when the budget is exhausted, which aborts
+   the enumeration ("each time a rule condition is checked, the limit of
+   the block is decreased by one", §4.2). *)
+let try_rule c env ~on_check (rule : Rule.t) t : Term.t option =
+  let rec find seq =
+    match seq () with
+    | Seq.Nil -> None
+    | Seq.Cons (subst, rest) -> (
+      if not (on_check ()) then None
+      else
+        let holds =
+          List.for_all
+            (fun ct -> eval_constraint c env (Subst.apply subst ct))
+            rule.Rule.constraints
+        in
+        if not holds then find rest
+        else
+          match run_methods c env rule subst with
+          | Some subst' -> Some (Lera_term.normalize (Subst.apply subst' rule.Rule.rhs))
+          | None -> find rest)
   in
-  Seq.find_map try_subst (Matcher.all ~pattern:rule.lhs t)
+  find (Matcher.all ~pattern:rule.Rule.lhs t)
+
+let apply_rule_at c env (rule : Rule.t) t : Term.t option =
+  try_rule c env ~on_check:(fun () -> true) rule t
+
+(* -- local environments while descending --------------------------------- *)
+
+(* Structural equality with physical shortcuts: schemas are shared by the
+   memo table, so the [==] fast path is the common case. *)
+let schema_equal (s1 : Schema.t) (s2 : Schema.t) =
+  s1 == s2
+  || List.compare_lengths s1 s2 = 0
+     && List.for_all2
+          (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && Vtype.equal t1 t2)
+          s1 s2
+
+let rvars_equal r1 r2 =
+  r1 == r2
+  || List.compare_lengths r1 r2 = 0
+     && List.for_all2
+          (fun (n1, s1) (n2, s2) -> String.equal n1 n2 && schema_equal s1 s2)
+          r1 r2
+
+let input_schemas_equal o1 o2 =
+  match o1, o2 with
+  | None, None -> true
+  | Some l1, Some l2 ->
+    l1 == l2 || (List.compare_lengths l1 l2 = 0 && List.for_all2 schema_equal l1 l2)
+  | None, Some _ | Some _, None -> false
+
+let env_equal e1 e2 =
+  e1 == e2
+  || input_schemas_equal e1.input_schemas e2.input_schemas
+     && rvars_equal e1.rvars e2.rvars
+
+(* Hashtable keyed on physical term identity.  [Hashtbl.hash] is
+   structural but depth/width-bounded, so it is cheap, stable under the
+   GC, and consistent with [==] (physically equal terms hash equally). *)
+module Phystbl = Hashtbl.Make (struct
+  type t = Term.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type schema_memo = ((string * Schema.t) list * Schema.t option) list ref Phystbl.t
+
+let schema_of_rel_plain c env rt =
+  try Some (Schema.of_rel ~rvars:env.rvars c.schema_env (Lera_term.of_term rt))
+  with Schema.Schema_error _ | Lera_term.Bridge_error _ -> None
+
+(* [Schema.of_rel] re-derives the full operand schema on every visit of a
+   qualification's parent; memoizing on the physical operand term turns
+   the repeated derivations of an unchanged subtree into table lookups
+   (normalize preserves sharing, so subtree identity survives rewrite
+   steps).  The recursion-variable environment is part of the key. *)
+let schema_of_rel_memo (memo : schema_memo) stats c env rt =
+  let entries =
+    match Phystbl.find_opt memo rt with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Phystbl.add memo rt r;
+      r
+  in
+  match List.find_opt (fun (rv, _) -> rvars_equal rv env.rvars) !entries with
+  | Some (_, res) ->
+    stats.schema_hits <- stats.schema_hits + 1;
+    res
+  | None ->
+    stats.schema_misses <- stats.schema_misses + 1;
+    let res = schema_of_rel_plain c env rt in
+    entries := (env.rvars, res) :: !entries;
+    res
 
 (* local environment refinement while descending: when entering the
    qualification or projection of a relational operator, record the
    operand schemas; when entering a fixpoint body, bind the recursion
-   variable's schema. *)
-let child_envs c env (t : Term.t) : local_env list =
-  let schema_of_rel_term rt =
-    try Some (Schema.of_rel ~rvars:env.rvars c.schema_env (Lera_term.of_term rt))
-    with Schema.Schema_error _ | Lera_term.Bridge_error _ -> None
-  in
+   variable's schema.  [schema_of] abstracts over the memoized and plain
+   derivations. *)
+let child_envs_with ~schema_of env (t : Term.t) : local_env list =
   let with_inputs rels =
-    let schemas = List.map schema_of_rel_term rels in
+    let schemas = List.map (schema_of env) rels in
     if List.for_all Option.is_some schemas then
       { env with input_schemas = Some (List.map Option.get schemas) }
     else { env with input_schemas = None }
@@ -310,63 +442,221 @@ let child_envs c env (t : Term.t) : local_env list =
   | Term.App ("proj", [ rel; _ ]) -> [ env; with_inputs [ rel ] ]
   | Term.App ("join", [ r1; r2; _ ]) -> [ env; env; with_inputs [ r1; r2 ] ]
   | Term.App ("fix", [ Term.Cst (Value.Str n); _ ]) -> (
-    match schema_of_rel_term t with
+    match schema_of env t with
     | Some sch -> [ env; { env with rvars = (n, sch) :: env.rvars } ]
     | None -> [ env; env ])
   | Term.App (_, args) | Term.Coll (_, args) -> List.map (Fun.const env) args
   | Term.Var _ | Term.Cvar _ | Term.Cst _ -> []
 
-(* One rewrite step: scan top-down, leftmost; on success rebuild the path.
-   The budget counts rule-condition checks (lhs matches whose constraints
-   were evaluated). *)
-let rewrite_step c block stats budget t : Term.t option =
-  let record rule redex replacement =
-    stats.trace <-
-      {
-        rule_name = rule.Rule.name;
-        block_name = block.Rule.block_name;
-        redex;
-        replacement;
-      }
-      :: stats.trace
+(* -- block execution ------------------------------------------------------ *)
+
+(* Per-block execution state of the indexed engine. *)
+type exec = {
+  ectx : ctx;
+  stats : stats;
+  bstats : block_stats;
+  block : Rule.block;
+  compiled : Rule.compiled;
+  budget : int ref;
+  memo : schema_memo;
+  failed : local_env list ref Phystbl.t;
+      (** subtrees proven redex-free for this block, with the local
+          environments under which that was established *)
+}
+
+let charge_check ex () =
+  if !(ex.budget) <= 0 then false
+  else begin
+    ex.stats.conditions_checked <- ex.stats.conditions_checked + 1;
+    ex.bstats.conditions <- ex.bstats.conditions + 1;
+    decr ex.budget;
+    true
+  end
+
+let is_failed ex t env =
+  match Phystbl.find_opt ex.failed t with
+  | None -> false
+  | Some envs -> List.exists (env_equal env) !envs
+
+let mark_failed ex t env =
+  match Phystbl.find_opt ex.failed t with
+  | Some envs -> envs := env :: !envs
+  | None -> Phystbl.add ex.failed t (ref [ env ])
+
+let record ex rule redex replacement =
+  ex.stats.trace <-
+    {
+      rule_name = rule.Rule.name;
+      block_name = ex.block.Rule.block_name;
+      redex;
+      replacement;
+    }
+    :: ex.stats.trace;
+  bump_rule ex.stats rule.Rule.name;
+  ex.bstats.rewrites <- ex.bstats.rewrites + 1
+
+(* One rewrite step of the indexed engine: scan top-down, leftmost; on
+   success rebuild the path.  Equivalent to restarting a full scan from
+   the root (same visit order, hence identical traces), except that
+   subtrees recorded in [ex.failed] are skipped: they are physically the
+   same terms under the same local environments as when a complete scan
+   proved them redex-free, and nothing a rewrite elsewhere can change
+   affects that verdict.  Rebuilt spine nodes are fresh allocations, so
+   the ancestors of a redex are always re-examined — outermost priority
+   is preserved. *)
+let rec fast_at_node ex env t =
+  if !(ex.budget) <= 0 then None
+  else if is_failed ex t env then None
+  else begin
+    ex.stats.nodes_visited <- ex.stats.nodes_visited + 1;
+    ex.bstats.nodes <- ex.bstats.nodes + 1;
+    let cands = Rule.candidates ex.compiled t in
+    let n_cands = List.length cands in
+    ex.stats.index_hits <- ex.stats.index_hits + (Rule.rule_count ex.compiled - n_cands);
+    ex.stats.index_misses <- ex.stats.index_misses + n_cands;
+    match fast_try_rules ex env t cands with
+    | Some t' -> Some t'
+    | None ->
+      let result = fast_into_children ex env t in
+      (* only a completed scan proves redex-freedom: with the budget
+         exhausted the subtree may contain untried matches *)
+      if result = None && !(ex.budget) > 0 then mark_failed ex t env;
+      result
+  end
+
+and fast_try_rules ex env t = function
+  | [] -> None
+  | rule :: rest ->
+    if !(ex.budget) <= 0 then None
+    else begin
+      ex.stats.match_attempts <- ex.stats.match_attempts + 1;
+      match try_rule ex.ectx env ~on_check:(charge_check ex) rule t with
+      | Some t' ->
+        record ex rule t t';
+        Some t'
+      | None -> fast_try_rules ex env t rest
+    end
+
+and fast_into_children ex env t =
+  match t with
+  | Term.Var _ | Term.Cvar _ | Term.Cst _ -> None
+  | Term.App (_, args) | Term.Coll (_, args) ->
+    let envs =
+      child_envs_with
+        ~schema_of:(fun env rt -> schema_of_rel_memo ex.memo ex.stats ex.ectx env rt)
+        env t
+    in
+    let rec walk i = function
+      | [] -> None
+      | arg :: rest -> (
+        let cenv = match List.nth_opt envs i with Some e -> e | None -> env in
+        match fast_at_node ex cenv arg with
+        | Some arg' ->
+          let args' = List.mapi (fun j a -> if j = i then arg' else a) args in
+          Some
+            (match t with
+            | Term.App (f, _) -> Term.App (f, args')
+            | Term.Coll (k, _) -> Term.Coll (k, args')
+            | _ -> assert false)
+        | None -> walk (i + 1) rest)
+    in
+    walk 0 args
+
+let run_block_exec ex t =
+  let t0 = Unix.gettimeofday () in
+  let rec loop t =
+    if !(ex.budget) <= 0 then t
+    else
+      match fast_at_node ex top_env t with
+      | Some t' -> loop (Lera_term.normalize t')
+      | None -> t
   in
+  let result = loop t in
+  ex.bstats.time_s <- ex.bstats.time_s +. (Unix.gettimeofday () -. t0);
+  result
+
+let run_block_with c stats memo (block : Rule.block) t =
+  let ex =
+    {
+      ectx = c;
+      stats;
+      bstats = block_stats stats block.Rule.block_name;
+      block;
+      compiled = Rule.compile block;
+      budget = ref (match block.Rule.limit with Some n -> n | None -> max_int);
+      memo;
+      failed = Phystbl.create 256;
+    }
+  in
+  run_block_exec ex t
+
+let run_block c ?stats (block : Rule.block) t =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  run_block_with c stats (Phystbl.create 256) block t
+
+let run c ?stats (program : Rule.program) t =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  (* the schema memo is keyed on (physical term, rvars) and the context is
+     fixed, so it stays valid across blocks and rounds *)
+  let memo = Phystbl.create 256 in
+  let round t =
+    List.fold_left
+      (fun acc block -> run_block_with c stats memo block acc)
+      t program.Rule.blocks
+  in
+  let rec loop n t =
+    if n <= 0 then t
+    else
+      let t' = round t in
+      if Term.equal t' t then t' else loop (n - 1) t'
+  in
+  loop program.Rule.rounds t
+
+(* -- reference engine ----------------------------------------------------- *)
+
+(* The straightforward engine: restart the scan from the root after every
+   rewrite, consult every rule of the block at every node, re-derive
+   schemas on every visit.  Same rule semantics and budget accounting as
+   the indexed engine — the golden-trace tests check that both produce
+   identical results and traces; the benchmarks use the work counters to
+   measure what indexing and incremental re-scan save. *)
+let reference_step c block stats bstats budget t : Term.t option =
   let rec at_node env t =
     if !budget <= 0 then None
-    else
+    else begin
+      stats.nodes_visited <- stats.nodes_visited + 1;
+      bstats.nodes <- bstats.nodes + 1;
       match try_rules env t block.Rule.rules with
       | Some t' -> Some t'
       | None -> into_children env t
+    end
   and try_rules env t = function
     | [] -> None
     | rule :: rest ->
       if !budget <= 0 then None
       else begin
-        let matched = ref false in
-        let result =
-          Seq.find_map
-            (fun subst ->
-              if not !matched then begin
-                matched := true;
-                stats.conditions_checked <- stats.conditions_checked + 1;
-                decr budget
-              end;
-              let holds =
-                List.for_all
-                  (fun ct -> eval_constraint c env (Subst.apply subst ct))
-                  rule.Rule.constraints
-              in
-              if not holds then None
-              else
-                match run_methods c env rule subst with
-                | Some subst' ->
-                  Some (Lera_term.normalize (Subst.apply subst' rule.Rule.rhs))
-                | None -> None)
-            (Matcher.all ~pattern:rule.Rule.lhs t)
+        stats.match_attempts <- stats.match_attempts + 1;
+        let on_check () =
+          if !budget <= 0 then false
+          else begin
+            stats.conditions_checked <- stats.conditions_checked + 1;
+            bstats.conditions <- bstats.conditions + 1;
+            decr budget;
+            true
+          end
         in
-        match result with
+        match try_rule c env ~on_check rule t with
         | Some t' ->
+          stats.trace <-
+            {
+              rule_name = rule.Rule.name;
+              block_name = block.Rule.block_name;
+              redex = t;
+              replacement = t';
+            }
+            :: stats.trace;
           bump_rule stats rule.Rule.name;
-          record rule t t';
+          bstats.rewrites <- bstats.rewrites + 1;
           Some t'
         | None -> try_rules env t rest
       end
@@ -374,7 +664,15 @@ let rewrite_step c block stats budget t : Term.t option =
     match t with
     | Term.Var _ | Term.Cvar _ | Term.Cst _ -> None
     | Term.App (_, args) | Term.Coll (_, args) ->
-      let envs = child_envs c env t in
+      let envs =
+        (* no memo: every derivation is counted as a miss, so the stats
+           compare directly against the indexed engine's hit counters *)
+        child_envs_with
+          ~schema_of:(fun env rt ->
+            stats.schema_misses <- stats.schema_misses + 1;
+            schema_of_rel_plain c env rt)
+          env t
+      in
       let rec walk i = function
         | [] -> None
         | arg :: rest -> (
@@ -393,22 +691,28 @@ let rewrite_step c block stats budget t : Term.t option =
   in
   at_node top_env t
 
-let run_block c ?stats (block : Rule.block) t =
+let run_block_reference c ?stats (block : Rule.block) t =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let bstats = block_stats stats block.Rule.block_name in
   let budget = ref (match block.Rule.limit with Some n -> n | None -> max_int) in
+  let t0 = Unix.gettimeofday () in
   let rec loop t =
     if !budget <= 0 then t
     else
-      match rewrite_step c block stats budget t with
+      match reference_step c block stats bstats budget t with
       | Some t' -> loop (Lera_term.normalize t')
       | None -> t
   in
-  loop t
+  let result = loop t in
+  bstats.time_s <- bstats.time_s +. (Unix.gettimeofday () -. t0);
+  result
 
-let run c ?stats (program : Rule.program) t =
+let run_reference c ?stats (program : Rule.program) t =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   let round t =
-    List.fold_left (fun acc block -> run_block c ~stats block acc) t program.Rule.blocks
+    List.fold_left
+      (fun acc block -> run_block_reference c ~stats block acc)
+      t program.Rule.blocks
   in
   let rec loop n t =
     if n <= 0 then t

@@ -66,10 +66,28 @@ type step = {
 
 val pp_step : Format.formatter -> step -> unit
 
+(** Work accounting for one block (accumulated over every execution of
+    the block under the same {!stats}). *)
+type block_stats = {
+  mutable time_s : float;  (** wall-clock seconds spent in the block *)
+  mutable nodes : int;
+  mutable conditions : int;
+  mutable rewrites : int;
+}
+
 type stats = {
   mutable conditions_checked : int;
+      (** substitutions whose constraints were evaluated — the unit the
+          block limit counts *)
   mutable rewrites_applied : int;
+  mutable nodes_visited : int;  (** nodes at which rules were considered *)
+  mutable match_attempts : int;  (** (rule, node) pairs handed to the matcher *)
+  mutable index_hits : int;  (** rules skipped by the head-symbol index *)
+  mutable index_misses : int;  (** rules the index could not rule out *)
+  mutable schema_hits : int;  (** schema derivations answered by the memo *)
+  mutable schema_misses : int;
   mutable by_rule : (string * int) list;  (** rewrites per rule name *)
+  mutable per_block : (string * block_stats) list;  (** in execution order *)
   mutable trace : step list;  (** most recent first *)
 }
 
@@ -77,6 +95,10 @@ val fresh_stats : unit -> stats
 val steps : stats -> step list
 (** Applications in chronological order. *)
 
+val block_stats : stats -> string -> block_stats
+(** Accounting entry for a block name, created on first use. *)
+
+val pp_block_stats : Format.formatter -> string * block_stats -> unit
 val pp_stats : Format.formatter -> stats -> unit
 
 exception Rewrite_error of string
@@ -101,4 +123,23 @@ val apply_rule_at : ctx -> local_env -> Rule.t -> Term.t -> Term.t option
 val run_block : ctx -> ?stats:stats -> Rule.block -> Term.t -> Term.t
 val run : ctx -> ?stats:stats -> Rule.program -> Term.t -> Term.t
 (** Runs the blocks in sequence, the whole sequence [rounds] times,
-    stopping early when a full round leaves the term unchanged. *)
+    stopping early when a full round leaves the term unchanged.
+
+    The engine compiles each block into a head-symbol dispatch table
+    ({!Rule.compile}), skips subtrees already proven redex-free for the
+    block (re-established when a rewrite rebuilds the spine above them —
+    {!Eds_lera.Lera_term.normalize} preserves sharing so subtree
+    identity survives steps), and memoizes operand-schema derivation.
+    None of this changes which rules apply where: results and traces are
+    identical to {!run_reference} whenever block limits do not bind
+    (with a binding limit the engines may spend the budget differently,
+    because the reference engine re-checks conditions the indexed engine
+    never re-visits). *)
+
+val run_block_reference : ctx -> ?stats:stats -> Rule.block -> Term.t -> Term.t
+
+val run_reference : ctx -> ?stats:stats -> Rule.program -> Term.t -> Term.t
+(** The straightforward engine: restart from the root after every
+    rewrite, consult every rule at every node, re-derive schemas on
+    every visit.  Oracle for the golden-trace tests and the baseline the
+    benchmarks compare work counters against. *)

@@ -21,7 +21,10 @@ let default_config =
     (* the fixpoint and permutation blocks contain rules whose methods
        build fresh subplans (ALEXANDER, the union distribution); §4.2's
        remedy is a finite limit, generous enough never to bind on sane
-       queries *)
+       queries.  A limit counts every condition check — every match
+       substitution whose constraints are evaluated — so AC-matching
+       rules over wide conjunctions consume it faster than one unit per
+       node. *)
     fixpoint_limit = Some 100;
     permutation_limit = Some 1000;
     semantic_limit = Some 100;
@@ -104,6 +107,10 @@ let make_ctx ?(semantic_constraints = []) ?(extra_methods = [])
 let rewrite_term ?program:prog ?stats ctx t =
   let prog = match prog with Some p -> p | None -> program () in
   Engine.run ctx ?stats prog (Lera_term.normalize t)
+
+let rewrite_term_reference ?program:prog ?stats ctx t =
+  let prog = match prog with Some p -> p | None -> program () in
+  Engine.run_reference ctx ?stats prog (Lera_term.normalize t)
 
 let rewrite ?program:prog ?stats ctx (r : Lera.rel) : Lera.rel =
   let t = rewrite_term ?program:prog ?stats ctx (Lera_term.to_term r) in

@@ -17,7 +17,10 @@ module Term = Eds_term.Term
 module Lera = Eds_lera.Lera
 module Schema = Eds_lera.Schema
 
-(** Application limits per block; [None] = saturation, [Some 0] = off. *)
+(** Application limits per block; [None] = saturation, [Some 0] = off.
+    A limit counts condition checks: every match substitution whose
+    constraints are evaluated costs one unit, so a single AC-matching
+    rule over a wide conjunction may consume many units at one node. *)
 type config = {
   merging_limit : int option;
   fixpoint_limit : int option;
@@ -68,6 +71,11 @@ val rewrite :
 
 val rewrite_term :
   ?program:Rule.program -> ?stats:Engine.stats -> Engine.ctx -> Term.t -> Term.t
+
+val rewrite_term_reference :
+  ?program:Rule.program -> ?stats:Engine.stats -> Engine.ctx -> Term.t -> Term.t
+(** Same program through {!Engine.run_reference} — the un-indexed,
+    restart-from-root engine.  Golden-trace oracle. *)
 
 (** {1 Declaring semantic knowledge (Figure 10)} *)
 

@@ -39,6 +39,37 @@ val pp_program : Format.formatter -> program -> unit
 val block : ?limit:int -> string -> t list -> block
 val program : ?rounds:int -> block list -> program
 
+(** {1 Compiled blocks}
+
+    The engine never scans a block's full rule list at every node: a
+    block is compiled once into a dispatch table keyed on the lhs head
+    constructor, and {!candidates} returns the (usually much shorter)
+    list of rules whose lhs could possibly match a given subject term. *)
+
+type head_key =
+  | Head of string  (** application with a concrete head symbol *)
+  | Any_app  (** application with a function-variable head (F, G, … of Figure 6) *)
+  | Coll_head of Term.ckind
+  | Cst_head
+  | Wildcard  (** variable lhs: compatible with every subject *)
+
+val head_key : Term.t -> head_key
+(** Dispatch key of a rule lhs. *)
+
+type compiled
+
+val compile : block -> compiled
+
+val source : compiled -> block
+val rule_count : compiled -> int
+
+val candidates : compiled -> Term.t -> t list
+(** Rules of the block whose lhs is head-compatible with the subject
+    (per {!Eds_term.Matcher.head_compatible}), in the block's original
+    rule order.  Sound over-approximation: every rule with at least one
+    match is included; rules that cannot match are (mostly) excluded.
+    The returned list is precomputed — no allocation per call. *)
+
 val output_variables : t -> string list
 (** Variables of the rhs and of method argument lists that are bound
     neither by the lhs nor by an earlier method — i.e. the method output

@@ -113,6 +113,20 @@ and match_unordered k ps ts subst =
   in
   match_concrete concrete ts subst
 
+(* A constant-time filter over [match_term]'s first case analysis: when
+   the pattern and subject heads are incompatible, no substitution can
+   exist and the full matcher need not run.  The rewrite engine's rule
+   index is built on exactly this predicate. *)
+let head_compatible ~pattern t =
+  match pattern, t with
+  | Term.Var _, _ | Term.Cvar _, _ -> true
+  | Term.Cst c, Term.Cst c' -> Value.equal c c'
+  | Term.App (f, _), Term.App (g, _) -> Term.is_fvar f || String.equal f g
+  | Term.Coll (k, _), Term.Coll (k', _) -> k = k'
+  | (Term.Cst _ | Term.App _ | Term.Coll _), (Term.Var _ | Term.Cvar _ | Term.Cst _ | Term.App _ | Term.Coll _)
+    ->
+    false
+
 let all ~pattern t = match_term pattern t Subst.empty
 
 let first ~pattern t =

@@ -9,6 +9,15 @@
     all matches lazily; the rewriter takes the first one whose
     constraints hold. *)
 
+val head_compatible : pattern:Term.t -> Term.t -> bool
+(** Constant-time necessary condition for a match: a variable pattern is
+    compatible with anything; an application pattern requires the same
+    head symbol (or a function variable head); a collection pattern
+    requires the same constructor kind; a constant pattern requires the
+    equal constant.  [head_compatible ~pattern t = false] implies
+    [all ~pattern t] is empty, so dispatch structures (the engine's rule
+    index) may skip the pattern without running the matcher. *)
+
 val all : pattern:Term.t -> Term.t -> Subst.t Seq.t
 (** All substitutions [s] such that [Subst.apply s pattern] equals the
     subject term ({!Term.equal}, i.e. modulo ordering in unordered

@@ -12,6 +12,7 @@ let () =
       ("rule-parser", Test_rule_parser.suite);
       ("rule-analysis", Test_rule_analysis.suite);
       ("rewriter", Test_rewriter.suite);
+      ("engine-fast", Test_engine_fast.suite);
       ("magic", Test_magic.suite);
       ("session", Test_session.suite);
       ("soundness", Test_soundness.suite);
