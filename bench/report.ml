@@ -22,6 +22,17 @@ let row fmt = Fmt.pr fmt
 
 let ratio a b = float_of_int a /. float_of_int (max 1 b)
 
+(* -- machine-readable counters (bench/main.exe --json) -------------------- *)
+
+module Json = Eds_obs.Obs.Json
+
+let metrics : (string * Json.t) list ref = ref []
+let metric key v = metrics := (key, v) :: !metrics
+let metric_int key n = metric key (Json.Int n)
+let metric_bool key b = metric key (Json.Bool b)
+
+let metrics_json () = Json.Obj (List.rev !metrics)
+
 (* -- F1: Figure 1, collection ADT hierarchy ------------------------------ *)
 
 let f1 () =
@@ -85,6 +96,9 @@ let f4 () =
     (Relation.equal
        (Eds_engine.Eval.run db plan.Session.translated)
        (Eds_engine.Eval.run db plan.Session.rewritten));
+  metric_int "f4.combinations_before" before.Eval.combinations;
+  metric_int "f4.combinations_after" after.Eval.combinations;
+  metric_int "f4.result_tuples" (Relation.cardinality result);
   row "  work: %d → %d combinations (%.1fx)@." before.Eval.combinations
     after.Eval.combinations
     (ratio before.Eval.combinations after.Eval.combinations)
@@ -99,6 +113,8 @@ let f5 () =
       let naive = Eval.fresh_stats () and semi = Eval.fresh_stats () in
       let r1 = Eval.run ~mode:Eval.Naive ~stats:naive db Workloads.tc_fix in
       let r2 = Eval.run ~mode:Eval.Seminaive ~stats:semi db Workloads.tc_fix in
+      metric_int (Fmt.str "f5.chain%d.naive_combinations" n) naive.Eval.combinations;
+      metric_int (Fmt.str "f5.chain%d.seminaive_combinations" n) semi.Eval.combinations;
       row
         "  chain %-3d: closure %d tuples, naive %d combos / semi-naive %d combos (%.1fx), equal %b@."
         n (Relation.cardinality r1) naive.Eval.combinations semi.Eval.combinations
@@ -139,6 +155,12 @@ let f7 () =
       let plan = Session.explain s q in
       let ctx = Optimizer.make_ctx (Eds_esql.Catalog.schema_env (Session.catalog s)) in
       let merged = Optimizer.rewrite ~program:merging_program ctx plan.Session.translated in
+      metric_int
+        (Fmt.str "f7.depth%d.operators_before" depth)
+        (Lera.operator_count plan.Session.translated);
+      metric_int
+        (Fmt.str "f7.depth%d.operators_after" depth)
+        (Lera.operator_count merged);
       row "  view depth %-2d: %2d operators → %2d after merging (one search: %b)@."
         depth
         (Lera.operator_count plan.Session.translated)
@@ -159,6 +181,8 @@ let f8 () =
   let plan = Session.explain s q in
   let before = Workloads.eval_work db plan.Session.translated in
   let after = Workloads.eval_work db plan.Session.rewritten in
+  metric_int "f8.join.combinations_before" before.Eval.combinations;
+  metric_int "f8.join.combinations_after" after.Eval.combinations;
   row "  select on a join: %d → %d combinations (%.1fx fewer)@."
     before.Eval.combinations after.Eval.combinations
     (ratio before.Eval.combinations after.Eval.combinations);
@@ -167,6 +191,8 @@ let f8 () =
   let plan = Session.explain s qn in
   let before = Workloads.eval_work db plan.Session.translated in
   let after = Workloads.eval_work db plan.Session.rewritten in
+  metric_int "f8.nest.combinations_before" before.Eval.combinations;
+  metric_int "f8.nest.combinations_after" after.Eval.combinations;
   row "  select through nest: %d → %d combinations (%.1fx fewer)@."
     before.Eval.combinations after.Eval.combinations
     (ratio before.Eval.combinations after.Eval.combinations)
@@ -197,6 +223,13 @@ let f9 () =
       let same =
         Relation.equal (Eds_engine.Eval.run db q) (Eds_engine.Eval.run db q')
       in
+      metric_int
+        (Fmt.str "f9.c%dn%d.naive_combinations" clusters nodes)
+        before.Eval.combinations;
+      metric_int
+        (Fmt.str "f9.c%dn%d.magic_combinations" clusters nodes)
+        after.Eval.combinations;
+      metric_bool (Fmt.str "f9.c%dn%d.equal" clusters nodes) same;
       row
         "  %d clusters × %d nodes: naive %8d combos, magic %7d combos (%.1fx fewer), equal %b@."
         clusters nodes before.Eval.combinations after.Eval.combinations
@@ -317,6 +350,15 @@ let e1 () =
         Term.equal t_idx t_ref && same_steps (Engine.steps s_idx) (Engine.steps s_ref)
       in
       if not same then row "  depth %d: ENGINES DISAGREE@." depth;
+      metric_int (Fmt.str "e1.depth%d.indexed_match_attempts" depth)
+        s_idx.Engine.match_attempts;
+      metric_int (Fmt.str "e1.depth%d.reference_match_attempts" depth)
+        s_ref.Engine.match_attempts;
+      metric_int (Fmt.str "e1.depth%d.indexed_conditions" depth)
+        s_idx.Engine.conditions_checked;
+      metric_int (Fmt.str "e1.depth%d.reference_conditions" depth)
+        s_ref.Engine.conditions_checked;
+      metric_bool (Fmt.str "e1.depth%d.engines_agree" depth) same;
       row "  %-8d %-22s %-22s %-10s %-12.1f %.1f@." depth
         (Fmt.str "%d / %d" s_idx.Engine.match_attempts s_ref.Engine.match_attempts)
         (Fmt.str "%d / %d" s_idx.Engine.conditions_checked s_ref.Engine.conditions_checked)
@@ -431,6 +473,13 @@ let c1 () =
               translated
           in
           let work = Workloads.eval_work db rewritten in
+          let qkey = if label = "simple (key lookup)" then "simple" else "complex" in
+          metric_int
+            (Fmt.str "c1.%s.limit_%s.condition_checks" qkey l_label)
+            stats.Engine.conditions_checked;
+          metric_int
+            (Fmt.str "c1.%s.limit_%s.plan_combinations" qkey l_label)
+            work.Eval.combinations;
           row "    %-10s %-18d %-18d %d@." l_label stats.Engine.conditions_checked
             work.Eval.combinations
             (Lera.operator_count rewritten))
@@ -528,7 +577,26 @@ let c2 () =
     (Lera.operator_count q_twice) w_twice.Eval.combinations
     w_twice.Eval.tuples_produced same;
   row "  second merging pass applied %d more rewrites@."
-    (stats_twice.Engine.rewrites_applied - stats_once.Engine.rewrites_applied)
+    (stats_twice.Engine.rewrites_applied - stats_once.Engine.rewrites_applied);
+  (* per-pass breakdown: [stats.passes] keeps one entry per executed block
+     pass (the name-keyed [per_block] view sums the two merging passes) *)
+  row "  per-pass (merge twice):@.";
+  List.iteri
+    (fun i (name, bs) ->
+      metric_int
+        (Fmt.str "c2.pass%d_%s.rewrites" (i + 1) name)
+        bs.Engine.rewrites;
+      metric_int
+        (Fmt.str "c2.pass%d_%s.conditions" (i + 1) name)
+        bs.Engine.conditions;
+      row "    pass %d %-14s %2d rewrites, %3d conditions, %3d nodes@." (i + 1)
+        name bs.Engine.rewrites bs.Engine.conditions bs.Engine.nodes)
+    stats_twice.Engine.passes;
+  metric_int "c2.ops_once" (Lera.operator_count q_once);
+  metric_int "c2.ops_twice" (Lera.operator_count q_twice);
+  metric_int "c2.combinations_once" w_once.Eval.combinations;
+  metric_int "c2.combinations_twice" w_twice.Eval.combinations;
+  metric_bool "c2.equal" same
 
 (* -- C3: §7 future work — dynamic limit allocation -------------------------- *)
 
@@ -564,6 +632,11 @@ let c3 () =
       in
       let checks_a, work_a = run (Optimizer.adaptive_config translated) in
       let checks_d, _ = run Optimizer.default_config in
+      let qkey =
+        String.map (function ' ' -> '_' | c -> c) label
+      in
+      metric_int (Fmt.str "c3.%s.checks_adaptive" qkey) checks_a;
+      metric_int (Fmt.str "c3.%s.checks_default" qkey) checks_d;
       row "  %-16s %-11d %-18d %-18d %d@." label
         (Optimizer.complexity translated)
         checks_a checks_d work_a.Eval.combinations)
@@ -621,6 +694,12 @@ let a1 () =
       (Workloads.eval_work db rewritten).Eval.combinations
     in
     let cells = List.map work subjects in
+    let lkey = String.map (function ' ' -> '_' | c -> c) label in
+    List.iter2
+      (fun (subject, _, _, _) combos ->
+        let skey = String.map (function ' ' -> '_' | c -> c) subject in
+        metric_int (Fmt.str "a1.%s.%s.combinations" lkey skey) combos)
+      subjects cells;
     row "  %-22s %14d %14d %14d@." label (List.nth cells 0) (List.nth cells 1)
       (List.nth cells 2)
   in

@@ -1,16 +1,8 @@
 (* edsql — an interactive shell and script runner for the EDS rewriter.
 
-   Statements are ESQL; shell directives start with a dot:
-     .explain SELECT …   show the LERA expression before/after rewriting
-     .trace SELECT …     show every rule application, in order
-     .rules              list the current rule program
-     .limits N           set every block limit to N (0 disables rewriting
-                         blocks; the §7 trade-off at the prompt)
-     .norewrite / .rewrite   toggle the rewriter
-     .constraint F(x) / ISA(x, T) --> F(x) AND …    declare a constraint
-     .save FILE / .load FILE   dump or restore the whole session
-     .check              termination warnings for the rule program (§4.2)
-     .quit *)
+   Statements are ESQL; shell directives start with a dot — see [.help]
+   (or [help_text] below) for the full list.  Setting EDS_TRACE=<file> in
+   the environment traces the whole run to a Chrome trace-event file. *)
 
 module Session = Eds.Session
 module Relation = Eds.Session.Relation
@@ -18,6 +10,7 @@ module Lera = Eds.Session.Lera
 module Rule = Eds.Session.Rule
 module Engine = Eds.Session.Engine
 module Optimizer = Eds.Session.Optimizer
+module Obs = Eds_obs.Obs
 
 let print_result = function
   | Session.Done -> Fmt.pr "ok@."
@@ -53,25 +46,111 @@ let limits_config n =
     rounds = 1;
   }
 
-let handle_directive session line =
-  let strip prefix =
-    String.sub line (String.length prefix) (String.length line - String.length prefix)
-    |> String.trim
+(* split ".directive the rest" into the directive token and its argument *)
+let cut_directive line =
+  let n = String.length line in
+  let rec blank i =
+    if i >= n then n
+    else match line.[i] with ' ' | '\t' -> i | _ -> blank (i + 1)
   in
-  if String.equal line ".quit" || String.equal line ".exit" then `Quit
-  else if String.length line >= 8 && String.sub line 0 8 = ".explain" then begin
-    print_plan session (Session.explain session (strip ".explain"));
+  let i = blank 0 in
+  (String.sub line 0 i, String.trim (String.sub line i (n - i)))
+
+let help_text =
+  "directives:\n\
+  \  .explain SELECT ...   show the LERA expression before/after rewriting\n\
+  \  .trace SELECT ...     show every rule application, in order\n\
+  \  .trace-file FILE      write a Chrome trace-event file (.trace-file off stops)\n\
+  \  .profile on|off       collect per-rule attempt/fire/veto statistics;\n\
+  \                        'off' (or bare .profile) prints the report\n\
+  \  .stats                cumulative evaluator counters and last rewrite stats\n\
+  \  .rules                list the current rule program\n\
+  \  .check                termination warnings for the rule program (\xc2\xa74.2)\n\
+  \  .limits N             set every block limit to N (negative = infinite)\n\
+  \  .norewrite / .rewrite disable / enable the rewriter\n\
+  \  .constraint TEXT      declare an integrity constraint (Fig. 10)\n\
+  \  .save FILE / .load FILE   dump or restore the whole session\n\
+  \  .help                 this message\n\
+  \  .quit                 leave"
+
+(* the out_channel behind the current trace sink, so we can close it *)
+let trace_channel : out_channel option ref = ref None
+
+let stop_tracing () =
+  Obs.set_sink None;
+  match !trace_channel with
+  | Some oc ->
+    close_out oc;
+    trace_channel := None
+  | None -> ()
+
+let start_tracing path =
+  stop_tracing ();
+  let oc = open_out path in
+  trace_channel := Some oc;
+  Obs.set_sink (Some (Obs.trace_sink oc))
+
+let all_rules session =
+  List.concat_map
+    (fun b -> List.map (fun r -> (b.Rule.block_name, r.Rule.name)) b.Rule.rules)
+    (Session.program session).Rule.blocks
+
+let print_profile session p =
+  Fmt.pr "%a@." (Obs.Profile.pp ~all_rules:(all_rules session)) p
+
+let print_session_stats session =
+  let es = Session.eval_stats session in
+  Fmt.pr "statements run   : %d@." (Session.statements_run session);
+  Fmt.pr "eval combinations: %d@." es.Session.Eval.combinations;
+  Fmt.pr "tuples read      : %d@." es.Session.Eval.tuples_read;
+  Fmt.pr "tuples produced  : %d@." es.Session.Eval.tuples_produced;
+  Fmt.pr "fixpoint iters   : %d@." es.Session.Eval.fix_iterations;
+  match Session.last_rewrite_stats session with
+  | None -> Fmt.pr "last rewrite     : (none)@."
+  | Some rs -> Fmt.pr "last rewrite     : %a@." Engine.pp_stats rs
+
+let handle_directive session line =
+  let directive, arg = cut_directive line in
+  match directive with
+  | ".quit" | ".exit" -> `Quit
+  | ".help" ->
+    Fmt.pr "%s@." help_text;
     `Continue
-  end
-  else if String.length line >= 6 && String.sub line 0 6 = ".trace" then begin
-    let plan = Session.explain session (strip ".trace") in
+  | ".explain" ->
+    print_plan session (Session.explain session arg);
+    `Continue
+  | ".trace" ->
+    let plan = Session.explain session arg in
     List.iter
       (fun step -> Fmt.pr "%a@." Engine.pp_step step)
       (Engine.steps plan.Session.rewrite_stats);
     print_plan session plan;
     `Continue
-  end
-  else if String.equal line ".rules" then begin
+  | ".trace-file" ->
+    (match arg with
+    | "" | "off" ->
+      stop_tracing ();
+      Fmt.pr "tracing off@."
+    | path ->
+      start_tracing path;
+      Fmt.pr "tracing to %s (Chrome trace-event format)@." path);
+    `Continue
+  | ".profile" ->
+    (match (arg, Obs.Profile.current ()) with
+    | "on", _ ->
+      Obs.Profile.set_current (Some (Obs.Profile.create ()));
+      Fmt.pr "profiling on@."
+    | "off", Some p ->
+      print_profile session p;
+      Obs.Profile.set_current None
+    | "off", None -> Fmt.pr "profiling was already off@."
+    | "", Some p -> print_profile session p
+    | _ -> Fmt.pr "usage: .profile on|off@.");
+    `Continue
+  | ".stats" ->
+    print_session_stats session;
+    `Continue
+  | ".rules" ->
     let program = Session.program session in
     List.iter
       (fun b ->
@@ -79,8 +158,7 @@ let handle_directive session line =
         List.iter (fun r -> Fmt.pr "  %a@." Rule.pp r) b.Rule.rules)
       program.Rule.blocks;
     `Continue
-  end
-  else if String.equal line ".check" then begin
+  | ".check" ->
     (match Session.check_program session with
     | [] -> Fmt.pr "rule program is termination-safe (§4.2)@."
     | warnings ->
@@ -88,31 +166,24 @@ let handle_directive session line =
         (fun w -> Fmt.pr "%a@." Eds_rewriter.Rule_analysis.pp_warning w)
         warnings);
     `Continue
-  end
-  else if String.length line >= 7 && String.sub line 0 7 = ".limits" then begin
-    let n = int_of_string_opt (strip ".limits") in
-    (match n with
+  | ".limits" ->
+    (match int_of_string_opt arg with
     | Some n -> Session.set_config session (limits_config n)
     | None -> Fmt.pr "usage: .limits N   (negative N = infinite)@.");
     `Continue
-  end
-  else if String.equal line ".norewrite" then begin
+  | ".norewrite" ->
     Session.set_rewriting session false;
     `Continue
-  end
-  else if String.equal line ".rewrite" then begin
+  | ".rewrite" ->
     Session.set_rewriting session true;
     `Continue
-  end
-  else if String.length line >= 11 && String.sub line 0 11 = ".constraint" then begin
-    Session.add_integrity_constraint session (strip ".constraint");
+  | ".constraint" ->
+    Session.add_integrity_constraint session arg;
     Fmt.pr "constraint recorded@.";
     `Continue
-  end
-  else begin
-    Fmt.pr "unknown directive %s@." line;
+  | _ ->
+    Fmt.pr "unknown directive %s, try .help@." directive;
     `Continue
-  end
 
 let handle_save_load session line strip =
   if String.length line >= 5 && String.sub line 0 5 = ".save" then begin
@@ -215,6 +286,12 @@ let main file explain norewrite limits =
   (match limits with
   | Some n -> Session.set_config session (limits_config n)
   | None -> ());
+  (* EDS_TRACE=<file> traces the whole run; the finaliser writes the
+     closing bracket even on early exit *)
+  (match Sys.getenv_opt "EDS_TRACE" with
+  | Some path when path <> "" -> start_tracing path
+  | _ -> ());
+  at_exit stop_tracing;
   match file with
   | Some path -> (
     try run_file session path explain with

@@ -17,6 +17,7 @@ module Rule = Eds_rewriter.Rule
 module Rule_parser = Eds_rewriter.Rule_parser
 module Engine = Eds_rewriter.Engine
 module Optimizer = Eds_rewriter.Optimizer
+module Obs = Eds_obs.Obs
 
 type t = {
   cat : Catalog.t;
@@ -27,6 +28,9 @@ type t = {
   mutable adaptive : bool;
   mutable semantic_constraints : (string * Term.t) list;
   mutable extra_methods : (string * Engine.method_fn) list;
+  eval_stats : Eval.stats;  (** cumulative over every executed statement *)
+  mutable last_rewrite_stats : Engine.stats option;
+  mutable statements_run : int;
 }
 
 exception Session_error of string
@@ -45,6 +49,9 @@ let create ?(config = Optimizer.default_config) () =
     adaptive = false;
     semantic_constraints = [];
     extra_methods = [];
+    eval_stats = Eval.fresh_stats ();
+    last_rewrite_stats = None;
+    statements_run = 0;
   }
 
 let catalog s = s.cat
@@ -79,6 +86,9 @@ type plan = {
   translated : Lera.rel;
   rewritten : Lera.rel;
   rewrite_stats : Engine.stats;
+  trace : Obs.event list;
+      (** the trace events emitted while planning this query; empty when
+          tracing is off *)
 }
 
 let wrap_errors f =
@@ -94,19 +104,28 @@ let wrap_errors f =
   | Rule_parser.Rule_parse_error msg -> error "rule error: %s" msg
 
 let plan_select s (sel : Ast.select) : plan =
-  let translated = Translate.select s.cat sel in
-  if not s.rewriting then
-    { translated; rewritten = translated; rewrite_stats = Engine.fresh_stats () }
-  else begin
-    let stats = Engine.fresh_stats () in
-    let program =
-      if s.adaptive then
-        Optimizer.program ~config:(Optimizer.adaptive_config translated) ()
-      else s.rule_program
+  let (translated, rewritten, stats), events =
+    Obs.with_collector @@ fun () ->
+    let translated =
+      Obs.span ~cat:"pipeline" "translate" (fun () -> Translate.select s.cat sel)
     in
-    let rewritten = Optimizer.rewrite ~program ~stats (make_ctx s) translated in
-    { translated; rewritten; rewrite_stats = stats }
-  end
+    if not s.rewriting then (translated, translated, Engine.fresh_stats ())
+    else begin
+      let stats = Engine.fresh_stats () in
+      let program =
+        if s.adaptive then
+          Optimizer.program ~config:(Optimizer.adaptive_config translated) ()
+        else s.rule_program
+      in
+      let rewritten =
+        Obs.span ~cat:"pipeline" "rewrite" (fun () ->
+            Optimizer.rewrite ~program ~stats (make_ctx s) translated)
+      in
+      (translated, rewritten, stats)
+    end
+  in
+  s.last_rewrite_stats <- Some stats;
+  { translated; rewritten; rewrite_stats = stats; trace = events }
 
 let run_plan ?stats s rel = wrap_errors (fun () -> Eval.run ?stats s.db rel)
 
@@ -118,6 +137,7 @@ let estimate s rel =
 
 let exec s (stmt : Ast.stmt) : result =
   wrap_errors @@ fun () ->
+  s.statements_run <- s.statements_run + 1;
   match stmt with
   | Ast.Create_type _ | Ast.Create_view _ ->
     Catalog.apply_ddl s.cat stmt;
@@ -198,9 +218,13 @@ let exec s (stmt : Ast.stmt) : result =
       Updated !touched)
   | Ast.Select_stmt sel ->
     let plan = plan_select s sel in
-    Rows (Eval.run s.db plan.rewritten)
+    Rows
+      (Obs.span ~cat:"pipeline" "execute" (fun () ->
+           Eval.run ~stats:s.eval_stats s.db plan.rewritten))
 
-let exec_string s input = wrap_errors (fun () -> exec s (Parser.parse_stmt input))
+let exec_string s input =
+  wrap_errors (fun () ->
+      exec s (Obs.span ~cat:"pipeline" "parse" (fun () -> Parser.parse_stmt input)))
 
 let exec_script s input =
   wrap_errors (fun () -> List.map (exec s) (Parser.parse_program input))
@@ -212,9 +236,13 @@ let query s input =
 
 let explain s input =
   wrap_errors @@ fun () ->
-  match Parser.parse_stmt input with
+  match Obs.span ~cat:"pipeline" "parse" (fun () -> Parser.parse_stmt input) with
   | Ast.Select_stmt sel -> plan_select s sel
   | _ -> error "EXPLAIN expects a SELECT statement"
+
+let eval_stats s = s.eval_stats
+let last_rewrite_stats s = s.last_rewrite_stats
+let statements_run s = s.statements_run
 
 (* -- DBI extension surface ---------------------------------------------- *)
 

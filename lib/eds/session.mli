@@ -24,6 +24,7 @@ module Catalog = Eds_esql.Catalog
 module Rule = Eds_rewriter.Rule
 module Engine = Eds_rewriter.Engine
 module Optimizer = Eds_rewriter.Optimizer
+module Obs = Eds_obs.Obs
 
 type t
 
@@ -70,10 +71,26 @@ type plan = {
   translated : Lera.rel;  (** canonical LERA straight out of translation *)
   rewritten : Lera.rel;  (** after the rule program *)
   rewrite_stats : Engine.stats;
+  trace : Obs.event list;
+      (** trace events captured while planning (translate + rewrite
+          phases, per-block and per-rule spans).  Empty unless a trace
+          sink is installed ({!Eds_obs.Obs.set_sink}). *)
 }
 
 val explain : t -> string -> plan
 (** Translate and rewrite a SELECT without executing it. *)
+
+(** {1 Observability} *)
+
+val eval_stats : t -> Eval.stats
+(** Evaluator work counters accumulated over every statement executed by
+    this session. *)
+
+val last_rewrite_stats : t -> Engine.stats option
+(** Rewrite statistics of the most recently planned SELECT, if any. *)
+
+val statements_run : t -> int
+(** Number of statements submitted through {!exec} (and wrappers). *)
 
 val run_plan : ?stats:Eval.stats -> t -> Lera.rel -> Relation.t
 

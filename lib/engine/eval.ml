@@ -1,6 +1,7 @@
 module Value = Eds_value.Value
 module Lera = Eds_lera.Lera
 module Schema = Eds_lera.Schema
+module Obs = Eds_obs.Obs
 
 type stats = {
   mutable combinations : int;
@@ -103,11 +104,54 @@ type ctx = {
          magic fixpoint appears as an operand of several answer arms *)
 }
 
+(* trace-span label of one operator node *)
+let op_label : Lera.rel -> string = function
+  | Lera.Base n -> "base:" ^ n
+  | Lera.Rvar n -> "rvar:" ^ n
+  | Lera.Filter _ -> "filter"
+  | Lera.Project _ -> "project"
+  | Lera.Join _ -> "join"
+  | Lera.Union _ -> "union"
+  | Lera.Diff _ -> "diff"
+  | Lera.Inter _ -> "inter"
+  | Lera.Search _ -> "search"
+  | Lera.Fix (n, _) -> "fix:" ^ n
+  | Lera.Nest _ -> "nest"
+  | Lera.Unnest _ -> "unnest"
+
 let rec run ?(mode = Seminaive) ?stats ?(rvars = []) db (r : Lera.rel) : Relation.t =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   eval { db; mode; stats; rvars; fix_cache = ref [] } r
 
+(* Every operator evaluation becomes a span when tracing is on, carrying
+   its output cardinality and the combinations it enumerated — the
+   intermediate-result sizes of a plan are then readable straight off
+   the trace.  With tracing off this is one load and one branch around
+   [eval_node]. *)
 and eval ctx (r : Lera.rel) : Relation.t =
+  if not (Obs.enabled ()) then eval_node ctx r
+  else begin
+    let name = "eval:" ^ op_label r in
+    let combos0 = ctx.stats.combinations in
+    let read0 = ctx.stats.tuples_read in
+    Obs.span_begin ~cat:"eval" name;
+    match eval_node ctx r with
+    | rel ->
+      Obs.span_end ~cat:"eval"
+        ~attrs:
+          [
+            ("rows_out", Obs.Json.Int (Relation.cardinality rel));
+            ("combinations", Obs.Json.Int (ctx.stats.combinations - combos0));
+            ("tuples_read", Obs.Json.Int (ctx.stats.tuples_read - read0));
+          ]
+        name;
+      rel
+    | exception e ->
+      Obs.span_end ~cat:"eval" name;
+      raise e
+  end
+
+and eval_node ctx (r : Lera.rel) : Relation.t =
   let { db; mode = _; stats; rvars; fix_cache = _ } = ctx in
   match r with
   | Lera.Base n -> (
@@ -263,6 +307,14 @@ and seminaive_fixpoint ctx n body schema =
     if Relation.is_empty delta then total
     else begin
       ctx.stats.fix_iterations <- ctx.stats.fix_iterations + 1;
+      if Obs.enabled () then
+        Obs.instant ~cat:"eval"
+          ~attrs:
+            [
+              ("delta", Obs.Json.Int (Relation.cardinality delta));
+              ("total", Obs.Json.Int (Relation.cardinality total));
+            ]
+          ("fix-iteration:" ^ n);
       let new_tuples =
         List.concat_map
           (fun arm ->

@@ -7,6 +7,7 @@ module Matcher = Eds_term.Matcher
 module Lera = Eds_lera.Lera
 module Schema = Eds_lera.Schema
 module Lera_term = Eds_lera.Lera_term
+module Obs = Eds_obs.Obs
 
 type local_env = {
   input_schemas : Schema.t list option;
@@ -58,6 +59,7 @@ type stats = {
   mutable schema_misses : int;
   mutable by_rule : (string * int) list;
   mutable per_block : (string * block_stats) list;
+  mutable passes : (string * block_stats) list;
   mutable trace : step list;  (** most recent first; reversed by [steps] *)
 }
 
@@ -73,6 +75,7 @@ let fresh_stats () =
     schema_misses = 0;
     by_rule = [];
     per_block = [];
+    passes = [];
     trace = [];
   }
 
@@ -85,6 +88,23 @@ let block_stats stats name =
     let bs = { time_s = 0.; nodes = 0; conditions = 0; rewrites = 0 } in
     stats.per_block <- stats.per_block @ [ (name, bs) ];
     bs
+
+(* One execution of a block is one *pass*.  A block name may execute
+   several times under one [stats] record — the same block re-run across
+   rounds, or a rule set mounted under two blocks of the program (the
+   C2 merge/fixpoint/merge sequence) — so accounting is collected per
+   pass and folded into the name-summed [per_block] view afterwards. *)
+let new_pass stats name =
+  let bs = { time_s = 0.; nodes = 0; conditions = 0; rewrites = 0 } in
+  stats.passes <- stats.passes @ [ (name, bs) ];
+  bs
+
+let merge_pass stats name (pass : block_stats) =
+  let total = block_stats stats name in
+  total.time_s <- total.time_s +. pass.time_s;
+  total.nodes <- total.nodes + pass.nodes;
+  total.conditions <- total.conditions + pass.conditions;
+  total.rewrites <- total.rewrites + pass.rewrites
 
 let pp_block_stats ppf (name, bs) =
   Fmt.pf ppf "%s: %.3fms nodes=%d conditions=%d rewrites=%d" name
@@ -323,31 +343,104 @@ let run_methods c env rule subst =
   in
   go subst rule.Rule.methods
 
+(* Per-attempt veto accounting, filled in only when profiling or tracing
+   is on (the tally is [None] on the undisturbed hot path). *)
+type attempt_tally = {
+  mutable subs : int;  (** substitutions enumerated *)
+  mutable constraint_fails : int;
+  mutable method_fails : int;
+  mutable budget_hit : bool;
+}
+
 (* Shared core of rule application.  Enumerates the rule's matches
    lazily; each substitution whose constraints are about to be evaluated
    costs one condition check — [on_check] charges it against the block
    budget and returns false when the budget is exhausted, which aborts
    the enumeration ("each time a rule condition is checked, the limit of
    the block is decreased by one", §4.2). *)
-let try_rule c env ~on_check (rule : Rule.t) t : Term.t option =
+let try_rule c env ~on_check ?tally (rule : Rule.t) t : Term.t option =
   let rec find seq =
     match seq () with
     | Seq.Nil -> None
     | Seq.Cons (subst, rest) -> (
-      if not (on_check ()) then None
-      else
+      if not (on_check ()) then begin
+        (match tally with Some a -> a.budget_hit <- true | None -> ());
+        None
+      end
+      else begin
+        (match tally with Some a -> a.subs <- a.subs + 1 | None -> ());
         let holds =
           List.for_all
             (fun ct -> eval_constraint c env (Subst.apply subst ct))
             rule.Rule.constraints
         in
-        if not holds then find rest
+        if not holds then begin
+          (match tally with
+          | Some a -> a.constraint_fails <- a.constraint_fails + 1
+          | None -> ());
+          find rest
+        end
         else
           match run_methods c env rule subst with
           | Some subst' -> Some (Lera_term.normalize (Subst.apply subst' rule.Rule.rhs))
-          | None -> find rest)
+          | None ->
+            (match tally with
+            | Some a -> a.method_fails <- a.method_fails + 1
+            | None -> ());
+            find rest
+      end)
   in
   find (Matcher.all ~pattern:rule.Rule.lhs t)
+
+(* One (rule, node) attempt with observability: when a profile is
+   installed, aggregate attempts/fires/vetoes and condition time per
+   (block, rule); when a trace sink is installed, emit one complete
+   event per attempt with its outcome.  When neither is active this is
+   exactly [try_rule] — one load and one branch of overhead. *)
+let attempt_rule c env ~on_check ~block_name (rule : Rule.t) t : Term.t option =
+  match Obs.Profile.current (), Obs.enabled () with
+  | None, false -> try_rule c env ~on_check rule t
+  | profile, traced ->
+    let tally =
+      { subs = 0; constraint_fails = 0; method_fails = 0; budget_hit = false }
+    in
+    let t0 = Obs.now () in
+    let result = try_rule c env ~on_check ~tally rule t in
+    let dt = Obs.now () -. t0 in
+    (match profile with
+    | Some p ->
+      let cell = Obs.Profile.cell p ~block:block_name ~rule:rule.Rule.name in
+      cell.Obs.Profile.attempts <- cell.Obs.Profile.attempts + 1;
+      if Option.is_some result then
+        cell.Obs.Profile.fires <- cell.Obs.Profile.fires + 1;
+      cell.Obs.Profile.constraint_vetoes <-
+        cell.Obs.Profile.constraint_vetoes + tally.constraint_fails;
+      cell.Obs.Profile.method_vetoes <-
+        cell.Obs.Profile.method_vetoes + tally.method_fails;
+      if tally.budget_hit then
+        cell.Obs.Profile.budget_aborts <- cell.Obs.Profile.budget_aborts + 1;
+      cell.Obs.Profile.time_s <- cell.Obs.Profile.time_s +. dt
+    | None -> ());
+    if traced then begin
+      let outcome =
+        match result with
+        | Some _ -> "fired"
+        | None ->
+          if tally.budget_hit then "budget"
+          else if tally.method_fails > 0 then "method-veto"
+          else if tally.constraint_fails > 0 then "constraint-veto"
+          else "no-match"
+      in
+      Obs.complete ~cat:"rule"
+        ~attrs:
+          [
+            ("block", Obs.Json.Str block_name);
+            ("outcome", Obs.Json.Str outcome);
+            ("substitutions", Obs.Json.Int tally.subs);
+          ]
+        ("rule:" ^ rule.Rule.name) ~ts:t0 ~dur:dt
+    end;
+    result
 
 let apply_rule_at c env (rule : Rule.t) t : Term.t option =
   try_rule c env ~on_check:(fun () -> true) rule t
@@ -530,7 +623,10 @@ and fast_try_rules ex env t = function
     if !(ex.budget) <= 0 then None
     else begin
       ex.stats.match_attempts <- ex.stats.match_attempts + 1;
-      match try_rule ex.ectx env ~on_check:(charge_check ex) rule t with
+      match
+        attempt_rule ex.ectx env ~on_check:(charge_check ex)
+          ~block_name:ex.block.Rule.block_name rule t
+      with
       | Some t' ->
         record ex rule t t';
         Some t'
@@ -575,12 +671,47 @@ let run_block_exec ex t =
   ex.bstats.time_s <- ex.bstats.time_s +. (Unix.gettimeofday () -. t0);
   result
 
+(* [bstats] is this pass's cell; fold it into the name-summed view once
+   the pass completes.  With a trace sink installed the pass becomes a
+   span carrying its budget on entry and its work counters on exit. *)
+let run_pass stats block_name ~limit ~bstats exec t =
+  let result =
+    if not (Obs.enabled ()) then exec t
+    else begin
+      let name = "block:" ^ block_name in
+      Obs.span_begin ~cat:"rewrite"
+        ~attrs:
+          [
+            ( "limit",
+              match limit with
+              | Some n -> Obs.Json.Int n
+              | None -> Obs.Json.Str "inf" );
+            ("pass", Obs.Json.Int (List.length stats.passes));
+          ]
+        name;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.span_end ~cat:"rewrite"
+            ~attrs:
+              [
+                ("nodes", Obs.Json.Int bstats.nodes);
+                ("conditions", Obs.Json.Int bstats.conditions);
+                ("rewrites", Obs.Json.Int bstats.rewrites);
+              ]
+            name)
+        (fun () -> exec t)
+    end
+  in
+  merge_pass stats block_name bstats;
+  result
+
 let run_block_with c stats memo (block : Rule.block) t =
+  let bstats = new_pass stats block.Rule.block_name in
   let ex =
     {
       ectx = c;
       stats;
-      bstats = block_stats stats block.Rule.block_name;
+      bstats;
       block;
       compiled = Rule.compile block;
       budget = ref (match block.Rule.limit with Some n -> n | None -> max_int);
@@ -588,7 +719,8 @@ let run_block_with c stats memo (block : Rule.block) t =
       failed = Phystbl.create 256;
     }
   in
-  run_block_exec ex t
+  run_pass stats block.Rule.block_name ~limit:block.Rule.limit ~bstats
+    (run_block_exec ex) t
 
 let run_block c ?stats (block : Rule.block) t =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
@@ -645,7 +777,9 @@ let reference_step c block stats bstats budget t : Term.t option =
             true
           end
         in
-        match try_rule c env ~on_check rule t with
+        match
+          attempt_rule c env ~on_check ~block_name:block.Rule.block_name rule t
+        with
         | Some t' ->
           stats.trace <-
             {
@@ -693,19 +827,22 @@ let reference_step c block stats bstats budget t : Term.t option =
 
 let run_block_reference c ?stats (block : Rule.block) t =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
-  let bstats = block_stats stats block.Rule.block_name in
+  let bstats = new_pass stats block.Rule.block_name in
   let budget = ref (match block.Rule.limit with Some n -> n | None -> max_int) in
-  let t0 = Unix.gettimeofday () in
-  let rec loop t =
-    if !budget <= 0 then t
-    else
-      match reference_step c block stats bstats budget t with
-      | Some t' -> loop (Lera_term.normalize t')
-      | None -> t
+  let exec t =
+    let t0 = Unix.gettimeofday () in
+    let rec loop t =
+      if !budget <= 0 then t
+      else
+        match reference_step c block stats bstats budget t with
+        | Some t' -> loop (Lera_term.normalize t')
+        | None -> t
+    in
+    let result = loop t in
+    bstats.time_s <- bstats.time_s +. (Unix.gettimeofday () -. t0);
+    result
   in
-  let result = loop t in
-  bstats.time_s <- bstats.time_s +. (Unix.gettimeofday () -. t0);
-  result
+  run_pass stats block.Rule.block_name ~limit:block.Rule.limit ~bstats exec t
 
 let run_reference c ?stats (program : Rule.program) t =
   let stats = match stats with Some s -> s | None -> fresh_stats () in

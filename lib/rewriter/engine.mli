@@ -87,7 +87,13 @@ type stats = {
   mutable schema_hits : int;  (** schema derivations answered by the memo *)
   mutable schema_misses : int;
   mutable by_rule : (string * int) list;  (** rewrites per rule name *)
-  mutable per_block : (string * block_stats) list;  (** in execution order *)
+  mutable per_block : (string * block_stats) list;
+      (** name-summed view: one entry per block {e name}, totals over
+          every pass of that name (kept for backwards compatibility) *)
+  mutable passes : (string * block_stats) list;
+      (** one entry per block {e pass} in execution order — a block name
+          re-run across rounds, or mounted twice in the program (the C2
+          merge/fixpoint/merge sequence), gets one entry per execution *)
   mutable trace : step list;  (** most recent first *)
 }
 
@@ -96,7 +102,8 @@ val steps : stats -> step list
 (** Applications in chronological order. *)
 
 val block_stats : stats -> string -> block_stats
-(** Accounting entry for a block name, created on first use. *)
+(** Name-summed accounting entry for a block name, created on first
+    use.  Per-pass accounting lives in the [passes] field. *)
 
 val pp_block_stats : Format.formatter -> string * block_stats -> unit
 val pp_stats : Format.formatter -> stats -> unit

@@ -401,7 +401,8 @@ let m_alexander c env subst args =
     in
     let rel = match Magic.linearize_tc rel with Some l -> l | None -> rel in
     let* rewritten =
-      Magic.transform c.Engine.schema_env ~rvars:env.Engine.rvars rel ~bound
+      Eds_obs.Obs.span ~cat:"rewrite" "magic:alexander" (fun () ->
+          Magic.transform c.Engine.schema_env ~rvars:env.Engine.rvars rel ~bound)
     in
     bind_one subst out (Lera_term.to_term rewritten)
   | _ -> None

@@ -20,4 +20,5 @@ let () =
       ("storage", Test_storage.suite);
       ("robustness", Test_robustness.suite);
       ("conformance", Test_conformance.suite);
+      ("obs", Test_obs.suite);
     ]
