@@ -172,7 +172,43 @@ let view_stack_rewrite ~depth =
   let ctx = Eds_rewriter.Optimizer.make_ctx (Eds_esql.Catalog.schema_env cat) in
   (ctx, translated)
 
+(* Work of a plan under the naive physical layer — the counter source of
+   every paper-shape (F/C/A) experiment: the rewriter's benefit is the
+   shrinkage of the enumerated space, which the indexed hash joins would
+   collapse on their own.  E2 compares the two layers explicitly. *)
 let eval_work db rel =
   let stats = Eds_engine.Eval.fresh_stats () in
-  ignore (Eds_engine.Eval.run ~stats db rel);
+  ignore (Eds_engine.Eval.run ~physical:Eds_engine.Eval.Physical.Naive ~stats db rel);
   stats
+
+let eval_work_physical physical db rel =
+  let stats = Eds_engine.Eval.fresh_stats () in
+  let result = Eds_engine.Eval.run ~physical ~stats db rel in
+  (stats, result)
+
+(* -- E2 scaling workload: a three-way chain join ------------------------- *)
+
+(* R(A, J) ⋈ S(J, K) ⋈ T(K, B): the naive layer enumerates
+   |R|·|S|·|T| combinations, the indexed layer touches each tuple
+   roughly once per hash step, so the gap widens cubically with size *)
+let chain_join_db ~size =
+  let db = Database.create () in
+  let rng = make_rng 31415 in
+  let two a b = [ (a, Vtype.Int); (b, Vtype.Int) ] in
+  let mk n = List.init n (fun i -> [ Value.Int i; Value.Int (rng size) ]) in
+  Database.add_relation db "R" (Relation.make (two "A" "J") (mk size));
+  Database.add_relation db "S"
+    (Relation.make (two "J" "K")
+       (List.init (2 * size) (fun i -> [ Value.Int (rng size); Value.Int (i mod size) ])));
+  Database.add_relation db "T" (Relation.make (two "K" "B") (mk size));
+  db
+
+let chain_join_query =
+  Lera.Search
+    ( [ Lera.Base "R"; Lera.Base "S"; Lera.Base "T" ],
+      Lera.conj
+        [
+          Lera.eq (Lera.col 1 2) (Lera.col 2 1);
+          Lera.eq (Lera.col 2 2) (Lera.col 3 1);
+        ],
+      [ Lera.col 1 1; Lera.col 3 2 ] )

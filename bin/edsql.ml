@@ -68,6 +68,7 @@ let help_text =
   \  .check                termination warnings for the rule program (\xc2\xa74.2)\n\
   \  .limits N             set every block limit to N (negative = infinite)\n\
   \  .norewrite / .rewrite disable / enable the rewriter\n\
+  \  .physical naive|indexed   select the physical evaluation layer\n\
   \  .constraint TEXT      declare an integrity constraint (Fig. 10)\n\
   \  .save FILE / .load FILE   dump or restore the whole session\n\
   \  .help                 this message\n\
@@ -105,6 +106,8 @@ let print_session_stats session =
   Fmt.pr "tuples read      : %d@." es.Session.Eval.tuples_read;
   Fmt.pr "tuples produced  : %d@." es.Session.Eval.tuples_produced;
   Fmt.pr "fixpoint iters   : %d@." es.Session.Eval.fix_iterations;
+  Fmt.pr "index probes     : %d@." es.Session.Eval.probes;
+  Fmt.pr "index builds     : %d@." es.Session.Eval.builds;
   match Session.last_rewrite_stats session with
   | None -> Fmt.pr "last rewrite     : (none)@."
   | Some rs -> Fmt.pr "last rewrite     : %a@." Engine.pp_stats rs
@@ -176,6 +179,15 @@ let handle_directive session line =
     `Continue
   | ".rewrite" ->
     Session.set_rewriting session true;
+    `Continue
+  | ".physical" ->
+    (match Session.Eval.Physical.of_string arg with
+    | Some p ->
+      Session.set_physical session p;
+      Fmt.pr "physical layer: %s@." (Session.Eval.Physical.to_string p)
+    | None ->
+      Fmt.pr "physical layer: %s (usage: .physical naive|indexed)@."
+        (Session.Eval.Physical.to_string (Session.physical session)));
     `Continue
   | ".constraint" ->
     Session.add_integrity_constraint session arg;

@@ -26,6 +26,7 @@ type t = {
   mutable rule_program : Rule.program;
   mutable rewriting : bool;
   mutable adaptive : bool;
+  mutable physical : Eval.Physical.t;
   mutable semantic_constraints : (string * Term.t) list;
   mutable extra_methods : (string * Engine.method_fn) list;
   eval_stats : Eval.stats;  (** cumulative over every executed statement *)
@@ -47,6 +48,7 @@ let create ?(config = Optimizer.default_config) () =
     rule_program = Optimizer.program ~config ();
     rewriting = true;
     adaptive = false;
+    physical = Eval.Physical.Indexed;
     semantic_constraints = [];
     extra_methods = [];
     eval_stats = Eval.fresh_stats ();
@@ -63,6 +65,8 @@ let set_config s config =
 
 let set_rewriting s flag = s.rewriting <- flag
 let set_adaptive s flag = s.adaptive <- flag
+let set_physical s p = s.physical <- p
+let physical s = s.physical
 
 (* the catalog owns types and ADTs; keep the database's view in sync *)
 let sync s =
@@ -127,7 +131,8 @@ let plan_select s (sel : Ast.select) : plan =
   s.last_rewrite_stats <- Some stats;
   { translated; rewritten; rewrite_stats = stats; trace = events }
 
-let run_plan ?stats s rel = wrap_errors (fun () -> Eval.run ?stats s.db rel)
+let run_plan ?stats s rel =
+  wrap_errors (fun () -> Eval.run ~physical:s.physical ?stats s.db rel)
 
 let estimate s rel =
   let card name =
@@ -220,7 +225,7 @@ let exec s (stmt : Ast.stmt) : result =
     let plan = plan_select s sel in
     Rows
       (Obs.span ~cat:"pipeline" "execute" (fun () ->
-           Eval.run ~stats:s.eval_stats s.db plan.rewritten))
+           Eval.run ~physical:s.physical ~stats:s.eval_stats s.db plan.rewritten))
 
 let exec_string s input =
   wrap_errors (fun () ->

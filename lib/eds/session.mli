@@ -42,6 +42,13 @@ val set_adaptive : t -> bool -> unit
     ({!Eds_rewriter.Optimizer.adaptive_config}) — the §7 "limits adjusted
     dynamically" policy.  Off by default. *)
 
+val set_physical : t -> Eval.Physical.t -> unit
+(** Select the physical evaluation layer for subsequent statements —
+    [Indexed] (the default: hash joins, set-backed relations) or [Naive]
+    (full cartesian enumeration, the golden reference). *)
+
+val physical : t -> Eval.Physical.t
+
 (** {1 Executing ESQL} *)
 
 type result =

@@ -8,22 +8,49 @@ type stats = {
   mutable tuples_read : int;
   mutable tuples_produced : int;
   mutable fix_iterations : int;
+  mutable probes : int;
+  mutable builds : int;
 }
 
 let fresh_stats () =
-  { combinations = 0; tuples_read = 0; tuples_produced = 0; fix_iterations = 0 }
+  {
+    combinations = 0;
+    tuples_read = 0;
+    tuples_produced = 0;
+    fix_iterations = 0;
+    probes = 0;
+    builds = 0;
+  }
 
 let add_stats acc s =
   acc.combinations <- acc.combinations + s.combinations;
   acc.tuples_read <- acc.tuples_read + s.tuples_read;
   acc.tuples_produced <- acc.tuples_produced + s.tuples_produced;
-  acc.fix_iterations <- acc.fix_iterations + s.fix_iterations
+  acc.fix_iterations <- acc.fix_iterations + s.fix_iterations;
+  acc.probes <- acc.probes + s.probes;
+  acc.builds <- acc.builds + s.builds
 
 let pp_stats ppf s =
-  Fmt.pf ppf "combinations=%d read=%d produced=%d fix_iters=%d" s.combinations
-    s.tuples_read s.tuples_produced s.fix_iterations
+  Fmt.pf ppf "combinations=%d read=%d produced=%d fix_iters=%d probes=%d builds=%d"
+    s.combinations s.tuples_read s.tuples_produced s.fix_iterations s.probes
+    s.builds
 
 type fix_mode = Naive | Seminaive
+
+(* The physical evaluation layer (its own namespace: [Naive] would
+   otherwise collide with the fix_mode constructor). *)
+module Physical = struct
+  type t =
+    | Naive  (** cartesian enumeration + post-filter — the golden reference *)
+    | Indexed  (** hash joins on extracted equi conjuncts, set-backed dedup *)
+
+  let to_string = function Naive -> "naive" | Indexed -> "indexed"
+
+  let of_string = function
+    | "naive" -> Some Naive
+    | "indexed" -> Some Indexed
+    | _ -> None
+end
 
 exception Eval_error of string
 
@@ -94,14 +121,23 @@ let rec rvar_mentioned n (r : Lera.rel) =
   | Lera.Inter _ | Lera.Search _ | Lera.Nest _ | Lera.Unnest _ ->
     List.exists (rvar_mentioned n) (Lera.inputs r)
 
+(* closed fixpoint subexpressions, memoized within one run: the magic
+   fixpoint appears as an operand of several answer arms.  Keyed on the
+   term's structural hash (Lera.hash) instead of a linear assoc scan. *)
+module Fix_cache = Hashtbl.Make (struct
+  type t = Lera.rel
+
+  let equal = Lera.equal
+  let hash = Lera.hash
+end)
+
 type ctx = {
   db : Database.t;
   mode : fix_mode;
+  physical : Physical.t;
   stats : stats;
   rvars : (string * Relation.t) list;
-  fix_cache : (Lera.rel * Relation.t) list ref;
-      (* closed fixpoint subexpressions, memoized within one run: the
-         magic fixpoint appears as an operand of several answer arms *)
+  fix_cache : Relation.t Fix_cache.t;
 }
 
 (* trace-span label of one operator node *)
@@ -119,9 +155,10 @@ let op_label : Lera.rel -> string = function
   | Lera.Nest _ -> "nest"
   | Lera.Unnest _ -> "unnest"
 
-let rec run ?(mode = Seminaive) ?stats ?(rvars = []) db (r : Lera.rel) : Relation.t =
+let rec run ?(mode = Seminaive) ?(physical = Physical.Indexed) ?stats ?(rvars = [])
+    db (r : Lera.rel) : Relation.t =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
-  eval { db; mode; stats; rvars; fix_cache = ref [] } r
+  eval { db; mode; physical; stats; rvars; fix_cache = Fix_cache.create 8 } r
 
 (* Every operator evaluation becomes a span when tracing is on, carrying
    its output cardinality and the combinations it enumerated — the
@@ -134,6 +171,8 @@ and eval ctx (r : Lera.rel) : Relation.t =
     let name = "eval:" ^ op_label r in
     let combos0 = ctx.stats.combinations in
     let read0 = ctx.stats.tuples_read in
+    let probes0 = ctx.stats.probes in
+    let builds0 = ctx.stats.builds in
     Obs.span_begin ~cat:"eval" name;
     match eval_node ctx r with
     | rel ->
@@ -143,6 +182,8 @@ and eval ctx (r : Lera.rel) : Relation.t =
             ("rows_out", Obs.Json.Int (Relation.cardinality rel));
             ("combinations", Obs.Json.Int (ctx.stats.combinations - combos0));
             ("tuples_read", Obs.Json.Int (ctx.stats.tuples_read - read0));
+            ("probes", Obs.Json.Int (ctx.stats.probes - probes0));
+            ("builds", Obs.Json.Int (ctx.stats.builds - builds0));
           ]
         name;
       rel
@@ -151,8 +192,36 @@ and eval ctx (r : Lera.rel) : Relation.t =
       raise e
   end
 
+(* Enumerate the operand combinations satisfying qualification [q],
+   counting one [combinations] per qualified candidate.  The naive layer
+   enumerates the full cartesian product and tests [q] on each; the
+   indexed layer extracts the equi-join conjuncts, enumerates only the
+   hash-join matches and tests just the residual — on the same operand
+   ordering semantics, so both yield the same combination set. *)
+and joined ctx (inputs : Relation.t list) q (yield : Relation.tuple list -> unit) =
+  let stats = ctx.stats in
+  match ctx.physical with
+  | Physical.Naive ->
+    cartesian stats inputs (fun combo ->
+        if Expr_eval.eval_bool ctx.db ~inputs:combo q then yield combo)
+  | Physical.Indexed ->
+    let plan = Join_plan.analyze ~operands:(List.length inputs) q in
+    if not (Join_plan.has_equis plan) then
+      cartesian stats inputs (fun combo ->
+          if Expr_eval.eval_bool ctx.db ~inputs:combo q then yield combo)
+    else begin
+      let residual = Join_plan.residual plan in
+      Join_plan.execute
+        ~on_build:(fun () -> stats.builds <- stats.builds + 1)
+        ~on_probe:(fun () -> stats.probes <- stats.probes + 1)
+        plan (Array.of_list inputs)
+        (fun combo ->
+          stats.combinations <- stats.combinations + 1;
+          if Expr_eval.eval_bool ctx.db ~inputs:combo residual then yield combo)
+    end
+
 and eval_node ctx (r : Lera.rel) : Relation.t =
-  let { db; mode = _; stats; rvars; fix_cache = _ } = ctx in
+  let { db; stats; rvars; _ } = ctx in
   match r with
   | Lera.Base n -> (
     match List.assoc_opt n rvars with
@@ -186,10 +255,9 @@ and eval_node ctx (r : Lera.rel) : Relation.t =
     let ra = eval ctx a and rb = eval ctx b in
     let schema = ra.Relation.schema @ rb.Relation.schema in
     let out = ref [] in
-    cartesian stats [ ra; rb ] (fun combo ->
+    joined ctx [ ra; rb ] q (fun combo ->
         match combo with
-        | [ ta; tb ] ->
-          if Expr_eval.eval_bool db ~inputs:[ ta; tb ] q then out := (ta @ tb) :: !out
+        | [ ta; tb ] -> out := (ta @ tb) :: !out
         | _ -> assert false);
     produce stats (Relation.make schema !out)
   | Lera.Union rs -> (
@@ -203,9 +271,8 @@ and eval_node ctx (r : Lera.rel) : Relation.t =
     let inputs = List.map (eval ctx) rs in
     let schema = rel_schema ctx r in
     let out = ref [] in
-    cartesian stats inputs (fun combo ->
-        if Expr_eval.eval_bool db ~inputs:combo q then
-          out := List.map (fun p -> Expr_eval.eval db ~inputs:combo p) ps :: !out);
+    joined ctx inputs q (fun combo ->
+        out := List.map (fun p -> Expr_eval.eval db ~inputs:combo p) ps :: !out);
     produce stats (Relation.make schema !out)
   | Lera.Fix (n, body) ->
     (* memoize closed fixpoints whose base relations are not shadowed by
@@ -219,13 +286,11 @@ and eval_node ctx (r : Lera.rel) : Relation.t =
     in
     if not closed then produce stats (fixpoint ctx n body)
     else begin
-      match
-        List.find_opt (fun (key, _) -> Lera.equal key r) !(ctx.fix_cache)
-      with
-      | Some (_, cached) -> cached
+      match Fix_cache.find_opt ctx.fix_cache r with
+      | Some cached -> cached
       | None ->
         let result = produce stats (fixpoint ctx n body) in
-        ctx.fix_cache := (r, result) :: !(ctx.fix_cache);
+        Fix_cache.replace ctx.fix_cache r result;
         result
     end
   | Lera.Nest (a, group, nested) ->
@@ -236,13 +301,21 @@ and eval_node ctx (r : Lera.rel) : Relation.t =
     let ra = eval ctx a in
     let schema = rel_schema ctx r in
     let explode tup =
-      let v = List.nth tup (i - 1) in
-      if not (Value.is_collection v) then
-        error "unnest: column %d holds %a" i Value.pp v
-      else
-        List.map
-          (fun e -> List.mapi (fun idx x -> if idx + 1 = i then e else x) tup)
-          (Value.elements v)
+      let arr = Array.of_list tup in
+      if i < 1 || i > Array.length arr then
+        error "unnest: column %d of a width-%d tuple" i (Array.length arr)
+      else begin
+        let v = arr.(i - 1) in
+        if not (Value.is_collection v) then
+          error "unnest: column %d holds %a" i Value.pp v
+        else
+          List.map
+            (fun e ->
+              let a' = Array.copy arr in
+              a'.(i - 1) <- e;
+              Array.to_list a')
+            (Value.elements v)
+      end
     in
     produce stats (Relation.make schema (List.concat_map explode ra.Relation.tuples))
 
@@ -255,22 +328,27 @@ and rel_schema ctx r =
   try Schema.of_rel ~rvars:rvar_schemas (Database.schema_env ctx.db) r
   with Schema.Schema_error msg -> error "schema: %s" msg
 
+(* Hash-grouped, array-backed nest: one tuple→array conversion per input
+   tuple (column picks are then O(1) instead of List.nth), groups keyed
+   by the grouping columns in a tuple hashtable. *)
 and nest_tuples (ra : Relation.t) group nested =
-  let key tup = List.map (fun j -> List.nth tup (j - 1)) group in
-  let payload tup =
-    match nested with
-    | [ j ] -> List.nth tup (j - 1)
-    | js -> Value.Tuple (List.map (fun j -> (Fmt.str "a%d" j, List.nth tup (j - 1))) js)
-  in
-  let groups = ref [] in
+  let groups = Relation.Tuple_tbl.create 64 in
   List.iter
     (fun tup ->
-      let k = key tup in
-      match List.assoc_opt k !groups with
-      | Some items -> items := payload tup :: !items
-      | None -> groups := (k, ref [ payload tup ]) :: !groups)
+      let arr = Array.of_list tup in
+      let k = List.map (fun j -> arr.(j - 1)) group in
+      let payload =
+        match nested with
+        | [ j ] -> arr.(j - 1)
+        | js -> Value.Tuple (List.map (fun j -> (Fmt.str "a%d" j, arr.(j - 1))) js)
+      in
+      match Relation.Tuple_tbl.find_opt groups k with
+      | Some items -> items := payload :: !items
+      | None -> Relation.Tuple_tbl.replace groups k (ref [ payload ]))
     ra.Relation.tuples;
-  List.rev_map (fun (k, items) -> k @ [ Value.set !items ]) !groups
+  Relation.Tuple_tbl.fold
+    (fun k items acc -> (k @ [ Value.set !items ]) :: acc)
+    groups []
 
 and fixpoint ctx n body =
   let schema = rel_schema ctx (Lera.Fix (n, body)) in
@@ -289,7 +367,11 @@ and naive_fixpoint ctx n body schema =
 (* Differential evaluation: arms without the recursion variable seed the
    result; each cycle re-evaluates every recursive arm once per occurrence
    of the variable, substituting the delta for that occurrence and the
-   accumulated relation for the others. *)
+   accumulated relation for the others.  The accumulated [total] carries
+   a hash-set view (Relation.index), so the freshness test per produced
+   tuple is O(1); under the Indexed physical layer the per-arm delta
+   substitution additionally goes through the hash-join machinery, so an
+   iteration touches only tuples joinable with the delta. *)
 and seminaive_fixpoint ctx n body schema =
   let arms = match body with Lera.Union rs -> rs | r -> [ r ] in
   let is_recursive arm = count_occurrences n arm > 0 in

@@ -3,24 +3,32 @@
     This is the execution substrate used to {e measure} the benefit of
     each rewriting class: every operator reports the work it performs
     into a {!stats} record (combinations enumerated by joins/searches,
-    base tuples scanned, fixpoint iterations), so benchmarks compare the
-    work of a query before and after rewriting rather than wall time
-    alone.
+    base tuples scanned, fixpoint iterations, hash-index builds and
+    probes), so benchmarks compare the work of a query before and after
+    rewriting rather than wall time alone.
 
-    Evaluation is deliberately naive — qualifications are applied to
-    complete operand combinations, not pushed inside the enumeration —
-    because query rewriting, not physical optimization, is the paper's
-    subject: the rewriter's merging/permutation rules are precisely what
-    reduces the enumerated space. *)
+    Two physical layers share that logical evaluator
+    ({!Physical.t}): the {e naive} layer applies qualifications to
+    complete operand combinations of the full cartesian product — kept
+    as the golden reference, and as the counter source for the
+    paper-shape experiments, because the rewriter's merging/permutation
+    rules are precisely what reduces {e that} enumerated space — and the
+    {e indexed} layer (the default) extracts equi-join conjuncts and
+    enumerates only hash-join matches.  Both produce
+    {!Relation.equal} results on every plan. *)
 
 module Lera = Eds_lera.Lera
 
 type stats = {
   mutable combinations : int;
-      (** operand combinations enumerated by filter/join/search *)
+      (** operand combinations enumerated by filter/join/search; under
+          {!Physical.Indexed} only combinations surviving every equi
+          conjunct are counted, so indexed ≤ naive on any plan *)
   mutable tuples_read : int;  (** base relation tuples scanned *)
   mutable tuples_produced : int;
   mutable fix_iterations : int;
+  mutable probes : int;  (** hash-index lookups (Indexed layer only) *)
+  mutable builds : int;  (** tuples loaded into hash indexes (Indexed only) *)
 }
 
 val fresh_stats : unit -> stats
@@ -32,10 +40,25 @@ type fix_mode =
   | Naive  (** recompute the whole body each cycle *)
   | Seminaive  (** differential: recursive arms join against the delta *)
 
+(** Physical evaluation layer.  A submodule so that [Naive] does not
+    collide with the {!fix_mode} constructor of the same name. *)
+module Physical : sig
+  type t =
+    | Naive
+        (** cartesian enumeration + post-filter — the golden reference *)
+    | Indexed
+        (** hash joins on extracted equi conjuncts ({!Join_plan}),
+            set-backed relations; produces identical results *)
+
+  val to_string : t -> string
+  val of_string : string -> t option
+end
+
 exception Eval_error of string
 
 val run :
   ?mode:fix_mode ->
+  ?physical:Physical.t ->
   ?stats:stats ->
   ?rvars:(string * Relation.t) list ->
   Database.t ->
@@ -43,5 +66,5 @@ val run :
   Relation.t
 (** Evaluate an expression.  [rvars] supplies bindings for free recursion
     variables (used internally and by tests).  Default mode is
-    [Seminaive].  Raises {!Eval_error} (or {!Expr_eval.Eval_error}) on
-    ill-formed plans. *)
+    [Seminaive]; default physical layer is [Indexed].  Raises
+    {!Eval_error} (or {!Expr_eval.Eval_error}) on ill-formed plans. *)

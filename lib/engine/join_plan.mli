@@ -1,0 +1,46 @@
+(** Equi-join extraction and hash-join execution for the indexed
+    physical evaluator ({!Eval.Physical.Indexed}).
+
+    A Search/Join qualification is split into equi-join conjuncts
+    ([i.j = k.l] across two distinct operands) and a residual
+    conjunction; execution then enumerates only the combinations
+    satisfying every equi conjunct — hash-index build on each new
+    operand, probe from the accumulated partials — instead of the full
+    cartesian product, and the caller post-filters with the residual. *)
+
+module Lera = Eds_lera.Lera
+
+type equi = {
+  left : int * int;  (** (operand, column), 1-based; the lower operand *)
+  right : int * int;
+}
+
+type t = {
+  operands : int;
+  equis : equi list;
+  residual : Lera.scalar;  (** conjunction of the non-equi conjuncts *)
+}
+
+val analyze : operands:int -> Lera.scalar -> t
+(** Classify the top-level conjuncts of a qualification.  Conjuncts
+    whose shape is not [Col = Col] across two distinct in-range operands
+    land in the residual. *)
+
+val residual : t -> Lera.scalar
+val equi_count : t -> int
+val has_equis : t -> bool
+
+val execute :
+  on_build:(unit -> unit) ->
+  on_probe:(unit -> unit) ->
+  t ->
+  Relation.t array ->
+  (Relation.tuple list -> unit) ->
+  unit
+(** [execute ~on_build ~on_probe plan rels yield] calls [yield] once per
+    operand combination satisfying every equi conjunct, with the tuples
+    in original operand order (the residual is {e not} applied).
+    [on_build] fires once per tuple loaded into a hash index, [on_probe]
+    once per index lookup.  Short-circuits to nothing if any operand is
+    empty; with zero operands yields the single empty combination, like
+    the cartesian enumerator. *)

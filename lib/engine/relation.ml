@@ -3,11 +3,6 @@ module Schema = Eds_lera.Schema
 
 type tuple = Value.t list
 
-type t = {
-  schema : Schema.t;
-  tuples : tuple list;
-}
-
 let compare_tuples a b =
   let rec go xs ys =
     match xs, ys with
@@ -20,6 +15,41 @@ let compare_tuples a b =
   in
   go a b
 
+(* Tuple hash compatible with [compare_tuples]: Value.hash already hashes
+   Int through float and Enum through its label, the two cross-constructor
+   equalities of Value.compare. *)
+let hash_tuple tup =
+  List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 23 tup
+
+module Tuple_key = struct
+  type t = tuple
+
+  let equal a b = compare_tuples a b = 0
+  let hash = hash_tuple
+end
+
+module Tuple_tbl = Hashtbl.Make (Tuple_key)
+
+type index = unit Tuple_tbl.t
+
+type t = {
+  schema : Schema.t;
+  tuples : tuple list;
+  card : int;
+  index : index Lazy.t;
+}
+
+let build_index card tuples =
+  lazy
+    (let tbl = Tuple_tbl.create (max 16 card) in
+     List.iter (fun tup -> Tuple_tbl.replace tbl tup ()) tuples;
+     tbl)
+
+(* sorted, duplicate-free input *)
+let of_sorted schema tuples =
+  let card = List.length tuples in
+  { schema; tuples; card; index = build_index card tuples }
+
 let make schema tuples =
   let width = Schema.arity schema in
   List.iter
@@ -29,25 +59,51 @@ let make schema tuples =
           (Fmt.str "Relation.make: tuple width %d differs from arity %d"
              (List.length tup) width))
     tuples;
-  { schema; tuples = List.sort_uniq compare_tuples tuples }
+  of_sorted schema (List.sort_uniq compare_tuples tuples)
 
-let empty schema = { schema; tuples = [] }
-let cardinality r = List.length r.tuples
-let is_empty r = r.tuples = []
+let empty schema = of_sorted schema []
+let cardinality r = r.card
+let is_empty r = r.card = 0
 
-let mem tup r =
-  List.exists (fun t -> compare_tuples tup t = 0) r.tuples
+let mem tup r = r.card > 0 && Tuple_tbl.mem (Lazy.force r.index) tup
 
 let equal a b =
-  List.length a.tuples = List.length b.tuples
-  && List.for_all2 (fun x y -> compare_tuples x y = 0) a.tuples b.tuples
+  a.card = b.card && List.for_all2 (fun x y -> compare_tuples x y = 0) a.tuples b.tuples
 
-let union a b = make a.schema (a.tuples @ b.tuples)
+let check_arity op a b =
+  let wa = Schema.arity a.schema and wb = Schema.arity b.schema in
+  if wa <> wb then
+    invalid_arg
+      (Fmt.str "Relation.%s: operand arities differ (%d vs %d)" op wa wb)
+
+(* linear merge of the two sorted duplicate-free sides; no re-sort *)
+let union a b =
+  check_arity "union" a b;
+  if a.card = 0 then { b with schema = a.schema }
+  else if b.card = 0 then a
+  else begin
+    let rec merge acc xs ys =
+      match xs, ys with
+      | [], rest | rest, [] -> List.rev_append acc rest
+      | x :: xs', y :: ys' ->
+        let c = compare_tuples x y in
+        if c < 0 then merge (x :: acc) xs' ys
+        else if c > 0 then merge (y :: acc) xs ys'
+        else merge (x :: acc) xs' ys'
+    in
+    of_sorted a.schema (merge [] a.tuples b.tuples)
+  end
 
 let diff a b =
-  { a with tuples = List.filter (fun t -> not (mem t b)) a.tuples }
+  check_arity "diff" a b;
+  if a.card = 0 || b.card = 0 then a
+  else of_sorted a.schema (List.filter (fun t -> not (mem t b)) a.tuples)
 
-let inter a b = { a with tuples = List.filter (fun t -> mem t b) a.tuples }
+let inter a b =
+  check_arity "inter" a b;
+  if a.card = 0 then a
+  else if b.card = 0 then empty a.schema
+  else of_sorted a.schema (List.filter (fun t -> mem t b) a.tuples)
 
 let pp ppf r =
   let names = List.map fst r.schema in

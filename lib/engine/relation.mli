@@ -2,16 +2,32 @@
 
     Relations have set semantics: construction deduplicates tuples, which
     is what guarantees termination of the fixpoint operator (paper §3.2).
-    A tuple is a list of {!Value.t}, one per schema attribute. *)
+    A tuple is a list of {!Value.t}, one per schema attribute.
+
+    Next to the canonical sorted tuple list every relation carries a
+    lazily-built hash-set view (tuples keyed by a precomputed hash
+    compatible with {!compare_tuples}), so {!mem}, {!diff}, {!inter} and
+    the fixpoint freshness checks are O(1) per tuple instead of a scan,
+    and cardinality is cached at construction. *)
 
 module Value = Eds_value.Value
 module Schema = Eds_lera.Schema
 
 type tuple = Value.t list
 
+(** Hashtables keyed on whole tuples ({!compare_tuples} equality,
+    {!hash_tuple} hashing).  Shared by the hash-join machinery and the
+    nest-grouping path of the evaluator. *)
+module Tuple_tbl : Hashtbl.S with type key = tuple
+
+type index
+(** The hash-set view of a relation's tuples. *)
+
 type t = private {
   schema : Schema.t;
   tuples : tuple list;  (** sorted, duplicate-free *)
+  card : int;  (** [List.length tuples], cached *)
+  index : index Lazy.t;  (** hash-set over [tuples], built on first use *)
 }
 
 val make : Schema.t -> tuple list -> t
@@ -21,15 +37,27 @@ val make : Schema.t -> tuple list -> t
 val empty : Schema.t -> t
 val cardinality : t -> int
 val is_empty : t -> bool
+
 val mem : tuple -> t -> bool
+(** O(1) expected: probes the hash-set view. *)
+
 val equal : t -> t -> bool
 (** Same tuple sets (schemas are not compared beyond arity). *)
 
 val union : t -> t -> t
+(** Linear merge of the two sorted sides (keeps the left schema).
+    Raises [Invalid_argument] if the operand arities differ. *)
+
 val diff : t -> t -> t
 val inter : t -> t -> t
+(** Hash-probe the right side per left tuple.  Raise [Invalid_argument]
+    if the operand arities differ. *)
 
 val compare_tuples : tuple -> tuple -> int
+
+val hash_tuple : tuple -> int
+(** Hash compatible with [compare_tuples = 0] equality (numeric
+    [Int]/[Real] and [Enum]/[Str] cross-equalities included). *)
 
 val pp : Format.formatter -> t -> unit
 (** Tabular dump, one tuple per line. *)

@@ -85,6 +85,38 @@ let rec equal r r' =
       _ ) ->
     false
 
+(* Structural hashes compatible with [equal_scalar]/[equal]: used to key
+   hashtables over LERA terms (the evaluator's closed-fixpoint memo). *)
+let rec hash_scalar s =
+  match s with
+  | Cst v -> (3 * 31) + Value.hash v
+  | Col (i, j) -> (((5 * 31) + i) * 31) + j
+  | Call (f, args) ->
+    List.fold_left
+      (fun acc a -> (acc * 31) + hash_scalar a)
+      ((7 * 31) + Hashtbl.hash f)
+      args
+
+let hash_ints seed = List.fold_left (fun acc i -> (acc * 31) + i) seed
+
+let rec hash r =
+  match r with
+  | Base n -> (11 * 31) + Hashtbl.hash n
+  | Rvar n -> (13 * 31) + Hashtbl.hash n
+  | Filter (a, q) -> (((17 * 31) + hash a) * 31) + hash_scalar q
+  | Project (a, ps) ->
+    List.fold_left (fun acc p -> (acc * 31) + hash_scalar p) ((19 * 31) + hash a) ps
+  | Join (a, b, q) -> (((((23 * 31) + hash a) * 31) + hash b) * 31) + hash_scalar q
+  | Union rs -> List.fold_left (fun acc x -> (acc * 31) + hash x) 29 rs
+  | Diff (a, b) -> (((31 * 31) + hash a) * 31) + hash b
+  | Inter (a, b) -> (((37 * 31) + hash a) * 31) + hash b
+  | Search (rs, q, ps) ->
+    let acc = List.fold_left (fun acc x -> (acc * 31) + hash x) 41 rs in
+    List.fold_left (fun acc p -> (acc * 31) + hash_scalar p) ((acc * 31) + hash_scalar q) ps
+  | Fix (n, e) -> (((43 * 31) + Hashtbl.hash n) * 31) + hash e
+  | Nest (a, g, c) -> hash_ints (hash_ints ((47 * 31) + hash a) g) c
+  | Unnest (a, i) -> (((53 * 31) + hash a) * 31) + i
+
 let inputs = function
   | Base _ | Rvar _ -> []
   | Filter (a, _) | Project (a, _) | Nest (a, _, _) | Unnest (a, _) | Fix (_, a) -> [ a ]

@@ -61,6 +61,12 @@ val col : int -> int -> scalar
 val equal_scalar : scalar -> scalar -> bool
 val equal : rel -> rel -> bool
 
+val hash_scalar : scalar -> int
+val hash : rel -> int
+(** Structural hashes compatible with {!equal_scalar}/{!equal} — equal
+    terms hash equally, so terms can key hashtables (the evaluator's
+    closed-fixpoint memo). *)
+
 val operator_count : rel -> int
 (** Number of algebra operators — the Figure-7 "size of a LERA program"
     metric used by the merging experiments. *)

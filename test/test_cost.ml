@@ -62,8 +62,10 @@ let test_pushdown_estimated_cheaper () =
     true (ep.Cost.cost < eu.Cost.cost);
   (* and the estimate agrees with the measured ordering *)
   let work q =
+    (* naive layer: the estimate models the enumerated space, which the
+       indexed hash joins collapse regardless of pushdown *)
     let stats = Eval.fresh_stats () in
-    ignore (Eval.run ~stats db q);
+    ignore (Eval.run ~physical:Eval.Physical.Naive ~stats db q);
     stats.Eval.combinations
   in
   Alcotest.(check bool) "measured ordering matches" true (work pushed < work unpushed)

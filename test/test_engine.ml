@@ -189,8 +189,10 @@ let test_filter_pushdown_reduces_work () =
         [ Lera.col 1 1; Lera.col 2 2 ] )
   in
   let s1 = Eval.fresh_stats () and s2 = Eval.fresh_stats () in
-  let r1 = run ~stats:s1 db unpushed in
-  let r2 = run ~stats:s2 db pushed in
+  (* pin the naive layer: the point is the rewrite's effect on the
+     enumerated space, which indexed joins collapse on their own *)
+  let r1 = run ~physical:Eval.Physical.Naive ~stats:s1 db unpushed in
+  let r2 = run ~physical:Eval.Physical.Naive ~stats:s2 db pushed in
   Alcotest.(check bool) "same result" true (Relation.equal r1 r2);
   Alcotest.(check bool)
     (Fmt.str "pushed (%d) < unpushed (%d)" s2.Eval.combinations s1.Eval.combinations)

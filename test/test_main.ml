@@ -8,6 +8,7 @@ let () =
       ("term", Test_term.suite);
       ("lera", Test_lera.suite);
       ("engine", Test_engine.suite);
+      ("physical", Test_physical.suite);
       ("esql", Test_esql.suite);
       ("rule-parser", Test_rule_parser.suite);
       ("rule-analysis", Test_rule_analysis.suite);

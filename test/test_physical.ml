@@ -1,0 +1,336 @@
+(* The physical evaluation layer (Eval.Physical): the indexed hash-join
+   evaluator against the naive cartesian reference.
+
+   - golden cross-mode suite: on every fixture plan, Naive and Indexed
+     produce Relation.equal results;
+   - work bounds: the Figure-8-shaped selective join stays within a
+     hash-work budget that the naive layer exceeds by orders of
+     magnitude;
+   - set-operation operand validation (union/diff/inter arity errors);
+   - Join_plan equi-conjunct extraction;
+   - a qcheck property over random schema-correct LERA plans: results
+     agree, and the indexed layer's combinations and probes never exceed
+     the naive layer's combinations. *)
+
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+module Lera = Eds_lera.Lera
+module Relation = Eds_engine.Relation
+module Database = Eds_engine.Database
+module Eval = Eds_engine.Eval
+module Join_plan = Eds_engine.Join_plan
+
+let run_both ?mode db rel =
+  let sn = Eval.fresh_stats () and si = Eval.fresh_stats () in
+  let rn = Eval.run ?mode ~physical:Eval.Physical.Naive ~stats:sn db rel in
+  let ri = Eval.run ?mode ~physical:Eval.Physical.Indexed ~stats:si db rel in
+  ((rn, sn), (ri, si))
+
+let check_agree ?mode name db rel =
+  let (rn, sn), (ri, si) = run_both ?mode db rel in
+  Alcotest.(check bool) (name ^ ": results equal") true (Relation.equal rn ri);
+  Alcotest.(check bool)
+    (Fmt.str "%s: indexed combos %d <= naive combos %d" name si.Eval.combinations
+       sn.Eval.combinations)
+    true
+    (si.Eval.combinations <= sn.Eval.combinations);
+  Alcotest.(check bool)
+    (Fmt.str "%s: probes %d <= naive combos %d" name si.Eval.probes
+       sn.Eval.combinations)
+    true
+    (si.Eval.probes <= sn.Eval.combinations)
+
+(* -- golden cross-mode fixtures ----------------------------------------- *)
+
+let test_golden_film () =
+  let db, _ = Fixtures.film_db () in
+  let join =
+    Lera.Search
+      ( [ Lera.Base "FILM"; Lera.Base "APPEARS_IN" ],
+        Lera.conj
+          [
+            Lera.eq (Lera.col 1 1) (Lera.col 2 1);
+            Lera.Call (">", [ Lera.Call ("salary", [ Lera.col 2 2 ]); Lera.Cst (Value.Real 10_000.) ]);
+          ],
+        [ Lera.col 1 2; Lera.col 2 2 ] )
+  in
+  check_agree "film join + ADT residual" db join;
+  let three_way =
+    Lera.Search
+      ( [ Lera.Base "FILM"; Lera.Base "APPEARS_IN"; Lera.Base "DOMINATE" ],
+        Lera.conj
+          [
+            Lera.eq (Lera.col 1 1) (Lera.col 2 1);
+            Lera.eq (Lera.col 2 1) (Lera.col 3 1);
+          ],
+        [ Lera.col 1 2; Lera.col 3 2 ] )
+  in
+  check_agree "three-way join" db three_way;
+  (* no equi conjunct at all: indexed falls back to cartesian *)
+  let cross =
+    Lera.Join
+      ( Lera.Base "FILM",
+        Lera.Base "APPEARS_IN",
+        Lera.Call ("<", [ Lera.col 1 1; Lera.col 2 1 ]) )
+  in
+  check_agree "inequality join (cartesian fallback)" db cross
+
+let tc_fix =
+  Lera.Fix
+    ( "TC",
+      Lera.Union
+        [
+          Lera.Base "EDGE";
+          Lera.Search
+            ( [ Lera.Base "TC"; Lera.Base "TC" ],
+              Lera.eq (Lera.col 1 2) (Lera.col 2 1),
+              [ Lera.col 1 1; Lera.col 2 2 ] );
+        ] )
+
+let test_golden_fixpoints () =
+  let db = Fixtures.chain_db 12 in
+  check_agree ~mode:Eval.Seminaive "chain closure, semi-naive" db tc_fix;
+  check_agree ~mode:Eval.Naive "chain closure, naive fix" db tc_fix;
+  let g = Fixtures.graph_db ~nodes:15 ~edges:40 in
+  let reach =
+    Lera.Search
+      ( [ tc_fix ],
+        Lera.eq (Lera.col 1 1) (Lera.Cst (Value.Int 3)),
+        [ Lera.col 1 2 ] )
+  in
+  check_agree "graph reachability" g reach;
+  (* the two physical layers must also agree across fix modes *)
+  let r1 = Eval.run ~mode:Eval.Naive ~physical:Eval.Physical.Naive db tc_fix in
+  let r2 = Eval.run ~mode:Eval.Seminaive ~physical:Eval.Physical.Indexed db tc_fix in
+  Alcotest.(check bool) "naive/naive = seminaive/indexed" true (Relation.equal r1 r2)
+
+let test_golden_nest_unnest () =
+  let db, _ = Fixtures.film_db () in
+  let nested = Lera.Nest (Lera.Base "APPEARS_IN", [ 1 ], [ 2 ]) in
+  check_agree "nest" db nested;
+  check_agree "unnest of nest" db (Lera.Unnest (nested, 2));
+  check_agree "diff/inter"
+    db
+    (Lera.Diff
+       ( Lera.Project (Lera.Base "APPEARS_IN", [ Lera.col 1 1 ]),
+         Lera.Inter
+           ( Lera.Project (Lera.Base "FILM", [ Lera.col 1 1 ]),
+             Lera.Project (Lera.Base "APPEARS_IN", [ Lera.col 1 1 ]) ) ))
+
+(* -- the Figure-8 shape within a hash-work budget ------------------------ *)
+
+let fig8_shape_db () =
+  let db = Database.create () in
+  let schema a b = [ (a, Vtype.Int); (b, Vtype.Int) ] in
+  let state = ref 987654321 in
+  let rng bound =
+    state := (!state * 1103515245) + 12345;
+    abs !state mod bound
+  in
+  Database.add_relation db "FILM"
+    (Relation.make (schema "Numf" "X")
+       (List.init 200 (fun f -> [ Value.Int (f + 1); Value.Int f ])));
+  Database.add_relation db "APPEARS_IN"
+    (Relation.make (schema "Numf" "Actor")
+       (List.init 594 (fun i -> [ Value.Int (1 + rng 200); Value.Int i ])));
+  db
+
+let test_fig8_budget () =
+  let db = fig8_shape_db () in
+  (* the unrewritten selective join: constant selection still buried in
+     the qualification *)
+  let q =
+    Lera.Search
+      ( [ Lera.Base "FILM"; Lera.Base "APPEARS_IN" ],
+        Lera.conj
+          [
+            Lera.eq (Lera.col 1 1) (Lera.col 2 1);
+            Lera.eq (Lera.col 1 1) (Lera.Cst (Value.Int 7));
+          ],
+        [ Lera.col 1 2; Lera.col 2 2 ] )
+  in
+  let (rn, sn), (ri, si) = run_both db q in
+  Alcotest.(check bool) "results equal" true (Relation.equal rn ri);
+  Alcotest.(check int) "naive enumerates the full product" (200 * 594)
+    sn.Eval.combinations;
+  Alcotest.(check bool)
+    (Fmt.str "indexed hash work %d+%d within the 2000 budget" si.Eval.probes
+       si.Eval.builds)
+    true
+    (si.Eval.probes + si.Eval.builds <= 2_000)
+
+(* -- set-operation operand validation ------------------------------------ *)
+
+let contains s sub =
+  let n = String.length sub and k = String.length s in
+  let rec at i = i + n <= k && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
+let test_setop_arity_errors () =
+  let two = [ ("A", Vtype.Int); ("B", Vtype.Int) ] in
+  let three = [ ("A", Vtype.Int); ("B", Vtype.Int); ("C", Vtype.Int) ] in
+  let r2 = Relation.make two [ [ Value.Int 1; Value.Int 2 ] ] in
+  let r3 = Relation.make three [ [ Value.Int 1; Value.Int 2; Value.Int 3 ] ] in
+  let raises name f =
+    Alcotest.(check bool) (name ^ " raises Invalid_argument") true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument msg ->
+         (* the message names the operation and both arities *)
+         contains msg name && contains msg "2 vs 3")
+  in
+  raises "union" (fun () -> Relation.union r2 r3);
+  raises "diff" (fun () -> Relation.diff r2 r3);
+  raises "inter" (fun () -> Relation.inter r2 r3);
+  (* agreeing operands still work *)
+  Alcotest.(check int) "union of compatible operands" 1
+    (Relation.cardinality (Relation.union r2 r2))
+
+(* -- Join_plan extraction ------------------------------------------------ *)
+
+let test_join_plan_analyze () =
+  let q =
+    Lera.conj
+      [
+        Lera.eq (Lera.col 1 2) (Lera.col 2 1);
+        Lera.eq (Lera.col 1 1) (Lera.Cst (Value.Int 3));
+        Lera.eq (Lera.col 2 2) (Lera.col 2 1);
+        Lera.Call ("<", [ Lera.col 1 1; Lera.col 2 2 ]);
+      ]
+  in
+  let p = Join_plan.analyze ~operands:2 q in
+  Alcotest.(check int) "one equi conjunct" 1 (Join_plan.equi_count p);
+  Alcotest.(check int) "three residual conjuncts" 3
+    (List.length (Lera.conjuncts (Join_plan.residual p)));
+  (* a col=col pair that refers outside the operand range is residual *)
+  let p1 = Join_plan.analyze ~operands:1 (Lera.eq (Lera.col 1 2) (Lera.col 2 1)) in
+  Alcotest.(check bool) "out-of-range pair is not an equi" false
+    (Join_plan.has_equis p1);
+  let p0 = Join_plan.analyze ~operands:2 Lera.tru in
+  Alcotest.(check bool) "true has no equis" false (Join_plan.has_equis p0)
+
+(* -- random plans: the cross-layer property ------------------------------ *)
+
+let qdb () =
+  let db = Database.create () in
+  let two = [ ("A", Vtype.Int); ("B", Vtype.Int) ] in
+  let three = [ ("A", Vtype.Int); ("B", Vtype.Int); ("C", Vtype.Int) ] in
+  let state = ref 55555 in
+  let rng bound =
+    state := (!state * 1103515245) + 12345;
+    abs !state mod bound
+  in
+  Database.add_relation db "R0"
+    (Relation.make two (List.init 6 (fun _ -> [ Value.Int (rng 7); Value.Int (rng 7) ])));
+  Database.add_relation db "R1"
+    (Relation.make two (List.init 9 (fun _ -> [ Value.Int (rng 7); Value.Int (rng 7) ])));
+  Database.add_relation db "R2"
+    (Relation.make three
+       (List.init 11 (fun _ -> [ Value.Int (rng 7); Value.Int (rng 7); Value.Int (rng 7) ])));
+  Database.add_relation db "EDGE"
+    (Relation.make two (List.init 5 (fun i -> [ Value.Int (i + 1); Value.Int (i + 2) ])));
+  db
+
+let gen_base = QCheck2.Gen.oneofl [ (Lera.Base "R0", 2); (Lera.Base "R1", 2); (Lera.Base "R2", 3) ]
+
+(* a random atom over operands of arities [ars] (positional refs stay in
+   range, so every generated plan is schema-correct) *)
+let gen_atom ars =
+  let open QCheck2.Gen in
+  let refs =
+    List.concat (List.mapi (fun i ar -> List.init ar (fun j -> Lera.col (i + 1) (j + 1))) ars)
+  in
+  let col = oneofl refs in
+  oneof
+    [
+      (col >>= fun a -> col >|= fun b -> Lera.eq a b);
+      (col >>= fun a -> int_range 0 6 >|= fun n -> Lera.eq a (Lera.Cst (Value.Int n)));
+      (col >>= fun a ->
+       int_range 0 6 >|= fun n -> Lera.Call ("<", [ a; Lera.Cst (Value.Int n) ]));
+    ]
+
+let gen_qual ars =
+  QCheck2.Gen.(list_size (int_range 0 3) (gen_atom ars) >|= Lera.conj)
+
+let fix_counter = ref 0
+
+(* coerce [r] of arity [ar] to arity [want] with a projection *)
+let coerce (r, ar) want =
+  if ar = want then r
+  else Lera.Project (r, List.init want (fun i -> Lera.col 1 ((i mod ar) + 1)))
+
+let rec gen_rel fuel =
+  let open QCheck2.Gen in
+  if fuel <= 0 then gen_base
+  else
+    frequency
+      [
+        (3, gen_base);
+        ( 2,
+          gen_rel (fuel - 1) >>= fun (r, ar) ->
+          gen_qual [ ar ] >|= fun q -> (Lera.Filter (r, q), ar) );
+        ( 3,
+          list_size (int_range 1 3) (gen_rel (fuel - 1)) >>= fun ops ->
+          let ars = List.map snd ops in
+          gen_qual ars >>= fun q ->
+          let refs =
+            List.concat
+              (List.mapi (fun i ar -> List.init ar (fun j -> Lera.col (i + 1) (j + 1))) ars)
+          in
+          list_size (int_range 1 3) (oneofl refs) >|= fun ps ->
+          (Lera.Search (List.map fst ops, q, ps), List.length ps) );
+        ( 1,
+          gen_rel (fuel - 1) >>= fun a ->
+          gen_rel (fuel - 1) >|= fun b ->
+          (Lera.Union [ fst a; coerce b (snd a) ], snd a) );
+        ( 1,
+          gen_rel (fuel - 1) >>= fun a ->
+          gen_rel (fuel - 1) >>= fun b ->
+          bool >|= fun inter ->
+          let b' = coerce b (snd a) in
+          ((if inter then Lera.Inter (fst a, b') else Lera.Diff (fst a, b')), snd a) );
+        ( 1,
+          (* a transitive-closure-shaped fixpoint seeded by a generated
+             binary relation; EDGE keeps the domain finite *)
+          gen_rel (fuel - 1) >|= fun seed ->
+          incr fix_counter;
+          let n = Fmt.str "T%d" !fix_counter in
+          ( Lera.Fix
+              ( n,
+                Lera.Union
+                  [
+                    coerce seed 2;
+                    Lera.Search
+                      ( [ Lera.Rvar n; Lera.Base "EDGE" ],
+                        Lera.eq (Lera.col 1 2) (Lera.col 2 1),
+                        [ Lera.col 1 1; Lera.col 2 2 ] );
+                  ] ),
+            2 ) );
+      ]
+
+let gen_plan = QCheck2.Gen.(int_range 1 3 >>= gen_rel)
+
+let print_plan (r, _) = Lera.to_string r
+
+let test_random_plans_agree =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"naive and indexed agree on 250 random plans"
+       ~count:250 ~print:print_plan gen_plan
+       (fun (rel, _) ->
+         let db = qdb () in
+         let (rn, sn), (ri, si) = run_both db rel in
+         Relation.equal rn ri
+         && si.Eval.combinations <= sn.Eval.combinations
+         && si.Eval.probes <= sn.Eval.combinations))
+
+let suite =
+  [
+    Alcotest.test_case "golden: film joins" `Quick test_golden_film;
+    Alcotest.test_case "golden: fixpoints" `Quick test_golden_fixpoints;
+    Alcotest.test_case "golden: nest/unnest/set ops" `Quick test_golden_nest_unnest;
+    Alcotest.test_case "Fig. 8 shape within hash budget" `Quick test_fig8_budget;
+    Alcotest.test_case "set-op arity validation" `Quick test_setop_arity_errors;
+    Alcotest.test_case "join plan extraction" `Quick test_join_plan_analyze;
+    test_random_plans_agree;
+  ]

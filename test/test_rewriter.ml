@@ -167,8 +167,10 @@ let test_push_select_to_inputs () =
       (List.length (Lera.conjuncts qual))
   | _ -> Alcotest.failf "unexpected shape %a" Lera.pp q');
   let s_before = Eval.fresh_stats () and s_after = Eval.fresh_stats () in
-  let before = Eval.run ~stats:s_before db q in
-  let after = Eval.run ~stats:s_after db q' in
+  (* naive layer: the assertion is about the enumerated space the rewrite
+     removes, which indexed hash joins collapse on their own *)
+  let before = Eval.run ~physical:Eval.Physical.Naive ~stats:s_before db q in
+  let after = Eval.run ~physical:Eval.Physical.Naive ~stats:s_after db q' in
   Alcotest.(check bool) "same result" true (Relation.equal before after);
   Alcotest.(check bool)
     (Fmt.str "fewer combinations (%d < %d)" s_after.Eval.combinations
