@@ -474,6 +474,20 @@ let e2 () =
   (* the Figure-9 reachability recursion (fixpoint arms are hash-joined) *)
   let rec_db = Workloads.clustered_db ~clusters:4 ~nodes:12 ~edges_per_cluster:24 in
   compare "e2.fig9_recursion" "Fig. 9 reachability" rec_db (Workloads.reachable_from 2);
+  (* the fixpoint memo cache: a self-join of the closure evaluates the
+     same closed Fix twice — the second occurrence must be a cache hit *)
+  let tc_self_join =
+    Lera.Search
+      ( [ Workloads.tc_fix; Workloads.tc_fix ],
+        Lera.eq (Lera.col 1 2) (Lera.col 2 1),
+        [ Lera.col 1 1; Lera.col 2 2 ] )
+  in
+  let fc = Eval.fresh_stats () in
+  ignore (Eval.run ~stats:fc rec_db tc_self_join);
+  metric_int "e2.fix_cache.hits" fc.Eval.fix_cache_hits;
+  metric_int "e2.fix_cache.misses" fc.Eval.fix_cache_misses;
+  row "  fix cache (TC ⋈ TC self-join): %d hits / %d misses@."
+    fc.Eval.fix_cache_hits fc.Eval.fix_cache_misses;
   (* the C1 complex view join, unrewritten *)
   let cat = Session.catalog s in
   let view_q =
@@ -494,6 +508,113 @@ let e2 () =
         (Fmt.str "R⋈S⋈T, size %d" size)
         db Workloads.chain_join_query)
     [ 20; 40; 80 ]
+
+(* -- E3: the parallel physical layer ------------------------------------------ *)
+
+(* the pipelined partitioned-hash-join executor against the sequential
+   indexed layer, on a fat-intermediate chain (see Workloads.par_chain_db).
+   Results and work counters must agree exactly at every domain count;
+   the wall-clock table is the speedup evidence recorded in
+   EXPERIMENTS.md §E3. *)
+let e3 () =
+  section "E3" "parallel layer: pipelined partitioned hash joins vs indexed";
+  let time f =
+    ignore (f ());
+    (* warm-up *)
+    let reps = 3 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1000.
+  in
+  row "  %-24s %10s %10s %10s %10s %12s@." "" "indexed" "par d=1" "par d=2"
+    "par d=4" "speedup d=4";
+  List.iter
+    (fun (size, fan) ->
+      let key = Fmt.str "e3.chain%d_fan%d" size fan in
+      let db = Workloads.par_chain_db ~size ~fan in
+      let q = Workloads.par_chain_query in
+      let si = Eval.fresh_stats () in
+      let ri = Eval.run ~physical:Eval.Physical.Indexed ~stats:si db q in
+      let sp = Eval.fresh_stats () in
+      let rp =
+        Eval.run ~physical:Eval.Physical.Parallel ~domains:4 ~stats:sp db q
+      in
+      let equal = Relation.equal ri rp in
+      let counters_equal =
+        si.Eval.combinations = sp.Eval.combinations
+        && si.Eval.probes = sp.Eval.probes
+        && si.Eval.builds = sp.Eval.builds
+        && si.Eval.tuples_produced = sp.Eval.tuples_produced
+      in
+      let t_idx =
+        time (fun () -> Eval.run ~physical:Eval.Physical.Indexed db q)
+      in
+      let par d =
+        time (fun () -> Eval.run ~physical:Eval.Physical.Parallel ~domains:d db q)
+      in
+      let t1 = par 1 and t2 = par 2 and t4 = par 4 in
+      metric_int (key ^ ".combinations") si.Eval.combinations;
+      metric_int (key ^ ".probes") si.Eval.probes;
+      metric_int (key ^ ".builds") si.Eval.builds;
+      metric_bool (key ^ ".equal") equal;
+      metric_bool (key ^ ".counters_equal") counters_equal;
+      metric (key ^ ".indexed_ms") (Json.Float t_idx);
+      metric (key ^ ".parallel_d1_ms") (Json.Float t1);
+      metric (key ^ ".parallel_d2_ms") (Json.Float t2);
+      metric (key ^ ".parallel_d4_ms") (Json.Float t4);
+      metric (key ^ ".speedup_d4") (Json.Float (t_idx /. t4));
+      row "  %-24s %8.2fms %8.2fms %8.2fms %8.2fms %11.2fx@."
+        (Fmt.str "chain %d fan %d" size fan)
+        t_idx t1 t2 t4 (t_idx /. t4);
+      if not (equal && counters_equal) then
+        row "  %-24s PARALLEL LAYER DISAGREES (equal %b, counters %b)@." ""
+          equal counters_equal)
+    [ (2000, 50); (4000, 50); (4000, 100) ];
+  (* the Fig. 8 selective join, rewritten vs unrewritten, under the
+     parallel layer: the rewrite benefit (counter shrinkage) survives
+     unchanged because the parallel counters equal the indexed ones at
+     every domain count *)
+  let s = Workloads.film_session ~films:200 ~actors:100 in
+  let db = Session.database s in
+  let plan =
+    Session.explain s
+      {|SELECT Title FROM FILM, APPEARS_IN
+        WHERE FILM.Numf = APPEARS_IN.Numf AND FILM.Numf = 7|}
+  in
+  List.iter
+    (fun (tag, rel) ->
+      let si = Eval.fresh_stats () in
+      let ri = Eval.run ~physical:Eval.Physical.Indexed ~stats:si db rel in
+      let all_match =
+        List.for_all
+          (fun d ->
+            let sp = Eval.fresh_stats () in
+            let rp =
+              Eval.run ~physical:Eval.Physical.Parallel ~domains:d ~stats:sp db
+                rel
+            in
+            let ok =
+              Relation.equal ri rp
+              && si.Eval.combinations = sp.Eval.combinations
+              && si.Eval.probes = sp.Eval.probes
+              && si.Eval.builds = sp.Eval.builds
+            in
+            metric_bool (Fmt.str "e3.fig8_%s.d%d.matches_indexed" tag d) ok;
+            ok)
+          [ 1; 2; 4 ]
+      in
+      metric_int (Fmt.str "e3.fig8_%s.combinations" tag) si.Eval.combinations;
+      metric_int (Fmt.str "e3.fig8_%s.probes" tag) si.Eval.probes;
+      metric_int (Fmt.str "e3.fig8_%s.builds" tag) si.Eval.builds;
+      row
+        "  Fig. 8 %-12s %6d combos + %5d probes + %5d builds; parallel matches indexed at d ∈ {1,2,4}: %b@."
+        tag si.Eval.combinations si.Eval.probes si.Eval.builds all_match)
+    [
+      ("unrewritten", plan.Session.translated);
+      ("rewritten", plan.Session.rewritten);
+    ]
 
 (* -- C1: the §7 block-limit trade-off ----------------------------------------- *)
 
@@ -796,6 +917,7 @@ let all () =
   f12 ();
   e1 ();
   e2 ();
+  e3 ();
   c1 ();
   c2 ();
   c3 ();

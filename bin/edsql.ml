@@ -1,280 +1,13 @@
 (* edsql — an interactive shell and script runner for the EDS rewriter.
 
    Statements are ESQL; shell directives start with a dot — see [.help]
-   (or [help_text] below) for the full list.  Setting EDS_TRACE=<file> in
-   the environment traces the whole run to a Chrome trace-event file. *)
+   for the full list.  All the shell logic lives in {!Eds.Repl} (so the
+   test suite can drive it); this executable only parses the command
+   line and wires stdin/stdout.  Setting EDS_TRACE=<file> in the
+   environment traces the whole run to a Chrome trace-event file. *)
 
 module Session = Eds.Session
-module Relation = Eds.Session.Relation
-module Lera = Eds.Session.Lera
-module Rule = Eds.Session.Rule
-module Engine = Eds.Session.Engine
-module Optimizer = Eds.Session.Optimizer
-module Obs = Eds_obs.Obs
-
-let print_result = function
-  | Session.Done -> Fmt.pr "ok@."
-  | Session.Inserted n -> Fmt.pr "%d tuple%s inserted@." n (if n = 1 then "" else "s")
-  | Session.Deleted n -> Fmt.pr "%d tuple%s deleted@." n (if n = 1 then "" else "s")
-  | Session.Updated n -> Fmt.pr "%d tuple%s updated@." n (if n = 1 then "" else "s")
-  | Session.Rows rel ->
-    Fmt.pr "%a(%d tuple%s)@." Relation.pp rel (Relation.cardinality rel)
-      (if Relation.cardinality rel = 1 then "" else "s")
-
-let print_plan session (p : Session.plan) =
-  let side label rel =
-    if Lera.operator_count rel <= 3 then
-      Fmt.pr "%s: %a@.            (%a)@." label Lera.pp rel Eds_lera.Cost.pp
-        (Session.estimate session rel)
-    else begin
-      Fmt.pr "%s: (%a)@.%a" label Eds_lera.Cost.pp (Session.estimate session rel)
-        Lera.pp_tree rel
-    end
-  in
-  side "translated" p.Session.translated;
-  side "rewritten " p.Session.rewritten;
-  Fmt.pr "rewriting : %a@." Engine.pp_stats p.Session.rewrite_stats
-
-let limits_config n =
-  let l = if n < 0 then None else Some n in
-  {
-    Optimizer.merging_limit = l;
-    fixpoint_limit = l;
-    permutation_limit = l;
-    semantic_limit = l;
-    simplification_limit = l;
-    rounds = 1;
-  }
-
-(* split ".directive the rest" into the directive token and its argument *)
-let cut_directive line =
-  let n = String.length line in
-  let rec blank i =
-    if i >= n then n
-    else match line.[i] with ' ' | '\t' -> i | _ -> blank (i + 1)
-  in
-  let i = blank 0 in
-  (String.sub line 0 i, String.trim (String.sub line i (n - i)))
-
-let help_text =
-  "directives:\n\
-  \  .explain SELECT ...   show the LERA expression before/after rewriting\n\
-  \  .trace SELECT ...     show every rule application, in order\n\
-  \  .trace-file FILE      write a Chrome trace-event file (.trace-file off stops)\n\
-  \  .profile on|off       collect per-rule attempt/fire/veto statistics;\n\
-  \                        'off' (or bare .profile) prints the report\n\
-  \  .stats                cumulative evaluator counters and last rewrite stats\n\
-  \  .rules                list the current rule program\n\
-  \  .check                termination warnings for the rule program (\xc2\xa74.2)\n\
-  \  .limits N             set every block limit to N (negative = infinite)\n\
-  \  .norewrite / .rewrite disable / enable the rewriter\n\
-  \  .physical naive|indexed   select the physical evaluation layer\n\
-  \  .constraint TEXT      declare an integrity constraint (Fig. 10)\n\
-  \  .save FILE / .load FILE   dump or restore the whole session\n\
-  \  .help                 this message\n\
-  \  .quit                 leave"
-
-(* the out_channel behind the current trace sink, so we can close it *)
-let trace_channel : out_channel option ref = ref None
-
-let stop_tracing () =
-  Obs.set_sink None;
-  match !trace_channel with
-  | Some oc ->
-    close_out oc;
-    trace_channel := None
-  | None -> ()
-
-let start_tracing path =
-  stop_tracing ();
-  let oc = open_out path in
-  trace_channel := Some oc;
-  Obs.set_sink (Some (Obs.trace_sink oc))
-
-let all_rules session =
-  List.concat_map
-    (fun b -> List.map (fun r -> (b.Rule.block_name, r.Rule.name)) b.Rule.rules)
-    (Session.program session).Rule.blocks
-
-let print_profile session p =
-  Fmt.pr "%a@." (Obs.Profile.pp ~all_rules:(all_rules session)) p
-
-let print_session_stats session =
-  let es = Session.eval_stats session in
-  Fmt.pr "statements run   : %d@." (Session.statements_run session);
-  Fmt.pr "eval combinations: %d@." es.Session.Eval.combinations;
-  Fmt.pr "tuples read      : %d@." es.Session.Eval.tuples_read;
-  Fmt.pr "tuples produced  : %d@." es.Session.Eval.tuples_produced;
-  Fmt.pr "fixpoint iters   : %d@." es.Session.Eval.fix_iterations;
-  Fmt.pr "index probes     : %d@." es.Session.Eval.probes;
-  Fmt.pr "index builds     : %d@." es.Session.Eval.builds;
-  match Session.last_rewrite_stats session with
-  | None -> Fmt.pr "last rewrite     : (none)@."
-  | Some rs -> Fmt.pr "last rewrite     : %a@." Engine.pp_stats rs
-
-let handle_directive session line =
-  let directive, arg = cut_directive line in
-  match directive with
-  | ".quit" | ".exit" -> `Quit
-  | ".help" ->
-    Fmt.pr "%s@." help_text;
-    `Continue
-  | ".explain" ->
-    print_plan session (Session.explain session arg);
-    `Continue
-  | ".trace" ->
-    let plan = Session.explain session arg in
-    List.iter
-      (fun step -> Fmt.pr "%a@." Engine.pp_step step)
-      (Engine.steps plan.Session.rewrite_stats);
-    print_plan session plan;
-    `Continue
-  | ".trace-file" ->
-    (match arg with
-    | "" | "off" ->
-      stop_tracing ();
-      Fmt.pr "tracing off@."
-    | path ->
-      start_tracing path;
-      Fmt.pr "tracing to %s (Chrome trace-event format)@." path);
-    `Continue
-  | ".profile" ->
-    (match (arg, Obs.Profile.current ()) with
-    | "on", _ ->
-      Obs.Profile.set_current (Some (Obs.Profile.create ()));
-      Fmt.pr "profiling on@."
-    | "off", Some p ->
-      print_profile session p;
-      Obs.Profile.set_current None
-    | "off", None -> Fmt.pr "profiling was already off@."
-    | "", Some p -> print_profile session p
-    | _ -> Fmt.pr "usage: .profile on|off@.");
-    `Continue
-  | ".stats" ->
-    print_session_stats session;
-    `Continue
-  | ".rules" ->
-    let program = Session.program session in
-    List.iter
-      (fun b ->
-        Fmt.pr "%a@." Rule.pp_block b;
-        List.iter (fun r -> Fmt.pr "  %a@." Rule.pp r) b.Rule.rules)
-      program.Rule.blocks;
-    `Continue
-  | ".check" ->
-    (match Session.check_program session with
-    | [] -> Fmt.pr "rule program is termination-safe (§4.2)@."
-    | warnings ->
-      List.iter
-        (fun w -> Fmt.pr "%a@." Eds_rewriter.Rule_analysis.pp_warning w)
-        warnings);
-    `Continue
-  | ".limits" ->
-    (match int_of_string_opt arg with
-    | Some n -> Session.set_config session (limits_config n)
-    | None -> Fmt.pr "usage: .limits N   (negative N = infinite)@.");
-    `Continue
-  | ".norewrite" ->
-    Session.set_rewriting session false;
-    `Continue
-  | ".rewrite" ->
-    Session.set_rewriting session true;
-    `Continue
-  | ".physical" ->
-    (match Session.Eval.Physical.of_string arg with
-    | Some p ->
-      Session.set_physical session p;
-      Fmt.pr "physical layer: %s@." (Session.Eval.Physical.to_string p)
-    | None ->
-      Fmt.pr "physical layer: %s (usage: .physical naive|indexed)@."
-        (Session.Eval.Physical.to_string (Session.physical session)));
-    `Continue
-  | ".constraint" ->
-    Session.add_integrity_constraint session arg;
-    Fmt.pr "constraint recorded@.";
-    `Continue
-  | _ ->
-    Fmt.pr "unknown directive %s, try .help@." directive;
-    `Continue
-
-let handle_save_load session line strip =
-  if String.length line >= 5 && String.sub line 0 5 = ".save" then begin
-    Eds.Storage.save session (strip ".save");
-    Fmt.pr "saved@.";
-    Some session
-  end
-  else if String.length line >= 5 && String.sub line 0 5 = ".load" then begin
-    let s' = Eds.Storage.load (strip ".load") in
-    Fmt.pr "loaded@.";
-    Some s'
-  end
-  else None
-
-let repl session =
-  Fmt.pr "edsql — EDS extensible query rewriter (ICDE'91 reproduction)@.";
-  Fmt.pr "terminate statements with ';', directives with newline; .quit to leave@.";
-  let session = ref session in
-  let buffer = Buffer.create 256 in
-  let rec loop () =
-    if Buffer.length buffer = 0 then Fmt.pr "edsql> @?" else Fmt.pr "  ...> @?";
-    match In_channel.input_line stdin with
-    | None -> ()
-    | Some line ->
-      let trimmed = String.trim line in
-      if Buffer.length buffer = 0 && String.length trimmed > 0 && trimmed.[0] = '.'
-      then begin
-        let strip prefix =
-          String.sub trimmed (String.length prefix)
-            (String.length trimmed - String.length prefix)
-          |> String.trim
-        in
-        match
-          try
-            match handle_save_load !session trimmed strip with
-            | Some s' ->
-              session := s';
-              `Continue
-            | None -> handle_directive !session trimmed
-          with
-          | Session.Session_error msg | Eds.Storage.Storage_error msg ->
-            Fmt.pr "error: %s@." msg
-            ;
-            `Continue
-          | Sys_error msg ->
-            Fmt.pr "error: %s@." msg;
-            `Continue
-        with
-        | `Quit -> ()
-        | `Continue -> loop ()
-      end
-      else begin
-        Buffer.add_string buffer line;
-        Buffer.add_char buffer '\n';
-        if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = ';'
-        then begin
-          let stmt = Buffer.contents buffer in
-          Buffer.clear buffer;
-          (try print_result (Session.exec_string !session stmt)
-           with Session.Session_error msg -> Fmt.pr "error: %s@." msg);
-          loop ()
-        end
-        else loop ()
-      end
-  in
-  loop ()
-
-let run_file session path explain =
-  let text = In_channel.with_open_text path In_channel.input_all in
-  let stmts = Eds_esql.Parser.parse_program text in
-  List.iter
-    (fun stmt ->
-      match stmt with
-      | Eds_esql.Ast.Select_stmt _ when explain ->
-        let input = Fmt.str "%a" Eds_esql.Ast.pp_stmt stmt in
-        print_plan session (Session.explain session input);
-        print_result (Session.exec session stmt)
-      | _ -> print_result (Session.exec session stmt))
-    stmts
+module Repl = Eds.Repl
 
 open Cmdliner
 
@@ -292,29 +25,41 @@ let limits_arg =
   Arg.(value & opt (some int) None & info [ "limits" ]
          ~doc:"Apply this limit to every rule block (negative = infinite).")
 
-let main file explain norewrite limits =
+let domains_arg =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+         ~doc:"Worker domains for the parallel physical layer (same as the \
+               .domains directive; defaults to EDS_DOMAINS or the hardware \
+               count).")
+
+let main file explain norewrite limits domains =
   let session = Session.create () in
   if norewrite then Session.set_rewriting session false;
   (match limits with
-  | Some n -> Session.set_config session (limits_config n)
+  | Some n -> Session.set_config session (Repl.limits_config n)
+  | None -> ());
+  (match domains with
+  | Some d -> Session.set_domains session d
   | None -> ());
   (* EDS_TRACE=<file> traces the whole run; the finaliser writes the
      closing bracket even on early exit *)
   (match Sys.getenv_opt "EDS_TRACE" with
-  | Some path when path <> "" -> start_tracing path
+  | Some path when path <> "" -> Repl.start_tracing path
   | _ -> ());
-  at_exit stop_tracing;
+  at_exit Repl.stop_tracing;
   match file with
   | Some path -> (
-    try run_file session path explain with
+    try Repl.run_file ~explain session path with
     | Session.Session_error msg | Eds_esql.Parser.Parse_error msg ->
       Fmt.epr "error: %s@." msg;
       exit 1)
-  | None -> repl session
+  | None ->
+    ignore
+      (Repl.repl ~read_line:(fun () -> In_channel.input_line stdin) session)
 
 let cmd =
   let doc = "an extensible rule-based query rewriter (ICDE 1991 reproduction)" in
   Cmd.v (Cmd.info "edsql" ~doc)
-    Term.(const main $ file_arg $ explain_arg $ norewrite_arg $ limits_arg)
+    Term.(const main $ file_arg $ explain_arg $ norewrite_arg $ limits_arg
+          $ domains_arg)
 
 let () = exit (Cmd.eval cmd)

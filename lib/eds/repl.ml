@@ -1,0 +1,309 @@
+(* The edsql shell behind bin/edsql.ml: statements are ESQL, directives
+   start with a dot (see [help_text]).  Lives in the library, driven by
+   a [read_line] thunk and an output formatter, so the test suite can
+   push a scripted conversation through a real REPL loop. *)
+
+module Relation = Session.Relation
+module Lera = Session.Lera
+module Rule = Session.Rule
+module Engine = Session.Engine
+module Optimizer = Session.Optimizer
+module Eval = Session.Eval
+module Obs = Eds_obs.Obs
+
+let print_result ppf = function
+  | Session.Done -> Fmt.pf ppf "ok@."
+  | Session.Inserted n ->
+    Fmt.pf ppf "%d tuple%s inserted@." n (if n = 1 then "" else "s")
+  | Session.Deleted n ->
+    Fmt.pf ppf "%d tuple%s deleted@." n (if n = 1 then "" else "s")
+  | Session.Updated n ->
+    Fmt.pf ppf "%d tuple%s updated@." n (if n = 1 then "" else "s")
+  | Session.Rows rel ->
+    Fmt.pf ppf "%a(%d tuple%s)@." Relation.pp rel (Relation.cardinality rel)
+      (if Relation.cardinality rel = 1 then "" else "s")
+
+let print_plan ppf session (p : Session.plan) =
+  let side label rel =
+    if Lera.operator_count rel <= 3 then
+      Fmt.pf ppf "%s: %a@.            (%a)@." label Lera.pp rel Eds_lera.Cost.pp
+        (Session.estimate session rel)
+    else begin
+      Fmt.pf ppf "%s: (%a)@.%a" label Eds_lera.Cost.pp
+        (Session.estimate session rel) Lera.pp_tree rel
+    end
+  in
+  side "translated" p.Session.translated;
+  side "rewritten " p.Session.rewritten;
+  Fmt.pf ppf "rewriting : %a@." Engine.pp_stats p.Session.rewrite_stats
+
+let limits_config n =
+  let l = if n < 0 then None else Some n in
+  {
+    Optimizer.merging_limit = l;
+    fixpoint_limit = l;
+    permutation_limit = l;
+    semantic_limit = l;
+    simplification_limit = l;
+    rounds = 1;
+  }
+
+(* split ".directive the rest" into the directive token and its argument *)
+let cut_directive line =
+  let n = String.length line in
+  let rec blank i =
+    if i >= n then n
+    else match line.[i] with ' ' | '\t' -> i | _ -> blank (i + 1)
+  in
+  let i = blank 0 in
+  (String.sub line 0 i, String.trim (String.sub line i (n - i)))
+
+let help_text =
+  "directives:\n\
+  \  .explain SELECT ...   show the LERA expression before/after rewriting\n\
+  \  .trace SELECT ...     show every rule application, in order\n\
+  \  .trace-file FILE      write a Chrome trace-event file (.trace-file off stops)\n\
+  \  .profile on|off       collect per-rule attempt/fire/veto statistics;\n\
+  \                        'off' (or bare .profile) prints the report\n\
+  \  .stats                cumulative evaluator counters and last rewrite stats\n\
+  \  .rules                list the current rule program\n\
+  \  .check                termination warnings for the rule program (\xc2\xa74.2)\n\
+  \  .limits N             set every block limit to N (negative = infinite)\n\
+  \  .norewrite / .rewrite disable / enable the rewriter\n\
+  \  .physical naive|indexed|parallel   select the physical evaluation layer\n\
+  \  .domains N            worker domains for the parallel layer\n\
+  \  .constraint TEXT      declare an integrity constraint (Fig. 10)\n\
+  \  .save FILE / .load FILE   dump or restore the whole session\n\
+  \  .help                 this message\n\
+  \  .quit                 leave"
+
+(* the out_channel behind the current trace sink, so we can close it *)
+let trace_channel : out_channel option ref = ref None
+
+let stop_tracing () =
+  Obs.set_sink None;
+  match !trace_channel with
+  | Some oc ->
+    close_out oc;
+    trace_channel := None
+  | None -> ()
+
+let start_tracing path =
+  stop_tracing ();
+  let oc = open_out path in
+  trace_channel := Some oc;
+  Obs.set_sink (Some (Obs.trace_sink oc))
+
+let all_rules session =
+  List.concat_map
+    (fun b -> List.map (fun r -> (b.Rule.block_name, r.Rule.name)) b.Rule.rules)
+    (Session.program session).Rule.blocks
+
+let print_profile ppf session p =
+  Fmt.pf ppf "%a@." (Obs.Profile.pp ~all_rules:(all_rules session)) p
+
+let print_session_stats ppf session =
+  let es = Session.eval_stats session in
+  Fmt.pf ppf "statements run   : %d@." (Session.statements_run session);
+  Fmt.pf ppf "physical layer   : %s@."
+    (Eval.Physical.to_string (Session.physical session));
+  Fmt.pf ppf "domains          : %d@." (Session.domains session);
+  Fmt.pf ppf "eval combinations: %d@." es.Eval.combinations;
+  Fmt.pf ppf "tuples read      : %d@." es.Eval.tuples_read;
+  Fmt.pf ppf "tuples produced  : %d@." es.Eval.tuples_produced;
+  Fmt.pf ppf "fixpoint iters   : %d@." es.Eval.fix_iterations;
+  Fmt.pf ppf "index probes     : %d@." es.Eval.probes;
+  Fmt.pf ppf "index builds     : %d@." es.Eval.builds;
+  Fmt.pf ppf "fix-cache hit/miss: %d/%d@." es.Eval.fix_cache_hits
+    es.Eval.fix_cache_misses;
+  match Session.last_rewrite_stats session with
+  | None -> Fmt.pf ppf "last rewrite     : (none)@."
+  | Some rs -> Fmt.pf ppf "last rewrite     : %a@." Engine.pp_stats rs
+
+let handle_directive ppf session line =
+  let directive, arg = cut_directive line in
+  match directive with
+  | ".quit" | ".exit" -> `Quit
+  | ".help" ->
+    Fmt.pf ppf "%s@." help_text;
+    `Continue
+  | ".explain" ->
+    print_plan ppf session (Session.explain session arg);
+    `Continue
+  | ".trace" ->
+    let plan = Session.explain session arg in
+    List.iter
+      (fun step -> Fmt.pf ppf "%a@." Engine.pp_step step)
+      (Engine.steps plan.Session.rewrite_stats);
+    print_plan ppf session plan;
+    `Continue
+  | ".trace-file" ->
+    (match arg with
+    | "" | "off" ->
+      stop_tracing ();
+      Fmt.pf ppf "tracing off@."
+    | path ->
+      start_tracing path;
+      Fmt.pf ppf "tracing to %s (Chrome trace-event format)@." path);
+    `Continue
+  | ".profile" ->
+    (match (arg, Obs.Profile.current ()) with
+    | "on", _ ->
+      Obs.Profile.set_current (Some (Obs.Profile.create ()));
+      Fmt.pf ppf "profiling on@."
+    | "off", Some p ->
+      print_profile ppf session p;
+      Obs.Profile.set_current None
+    | "off", None -> Fmt.pf ppf "profiling was already off@."
+    | "", Some p -> print_profile ppf session p
+    | _ -> Fmt.pf ppf "usage: .profile on|off@.");
+    `Continue
+  | ".stats" ->
+    print_session_stats ppf session;
+    `Continue
+  | ".rules" ->
+    let program = Session.program session in
+    List.iter
+      (fun b ->
+        Fmt.pf ppf "%a@." Rule.pp_block b;
+        List.iter (fun r -> Fmt.pf ppf "  %a@." Rule.pp r) b.Rule.rules)
+      program.Rule.blocks;
+    `Continue
+  | ".check" ->
+    (match Session.check_program session with
+    | [] -> Fmt.pf ppf "rule program is termination-safe (§4.2)@."
+    | warnings ->
+      List.iter
+        (fun w -> Fmt.pf ppf "%a@." Eds_rewriter.Rule_analysis.pp_warning w)
+        warnings);
+    `Continue
+  | ".limits" ->
+    (match int_of_string_opt arg with
+    | Some n -> Session.set_config session (limits_config n)
+    | None -> Fmt.pf ppf "usage: .limits N   (negative N = infinite)@.");
+    `Continue
+  | ".norewrite" ->
+    Session.set_rewriting session false;
+    `Continue
+  | ".rewrite" ->
+    Session.set_rewriting session true;
+    `Continue
+  | ".physical" ->
+    (match Eval.Physical.of_string arg with
+    | Some p ->
+      Session.set_physical session p;
+      Fmt.pf ppf "physical layer: %s@." (Eval.Physical.to_string p)
+    | None ->
+      Fmt.pf ppf "physical layer: %s (usage: .physical naive|indexed|parallel)@."
+        (Eval.Physical.to_string (Session.physical session)));
+    `Continue
+  | ".domains" ->
+    (match (arg, int_of_string_opt arg) with
+    | "", _ ->
+      Fmt.pf ppf "domains: %d (usage: .domains N)@." (Session.domains session)
+    | _, Some n when n >= 1 ->
+      Session.set_domains session n;
+      Fmt.pf ppf "domains: %d@." n
+    | _ -> Fmt.pf ppf "usage: .domains N   (N >= 1)@.");
+    `Continue
+  | ".constraint" ->
+    Session.add_integrity_constraint session arg;
+    Fmt.pf ppf "constraint recorded@.";
+    `Continue
+  | _ ->
+    Fmt.pf ppf "unknown directive %s, try .help@." directive;
+    `Continue
+
+let handle_save_load ppf session line =
+  let strip prefix =
+    String.sub line (String.length prefix)
+      (String.length line - String.length prefix)
+    |> String.trim
+  in
+  if String.length line >= 5 && String.sub line 0 5 = ".save" then begin
+    Storage.save session (strip ".save");
+    Fmt.pf ppf "saved@.";
+    Some session
+  end
+  else if String.length line >= 5 && String.sub line 0 5 = ".load" then begin
+    let s' = Storage.load (strip ".load") in
+    Fmt.pf ppf "loaded@.";
+    Some s'
+  end
+  else None
+
+let describe_error = function
+  | Session.Session_error msg
+  | Storage.Storage_error msg
+  | Sys_error msg
+  | Failure msg
+  | Invalid_argument msg -> msg
+  | Eds_esql.Parser.Parse_error msg -> "parse error: " ^ msg
+  | e -> Printexc.to_string e
+
+(* one REPL line must never kill the session: anything except the
+   genuinely fatal runtime conditions becomes a one-line report *)
+let protect ppf ~default f =
+  try f () with
+  | (Out_of_memory | Stack_overflow) as e -> raise e
+  | e ->
+    Fmt.pf ppf "error: %s@." (describe_error e);
+    default
+
+let repl ?(banner = true) ?(ppf = Fmt.stdout) ~read_line session0 =
+  if banner then begin
+    Fmt.pf ppf "edsql — EDS extensible query rewriter (ICDE'91 reproduction)@.";
+    Fmt.pf ppf
+      "terminate statements with ';', directives with newline; .quit to leave@."
+  end;
+  let session = ref session0 in
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    if Buffer.length buffer = 0 then Fmt.pf ppf "edsql> @?"
+    else Fmt.pf ppf "  ...> @?";
+    match read_line () with
+    | None -> ()
+    | Some line ->
+      let trimmed = String.trim line in
+      if Buffer.length buffer = 0 && String.length trimmed > 0 && trimmed.[0] = '.'
+      then begin
+        match
+          protect ppf ~default:`Continue (fun () ->
+              match handle_save_load ppf !session trimmed with
+              | Some s' ->
+                session := s';
+                `Continue
+              | None -> handle_directive ppf !session trimmed)
+        with
+        | `Quit -> ()
+        | `Continue -> loop ()
+      end
+      else begin
+        Buffer.add_string buffer line;
+        Buffer.add_char buffer '\n';
+        if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = ';'
+        then begin
+          let stmt = Buffer.contents buffer in
+          Buffer.clear buffer;
+          protect ppf ~default:() (fun () ->
+              print_result ppf (Session.exec_string !session stmt));
+          loop ()
+        end
+        else loop ()
+      end
+  in
+  loop ();
+  !session
+
+let run_file ?(ppf = Fmt.stdout) ~explain session path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let stmts = Eds_esql.Parser.parse_program text in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Eds_esql.Ast.Select_stmt _ when explain ->
+        let input = Fmt.str "%a" Eds_esql.Ast.pp_stmt stmt in
+        print_plan ppf session (Session.explain session input);
+        print_result ppf (Session.exec session stmt)
+      | _ -> print_result ppf (Session.exec session stmt))
+    stmts

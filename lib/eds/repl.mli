@@ -1,0 +1,44 @@
+(** The edsql shell: directive handling, the interactive loop and the
+    script runner, parameterised on the line source and output formatter
+    so tests can drive a whole session in memory.
+
+    Every REPL line is protected: a parse error, a {!Session.Session_error}
+    or any runtime exception (e.g. [Failure]) prints a one-line
+    [error: ...] and the loop keeps going — only [Out_of_memory] and
+    [Stack_overflow] propagate. *)
+
+val help_text : string
+
+val print_result : Format.formatter -> Session.result -> unit
+
+val print_plan : Format.formatter -> Session.t -> Session.plan -> unit
+
+val print_session_stats : Format.formatter -> Session.t -> unit
+(** The [.stats] report: cumulative evaluator counters (including
+    hash-join and fix-cache work), the physical layer and domain count,
+    and the last rewrite statistics. *)
+
+val limits_config : int -> Session.Optimizer.config
+(** A config applying one limit to every rule block (negative =
+    infinite), with a single round. *)
+
+val start_tracing : string -> unit
+(** Open a Chrome trace-event file and install it as the global sink
+    (closing any previous one). *)
+
+val stop_tracing : unit -> unit
+(** Uninstall the sink and close the trace file, writing the closing
+    bracket.  Safe to call when tracing is off. *)
+
+val repl :
+  ?banner:bool ->
+  ?ppf:Format.formatter ->
+  read_line:(unit -> string option) ->
+  Session.t ->
+  Session.t
+(** Run the interactive loop until [.quit] or end of input.  Returns the
+    session in effect on exit ([.load] swaps it mid-session). *)
+
+val run_file : ?ppf:Format.formatter -> explain:bool -> Session.t -> string -> unit
+(** Execute an ESQL script.  Unlike {!repl}, errors propagate: a script
+    stops at the first failing statement. *)

@@ -27,6 +27,7 @@ type t = {
   mutable rewriting : bool;
   mutable adaptive : bool;
   mutable physical : Eval.Physical.t;
+  mutable domains : int;  (** pool size used by {!Eval.Physical.Parallel} *)
   mutable semantic_constraints : (string * Term.t) list;
   mutable extra_methods : (string * Engine.method_fn) list;
   eval_stats : Eval.stats;  (** cumulative over every executed statement *)
@@ -49,6 +50,7 @@ let create ?(config = Optimizer.default_config) () =
     rewriting = true;
     adaptive = false;
     physical = Eval.Physical.Indexed;
+    domains = Eds_engine.Domain_pool.default_size ();
     semantic_constraints = [];
     extra_methods = [];
     eval_stats = Eval.fresh_stats ();
@@ -67,6 +69,12 @@ let set_rewriting s flag = s.rewriting <- flag
 let set_adaptive s flag = s.adaptive <- flag
 let set_physical s p = s.physical <- p
 let physical s = s.physical
+
+let set_domains s d =
+  if d < 1 then error "domains must be >= 1 (got %d)" d;
+  s.domains <- d
+
+let domains s = s.domains
 
 (* the catalog owns types and ADTs; keep the database's view in sync *)
 let sync s =
@@ -132,7 +140,8 @@ let plan_select s (sel : Ast.select) : plan =
   { translated; rewritten; rewrite_stats = stats; trace = events }
 
 let run_plan ?stats s rel =
-  wrap_errors (fun () -> Eval.run ~physical:s.physical ?stats s.db rel)
+  wrap_errors (fun () ->
+      Eval.run ~physical:s.physical ~domains:s.domains ?stats s.db rel)
 
 let estimate s rel =
   let card name =
@@ -225,7 +234,8 @@ let exec s (stmt : Ast.stmt) : result =
     let plan = plan_select s sel in
     Rows
       (Obs.span ~cat:"pipeline" "execute" (fun () ->
-           Eval.run ~physical:s.physical ~stats:s.eval_stats s.db plan.rewritten))
+           Eval.run ~physical:s.physical ~domains:s.domains ~stats:s.eval_stats
+             s.db plan.rewritten))
 
 let exec_string s input =
   wrap_errors (fun () ->

@@ -1,0 +1,159 @@
+(* A fixed pool of worker domains with static chunked task assignment.
+
+   Synchronisation is one mutex and two condition variables: the main
+   domain publishes a job (generation counter + closure + task count)
+   under the mutex and broadcasts; workers run their slots (task i with
+   i mod size = slot) outside the mutex and decrement the active count;
+   the last one signals the main domain.  Results travel through
+   caller-owned arrays indexed by task — distinct slots, so no data
+   race — and the mutex hand-off orders those writes before the main
+   domain reads them. *)
+
+type t = {
+  size : int;
+  mutable job : (int -> unit) option;
+  mutable ntasks : int;
+  mutable gen : int;  (* bumped per job; workers watch it change *)
+  mutable active : int;  (* workers still running the current job *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable stop : bool;
+  m : Mutex.t;
+  start : Condition.t;
+  finished : Condition.t;
+  mutable workers : unit Domain.t array;
+}
+
+let clamp lo hi n = max lo (min hi n)
+
+let record_failure pool e bt =
+  Mutex.lock pool.m;
+  if pool.failure = None then pool.failure <- Some (e, bt);
+  Mutex.unlock pool.m
+
+let run_slot pool f ntasks slot =
+  match
+    let i = ref slot in
+    while !i < ntasks do
+      f !i;
+      i := !i + pool.size
+    done
+  with
+  | () -> ()
+  | exception e -> record_failure pool e (Printexc.get_raw_backtrace ())
+
+let worker pool slot () =
+  let rec loop last_gen =
+    Mutex.lock pool.m;
+    while (not pool.stop) && pool.gen = last_gen do
+      Condition.wait pool.start pool.m
+    done;
+    if pool.stop then Mutex.unlock pool.m
+    else begin
+      let gen = pool.gen in
+      let f = Option.get pool.job in
+      let ntasks = pool.ntasks in
+      Mutex.unlock pool.m;
+      run_slot pool f ntasks slot;
+      Mutex.lock pool.m;
+      pool.active <- pool.active - 1;
+      if pool.active = 0 then Condition.signal pool.finished;
+      Mutex.unlock pool.m;
+      loop gen
+    end
+  in
+  loop 0
+
+let create d =
+  let size = clamp 1 64 d in
+  let pool =
+    {
+      size;
+      job = None;
+      ntasks = 0;
+      gen = 0;
+      active = 0;
+      failure = None;
+      stop = false;
+      m = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init (size - 1) (fun i -> Domain.spawn (worker pool (i + 1)));
+  pool
+
+let size pool = pool.size
+
+let run pool ntasks f =
+  if ntasks <= 0 then ()
+  else if pool.size = 1 || ntasks = 1 then
+    for i = 0 to ntasks - 1 do
+      f i
+    done
+  else begin
+    Mutex.lock pool.m;
+    pool.job <- Some f;
+    pool.ntasks <- ntasks;
+    pool.failure <- None;
+    pool.active <- pool.size - 1;
+    pool.gen <- pool.gen + 1;
+    Condition.broadcast pool.start;
+    Mutex.unlock pool.m;
+    run_slot pool f ntasks 0;
+    Mutex.lock pool.m;
+    while pool.active > 0 do
+      Condition.wait pool.finished pool.m
+    done;
+    pool.job <- None;
+    let failure = pool.failure in
+    pool.failure <- None;
+    Mutex.unlock pool.m;
+    match failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  pool.stop <- true;
+  Condition.broadcast pool.start;
+  Mutex.unlock pool.m;
+  Array.iter Domain.join pool.workers
+
+(* -- the process-wide pool cache ---------------------------------------- *)
+
+let cache : (int, t) Hashtbl.t = Hashtbl.create 4
+let cache_m = Mutex.create ()
+let at_exit_registered = ref false
+
+let get d =
+  let d = clamp 1 64 d in
+  Mutex.lock cache_m;
+  let pool =
+    match Hashtbl.find_opt cache d with
+    | Some pool -> pool
+    | None ->
+      let pool = create d in
+      Hashtbl.replace cache d pool;
+      if not !at_exit_registered then begin
+        at_exit_registered := true;
+        at_exit (fun () ->
+            Mutex.lock cache_m;
+            let pools = Hashtbl.fold (fun _ p acc -> p :: acc) cache [] in
+            Hashtbl.reset cache;
+            Mutex.unlock cache_m;
+            List.iter shutdown pools)
+      end;
+      pool
+  in
+  Mutex.unlock cache_m;
+  pool
+
+let default_size () =
+  match Sys.getenv_opt "EDS_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> clamp 1 64 n
+    | Some _ | None -> 1)
+  | None -> clamp 1 8 (Domain.recommended_domain_count ())

@@ -1,0 +1,45 @@
+(** A fixed pool of worker domains for the parallel physical layer.
+
+    The pool implements {e work-stealing-free chunked fan-out}: a job is
+    a task count [n] and a function [f]; task [i] runs on slot
+    [i mod size] (the calling domain participates as slot [0]), so the
+    task→worker assignment is a pure function of [(n, size)] and two
+    runs of the same job perform identical per-slot work — the property
+    the determinism tests of the parallel evaluator rely on.  There is
+    no task queue and no stealing: callers chunk their data into at most
+    [size] contiguous ranges and pass one task per chunk.
+
+    A pool of size 1 spawns no domains and runs every job inline, so
+    [Parallel] at one domain degenerates to a plain sequential
+    evaluator with zero synchronisation cost. *)
+
+type t
+
+val create : int -> t
+(** [create d] spawns [d - 1] worker domains ([d] is clamped to
+    [\[1, 64\]]).  The workers idle on a condition variable between
+    jobs. *)
+
+val size : t -> int
+(** Total parallelism: worker domains + the calling domain. *)
+
+val run : t -> int -> (int -> unit) -> unit
+(** [run pool n f] executes [f 0 .. f (n-1)], task [i] on slot
+    [i mod size pool], and waits for all of them (a barrier).  Tasks
+    must not themselves call {!run} on the same pool (no nested
+    parallelism).  If any task raises, the first exception (in slot
+    order of detection) is re-raised on the calling domain after the
+    barrier.  With [size pool = 1] or [n <= 1] the tasks run inline. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  The pool must be idle. *)
+
+val get : int -> t
+(** [get d] returns a process-wide cached pool of size [d], creating it
+    on first use.  Cached pools are shut down automatically at exit. *)
+
+val default_size : unit -> int
+(** The domain count used when none is given explicitly: the
+    [EDS_DOMAINS] environment variable if set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()], clamped to
+    [\[1, 8\]]. *)

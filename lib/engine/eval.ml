@@ -10,6 +10,8 @@ type stats = {
   mutable fix_iterations : int;
   mutable probes : int;
   mutable builds : int;
+  mutable fix_cache_hits : int;
+  mutable fix_cache_misses : int;
 }
 
 let fresh_stats () =
@@ -20,6 +22,8 @@ let fresh_stats () =
     fix_iterations = 0;
     probes = 0;
     builds = 0;
+    fix_cache_hits = 0;
+    fix_cache_misses = 0;
   }
 
 let add_stats acc s =
@@ -28,12 +32,17 @@ let add_stats acc s =
   acc.tuples_produced <- acc.tuples_produced + s.tuples_produced;
   acc.fix_iterations <- acc.fix_iterations + s.fix_iterations;
   acc.probes <- acc.probes + s.probes;
-  acc.builds <- acc.builds + s.builds
+  acc.builds <- acc.builds + s.builds;
+  acc.fix_cache_hits <- acc.fix_cache_hits + s.fix_cache_hits;
+  acc.fix_cache_misses <- acc.fix_cache_misses + s.fix_cache_misses
 
 let pp_stats ppf s =
-  Fmt.pf ppf "combinations=%d read=%d produced=%d fix_iters=%d probes=%d builds=%d"
+  Fmt.pf ppf
+    "combinations=%d read=%d produced=%d fix_iters=%d probes=%d builds=%d \
+     fix_cache=%d/%d"
     s.combinations s.tuples_read s.tuples_produced s.fix_iterations s.probes
-    s.builds
+    s.builds s.fix_cache_hits
+    (s.fix_cache_hits + s.fix_cache_misses)
 
 type fix_mode = Naive | Seminaive
 
@@ -43,12 +52,19 @@ module Physical = struct
   type t =
     | Naive  (** cartesian enumeration + post-filter — the golden reference *)
     | Indexed  (** hash joins on extracted equi conjuncts, set-backed dedup *)
+    | Parallel
+        (** partitioned hash joins and chunked scans on a {!Domain_pool};
+            identical results and identical counter totals to [Indexed] *)
 
-  let to_string = function Naive -> "naive" | Indexed -> "indexed"
+  let to_string = function
+    | Naive -> "naive"
+    | Indexed -> "indexed"
+    | Parallel -> "parallel"
 
   let of_string = function
     | "naive" -> Some Naive
     | "indexed" -> Some Indexed
+    | "parallel" -> Some Parallel
     | _ -> None
 end
 
@@ -138,7 +154,128 @@ type ctx = {
   stats : stats;
   rvars : (string * Relation.t) list;
   fix_cache : Relation.t Fix_cache.t;
+  pool : Domain_pool.t option;  (** [Some] exactly under {!Physical.Parallel} *)
 }
+
+(* leaf scans shorter than this stay sequential under [Parallel]: the
+   chunk split is still deterministic (it only depends on the length),
+   and small inputs are not worth a fan-out barrier *)
+let par_min_chunk = 256
+
+(* Merge slot-private counter cells into the context stats, in slot
+   order, and attribute the per-worker share on the trace: one instant
+   per active slot carrying a ["tid"] attribute, which the trace export
+   lifts into the Chrome trace thread id. *)
+let merge_cells ~op ctx (cells : stats array) =
+  Array.iteri
+    (fun slot c ->
+      add_stats ctx.stats c;
+      if
+        Obs.enabled ()
+        && (c.combinations > 0 || c.probes > 0 || c.builds > 0)
+      then
+        Obs.instant ~cat:"eval"
+          ~attrs:
+            [
+              ("tid", Obs.Json.Int (slot + 1));
+              ("combinations", Obs.Json.Int c.combinations);
+              ("probes", Obs.Json.Int c.probes);
+              ("builds", Obs.Json.Int c.builds);
+            ]
+          ("par:" ^ op))
+    cells
+
+(* cut [n] items into at most [size pool] contiguous chunks of at least
+   [par_min_chunk]; 1 means "stay sequential" *)
+let chunks_for pool n =
+  if n < 2 * par_min_chunk then 1
+  else min (Domain_pool.size pool) (n / par_min_chunk)
+
+(* Selection: one [combinations] per input tuple, [q] applied to the
+   single-tuple binding.  Under [Parallel] the tuple list is cut into
+   contiguous chunks evaluated on the pool, with slot-private counter
+   cells and output lists merged in chunk order — same counter totals,
+   same tuple multiset, deterministic order. *)
+let filter_tuples ctx q (ra : Relation.t) =
+  let db = ctx.db in
+  let n = Relation.cardinality ra in
+  let nchunks = match ctx.pool with Some p -> chunks_for p n | None -> 1 in
+  if nchunks = 1 then begin
+    let stats = ctx.stats in
+    List.filter
+      (fun tup ->
+        stats.combinations <- stats.combinations + 1;
+        Expr_eval.eval_bool db ~inputs:[ tup ] q)
+      ra.Relation.tuples
+  end
+  else begin
+    let pool = Option.get ctx.pool in
+    let arr = Array.of_list ra.Relation.tuples in
+    let cells = Array.init nchunks (fun _ -> fresh_stats ()) in
+    let outs = Array.make nchunks [] in
+    Domain_pool.run pool nchunks (fun c ->
+        let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
+        let cell = cells.(c) in
+        let acc = ref [] in
+        for i = hi - 1 downto lo do
+          let tup = arr.(i) in
+          cell.combinations <- cell.combinations + 1;
+          if Expr_eval.eval_bool db ~inputs:[ tup ] q then acc := tup :: !acc
+        done;
+        outs.(c) <- !acc);
+    merge_cells ~op:"filter" ctx cells;
+    List.concat (Array.to_list outs)
+  end
+
+(* Projection: a pure map, no counters; chunked the same way. *)
+let project_tuples ctx ps (ra : Relation.t) =
+  let db = ctx.db in
+  let project tup =
+    List.map (fun p -> Expr_eval.eval db ~inputs:[ tup ] p) ps
+  in
+  let n = Relation.cardinality ra in
+  let nchunks = match ctx.pool with Some p -> chunks_for p n | None -> 1 in
+  if nchunks = 1 then List.map project ra.Relation.tuples
+  else begin
+    let pool = Option.get ctx.pool in
+    let arr = Array.of_list ra.Relation.tuples in
+    let outs = Array.make nchunks [] in
+    Domain_pool.run pool nchunks (fun c ->
+        let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
+        let acc = ref [] in
+        for i = hi - 1 downto lo do
+          acc := project arr.(i) :: !acc
+        done;
+        outs.(c) <- !acc);
+    List.concat (Array.to_list outs)
+  end
+
+(* Semi-naive freshness test: drop tuples already in [total].  Under
+   [Parallel] the hash-set index of [total] is forced on the caller's
+   domain first (concurrently forcing a lazy from several domains is
+   unsafe; reading a forced one is not), then the candidate list is
+   filtered in chunks. *)
+let fresh_against ctx total new_tuples =
+  let keep tup = not (Relation.mem tup total) in
+  match ctx.pool with
+  | None -> List.filter keep new_tuples
+  | Some pool ->
+    let n = List.length new_tuples in
+    let nchunks = chunks_for pool n in
+    if nchunks = 1 then List.filter keep new_tuples
+    else begin
+      Relation.force_index total;
+      let arr = Array.of_list new_tuples in
+      let outs = Array.make nchunks [] in
+      Domain_pool.run pool nchunks (fun c ->
+          let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
+          let acc = ref [] in
+          for i = hi - 1 downto lo do
+            if keep arr.(i) then acc := arr.(i) :: !acc
+          done;
+          outs.(c) <- !acc);
+      List.concat (Array.to_list outs)
+    end
 
 (* trace-span label of one operator node *)
 let op_label : Lera.rel -> string = function
@@ -155,10 +292,19 @@ let op_label : Lera.rel -> string = function
   | Lera.Nest _ -> "nest"
   | Lera.Unnest _ -> "unnest"
 
-let rec run ?(mode = Seminaive) ?(physical = Physical.Indexed) ?stats ?(rvars = [])
-    db (r : Lera.rel) : Relation.t =
+let rec run ?(mode = Seminaive) ?(physical = Physical.Indexed) ?stats ?domains
+    ?(rvars = []) db (r : Lera.rel) : Relation.t =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
-  eval { db; mode; physical; stats; rvars; fix_cache = Fix_cache.create 8 } r
+  let pool =
+    match physical with
+    | Physical.Parallel ->
+      let d =
+        match domains with Some d -> d | None -> Domain_pool.default_size ()
+      in
+      Some (Domain_pool.get d)
+    | Physical.Naive | Physical.Indexed -> None
+  in
+  eval { db; mode; physical; stats; rvars; fix_cache = Fix_cache.create 8; pool } r
 
 (* Every operator evaluation becomes a span when tracing is on, carrying
    its output cardinality and the combinations it enumerated — the
@@ -204,7 +350,7 @@ and joined ctx (inputs : Relation.t list) q (yield : Relation.tuple list -> unit
   | Physical.Naive ->
     cartesian stats inputs (fun combo ->
         if Expr_eval.eval_bool ctx.db ~inputs:combo q then yield combo)
-  | Physical.Indexed ->
+  | Physical.Indexed | Physical.Parallel ->
     let plan = Join_plan.analyze ~operands:(List.length inputs) q in
     if not (Join_plan.has_equis plan) then
       cartesian stats inputs (fun combo ->
@@ -218,6 +364,54 @@ and joined ctx (inputs : Relation.t list) q (yield : Relation.tuple list -> unit
         (fun combo ->
           stats.combinations <- stats.combinations + 1;
           if Expr_eval.eval_bool ctx.db ~inputs:combo residual then yield combo)
+    end
+
+(* Collect [f combo] over every qualified combination.  Under [Parallel]
+   (with an equi conjunct to drive the hash plan) this fans out through
+   {!Join_plan.execute_parallel}: counters accumulate into slot-private
+   cells and results into slot-private lists, merged in slot order on
+   the caller's domain, so totals match the sequential layers exactly
+   and no shared state is touched from the workers.  [f] runs on worker
+   domains and must stay read-only. *)
+and collect_joined : 'a. ctx -> Relation.t list -> Lera.scalar ->
+    (Relation.tuple list -> 'a) -> 'a list =
+  fun ctx inputs q f ->
+  match ctx.pool with
+  | None ->
+    let out = ref [] in
+    joined ctx inputs q (fun combo -> out := f combo :: !out);
+    !out
+  | Some pool ->
+    let stats = ctx.stats in
+    let plan = Join_plan.analyze ~operands:(List.length inputs) q in
+    if not (Join_plan.has_equis plan) then begin
+      let out = ref [] in
+      cartesian stats inputs (fun combo ->
+          if Expr_eval.eval_bool ctx.db ~inputs:combo q then
+            out := f combo :: !out);
+      !out
+    end
+    else begin
+      let residual = Join_plan.residual plan in
+      let slots = Domain_pool.size pool in
+      let cells = Array.init slots (fun _ -> fresh_stats ()) in
+      let outs = Array.make slots [] in
+      let db = ctx.db in
+      Join_plan.execute_parallel ~pool
+        ~on_build:(fun s ->
+          let c = cells.(s) in
+          c.builds <- c.builds + 1)
+        ~on_probe:(fun s ->
+          let c = cells.(s) in
+          c.probes <- c.probes + 1)
+        plan (Array.of_list inputs)
+        (fun s combo ->
+          let c = cells.(s) in
+          c.combinations <- c.combinations + 1;
+          if Expr_eval.eval_bool db ~inputs:combo residual then
+            outs.(s) <- f combo :: outs.(s));
+      merge_cells ~op:"join" ctx cells;
+      List.concat (Array.to_list outs)
     end
 
 and eval_node ctx (r : Lera.rel) : Relation.t =
@@ -239,27 +433,20 @@ and eval_node ctx (r : Lera.rel) : Relation.t =
   | Lera.Filter (_, q) when is_false q -> Relation.empty (rel_schema ctx r)
   | Lera.Filter (a, q) ->
     let ra = eval ctx a in
-    let keep tup =
-      stats.combinations <- stats.combinations + 1;
-      Expr_eval.eval_bool db ~inputs:[ tup ] q
-    in
-    produce stats
-      (Relation.make ra.Relation.schema (List.filter keep ra.Relation.tuples))
+    produce stats (Relation.make ra.Relation.schema (filter_tuples ctx q ra))
   | Lera.Project (a, ps) ->
     let ra = eval ctx a in
     let schema = rel_schema ctx r in
-    let project tup = List.map (fun p -> Expr_eval.eval db ~inputs:[ tup ] p) ps in
-    produce stats (Relation.make schema (List.map project ra.Relation.tuples))
+    produce stats (Relation.make schema (project_tuples ctx ps ra))
   | Lera.Join (_, _, q) when is_false q -> Relation.empty (rel_schema ctx r)
   | Lera.Join (a, b, q) ->
     let ra = eval ctx a and rb = eval ctx b in
     let schema = ra.Relation.schema @ rb.Relation.schema in
-    let out = ref [] in
-    joined ctx [ ra; rb ] q (fun combo ->
-        match combo with
-        | [ ta; tb ] -> out := (ta @ tb) :: !out
-        | _ -> assert false);
-    produce stats (Relation.make schema !out)
+    let out =
+      collect_joined ctx [ ra; rb ] q (fun combo ->
+          match combo with [ ta; tb ] -> ta @ tb | _ -> assert false)
+    in
+    produce stats (Relation.make schema out)
   | Lera.Union rs -> (
     match List.map (eval ctx) rs with
     | [] -> error "empty union"
@@ -270,10 +457,11 @@ and eval_node ctx (r : Lera.rel) : Relation.t =
   | Lera.Search (rs, q, ps) ->
     let inputs = List.map (eval ctx) rs in
     let schema = rel_schema ctx r in
-    let out = ref [] in
-    joined ctx inputs q (fun combo ->
-        out := List.map (fun p -> Expr_eval.eval db ~inputs:combo p) ps :: !out);
-    produce stats (Relation.make schema !out)
+    let out =
+      collect_joined ctx inputs q (fun combo ->
+          List.map (fun p -> Expr_eval.eval db ~inputs:combo p) ps)
+    in
+    produce stats (Relation.make schema out)
   | Lera.Fix (n, body) ->
     (* memoize closed fixpoints whose base relations are not shadowed by
        an enclosing recursion variable *)
@@ -287,8 +475,16 @@ and eval_node ctx (r : Lera.rel) : Relation.t =
     if not closed then produce stats (fixpoint ctx n body)
     else begin
       match Fix_cache.find_opt ctx.fix_cache r with
-      | Some cached -> cached
+      | Some cached ->
+        stats.fix_cache_hits <- stats.fix_cache_hits + 1;
+        if Obs.enabled () then
+          Obs.counter "eval.fix_cache.hits" (float_of_int stats.fix_cache_hits);
+        cached
       | None ->
+        stats.fix_cache_misses <- stats.fix_cache_misses + 1;
+        if Obs.enabled () then
+          Obs.counter "eval.fix_cache.misses"
+            (float_of_int stats.fix_cache_misses);
         let result = produce stats (fixpoint ctx n body) in
         Fix_cache.replace ctx.fix_cache r result;
         result
@@ -415,9 +611,7 @@ and seminaive_fixpoint ctx n body schema =
               (List.init occurrences (fun i -> i + 1)))
           rec_arms
       in
-      let fresh =
-        List.filter (fun tup -> not (Relation.mem tup total)) new_tuples
-      in
+      let fresh = fresh_against ctx total new_tuples in
       let delta' = Relation.make schema fresh in
       iterate (Relation.union total delta') delta'
     end

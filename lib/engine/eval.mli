@@ -27,8 +27,13 @@ type stats = {
   mutable tuples_read : int;  (** base relation tuples scanned *)
   mutable tuples_produced : int;
   mutable fix_iterations : int;
-  mutable probes : int;  (** hash-index lookups (Indexed layer only) *)
-  mutable builds : int;  (** tuples loaded into hash indexes (Indexed only) *)
+  mutable probes : int;
+      (** hash-index lookups (Indexed/Parallel layers only) *)
+  mutable builds : int;
+      (** tuples loaded into hash indexes (Indexed/Parallel only) *)
+  mutable fix_cache_hits : int;
+      (** closed-fixpoint memo hits — each one skips a whole fixpoint *)
+  mutable fix_cache_misses : int;  (** closed fixpoints actually computed *)
 }
 
 val fresh_stats : unit -> stats
@@ -49,6 +54,12 @@ module Physical : sig
     | Indexed
         (** hash joins on extracted equi conjuncts ({!Join_plan}),
             set-backed relations; produces identical results *)
+    | Parallel
+        (** [Indexed] fanned out on a {!Domain_pool}: partitioned hash
+            builds, chunked pipelined probes, chunked selections /
+            projections / semi-naive freshness tests.  Produces
+            {!Relation.equal} results {e and} identical {!stats} totals
+            to [Indexed] at any domain count. *)
 
   val to_string : t -> string
   val of_string : string -> t option
@@ -60,11 +71,15 @@ val run :
   ?mode:fix_mode ->
   ?physical:Physical.t ->
   ?stats:stats ->
+  ?domains:int ->
   ?rvars:(string * Relation.t) list ->
   Database.t ->
   Lera.rel ->
   Relation.t
 (** Evaluate an expression.  [rvars] supplies bindings for free recursion
     variables (used internally and by tests).  Default mode is
-    [Seminaive]; default physical layer is [Indexed].  Raises
+    [Seminaive]; default physical layer is [Indexed].  [domains] sizes
+    the worker pool used by {!Physical.Parallel} (default
+    {!Domain_pool.default_size}; pools are process-wide and cached, see
+    {!Domain_pool.get}) and is ignored by the other layers.  Raises
     {!Eval_error} (or {!Expr_eval.Eval_error}) on ill-formed plans. *)

@@ -44,3 +44,26 @@ val execute :
     once per index lookup.  Short-circuits to nothing if any operand is
     empty; with zero operands yields the single empty combination, like
     the cartesian enumerator. *)
+
+val execute_parallel :
+  pool:Domain_pool.t ->
+  on_build:(int -> unit) ->
+  on_probe:(int -> unit) ->
+  t ->
+  Relation.t array ->
+  (int -> Relation.tuple list -> unit) ->
+  unit
+(** The partitioned parallel executor ({!Eval.Physical.Parallel}): the
+    build side of every hash step is partitioned by key hash across the
+    pool, and the first operand's tuples are cut into contiguous chunks
+    walked depth-first through the step list in parallel, streaming
+    combinations to [yield].  All callbacks receive the slot (chunk or
+    build-partition) index, in [\[0, Domain_pool.size pool)]; calls for
+    one slot are sequential, calls for distinct slots may be concurrent,
+    so callbacks must only touch slot-private state.  Yields the same
+    combination multiset as {!execute} (in a different order) and fires
+    the same {e total} number of [on_build]/[on_probe] callbacks,
+    independent of the pool size; the per-slot split is deterministic
+    for a fixed pool size.  [yield] and the callbacks run on worker
+    domains: they must not emit {!Eds_obs.Obs} events or touch shared
+    mutable state. *)

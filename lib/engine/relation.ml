@@ -67,6 +67,12 @@ let is_empty r = r.card = 0
 
 let mem tup r = r.card > 0 && Tuple_tbl.mem (Lazy.force r.index) tup
 
+(* Force the hash-set view on the calling domain.  [Lazy.force] from
+   several domains at once on an unforced suspension is a race (it can
+   raise [Lazy.Undefined]); forcing here first makes subsequent
+   concurrent [mem] calls plain reads of the forced value. *)
+let force_index r = if r.card > 0 then ignore (Lazy.force r.index)
+
 let equal a b =
   a.card = b.card && List.for_all2 (fun x y -> compare_tuples x y = 0) a.tuples b.tuples
 

@@ -41,6 +41,12 @@ val is_empty : t -> bool
 val mem : tuple -> t -> bool
 (** O(1) expected: probes the hash-set view. *)
 
+val force_index : t -> unit
+(** Build the hash-set view now, on the calling domain.  Required before
+    calling {!mem} concurrently from several domains: forcing the same
+    lazy suspension from two domains races, reading a forced one does
+    not. *)
+
 val equal : t -> t -> bool
 (** Same tuple sets (schemas are not compared beyond arity). *)
 

@@ -491,7 +491,16 @@ let pretty_sink ppf =
    array, so a crashed run still loads. *)
 let trace_event_json ?(pid = 1) ?(tid = 1) (e : event) : Json.t =
   let us t = Json.Float (t *. 1e6) in
-  let base name cat ph ts rest =
+  (* a ["tid"] attribute overrides the record's thread id — how the
+     parallel evaluator attributes per-worker counter shares to distinct
+     trace rows without a per-domain sink *)
+  let base name cat ph ts attrs rest =
+    let tid, attrs =
+      match List.assoc_opt "tid" attrs with
+      | Some (Json.Int t) -> (t, List.remove_assoc "tid" attrs)
+      | Some _ | None -> (tid, attrs)
+    in
+    let args = if attrs = [] then [] else [ ("args", Json.Obj attrs) ] in
     Json.Obj
       ([
          ("name", Json.Str name);
@@ -501,18 +510,17 @@ let trace_event_json ?(pid = 1) ?(tid = 1) (e : event) : Json.t =
          ("pid", Json.Int pid);
          ("tid", Json.Int tid);
        ]
-      @ rest)
+      @ rest @ args)
   in
-  let args attrs = if attrs = [] then [] else [ ("args", Json.Obj attrs) ] in
   match e with
-  | Begin { name; cat; ts; attrs } -> base name cat "B" ts (args attrs)
-  | End { name; cat; ts; attrs } -> base name cat "E" ts (args attrs)
+  | Begin { name; cat; ts; attrs } -> base name cat "B" ts attrs []
+  | End { name; cat; ts; attrs } -> base name cat "E" ts attrs []
   | Complete { name; cat; ts; dur; attrs } ->
-    base name cat "X" ts (("dur", us dur) :: args attrs)
+    base name cat "X" ts attrs [ ("dur", us dur) ]
   | Instant { name; cat; ts; attrs } ->
-    base name cat "i" ts (("s", Json.Str "t") :: args attrs)
+    base name cat "i" ts attrs [ ("s", Json.Str "t") ]
   | Counter { name; ts; value } ->
-    base name "metric" "C" ts (args [ ("value", Json.Float value) ])
+    base name "metric" "C" ts [] [ ("args", Json.Obj [ ("value", Json.Float value) ]) ]
 
 let trace_sink ?(pid = 1) ?(tid = 1) oc =
   let first = ref true in

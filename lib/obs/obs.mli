@@ -77,7 +77,10 @@ val memory_sink : unit -> sink * (unit -> event list)
 val tee : sink -> sink -> sink
 
 val trace_event_json : ?pid:int -> ?tid:int -> event -> Json.t
-(** One Chrome trace-event record. *)
+(** One Chrome trace-event record.  An integer ["tid"] attribute on the
+    event overrides the record's thread id (and is dropped from [args]):
+    the parallel evaluator uses this to attribute per-worker counter
+    shares to distinct trace rows. *)
 
 (** {1 Global sink} *)
 

@@ -16,6 +16,7 @@ let () =
       ("engine-fast", Test_engine_fast.suite);
       ("magic", Test_magic.suite);
       ("session", Test_session.suite);
+      ("repl", Test_repl.suite);
       ("soundness", Test_soundness.suite);
       ("cost", Test_cost.suite);
       ("storage", Test_storage.suite);

@@ -1,16 +1,21 @@
 (* The physical evaluation layer (Eval.Physical): the indexed hash-join
-   evaluator against the naive cartesian reference.
+   evaluator against the naive cartesian reference, and the parallel
+   partitioned evaluator against both.
 
-   - golden cross-mode suite: on every fixture plan, Naive and Indexed
-     produce Relation.equal results;
+   - golden cross-mode suite: on every fixture plan, Naive, Indexed and
+     Parallel (at several domain counts) produce Relation.equal results;
    - work bounds: the Figure-8-shaped selective join stays within a
      hash-work budget that the naive layer exceeds by orders of
      magnitude;
    - set-operation operand validation (union/diff/inter arity errors);
    - Join_plan equi-conjunct extraction;
-   - a qcheck property over random schema-correct LERA plans: results
-     agree, and the indexed layer's combinations and probes never exceed
-     the naive layer's combinations. *)
+   - a qcheck property over random schema-correct LERA plans: all three
+     layers agree, the indexed layer's combinations and probes never
+     exceed the naive layer's combinations, and the parallel layer's
+     aggregated counters equal the indexed layer's exactly at every
+     domain count in {1, 2, 4};
+   - determinism: two Parallel runs at d=4 produce identical relations
+     and identical aggregated work counters. *)
 
 module Value = Eds_value.Value
 module Vtype = Eds_value.Vtype
@@ -26,6 +31,25 @@ let run_both ?mode db rel =
   let ri = Eval.run ?mode ~physical:Eval.Physical.Indexed ~stats:si db rel in
   ((rn, sn), (ri, si))
 
+let run_parallel ?mode ~domains db rel =
+  let sp = Eval.fresh_stats () in
+  let rp =
+    Eval.run ?mode ~physical:Eval.Physical.Parallel ~domains ~stats:sp db rel
+  in
+  (rp, sp)
+
+(* every counter, including the hash work and the fix-cache ones: the
+   parallel layer must aggregate to exactly the indexed totals *)
+let stats_equal (a : Eval.stats) (b : Eval.stats) =
+  a.Eval.combinations = b.Eval.combinations
+  && a.Eval.tuples_read = b.Eval.tuples_read
+  && a.Eval.tuples_produced = b.Eval.tuples_produced
+  && a.Eval.fix_iterations = b.Eval.fix_iterations
+  && a.Eval.probes = b.Eval.probes
+  && a.Eval.builds = b.Eval.builds
+  && a.Eval.fix_cache_hits = b.Eval.fix_cache_hits
+  && a.Eval.fix_cache_misses = b.Eval.fix_cache_misses
+
 let check_agree ?mode name db rel =
   let (rn, sn), (ri, si) = run_both ?mode db rel in
   Alcotest.(check bool) (name ^ ": results equal") true (Relation.equal rn ri);
@@ -38,7 +62,18 @@ let check_agree ?mode name db rel =
     (Fmt.str "%s: probes %d <= naive combos %d" name si.Eval.probes
        sn.Eval.combinations)
     true
-    (si.Eval.probes <= sn.Eval.combinations)
+    (si.Eval.probes <= sn.Eval.combinations);
+  List.iter
+    (fun domains ->
+      let rp, sp = run_parallel ?mode ~domains db rel in
+      Alcotest.(check bool)
+        (Fmt.str "%s: parallel(d=%d) equals indexed" name domains)
+        true (Relation.equal ri rp);
+      Alcotest.(check bool)
+        (Fmt.str "%s: parallel(d=%d) counters equal indexed (%a vs %a)" name
+           domains Eval.pp_stats sp Eval.pp_stats si)
+        true (stats_equal sp si))
+    [ 1; 2; 4 ]
 
 (* -- golden cross-mode fixtures ----------------------------------------- *)
 
@@ -315,14 +350,47 @@ let print_plan (r, _) = Lera.to_string r
 
 let test_random_plans_agree =
   QCheck_alcotest.to_alcotest
-    (QCheck2.Test.make ~name:"naive and indexed agree on 250 random plans"
+    (QCheck2.Test.make
+       ~name:"naive, indexed and parallel agree on 250 random plans"
        ~count:250 ~print:print_plan gen_plan
        (fun (rel, _) ->
          let db = qdb () in
          let (rn, sn), (ri, si) = run_both db rel in
          Relation.equal rn ri
          && si.Eval.combinations <= sn.Eval.combinations
-         && si.Eval.probes <= sn.Eval.combinations))
+         && si.Eval.probes <= sn.Eval.combinations
+         && List.for_all
+              (fun domains ->
+                let rp, sp = run_parallel ~domains db rel in
+                Relation.equal ri rp && stats_equal sp si)
+              [ 1; 2; 4 ]))
+
+(* -- parallel determinism ------------------------------------------------ *)
+
+let test_parallel_determinism () =
+  let plans =
+    [
+      ("chain closure", Fixtures.chain_db 12, tc_fix);
+      ( "fig8 join",
+        fig8_shape_db (),
+        Lera.Search
+          ( [ Lera.Base "FILM"; Lera.Base "APPEARS_IN" ],
+            Lera.eq (Lera.col 1 1) (Lera.col 2 1),
+            [ Lera.col 1 2; Lera.col 2 2 ] ) );
+    ]
+  in
+  List.iter
+    (fun (name, db, rel) ->
+      let r1, s1 = run_parallel ~domains:4 db rel in
+      let r2, s2 = run_parallel ~domains:4 db rel in
+      Alcotest.(check bool)
+        (name ^ ": two d=4 runs produce identical relations")
+        true (Relation.equal r1 r2);
+      Alcotest.(check bool)
+        (Fmt.str "%s: two d=4 runs produce identical counters (%a vs %a)" name
+           Eval.pp_stats s1 Eval.pp_stats s2)
+        true (stats_equal s1 s2))
+    plans
 
 let suite =
   [
@@ -333,4 +401,6 @@ let suite =
     Alcotest.test_case "set-op arity validation" `Quick test_setop_arity_errors;
     Alcotest.test_case "join plan extraction" `Quick test_join_plan_analyze;
     test_random_plans_agree;
+    Alcotest.test_case "parallel determinism at d=4" `Quick
+      test_parallel_determinism;
   ]
