@@ -30,6 +30,16 @@ let work_markers =
     "attempts";
     "rewrites";
     "iterations";
+    (* server-side integrity counters (E4): committed at zero, so any
+       increase — a dropped connection, a malformed frame, a refused or
+       failed request — fails the gate *)
+    "dropped";
+    "protocol_errors";
+    "busy_refusals";
+    "error_responses";
+    (* plan-cache misses may only shrink: each one is a full
+       parse → translate → rewrite the cache failed to amortize *)
+    "misses";
   ]
 
 let is_work_key key =

@@ -1,0 +1,84 @@
+(* loadgen — drive a running edsd with N concurrent clients over the
+   paper-shape workload in {!Eds_server.Loadtest}, print the outcome and
+   exit non-zero on any dropped connection, protocol error, error
+   response or (with --verify) payload mismatch.  The CI smoke job runs
+   it against a background edsd. *)
+
+module Session = Eds.Session
+module Client = Eds_server.Client
+module Loadtest = Eds_server.Loadtest
+
+open Cmdliner
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+         ~doc:"Server address.")
+
+let port_arg =
+  Arg.(required & opt (some int) None & info [ "p"; "port" ] ~docv:"PORT"
+         ~doc:"Server port.")
+
+let clients_arg =
+  Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N"
+         ~doc:"Concurrent connections.")
+
+let per_client_arg =
+  Arg.(value & opt int 50 & info [ "per-client" ] ~docv:"N"
+         ~doc:"Requests per connection.")
+
+let setup_arg =
+  Arg.(value & flag & info [ "setup" ]
+         ~doc:"Create and populate the workload tables over the wire first \
+               (do this once per server).")
+
+let verify_arg =
+  Arg.(value & flag & info [ "verify" ]
+         ~doc:"Replay the workload on a local session and require every \
+               response to match byte-for-byte.")
+
+let main host port clients per_client setup verify =
+  if setup then begin
+    let c =
+      try Client.connect ~host port with
+      | Unix.Unix_error (e, _, _) ->
+        Fmt.epr "loadgen: cannot connect to %s:%d: %s@." host port
+          (Unix.error_message e);
+        exit 1
+    in
+    (try Loadtest.setup_over_wire c with
+     | Failure msg ->
+       Fmt.epr "loadgen: setup failed: %s@." msg;
+       Client.close c;
+       exit 1);
+    Client.close c;
+    Fmt.pr "loadgen: workload schema + data installed@."
+  end;
+  let expected =
+    if verify then begin
+      let twin = Session.create () in
+      Loadtest.apply_setup twin;
+      Loadtest.expected_payloads twin
+    end
+    else []
+  in
+  let o = Loadtest.run ~host ~expected ~port ~clients ~per_client () in
+  Loadtest.pp_outcome Fmt.stdout o;
+  let failed =
+    o.Loadtest.dropped_connections > 0
+    || o.Loadtest.protocol_errors > 0
+    || o.Loadtest.errors > 0
+    || o.Loadtest.busy > 0
+    || (verify && not o.Loadtest.bit_identical)
+  in
+  if failed then begin
+    Fmt.epr "loadgen: FAILED@.";
+    exit 1
+  end
+
+let cmd =
+  let doc = "concurrent load generator for the edsd query server" in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(const main $ host_arg $ port_arg $ clients_arg $ per_client_arg
+          $ setup_arg $ verify_arg)
+
+let () = exit (Cmd.eval cmd)

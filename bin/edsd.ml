@@ -1,0 +1,108 @@
+(* edsd — the EDS query server daemon.
+
+   Serves the edsd wire protocol (see {!Eds_server.Protocol}) on a TCP
+   port: ESQL statements, edsql dot-directives and the uppercase server
+   commands (HELP / PING / STATS / METRICS / SAVE / QUIT).  Attach an
+   interactive shell with [edsql --connect HOST:PORT], or talk to it
+   with [nc].  Stops cleanly on SIGINT/SIGTERM. *)
+
+module Session = Eds.Session
+module Storage = Eds.Storage
+module Server = Eds_server.Server
+
+open Cmdliner
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+         ~doc:"Bind address.")
+
+let port_arg =
+  Arg.(value & opt int 7878 & info [ "p"; "port" ] ~docv:"PORT"
+         ~doc:"TCP port (0 picks an ephemeral one, printed on boot).")
+
+let db_arg =
+  Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE"
+         ~doc:"Load this database dump (see the .save directive / SAVE \
+               command) on boot.")
+
+let max_conns_arg =
+  Arg.(value & opt int 64 & info [ "max-connections" ] ~docv:"N"
+         ~doc:"Serve at most $(docv) connections at once; beyond that new \
+               connections are refused with a busy response.")
+
+let backlog_arg =
+  Arg.(value & opt int 16 & info [ "backlog" ] ~docv:"N"
+         ~doc:"Kernel accept-queue bound.")
+
+let timeout_arg =
+  Arg.(value & opt int 30000 & info [ "timeout-ms" ] ~docv:"MS"
+         ~doc:"Per-statement wall-clock budget; an overrunning query is \
+               cancelled with an error while its connection survives.  \
+               0 disables the budget.")
+
+let cache_arg =
+  Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N"
+         ~doc:"Shared rewrite-plan cache capacity (entries).")
+
+let domains_arg =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+         ~doc:"Worker domains for the parallel physical layer.")
+
+let norewrite_arg =
+  Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Disable the query rewriter.")
+
+let main host port db max_connections backlog timeout_ms cache domains norewrite =
+  let session =
+    match db with
+    | Some file ->
+      (try Storage.load file with
+       | Storage.Storage_error msg | Session.Session_error msg | Sys_error msg ->
+         Fmt.epr "edsd: cannot load %s: %s@." file msg;
+         exit 1)
+    | None -> Session.create ()
+  in
+  if norewrite then Session.set_rewriting session false;
+  (match domains with Some d -> Session.set_domains session d | None -> ());
+  let config =
+    {
+      Server.host;
+      port;
+      max_connections;
+      backlog;
+      query_timeout =
+        (if timeout_ms <= 0 then None else Some (float_of_int timeout_ms /. 1000.));
+      cache_capacity = cache;
+    }
+  in
+  let server =
+    try Server.start ~config session with
+    | Unix.Unix_error (e, _, _) ->
+      Fmt.epr "edsd: cannot listen on %s:%d: %s@." host port (Unix.error_message e);
+      exit 1
+  in
+  Fmt.pr "edsd: listening on %s:%d (%d max connections, plan cache %d)@." host
+    (Server.port server) max_connections cache;
+  (match db with Some file -> Fmt.pr "edsd: database loaded from %s@." file | None -> ());
+  let running = ref true in
+  let request_stop _ = running := false in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  (* the delay loop is the signal-polling point: handlers only set the
+     flag, the main thread notices it here *)
+  while !running do
+    Thread.delay 0.1
+  done;
+  Fmt.pr "edsd: shutting down@.";
+  Server.stop server;
+  let c = Server.counters server in
+  Fmt.pr "edsd: served %d connections (%d refused), %d ok / %d errors / %d timeouts@."
+    c.Server.accepted c.Server.refused c.Server.queries_ok c.Server.query_errors
+    c.Server.timeouts
+
+let cmd =
+  let doc = "EDS query server: shared sessions, plan cache, admission control" in
+  Cmd.v (Cmd.info "edsd" ~doc)
+    Term.(const main $ host_arg $ port_arg $ db_arg $ max_conns_arg $ backlog_arg
+          $ timeout_arg $ cache_arg $ domains_arg $ norewrite_arg)
+
+let () = exit (Cmd.eval cmd)

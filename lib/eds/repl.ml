@@ -74,6 +74,9 @@ let help_text =
   \  .domains N            worker domains for the parallel layer\n\
   \  .constraint TEXT      declare an integrity constraint (Fig. 10)\n\
   \  .save FILE / .load FILE   dump or restore the whole session\n\
+  \                        (.save also works against an edsd server;\n\
+  \                         start one with `edsd --db FILE` and attach\n\
+  \                         this shell with `edsql --connect HOST:PORT`)\n\
   \  .help                 this message\n\
   \  .quit                 leave"
 
@@ -239,6 +242,8 @@ let describe_error = function
   | Failure msg
   | Invalid_argument msg -> msg
   | Eds_esql.Parser.Parse_error msg -> "parse error: " ^ msg
+  | Eds_engine.Cancel.Timeout budget ->
+    Fmt.str "query timeout after %gs (the connection survives)" budget
   | e -> Printexc.to_string e
 
 (* one REPL line must never kill the session: anything except the
@@ -249,6 +254,14 @@ let protect ppf ~default f =
   | e ->
     Fmt.pf ppf "error: %s@." (describe_error e);
     default
+
+(* One dot-directive line, shared by the interactive loop and the query
+   server: [`Swap] is a successful [.load] handing back the restored
+   session. *)
+let dispatch ppf session line =
+  match handle_save_load ppf session line with
+  | Some s' -> if s' == session then `Continue else `Swap s'
+  | None -> handle_directive ppf session line
 
 let repl ?(banner = true) ?(ppf = Fmt.stdout) ~read_line session0 =
   if banner then begin
@@ -269,13 +282,12 @@ let repl ?(banner = true) ?(ppf = Fmt.stdout) ~read_line session0 =
       then begin
         match
           protect ppf ~default:`Continue (fun () ->
-              match handle_save_load ppf !session trimmed with
-              | Some s' ->
-                session := s';
-                `Continue
-              | None -> handle_directive ppf !session trimmed)
+              dispatch ppf !session trimmed)
         with
         | `Quit -> ()
+        | `Swap s' ->
+          session := s';
+          loop ()
         | `Continue -> loop ()
       end
       else begin

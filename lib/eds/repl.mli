@@ -22,6 +22,22 @@ val limits_config : int -> Session.Optimizer.config
 (** A config applying one limit to every rule block (negative =
     infinite), with a single round. *)
 
+val dispatch :
+  Format.formatter ->
+  Session.t ->
+  string ->
+  [ `Quit | `Continue | `Swap of Session.t ]
+(** Execute one dot-directive line (already trimmed, starting with
+    ['.']), printing its output to the formatter.  [`Swap] is a
+    successful [.load]: the caller must adopt the returned session.
+    Shared by the interactive loop and the query server; errors
+    propagate (the REPL and the server each wrap it in their own
+    per-line recovery). *)
+
+val describe_error : exn -> string
+(** The one-line [error: ...] rendering used by the REPL's per-line
+    recovery (parse, session, storage, timeout and generic errors). *)
+
 val start_tracing : string -> unit
 (** Open a Chrome trace-event file and install it as the global sink
     (closing any previous one). *)

@@ -33,6 +33,11 @@ type t = {
   eval_stats : Eval.stats;  (** cumulative over every executed statement *)
   mutable last_rewrite_stats : Engine.stats option;
   mutable statements_run : int;
+  mutable generation : int;
+      (** bumped by every change that can alter what a SELECT plans to —
+          config, rule program, catalog DDL, registered functions /
+          methods / constraints.  Cached rewritten plans are valid only
+          within one generation (the server's plan cache keys on it). *)
 }
 
 exception Session_error of string
@@ -56,17 +61,26 @@ let create ?(config = Optimizer.default_config) () =
     eval_stats = Eval.fresh_stats ();
     last_rewrite_stats = None;
     statements_run = 0;
+    generation = 0;
   }
 
 let catalog s = s.cat
 let database s = s.db
+let generation s = s.generation
+let invalidate_plans s = s.generation <- s.generation + 1
 
 let set_config s config =
   s.config <- config;
-  s.rule_program <- Optimizer.program ~config ()
+  s.rule_program <- Optimizer.program ~config ();
+  invalidate_plans s
 
-let set_rewriting s flag = s.rewriting <- flag
-let set_adaptive s flag = s.adaptive <- flag
+let set_rewriting s flag =
+  s.rewriting <- flag;
+  invalidate_plans s
+
+let set_adaptive s flag =
+  s.adaptive <- flag;
+  invalidate_plans s
 let set_physical s p = s.physical <- p
 let physical s = s.physical
 
@@ -156,11 +170,13 @@ let exec s (stmt : Ast.stmt) : result =
   | Ast.Create_type _ | Ast.Create_view _ ->
     Catalog.apply_ddl s.cat stmt;
     sync s;
+    invalidate_plans s;
     Done
   | Ast.Create_table { name; columns } ->
     let schema = Catalog.declare_table s.cat ~name columns in
     Database.add_relation s.db name (Relation.empty schema);
     sync s;
+    invalidate_plans s;
     Done
   | Ast.Insert { table; values } -> (
     match Catalog.table s.cat table with
@@ -259,16 +275,22 @@ let eval_stats s = s.eval_stats
 let last_rewrite_stats s = s.last_rewrite_stats
 let statements_run s = s.statements_run
 
+let record_external_execution s stats =
+  s.statements_run <- s.statements_run + 1;
+  Eval.add_stats s.eval_stats stats
+
 (* -- DBI extension surface ---------------------------------------------- *)
 
 let add_integrity_constraint s text =
   wrap_errors @@ fun () ->
   let c = Optimizer.parse_integrity_constraint text in
-  s.semantic_constraints <- s.semantic_constraints @ [ c ]
+  s.semantic_constraints <- s.semantic_constraints @ [ c ];
+  invalidate_plans s
 
 let use_enum_domains s =
   s.semantic_constraints <-
-    s.semantic_constraints @ Optimizer.enum_domain_constraints (Catalog.types s.cat)
+    s.semantic_constraints @ Optimizer.enum_domain_constraints (Catalog.types s.cat);
+  invalidate_plans s
 
 let add_rules s ~block ?(limit = None) text =
   wrap_errors @@ fun () ->
@@ -284,6 +306,7 @@ let add_rules s ~block ?(limit = None) text =
     else blocks @ [ { Rule.block_name = block; rules; limit } ]
   in
   s.rule_program <- { s.rule_program with Rule.blocks = extended };
+  invalidate_plans s;
   (* §4.2: warn the DBI when a new rule may loop under the block's limit *)
   List.iter
     (fun w ->
@@ -291,15 +314,21 @@ let add_rules s ~block ?(limit = None) text =
           m "%a" Eds_rewriter.Rule_analysis.pp_warning w))
     (Eds_rewriter.Rule_analysis.check_program s.rule_program)
 
-let set_program s program = s.rule_program <- program
+let set_program s program =
+  s.rule_program <- program;
+  invalidate_plans s
+
 let program s = s.rule_program
 
 let check_program s = Eds_rewriter.Rule_analysis.check_program s.rule_program
 
 let register_function s entry =
   Catalog.set_adts s.cat (Adt.register (Catalog.adts s.cat) entry);
-  sync s
+  sync s;
+  invalidate_plans s
 
-let register_method s name fn = s.extra_methods <- (name, fn) :: s.extra_methods
+let register_method s name fn =
+  s.extra_methods <- (name, fn) :: s.extra_methods;
+  invalidate_plans s
 
 let new_object s v = Database.new_object s.db v

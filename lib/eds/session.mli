@@ -33,6 +33,16 @@ val create : ?config:Optimizer.config -> unit -> t
 val catalog : t -> Catalog.t
 val database : t -> Database.t
 
+val generation : t -> int
+(** Plan-cache epoch: bumped by every change that can alter what a
+    SELECT plans to — {!set_config}, {!set_rewriting}, {!set_adaptive},
+    {!add_rules}, {!set_program}, catalog DDL, {!register_function},
+    {!register_method}, {!add_integrity_constraint},
+    {!use_enum_domains}.  A rewritten plan cached under one generation
+    must be bypassed once the generation moves (the query server's
+    shared plan cache keys on it).  Data changes (INSERT / DELETE /
+    UPDATE) do {e not} bump it: plans are data-independent. *)
+
 val set_config : t -> Optimizer.config -> unit
 val set_rewriting : t -> bool -> unit
 (** Disable/enable the rewriter entirely (queries run as translated). *)
@@ -109,6 +119,12 @@ val last_rewrite_stats : t -> Engine.stats option
 
 val statements_run : t -> int
 (** Number of statements submitted through {!exec} (and wrappers). *)
+
+val record_external_execution : t -> Eval.stats -> unit
+(** Fold the work of a statement executed outside {!exec} — e.g. a
+    cached-plan execution by the query server, which skips
+    parse/translate/rewrite entirely — into {!eval_stats} and
+    {!statements_run}. *)
 
 val run_plan : ?stats:Eval.stats -> t -> Lera.rel -> Relation.t
 

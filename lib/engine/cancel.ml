@@ -1,0 +1,54 @@
+(* Per-thread cooperative deadlines.  The fast path must stay cheap
+   enough for the evaluator's innermost loops: [tick] is one atomic load
+   when no deadline is installed anywhere, and only threads that went
+   through [with_timeout] ever take the table lock. *)
+
+exception Timeout of float
+
+(* thread id -> (absolute deadline, budget it was derived from) *)
+let table : (int, float * float) Hashtbl.t = Hashtbl.create 8
+let lock = Mutex.create ()
+
+(* count of installed deadlines, so [tick] can skip the table entirely
+   in the common (no server, no timeout) case *)
+let installed = Atomic.make 0
+
+let active () = Atomic.get installed > 0
+
+let self_id () = Thread.id (Thread.self ())
+
+let lookup id =
+  Mutex.lock lock;
+  let entry = Hashtbl.find_opt table id in
+  Mutex.unlock lock;
+  entry
+
+let with_timeout budget f =
+  let id = self_id () in
+  let previous = lookup id in
+  let deadline = Unix.gettimeofday () +. budget in
+  (* nesting never extends an enclosing deadline *)
+  let deadline =
+    match previous with Some (d, _) -> Float.min d deadline | None -> deadline
+  in
+  Mutex.lock lock;
+  Hashtbl.replace table id (deadline, budget);
+  Mutex.unlock lock;
+  Atomic.incr installed;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr installed;
+      Mutex.lock lock;
+      (match previous with
+      | Some entry -> Hashtbl.replace table id entry
+      | None -> Hashtbl.remove table id);
+      Mutex.unlock lock)
+    f
+
+let tick () =
+  if Atomic.get installed > 0 then begin
+    match lookup (self_id ()) with
+    | Some (deadline, budget) when Unix.gettimeofday () > deadline ->
+      raise (Timeout budget)
+    | Some _ | None -> ()
+  end

@@ -79,6 +79,7 @@ let error fmt = Fmt.kstr (fun s -> raise (Eval_error s)) fmt
 let cartesian stats (rels : Relation.t list) (yield : Relation.tuple list -> unit) =
   let rec go acc = function
     | [] ->
+      Cancel.tick ();
       stats.combinations <- stats.combinations + 1;
       yield (List.rev acc)
     | (r : Relation.t) :: rest ->
@@ -204,6 +205,7 @@ let filter_tuples ctx q (ra : Relation.t) =
     let stats = ctx.stats in
     List.filter
       (fun tup ->
+        Cancel.tick ();
         stats.combinations <- stats.combinations + 1;
         Expr_eval.eval_bool db ~inputs:[ tup ] q)
       ra.Relation.tuples
@@ -362,6 +364,7 @@ and joined ctx (inputs : Relation.t list) q (yield : Relation.tuple list -> unit
         ~on_probe:(fun () -> stats.probes <- stats.probes + 1)
         plan (Array.of_list inputs)
         (fun combo ->
+          Cancel.tick ();
           stats.combinations <- stats.combinations + 1;
           if Expr_eval.eval_bool ctx.db ~inputs:combo residual then yield combo)
     end
@@ -554,6 +557,7 @@ and fixpoint ctx n body =
 
 and naive_fixpoint ctx n body schema =
   let rec iterate current =
+    Cancel.tick ();
     ctx.stats.fix_iterations <- ctx.stats.fix_iterations + 1;
     let next = eval { ctx with rvars = (n, current) :: ctx.rvars } body in
     if Relation.equal next current then current else iterate next
@@ -584,6 +588,7 @@ and seminaive_fixpoint ctx n body schema =
   let rec iterate total delta =
     if Relation.is_empty delta then total
     else begin
+      Cancel.tick ();
       ctx.stats.fix_iterations <- ctx.stats.fix_iterations + 1;
       if Obs.enabled () then
         Obs.instant ~cat:"eval"

@@ -1,0 +1,36 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable closed : bool;
+}
+
+let connect ?(host = "127.0.0.1") port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    closed = false;
+  }
+
+let request t line =
+  Protocol.send_request t.oc line;
+  match Protocol.read_response t.ic with
+  | Some (status, payload) -> (status, payload)
+  | None -> raise End_of_file
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try flush t.oc with _ -> ());
+    try Unix.close t.fd with _ -> ()
+  end

@@ -1,0 +1,16 @@
+(** A minimal blocking client for the edsd wire protocol, used by the
+    [edsql --connect] shell, the load generator and the tests. *)
+
+type t
+
+val connect : ?host:string -> int -> t
+(** [connect ~host port].  Default host ["127.0.0.1"].  Raises
+    [Unix.Unix_error] on refusal. *)
+
+val request : t -> string -> Protocol.status * string
+(** Send one request line and read its framed response.  Raises
+    [End_of_file] if the server closed the connection, [Failure] on a
+    malformed frame. *)
+
+val close : t -> unit
+(** Idempotent. *)

@@ -1,0 +1,260 @@
+module Session = Eds.Session
+module Repl = Eds.Repl
+module Obs = Eds_obs.Obs
+
+(* -- the workload -------------------------------------------------------- *)
+
+(* Figure-8 shape: films and appearances, joined with a pushable
+   selection.  Kept to plain INT/CHAR columns so the identical text
+   works over the wire and through Session.exec_string. *)
+
+let n_films = 40
+
+let setup_statements =
+  let ddl =
+    [
+      "TABLE FILM (Numf : INT, Title : CHAR)";
+      "TABLE APPEARS_IN (Numf : INT, Actor : CHAR)";
+      "TABLE EDGE (Src : INT, Dst : INT)";
+      "TABLE R (A : INT, J : INT)";
+      "TABLE S (J : INT, K : INT)";
+      "TABLE T (K : INT, B : INT)";
+      "CREATE VIEW REACH (Src, Dst) AS ( SELECT Src, Dst FROM EDGE UNION \
+       SELECT E1.Src, E2.Dst FROM REACH E1, REACH E2 WHERE E1.Dst = E2.Src )";
+    ]
+  in
+  let films =
+    List.init n_films (fun i ->
+        Printf.sprintf "INSERT INTO FILM VALUES (%d, 'F%d')" i i)
+  in
+  let appearances =
+    List.concat
+      (List.init n_films (fun i ->
+           [
+             Printf.sprintf "INSERT INTO APPEARS_IN VALUES (%d, 'A%d')" i (i mod 7);
+             Printf.sprintf "INSERT INTO APPEARS_IN VALUES (%d, 'A%d')" i
+               (((i * 3) + 1) mod 11);
+           ]))
+  in
+  (* a 12-node chain: REACH closes to 66 tuples, selections stay small *)
+  let edges =
+    List.init 11 (fun i ->
+        Printf.sprintf "INSERT INTO EDGE VALUES (%d, %d)" (i + 1) (i + 2))
+  in
+  let r =
+    List.init 20 (fun i -> Printf.sprintf "INSERT INTO R VALUES (%d, %d)" i (i mod 6))
+  in
+  let s =
+    List.concat
+      (List.init 6 (fun j ->
+           List.init 4 (fun k ->
+               Printf.sprintf "INSERT INTO S VALUES (%d, %d)" j k)))
+  in
+  let t =
+    List.init 4 (fun k -> Printf.sprintf "INSERT INTO T VALUES (%d, %d)" k (k * 10))
+  in
+  ddl @ films @ appearances @ edges @ r @ s @ t
+
+let queries =
+  [
+    "SELECT Title FROM FILM, APPEARS_IN WHERE FILM.Numf = APPEARS_IN.Numf AND \
+     APPEARS_IN.Actor = 'A3'";
+    "SELECT Actor FROM FILM, APPEARS_IN WHERE FILM.Numf = APPEARS_IN.Numf AND \
+     FILM.Numf = 7";
+    "SELECT Title FROM FILM WHERE Numf = 11";
+    "SELECT R.A, T.B FROM R, S, T WHERE R.J = S.J AND S.K = T.K";
+    "SELECT R.A, T.B FROM R, S, T WHERE R.J = S.J AND S.K = T.K AND T.B = 20";
+    "SELECT Dst FROM REACH WHERE Src = 2";
+    "SELECT Src FROM REACH WHERE Dst = 9";
+    "SELECT Title FROM FILM, APPEARS_IN WHERE FILM.Numf = APPEARS_IN.Numf AND \
+     FILM.Numf = 3";
+  ]
+
+let apply_setup session =
+  List.iter (fun stmt -> ignore (Session.exec_string session stmt)) setup_statements
+
+let setup_over_wire client =
+  List.iter
+    (fun stmt ->
+      match Client.request client stmt with
+      | Protocol.Ok, _ -> ()
+      | status, payload ->
+          failwith
+            (Printf.sprintf "setup statement %S answered %s: %s" stmt
+               (Protocol.status_to_string status)
+               (String.trim payload)))
+    setup_statements
+
+let render_rows rel =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Repl.print_result ppf (Session.Rows rel);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let expected_payloads session =
+  List.map (fun q -> (q, render_rows (Session.query session q))) queries
+
+(* -- the fan-out --------------------------------------------------------- *)
+
+type outcome = {
+  clients : int;
+  per_client : int;
+  total : int;
+  ok : int;
+  errors : int;
+  busy : int;
+  protocol_errors : int;
+  dropped_connections : int;
+  elapsed_s : float;
+  qps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  bit_identical : bool;
+  cache_hits : int;
+  cache_misses : int;
+  hit_rate : float;
+}
+
+type worker = {
+  mutable w_ok : int;
+  mutable w_errors : int;
+  mutable w_busy : int;
+  mutable w_protocol : int;
+  mutable w_dropped : int;
+  mutable w_sent : int;
+  mutable w_mismatch : int;
+  mutable w_latencies : float list;  (** ms, newest first *)
+}
+
+let fresh_worker () =
+  {
+    w_ok = 0;
+    w_errors = 0;
+    w_busy = 0;
+    w_protocol = 0;
+    w_dropped = 0;
+    w_sent = 0;
+    w_mismatch = 0;
+    w_latencies = [];
+  }
+
+let cache_counters ~host ~port =
+  match Client.connect ~host port with
+  | exception _ -> (0, 0)
+  | client ->
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          match Client.request client "METRICS" with
+          | Protocol.Ok, payload -> (
+              match Obs.Json.parse (String.trim payload) with
+              | Ok json ->
+                  let geti key =
+                    match Obs.Json.member key json with
+                    | Some v -> Option.value ~default:0 (Obs.Json.to_int v)
+                    | None -> 0
+                  in
+                  (geti "server.plan_cache.hits", geti "server.plan_cache.misses")
+              | Error _ -> (0, 0))
+          | _ -> (0, 0)
+          | exception _ -> (0, 0))
+
+let n_queries = List.length queries
+let query_at i = List.nth queries (i mod n_queries)
+
+let worker_body ~host ~port ~expected ~per_client ~index w =
+  match Client.connect ~host port with
+  | exception _ -> w.w_dropped <- w.w_dropped + 1
+  | client -> (
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          try
+            for j = 0 to per_client - 1 do
+              let q = query_at (index + j) in
+              w.w_sent <- w.w_sent + 1;
+              let t0 = Unix.gettimeofday () in
+              match Client.request client q with
+              | Protocol.Ok, payload ->
+                  w.w_latencies <-
+                    ((Unix.gettimeofday () -. t0) *. 1000.) :: w.w_latencies;
+                  w.w_ok <- w.w_ok + 1;
+                  (match List.assoc_opt q expected with
+                  | Some want when want <> payload -> w.w_mismatch <- w.w_mismatch + 1
+                  | _ -> ())
+              | Protocol.Error, _ -> w.w_errors <- w.w_errors + 1
+              | Protocol.Busy, _ -> w.w_busy <- w.w_busy + 1
+            done
+          with
+          | End_of_file | Unix.Unix_error _ | Sys_error _ ->
+              w.w_dropped <- w.w_dropped + 1
+          | Failure _ -> w.w_protocol <- w.w_protocol + 1))
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let idx = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let run ?(host = "127.0.0.1") ?(expected = []) ~port ~clients ~per_client () =
+  let hits0, misses0 = cache_counters ~host ~port in
+  let workers = Array.init clients (fun _ -> fresh_worker ()) in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init clients (fun i ->
+        Thread.create
+          (fun () ->
+            worker_body ~host ~port ~expected ~per_client ~index:i workers.(i))
+          ())
+  in
+  List.iter Thread.join threads;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let hits1, misses1 = cache_counters ~host ~port in
+  let sum f = Array.fold_left (fun acc w -> acc + f w) 0 workers in
+  let ok = sum (fun w -> w.w_ok) in
+  let latencies =
+    Array.of_list (Array.fold_left (fun acc w -> w.w_latencies @ acc) [] workers)
+  in
+  Array.sort compare latencies;
+  let cache_hits = max 0 (hits1 - hits0) in
+  let cache_misses = max 0 (misses1 - misses0) in
+  let looked_up = cache_hits + cache_misses in
+  {
+    clients;
+    per_client;
+    total = sum (fun w -> w.w_sent);
+    ok;
+    errors = sum (fun w -> w.w_errors);
+    busy = sum (fun w -> w.w_busy);
+    protocol_errors = sum (fun w -> w.w_protocol);
+    dropped_connections = sum (fun w -> w.w_dropped);
+    elapsed_s;
+    qps = (if elapsed_s > 0. then float_of_int ok /. elapsed_s else 0.);
+    p50_ms = percentile latencies 50.;
+    p95_ms = percentile latencies 95.;
+    p99_ms = percentile latencies 99.;
+    max_ms = (if Array.length latencies = 0 then 0. else latencies.(Array.length latencies - 1));
+    bit_identical = sum (fun w -> w.w_mismatch) = 0;
+    cache_hits;
+    cache_misses;
+    hit_rate =
+      (if looked_up = 0 then 0.
+       else float_of_int cache_hits /. float_of_int looked_up);
+  }
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "clients          : %d × %d requests@." o.clients o.per_client;
+  Fmt.pf ppf "responses        : %d ok, %d error, %d busy of %d@." o.ok o.errors o.busy
+    o.total;
+  Fmt.pf ppf "failures         : %d dropped connections, %d protocol errors@."
+    o.dropped_connections o.protocol_errors;
+  Fmt.pf ppf "throughput       : %.0f q/s over %.3fs@." o.qps o.elapsed_s;
+  Fmt.pf ppf "latency (ms)     : p50 %.2f, p95 %.2f, p99 %.2f, max %.2f@." o.p50_ms
+    o.p95_ms o.p99_ms o.max_ms;
+  Fmt.pf ppf "plan cache       : %d hits, %d misses (hit rate %.2f)@." o.cache_hits
+    o.cache_misses o.hit_rate;
+  Fmt.pf ppf "bit-identical    : %b@." o.bit_identical

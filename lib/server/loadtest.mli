@@ -1,0 +1,68 @@
+(** Load generator for the query server: drives N concurrent client
+    connections over a paper-shape workload (Figure-8 style
+    selection-pushdown joins over FILM/APPEARS_IN, an R ⋈ S ⋈ T chain
+    join, and a recursive reachability view), and verifies every
+    response byte-for-byte against a local single-session replay.
+
+    The workload is deliberately wire-expressible (plain columns, no
+    object values), so the exact same statements can be replayed
+    through {!Eds.Session.exec_string} to produce the expected
+    payloads. *)
+
+module Session = Eds.Session
+
+val setup_statements : string list
+(** DDL + INSERTs, one statement per line, executable in order over the
+    wire or locally. *)
+
+val queries : string list
+(** The mixed query set; client [i] starts at offset [i] and cycles. *)
+
+val apply_setup : Session.t -> unit
+(** Replay {!setup_statements} into a local session. *)
+
+val setup_over_wire : Client.t -> unit
+(** Replay {!setup_statements} over one connection; raises [Failure] on
+    any non-[ok] response. *)
+
+val expected_payloads : Session.t -> (string * string) list
+(** [query → rendered payload] for every entry of {!queries}, computed
+    by the given session exactly as the server renders results.  Call
+    it on a fresh session after {!apply_setup}. *)
+
+type outcome = {
+  clients : int;
+  per_client : int;
+  total : int;  (** requests attempted *)
+  ok : int;
+  errors : int;  (** [error] responses *)
+  busy : int;  (** [busy] refusals *)
+  protocol_errors : int;  (** malformed frames *)
+  dropped_connections : int;  (** connections that died mid-run *)
+  elapsed_s : float;
+  qps : float;  (** ok responses per second *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  bit_identical : bool;
+      (** every [ok] payload matched the expected rendering (vacuously
+          true when no expectations were supplied) *)
+  cache_hits : int;  (** plan-cache hit delta over the run *)
+  cache_misses : int;
+  hit_rate : float;  (** of the deltas; 0 when nothing ran *)
+}
+
+val run :
+  ?host:string ->
+  ?expected:(string * string) list ->
+  port:int ->
+  clients:int ->
+  per_client:int ->
+  unit ->
+  outcome
+(** Fan out [clients] connections, each issuing [per_client] requests
+    round-robin over {!queries}, and aggregate.  Plan-cache deltas are
+    read from [METRICS] before and after. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,114 @@
+(* Classic LRU: a hash table over an intrusive doubly-linked list in
+   recency order.  [mru]/[lru] are the ends; every hit splices the node
+   to the front, every insertion beyond capacity drops the tail. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* towards MRU *)
+  mutable next : 'a node option;  (* towards LRU *)
+}
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable mru : 'a node option;
+  mutable lru : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable insertions : int;
+  lock : Mutex.t;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  insertions : int;
+  size : int;
+  capacity : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be positive";
+  {
+    capacity;
+    tbl = Hashtbl.create (min capacity 64);
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    insertions = 0;
+    lock = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.mru;
+  n.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+          t.hits <- t.hits + 1;
+          unlink t n;
+          push_front t n;
+          Some n.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let add t key value =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+          n.value <- value;
+          unlink t n;
+          push_front t n
+      | None ->
+          let n = { key; value; prev = None; next = None } in
+          Hashtbl.replace t.tbl key n;
+          push_front t n;
+          t.insertions <- t.insertions + 1;
+          if Hashtbl.length t.tbl > t.capacity then
+            match t.lru with
+            | Some tail ->
+                unlink t tail;
+                Hashtbl.remove t.tbl tail.key;
+                t.evictions <- t.evictions + 1
+            | None -> ())
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.tbl;
+      t.mru <- None;
+      t.lru <- None)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        insertions = t.insertions;
+        size = Hashtbl.length t.tbl;
+        capacity = t.capacity;
+      })
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0. else float_of_int s.hits /. float_of_int total

@@ -1,0 +1,43 @@
+(** A bounded, thread-safe LRU cache from normalized statement text to
+    rewritten plans.
+
+    The expensive phase of a query is parse → translate → rewrite; the
+    server keys the result on the statement's normalized text plus the
+    session's plan generation ({!Eds.Session.generation}), so a
+    repeated query skips straight to evaluation while any
+    config/rule/DDL change naturally orphans the stale entries (they
+    age out of the LRU tail — no explicit flush needed, though
+    {!clear} exists for session swaps).
+
+    All operations take an internal mutex; the cache is shared by every
+    connection thread. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] must be positive: the cache holds at most that many
+    entries, evicting the least-recently-used beyond it. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; counts a hit (and refreshes recency) or a miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert (or overwrite) at most-recently-used position, evicting the
+    LRU entry when over capacity. *)
+
+val clear : 'a t -> unit
+(** Drop every entry (counters survive — they are cumulative). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  insertions : int;
+  size : int;
+  capacity : int;
+}
+
+val stats : 'a t -> stats
+
+val hit_rate : stats -> float
+(** [hits / (hits + misses)], or [0.] before any lookup. *)

@@ -1,0 +1,66 @@
+module Session = Eds.Session
+module Eval = Eds_engine.Eval
+
+type t = {
+  session : Session.t;
+  cache : Session.Lera.rel Plan_cache.t;
+  record_lock : Mutex.t;
+      (* serializes the fold of per-query stats into the session's
+         cumulative counters *)
+}
+
+let create ?(capacity = 256) session =
+  { session; cache = Plan_cache.create ~capacity; record_lock = Mutex.create () }
+
+let session t = t.session
+
+let normalize text =
+  let buf = Buffer.create (String.length text) in
+  let pending_space = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> if Buffer.length buf > 0 then pending_space := true
+      | c ->
+          if !pending_space then Buffer.add_char buf ' ';
+          pending_space := false;
+          Buffer.add_char buf c)
+    text;
+  let s = Buffer.contents buf in
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = ';' then String.trim (String.sub s 0 (n - 1)) else s
+
+(* the SELECT keyword must end the token: "SELECTIVITY ..." is not one *)
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let is_select line =
+  let line = String.trim line in
+  String.length line >= 6
+  && String.uppercase_ascii (String.sub line 0 6) = "SELECT"
+  && (String.length line = 6 || not (is_ident_char line.[6]))
+
+let key t text =
+  Printf.sprintf "g%d|%s" (Session.generation t.session) (normalize text)
+
+let plan t text =
+  let key = key t text in
+  match Plan_cache.find t.cache key with
+  | Some rel -> (rel, `Hit)
+  | None ->
+      let p = Session.explain t.session text in
+      Plan_cache.add t.cache key p.Session.rewritten;
+      (p.Session.rewritten, `Miss)
+
+let execute t text =
+  let rel, origin = plan t text in
+  let stats = Eval.fresh_stats () in
+  let result = Session.run_plan ~stats t.session rel in
+  Mutex.lock t.record_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.record_lock)
+    (fun () -> Session.record_external_execution t.session stats);
+  (result, origin)
+
+let cache_stats t = Plan_cache.stats t.cache
+let clear_cache t = Plan_cache.clear t.cache

@@ -1,0 +1,40 @@
+(** Shared planning front-end of the query server: maps SELECT text to a
+    rewritten LERA plan through a bounded {!Plan_cache}, so a repeated
+    query skips parse → translate → rewrite entirely.
+
+    Cache keys are ["g<generation>|<normalized text>"] — the session's
+    plan generation ({!Eds.Session.generation}) plus the statement
+    with whitespace runs collapsed and the trailing [';'] dropped.  Any
+    optimizer-config change, rule addition or DDL bumps the generation,
+    so stale plans can never be served; the orphaned entries simply age
+    out of the LRU tail. *)
+
+module Session = Eds.Session
+
+type t
+
+val create : ?capacity:int -> Session.t -> t
+(** Default capacity: 256 plans. *)
+
+val session : t -> Session.t
+
+val normalize : string -> string
+(** Whitespace-insensitive key text: runs of blanks collapse to one
+    space, leading/trailing blanks and a trailing [';'] are dropped. *)
+
+val is_select : string -> bool
+(** Does the (trimmed) line start a SELECT statement? *)
+
+val plan : t -> string -> Session.Lera.rel * [ `Hit | `Miss ]
+(** The rewritten plan for a SELECT, from the cache when possible.
+    Raises like {!Session.explain} on a miss (parse/type errors are
+    never cached). *)
+
+val execute : t -> string -> Session.Relation.t * [ `Hit | `Miss ]
+(** [plan] + evaluate.  Evaluation runs with a private stats record,
+    folded into the session's cumulative counters afterwards under an
+    internal lock — safe for concurrent callers (the server's read
+    side). *)
+
+val cache_stats : t -> Plan_cache.stats
+val clear_cache : t -> unit

@@ -1,0 +1,33 @@
+type status = Ok | Error | Busy
+
+let status_to_string = function Ok -> "ok" | Error -> "error" | Busy -> "busy"
+
+let status_of_string = function
+  | "ok" -> Some Ok
+  | "error" -> Some Error
+  | "busy" -> Some Busy
+  | _ -> None
+
+let write_response oc status payload =
+  Printf.fprintf oc "%s %d\n" (status_to_string status) (String.length payload);
+  output_string oc payload;
+  flush oc
+
+let read_response ic =
+  match input_line ic with
+  | exception End_of_file -> None
+  | header -> (
+      match String.split_on_char ' ' (String.trim header) with
+      | [ word; n ] -> (
+          match (status_of_string word, int_of_string_opt n) with
+          | Some status, Some n when n >= 0 ->
+              let payload = really_input_string ic n in
+              Some (status, payload)
+          | _ -> failwith (Printf.sprintf "malformed response header: %S" header))
+      | _ -> failwith (Printf.sprintf "malformed response header: %S" header))
+
+let send_request oc line =
+  if String.contains line '\n' then invalid_arg "Protocol.send_request: embedded newline";
+  output_string oc line;
+  output_char oc '\n';
+  flush oc

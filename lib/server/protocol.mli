@@ -1,0 +1,32 @@
+(** The edsd wire protocol.
+
+    Requests are single lines: an ESQL statement, a [.directive] from
+    the edsql shell, or an uppercase server command ([HELP], [PING],
+    [STATS], [METRICS], [SAVE <path>], [QUIT]).
+
+    Responses are length-prefixed but still readable over [nc]:
+
+    {v
+    <status> <nbytes>\n
+    <nbytes bytes of payload>
+    v}
+
+    where [<status>] is [ok], [error] or [busy].  The payload is UTF-8
+    text (or JSON for [METRICS]) and, by convention, ends in a newline
+    when non-empty so interactive use stays line-aligned. *)
+
+type status = Ok | Error | Busy
+
+val status_to_string : status -> string
+val status_of_string : string -> status option
+
+val write_response : out_channel -> status -> string -> unit
+(** Emit one framed response and flush. *)
+
+val read_response : in_channel -> (status * string) option
+(** Read one framed response; [None] on clean EOF.  Raises [Failure] on
+    a malformed frame (a non-protocol peer). *)
+
+val send_request : out_channel -> string -> unit
+(** Send one request line (the line must not contain ['\n']) and
+    flush. *)

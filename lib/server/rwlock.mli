@@ -1,0 +1,21 @@
+(** A writer-preferring readers-writer lock.
+
+    The query server executes SELECTs under the read side (many
+    connections concurrently, the session is only read) and every
+    mutating statement or directive under the write side (exclusive).
+    Writers are preferred: once a writer is waiting, new readers queue
+    behind it, so a stream of cheap reads cannot starve DDL. *)
+
+type t
+
+val create : unit -> t
+
+val with_read : t -> (unit -> 'a) -> 'a
+(** Run the thunk holding a shared read lock; released on exceptions. *)
+
+val with_write : t -> (unit -> 'a) -> 'a
+(** Run the thunk holding the exclusive write lock; released on
+    exceptions. *)
+
+val readers : t -> int
+(** Instantaneous active-reader count (diagnostics only). *)

@@ -1,0 +1,452 @@
+module Session = Eds.Session
+module Repl = Eds.Repl
+module Storage = Eds.Storage
+module Eval = Eds_engine.Eval
+module Cancel = Eds_engine.Cancel
+module Relation = Eds_engine.Relation
+module Database = Eds_engine.Database
+module Obs = Eds_obs.Obs
+
+type config = {
+  host : string;
+  port : int;
+  max_connections : int;
+  backlog : int;
+  query_timeout : float option;
+  cache_capacity : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    max_connections = 64;
+    backlog = 16;
+    query_timeout = Some 30.;
+    cache_capacity = 256;
+  }
+
+type counters = {
+  accepted : int;
+  refused : int;
+  active : int;
+  queries_ok : int;
+  query_errors : int;
+  timeouts : int;
+  cache : Plan_cache.stats;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  rw : Rwlock.t;  (* readers: SELECTs; writer: everything mutating *)
+  mutable planner : Planner.t;  (* swapped wholesale by [.load] *)
+  state : Mutex.t;  (* guards everything below *)
+  mutable accepted : int;
+  mutable refused : int;
+  mutable active : int;
+  mutable queries_ok : int;
+  mutable query_errors : int;
+  mutable timeouts : int;
+  mutable stopping : bool;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  mutable conn_threads : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  mutable next_conn : int;
+}
+
+let locked t f =
+  Mutex.lock t.state;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.state) f
+
+let resolve_addr host =
+  try Unix.inet_addr_of_string host
+  with _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
+(* Readers probe base-relation hash views concurrently; forcing the same
+   lazy from two threads races, reading a forced one does not — so every
+   write path re-forces eagerly before releasing the write lock. *)
+let force_all_indexes session =
+  let db = Session.database session in
+  List.iter
+    (fun name ->
+      match Database.relation_opt db name with
+      | Some rel -> Relation.force_index rel
+      | None -> ())
+    (Database.relation_names db)
+
+(* ------------------------------------------------------------------ *)
+(* request handling                                                    *)
+
+let help_text =
+  "edsd wire protocol — one request per line:\n\
+  \  <ESQL statement>   SELECT / TABLE / CREATE / INSERT / DELETE / UPDATE\n\
+  \  .<directive>       any edsql shell directive (.help lists them)\n\
+  \  HELP               this text\n\
+  \  PING               liveness probe\n\
+  \  STATS              server + session counters, human-readable\n\
+  \  METRICS            the same as one flat JSON object\n\
+  \  SAVE <path>        dump the database to <path> on the server host\n\
+  \  QUIT               close this connection\n\
+   responses are framed as \"<ok|error|busy> <nbytes>\\n<payload>\"\n"
+
+let esql_starters = [ "SELECT"; "CREATE"; "TYPE"; "TABLE"; "INSERT"; "DELETE"; "UPDATE" ]
+
+let first_token line =
+  match String.index_opt line ' ' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let rest_after_token line =
+  match String.index_opt line ' ' with
+  | Some i -> String.trim (String.sub line i (String.length line - i))
+  | None -> ""
+
+let all_alpha s =
+  s <> ""
+  && String.for_all (fun c -> (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z')) s
+
+let with_budget t f =
+  match t.cfg.query_timeout with
+  | Some budget when budget > 0. -> Cancel.with_timeout budget f
+  | _ -> f ()
+
+let render f =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let obs_query t conn_id ~cache ~ts =
+  if Obs.enabled () then
+    Obs.complete ~cat:"server"
+      ~attrs:[ ("conn", Obs.Json.Int conn_id); ("cache", Obs.Json.Str cache) ]
+      "server.query" ~ts ~dur:(Obs.now () -. ts);
+  ignore t
+
+(* SELECTs share the session read-only — except under the Parallel
+   physical layer, whose domain pool is shared mutable state, so those
+   serialize like writers. *)
+let run_select t conn_id line =
+  let ts = Obs.now () in
+  let exec () =
+    let planner = t.planner in
+    let rel, origin = Planner.execute planner line in
+    let payload = render (fun ppf -> Repl.print_result ppf (Session.Rows rel)) in
+    (payload, origin)
+  in
+  let payload, origin =
+    if Session.physical (Planner.session t.planner) = Eval.Physical.Parallel then
+      Rwlock.with_write t.rw (fun () -> with_budget t exec)
+    else Rwlock.with_read t.rw (fun () -> with_budget t exec)
+  in
+  obs_query t conn_id ~cache:(match origin with `Hit -> "hit" | `Miss -> "miss") ~ts;
+  `Reply (Protocol.Ok, payload)
+
+let run_write t conn_id line =
+  let ts = Obs.now () in
+  let payload =
+    Rwlock.with_write t.rw (fun () ->
+        let session = Planner.session t.planner in
+        let result = with_budget t (fun () -> Session.exec_string session line) in
+        force_all_indexes session;
+        render (fun ppf -> Repl.print_result ppf result))
+  in
+  obs_query t conn_id ~cache:"write" ~ts;
+  `Reply (Protocol.Ok, payload)
+
+let run_directive t line =
+  Rwlock.with_write t.rw (fun () ->
+      let session = Planner.session t.planner in
+      let buf = Buffer.create 256 in
+      let ppf = Format.formatter_of_buffer buf in
+      let verdict = Repl.dispatch ppf session line in
+      Format.pp_print_flush ppf ();
+      let payload = Buffer.contents buf in
+      match verdict with
+      | `Continue -> `Reply (Protocol.Ok, payload)
+      | `Quit -> `Close (Protocol.Ok, payload ^ "bye\n")
+      | `Swap session' ->
+          (* a fresh session: drop every cached plan with the old planner *)
+          t.planner <- Planner.create ~capacity:t.cfg.cache_capacity session';
+          force_all_indexes session';
+          `Reply (Protocol.Ok, payload))
+
+let stats_text t =
+  Rwlock.with_read t.rw (fun () ->
+      let session = Planner.session t.planner in
+      let cache = Planner.cache_stats t.planner in
+      let accepted, refused, active, ok, errors, timeouts =
+        locked t (fun () ->
+            (t.accepted, t.refused, t.active, t.queries_ok, t.query_errors, t.timeouts))
+      in
+      render (fun ppf ->
+          Fmt.pf ppf "connections      : %d active, %d accepted, %d refused@." active
+            accepted refused;
+          Fmt.pf ppf "requests         : %d ok, %d errors, %d timeouts@." ok errors
+            timeouts;
+          Fmt.pf ppf
+            "plan cache       : %d/%d entries, %d hits, %d misses, %d evictions \
+             (hit rate %.2f)@."
+            cache.Plan_cache.size cache.Plan_cache.capacity cache.Plan_cache.hits
+            cache.Plan_cache.misses cache.Plan_cache.evictions
+            (Plan_cache.hit_rate cache);
+          Fmt.pf ppf "plan generation  : %d@." (Session.generation session);
+          Repl.print_session_stats ppf session))
+
+let metrics t =
+  Rwlock.with_read t.rw (fun () ->
+      let session = Planner.session t.planner in
+      let cache = Planner.cache_stats t.planner in
+      let es = Session.eval_stats session in
+      let accepted, refused, active, ok, errors, timeouts =
+        locked t (fun () ->
+            (t.accepted, t.refused, t.active, t.queries_ok, t.query_errors, t.timeouts))
+      in
+      Obs.Json.Obj
+        [
+          ("server.connections.accepted", Obs.Json.Int accepted);
+          ("server.connections.refused", Obs.Json.Int refused);
+          ("server.connections.active", Obs.Json.Int active);
+          ("server.queries.ok", Obs.Json.Int ok);
+          ("server.queries.errors", Obs.Json.Int errors);
+          ("server.queries.timeouts", Obs.Json.Int timeouts);
+          ("server.plan_cache.hits", Obs.Json.Int cache.Plan_cache.hits);
+          ("server.plan_cache.misses", Obs.Json.Int cache.Plan_cache.misses);
+          ("server.plan_cache.evictions", Obs.Json.Int cache.Plan_cache.evictions);
+          ("server.plan_cache.insertions", Obs.Json.Int cache.Plan_cache.insertions);
+          ("server.plan_cache.size", Obs.Json.Int cache.Plan_cache.size);
+          ("server.plan_cache.capacity", Obs.Json.Int cache.Plan_cache.capacity);
+          ("server.plan_cache.hit_rate", Obs.Json.Float (Plan_cache.hit_rate cache));
+          ("session.statements_run", Obs.Json.Int (Session.statements_run session));
+          ("session.generation", Obs.Json.Int (Session.generation session));
+          ("session.eval.combinations", Obs.Json.Int es.Eval.combinations);
+          ("session.eval.tuples_read", Obs.Json.Int es.Eval.tuples_read);
+          ("session.eval.tuples_produced", Obs.Json.Int es.Eval.tuples_produced);
+          ("session.eval.probes", Obs.Json.Int es.Eval.probes);
+          ("session.eval.builds", Obs.Json.Int es.Eval.builds);
+          ("session.eval.fix_iterations", Obs.Json.Int es.Eval.fix_iterations);
+        ])
+
+let run_save t path =
+  if path = "" then `Reply (Protocol.Error, "error: usage: SAVE <path>\n")
+  else
+    Rwlock.with_read t.rw (fun () ->
+        Storage.save (Planner.session t.planner) path;
+        `Reply (Protocol.Ok, Printf.sprintf "saved %s\n" path))
+
+let dispatch_line t conn_id line =
+  if line.[0] = '.' then run_directive t line
+  else
+    let token = String.uppercase_ascii (first_token line) in
+    if List.mem token esql_starters then
+      if token = "SELECT" then run_select t conn_id line else run_write t conn_id line
+    else
+      match token with
+      | "HELP" -> `Reply (Protocol.Ok, help_text)
+      | "PING" -> `Reply (Protocol.Ok, "pong\n")
+      | "STATS" -> `Reply (Protocol.Ok, stats_text t)
+      | "METRICS" -> `Reply (Protocol.Ok, Obs.Json.to_string (metrics t) ^ "\n")
+      | "SAVE" -> run_save t (rest_after_token line)
+      | "QUIT" -> `Close (Protocol.Ok, "bye\n")
+      | _ when all_alpha (first_token line) ->
+          `Reply
+            ( Protocol.Error,
+              Printf.sprintf "error: unknown command %s (try HELP)\n" (first_token line)
+            )
+      | _ ->
+          (* let the ESQL parser produce its own error message *)
+          run_write t conn_id line
+
+(* per-line recovery, mirroring the REPL: one bad request must never
+   kill the connection, let alone the server *)
+let process t conn_id raw =
+  let line = String.trim raw in
+  if line = "" then `Reply (Protocol.Ok, "")
+  else
+    match dispatch_line t conn_id line with
+    | reply ->
+        (match reply with
+        | `Reply (Protocol.Ok, _) | `Close (Protocol.Ok, _) ->
+            locked t (fun () -> t.queries_ok <- t.queries_ok + 1)
+        | _ -> locked t (fun () -> t.query_errors <- t.query_errors + 1));
+        reply
+    | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
+    | exception (Cancel.Timeout _ as e) ->
+        locked t (fun () -> t.timeouts <- t.timeouts + 1);
+        `Reply (Protocol.Error, "error: " ^ Repl.describe_error e ^ "\n")
+    | exception e ->
+        locked t (fun () -> t.query_errors <- t.query_errors + 1);
+        `Reply (Protocol.Error, "error: " ^ Repl.describe_error e ^ "\n")
+
+(* ------------------------------------------------------------------ *)
+(* connection lifecycle                                                *)
+
+let handle_connection t conn_id fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  if Obs.enabled () then
+    Obs.emit
+      (Obs.Begin
+         {
+           name = "server.conn";
+           cat = "server";
+           ts = Obs.now ();
+           attrs = [ ("conn", Obs.Json.Int conn_id) ];
+         });
+  let finally () =
+    if Obs.enabled () then
+      Obs.emit
+        (Obs.End
+           {
+             name = "server.conn";
+             cat = "server";
+             ts = Obs.now ();
+             attrs = [ ("conn", Obs.Json.Int conn_id) ];
+           });
+    locked t (fun () ->
+        t.active <- t.active - 1;
+        Hashtbl.remove t.conns conn_id);
+    (try flush oc with _ -> ());
+    try Unix.close fd with _ -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      let rec loop () =
+        match input_line ic with
+        | exception (End_of_file | Sys_error _) -> ()
+        | exception Unix.Unix_error _ -> ()
+        | raw -> (
+            match process t conn_id raw with
+            | `Reply (status, payload) -> (
+                match Protocol.write_response oc status payload with
+                | () -> loop ()
+                | exception _ -> ())
+            | `Close (status, payload) -> (
+                try Protocol.write_response oc status payload with _ -> ()))
+      in
+      loop ())
+
+let refuse t fd =
+  locked t (fun () -> t.refused <- t.refused + 1);
+  let payload =
+    Printf.sprintf "busy: %d connections active (limit %d), retry later\n"
+      t.cfg.max_connections t.cfg.max_connections
+  in
+  let oc = Unix.out_channel_of_descr fd in
+  (try Protocol.write_response oc Protocol.Busy payload with _ -> ());
+  try Unix.close fd with _ -> ()
+
+let rec accept_loop t =
+  match Unix.accept t.listen_fd with
+  | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) ->
+      if t.stopping then () else accept_loop t
+  | exception _ -> ()  (* EBADF/EINVAL after stop closed the socket *)
+  | fd, _ ->
+      if t.stopping then (try Unix.close fd with _ -> ())
+      else begin
+        let admitted =
+          locked t (fun () ->
+              if t.active >= t.cfg.max_connections then false
+              else begin
+                t.accepted <- t.accepted + 1;
+                t.active <- t.active + 1;
+                t.next_conn <- t.next_conn + 1;
+                Hashtbl.replace t.conns t.next_conn fd;
+                true
+              end)
+        in
+        if admitted then begin
+          let conn_id = locked t (fun () -> t.next_conn) in
+          let th = Thread.create (fun () -> handle_connection t conn_id fd) () in
+          locked t (fun () -> t.conn_threads <- th :: t.conn_threads)
+        end
+        else refuse t fd;
+        accept_loop t
+      end
+
+(* ------------------------------------------------------------------ *)
+
+let start ?(config = default_config) session =
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let t =
+    try
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (resolve_addr config.host, config.port));
+      Unix.listen fd config.backlog;
+      let bound_port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false
+      in
+      force_all_indexes session;
+      {
+        cfg = config;
+        listen_fd = fd;
+        bound_port;
+        rw = Rwlock.create ();
+        planner = Planner.create ~capacity:config.cache_capacity session;
+        state = Mutex.create ();
+        accepted = 0;
+        refused = 0;
+        active = 0;
+        queries_ok = 0;
+        query_errors = 0;
+        timeouts = 0;
+        stopping = false;
+        conns = Hashtbl.create 16;
+        conn_threads = [];
+        accept_thread = None;
+        next_conn = 0;
+      }
+    with e ->
+      (try Unix.close fd with _ -> ());
+      raise e
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let port t = t.bound_port
+let config t = t.cfg
+let session t = Planner.session t.planner
+
+let counters t =
+  let cache = Planner.cache_stats t.planner in
+  locked t (fun () ->
+      {
+        accepted = t.accepted;
+        refused = t.refused;
+        active = t.active;
+        queries_ok = t.queries_ok;
+        query_errors = t.query_errors;
+        timeouts = t.timeouts;
+        cache;
+      })
+
+let stop t =
+  let already = locked t (fun () ->
+      let s = t.stopping in
+      t.stopping <- true;
+      s)
+  in
+  if not already then begin
+    (* wake the accept loop with a throwaway connection, then close *)
+    (try
+       let wake = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       let host = if t.cfg.host = "0.0.0.0" then "127.0.0.1" else t.cfg.host in
+       (try Unix.connect wake (Unix.ADDR_INET (resolve_addr host, t.bound_port))
+        with _ -> ());
+       Unix.close wake
+     with _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listen_fd with _ -> ());
+    (* sever live connections: their blocked [input_line] sees EOF *)
+    let fds = locked t (fun () -> Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns []) in
+    List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()) fds;
+    let threads = locked t (fun () -> t.conn_threads) in
+    List.iter Thread.join threads
+  end

@@ -1,0 +1,65 @@
+(** The edsd TCP query server.
+
+    One process serves many concurrent connections against a single
+    shared {!Eds.Session}.  SELECTs plan through the shared
+    {!Plan_cache} (via {!Planner}) and evaluate concurrently under the
+    read side of a {!Rwlock}; every mutating statement, [.directive]
+    and [Parallel]-layer query runs exclusively under the write side
+    (the domain pool is shared process state).  Each statement gets a
+    wall-clock budget enforced cooperatively by
+    {!Eds_engine.Cancel}: an overrunning query dies with an [error]
+    response, the connection survives.
+
+    Admission control: at most [max_connections] connections are served
+    at once; beyond that, [backlog] connections queue in the kernel and
+    each one popped over the cap is refused with a one-shot [busy]
+    response.  See {!Protocol} for the wire format. *)
+
+module Session = Eds.Session
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 = ephemeral; read the bound port with {!port} *)
+  max_connections : int;  (** served concurrently; extras get [busy] *)
+  backlog : int;  (** kernel accept-queue bound *)
+  query_timeout : float option;  (** per-statement budget, seconds *)
+  cache_capacity : int;  (** shared plan-cache entries *)
+}
+
+val default_config : config
+(** [127.0.0.1:0], 64 connections, backlog 16, 30 s timeout, 256
+    plans. *)
+
+type counters = {
+  accepted : int;  (** connections admitted *)
+  refused : int;  (** connections turned away with [busy] *)
+  active : int;  (** connections being served right now *)
+  queries_ok : int;  (** requests answered [ok] *)
+  query_errors : int;  (** requests answered [error] (excl. timeouts) *)
+  timeouts : int;  (** requests killed by the query budget *)
+  cache : Plan_cache.stats;
+}
+
+type t
+
+val start : ?config:config -> Session.t -> t
+(** Bind, listen and spawn the accept thread; returns immediately.  The
+    session must not be used by the caller concurrently with the
+    running server (hand it over).  Base-relation indexes are forced
+    eagerly so concurrent readers never race a lazy build. *)
+
+val port : t -> int
+(** The actually-bound port (useful with [port = 0]). *)
+
+val config : t -> config
+val session : t -> Session.t
+(** The session currently served — [.load] over the wire swaps it. *)
+
+val counters : t -> counters
+val metrics : t -> Eds_obs.Obs.Json.t
+(** The [METRICS] wire payload: a flat JSON object of server,
+    plan-cache and session counters. *)
+
+val stop : t -> unit
+(** Stop accepting, sever every live connection, join all threads.
+    Idempotent.  The session survives (e.g. to save it). *)

@@ -113,6 +113,24 @@ let test_fixpoint_estimate_scales () =
   Alcotest.(check bool) "fixpoint costs more than one scan" true
     (e_tc.Cost.cost > e_edge.Cost.cost)
 
+(* Session.estimate must see the relation the session actually holds,
+   not the default-cardinality fallback: pin the estimate for a freshly
+   loaded table *)
+let test_session_estimate_uses_loaded_cardinality () =
+  let module Session = Eds.Session in
+  let s = Session.create () in
+  ignore (Session.exec_string s "TABLE T7 (A : INT)");
+  for i = 1 to 7 do
+    ignore (Session.exec_string s (Fmt.str "INSERT INTO T7 VALUES (%d)" i))
+  done;
+  let e = Session.estimate s (Lera.Base "T7") in
+  Alcotest.(check (float 0.01)) "seven live tuples, not the default" 7.
+    e.Cost.cardinality;
+  (* an undeclared relation still falls back to the default guess *)
+  let e' = Session.estimate s (Lera.Base "NOWHERE") in
+  Alcotest.(check bool) "unknown table keeps the fallback" true
+    (e'.Cost.cardinality > 7.)
+
 let test_never_raises_on_junk () =
   let db = Database.create () in
   (* unknown relation, unbound rvar: estimates still come back *)
@@ -128,5 +146,7 @@ let suite =
     Alcotest.test_case "pushdown estimated cheaper" `Quick test_pushdown_estimated_cheaper;
     Alcotest.test_case "default rewriting never raises estimate" `Quick test_estimate_tracks_default_rewriting;
     Alcotest.test_case "fixpoint estimate scales" `Quick test_fixpoint_estimate_scales;
+    Alcotest.test_case "session estimate uses loaded cardinality" `Quick
+      test_session_estimate_uses_loaded_cardinality;
     Alcotest.test_case "robust on junk input" `Quick test_never_raises_on_junk;
   ]

@@ -23,4 +23,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("conformance", Test_conformance.suite);
       ("obs", Test_obs.suite);
+      ("server", Test_server.suite);
     ]

@@ -1,0 +1,429 @@
+(* Tests for the concurrent query server: the readers-writer lock, the
+   LRU plan cache, the cache-keyed planner (generation invalidation),
+   the wire protocol, per-query timeouts, admission control and the
+   load-test harness. *)
+
+module Value = Eds_value.Value
+module Relation = Eds_engine.Relation
+module Database = Eds_engine.Database
+module Eval = Eds_engine.Eval
+module Session = Eds.Session
+module Repl = Eds.Repl
+module Storage = Eds.Storage
+module Rwlock = Eds_server.Rwlock
+module Plan_cache = Eds_server.Plan_cache
+module Planner = Eds_server.Planner
+module Server = Eds_server.Server
+module Client = Eds_server.Client
+module Protocol = Eds_server.Protocol
+module Loadtest = Eds_server.Loadtest
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec probe i = i + n <= m && (String.sub s i n = affix || probe (i + 1)) in
+  n = 0 || probe 0
+
+(* -- rwlock -------------------------------------------------------------- *)
+
+let test_rwlock_readers_share () =
+  let rw = Rwlock.create () in
+  let inside = Atomic.make 0 in
+  let seen_two = Atomic.make false in
+  let reader () =
+    Rwlock.with_read rw (fun () ->
+        Atomic.incr inside;
+        let t0 = Unix.gettimeofday () in
+        while Atomic.get inside < 2 && Unix.gettimeofday () -. t0 < 2.0 do
+          Thread.yield ()
+        done;
+        if Atomic.get inside >= 2 then Atomic.set seen_two true;
+        Atomic.decr inside)
+  in
+  let t1 = Thread.create reader () in
+  let t2 = Thread.create reader () in
+  Thread.join t1;
+  Thread.join t2;
+  Alcotest.(check bool) "two readers held the lock at once" true
+    (Atomic.get seen_two)
+
+let test_rwlock_writers_exclude () =
+  let rw = Rwlock.create () in
+  let counter = ref 0 in
+  let writer () =
+    for _ = 1 to 5_000 do
+      (* unsynchronized incr: only exclusive writers make this exact *)
+      Rwlock.with_write rw (fun () -> incr counter)
+    done
+  in
+  let threads = List.init 4 (fun _ -> Thread.create writer ()) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "every write-locked increment survived" 20_000 !counter
+
+let test_rwlock_readers_see_invariant () =
+  let rw = Rwlock.create () in
+  let a = ref 0 and b = ref 0 in
+  let broken = Atomic.make false in
+  let writer () =
+    for i = 1 to 2_000 do
+      Rwlock.with_write rw (fun () ->
+          a := i;
+          Thread.yield ();
+          b := i)
+    done
+  in
+  let reader () =
+    for _ = 1 to 2_000 do
+      Rwlock.with_read rw (fun () -> if !a <> !b then Atomic.set broken true)
+    done
+  in
+  let w = Thread.create writer () in
+  let rs = List.init 3 (fun _ -> Thread.create reader ()) in
+  Thread.join w;
+  List.iter Thread.join rs;
+  Alcotest.(check bool) "readers never saw a half-applied write" false
+    (Atomic.get broken)
+
+(* -- plan cache ---------------------------------------------------------- *)
+
+let test_plan_cache_lru () =
+  let c = Plan_cache.create ~capacity:2 in
+  Plan_cache.add c "a" 1;
+  Plan_cache.add c "b" 2;
+  Alcotest.(check (option int)) "a cached" (Some 1) (Plan_cache.find c "a");
+  (* "b" is now the LRU entry; inserting "c" evicts it *)
+  Plan_cache.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Plan_cache.find c "b");
+  Alcotest.(check (option int)) "a survived" (Some 1) (Plan_cache.find c "a");
+  Alcotest.(check (option int)) "c cached" (Some 3) (Plan_cache.find c "c");
+  let s = Plan_cache.stats c in
+  Alcotest.(check int) "insertions" 3 s.Plan_cache.insertions;
+  Alcotest.(check int) "evictions" 1 s.Plan_cache.evictions;
+  Alcotest.(check int) "hits" 3 s.Plan_cache.hits;
+  Alcotest.(check int) "misses" 1 s.Plan_cache.misses;
+  Alcotest.(check int) "size bounded" 2 s.Plan_cache.size;
+  Plan_cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Plan_cache.stats c).Plan_cache.size;
+  Alcotest.(check (option int)) "miss after clear" None (Plan_cache.find c "a")
+
+let test_plan_cache_overwrite () =
+  let c = Plan_cache.create ~capacity:2 in
+  Plan_cache.add c "a" 1;
+  Plan_cache.add c "a" 9;
+  Alcotest.(check (option int)) "overwritten in place" (Some 9)
+    (Plan_cache.find c "a");
+  Alcotest.(check int) "one insertion" 1 (Plan_cache.stats c).Plan_cache.insertions
+
+(* -- planner ------------------------------------------------------------- *)
+
+let test_normalize () =
+  Alcotest.(check string) "collapses and strips" "SELECT A FROM P"
+    (Planner.normalize "  SELECT\t A \n FROM   P ; ");
+  Alcotest.(check bool) "select detected" true (Planner.is_select "  select A from P");
+  Alcotest.(check bool) "directive is not a select" false (Planner.is_select ".stats");
+  Alcotest.(check bool) "prefix word is not a select" false
+    (Planner.is_select "SELECTIVITY 3")
+
+let planner_session () =
+  let s = Session.create () in
+  ignore (Session.exec_string s "TABLE P (A : INT)");
+  for i = 1 to 5 do
+    ignore (Session.exec_string s (Fmt.str "INSERT INTO P VALUES (%d)" i))
+  done;
+  s
+
+let origin =
+  Alcotest.testable
+    (fun ppf o -> Fmt.string ppf (match o with `Hit -> "hit" | `Miss -> "miss"))
+    ( = )
+
+let test_planner_generation () =
+  let s = planner_session () in
+  let p = Planner.create s in
+  let _, o1 = Planner.execute p "SELECT A FROM P" in
+  Alcotest.check origin "first plan is a miss" `Miss o1;
+  let _, o2 = Planner.execute p "  SELECT   A FROM P ;" in
+  Alcotest.check origin "normalized repeat hits" `Hit o2;
+  (* data changes do NOT invalidate: plans are data-independent, the
+     cached plan must see the new tuple *)
+  ignore (Session.exec_string s "INSERT INTO P VALUES (6)");
+  let rel, o3 = Planner.execute p "SELECT A FROM P" in
+  Alcotest.check origin "insert keeps the plan" `Hit o3;
+  Alcotest.(check int) "cached plan sees fresh data" 6 (Relation.cardinality rel);
+  (* DDL bumps the generation: stale keys never match again *)
+  ignore (Session.exec_string s "TABLE Q (B : INT)");
+  let _, o4 = Planner.execute p "SELECT A FROM P" in
+  Alcotest.check origin "DDL invalidates" `Miss o4;
+  (* so does an optimizer-config change *)
+  Session.set_config s (Repl.limits_config 5);
+  let _, o5 = Planner.execute p "SELECT A FROM P" in
+  Alcotest.check origin "config change invalidates" `Miss o5;
+  (* and the adaptive-limits toggle *)
+  Session.set_adaptive s true;
+  let _, o6 = Planner.execute p "SELECT A FROM P" in
+  Alcotest.check origin "adaptive toggle invalidates" `Miss o6;
+  let _, o7 = Planner.execute p "SELECT A FROM P" in
+  Alcotest.check origin "steady state hits again" `Hit o7
+
+let test_planner_records_session_stats () =
+  let s = planner_session () in
+  let p = Planner.create s in
+  let before = Session.statements_run s in
+  ignore (Planner.execute p "SELECT A FROM P");
+  ignore (Planner.execute p "SELECT A FROM P");
+  Alcotest.(check int) "cached executions still counted" (before + 2)
+    (Session.statements_run s);
+  Alcotest.(check bool) "eval work folded into the session" true
+    ((Session.eval_stats s).Eval.tuples_read > 0)
+
+(* -- wire protocol ------------------------------------------------------- *)
+
+let with_server ?config session f =
+  let srv = Server.start ?config session in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
+
+let with_client srv f =
+  let c = Client.connect (Server.port srv) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let status =
+  Alcotest.testable
+    (fun ppf s -> Fmt.string ppf (Protocol.status_to_string s))
+    ( = )
+
+let test_wire_basics () =
+  with_server (Session.create ()) (fun srv ->
+      with_client srv (fun c ->
+          let st, payload = Client.request c "PING" in
+          Alcotest.check status "ping ok" Protocol.Ok st;
+          Alcotest.(check string) "pong" "pong\n" payload;
+          let st, payload = Client.request c "HELP" in
+          Alcotest.check status "help ok" Protocol.Ok st;
+          Alcotest.(check bool) "help mentions SAVE" true
+            (contains ~affix:"SAVE" payload);
+          (* one unknown command must not drop the connection *)
+          let st, payload = Client.request c "FROB" in
+          Alcotest.check status "unknown command errors" Protocol.Error st;
+          Alcotest.(check string) "one-line hint"
+            "error: unknown command FROB (try HELP)\n" payload;
+          let st, _ = Client.request c "PING" in
+          Alcotest.check status "connection survived" Protocol.Ok st;
+          (* malformed ESQL is a per-line error too *)
+          let st, payload = Client.request c "SELECT FROM WHERE" in
+          Alcotest.check status "parse error reported" Protocol.Error st;
+          Alcotest.(check bool) "error payload prefixed" true
+            (String.length payload > 7 && String.sub payload 0 7 = "error: ");
+          let st, _ = Client.request c "PING" in
+          Alcotest.check status "still alive after parse error" Protocol.Ok st;
+          (* QUIT closes cleanly *)
+          let st, payload = Client.request c "QUIT" in
+          Alcotest.check status "quit ok" Protocol.Ok st;
+          Alcotest.(check string) "bye" "bye\n" payload))
+
+let test_wire_matches_local_session () =
+  with_server (Session.create ()) (fun srv ->
+      let twin = Session.create () in
+      Loadtest.apply_setup twin;
+      let expected = Loadtest.expected_payloads twin in
+      with_client srv (fun c ->
+          Loadtest.setup_over_wire c;
+          List.iter
+            (fun q ->
+              let st, payload = Client.request c q in
+              Alcotest.check status (Fmt.str "ok: %s" q) Protocol.Ok st;
+              Alcotest.(check string)
+                (Fmt.str "bit-identical: %s" q)
+                (List.assoc q expected) payload)
+            Loadtest.queries))
+
+let test_wire_cache_and_invalidation () =
+  let s = planner_session () in
+  with_server s (fun srv ->
+      with_client srv (fun c ->
+          let hits () = (Server.counters srv).Server.cache.Plan_cache.hits in
+          let misses () = (Server.counters srv).Server.cache.Plan_cache.misses in
+          ignore (Client.request c "SELECT A FROM P");
+          Alcotest.(check int) "first select misses" 1 (misses ());
+          ignore (Client.request c "SELECT A FROM P ;");
+          Alcotest.(check int) "repeat hits" 1 (hits ());
+          (* DDL over the wire bumps the generation *)
+          let st, _ = Client.request c "TABLE Q2 (B : INT)" in
+          Alcotest.check status "ddl ok" Protocol.Ok st;
+          ignore (Client.request c "SELECT A FROM P");
+          Alcotest.(check int) "post-DDL select misses" 2 (misses ());
+          (* a config directive does too *)
+          let st, _ = Client.request c ".limits 5" in
+          Alcotest.check status "directive ok" Protocol.Ok st;
+          ignore (Client.request c "SELECT A FROM P");
+          Alcotest.(check int) "post-.limits select misses" 3 (misses ());
+          ignore (Client.request c "SELECT A FROM P");
+          Alcotest.(check int) "then hits again" 2 (hits ())))
+
+let test_wire_save_then_load () =
+  let path = Filename.temp_file "eds_server_save" ".esql" in
+  with_server (Session.create ()) (fun srv ->
+      with_client srv (fun c ->
+          Loadtest.setup_over_wire c;
+          let st, _ = Client.request c "SAVE" in
+          Alcotest.check status "SAVE without a path errors" Protocol.Error st;
+          let st, payload = Client.request c (Fmt.str "SAVE %s" path) in
+          Alcotest.check status "save ok" Protocol.Ok st;
+          Alcotest.(check bool) "save echoes path" true
+            (contains ~affix:path payload);
+          (* a session loaded from the dump answers identically *)
+          let loaded = Storage.load path in
+          let q = List.hd Loadtest.queries in
+          let want =
+            let st, p = Client.request c q in
+            Alcotest.check status "query ok" Protocol.Ok st;
+            p
+          in
+          let buf = Buffer.create 256 in
+          let ppf = Format.formatter_of_buffer buf in
+          Repl.print_result ppf (Session.Rows (Session.query loaded q));
+          Format.pp_print_flush ppf ();
+          Alcotest.(check string) "loaded dump answers identically" want
+            (Buffer.contents buf)));
+  Sys.remove path
+
+let test_wire_metrics_json () =
+  with_server (planner_session ()) (fun srv ->
+      with_client srv (fun c ->
+          ignore (Client.request c "SELECT A FROM P");
+          let st, payload = Client.request c "METRICS" in
+          Alcotest.check status "metrics ok" Protocol.Ok st;
+          match Eds_obs.Obs.Json.parse (String.trim payload) with
+          | Error e -> Alcotest.failf "METRICS is not JSON: %s" e
+          | Ok json ->
+              let geti k =
+                match Eds_obs.Obs.Json.member k json with
+                | Some v -> Eds_obs.Obs.Json.to_int v
+                | None -> None
+              in
+              Alcotest.(check (option int))
+                "one miss recorded" (Some 1) (geti "server.plan_cache.misses");
+              Alcotest.(check bool) "statements counted" true
+                (match geti "session.statements_run" with
+                | Some n -> n >= 1
+                | None -> false)))
+
+(* -- timeouts ------------------------------------------------------------ *)
+
+(* a 60^4 cartesian product under the naive physical layer: far more
+   work than the budget allows, cancelled cooperatively mid-join *)
+let slow_session () =
+  let s = Session.create () in
+  Session.set_physical s Eval.Physical.Naive;
+  ignore
+    (Session.exec_script s
+       "TABLE A (X : INT) ; TABLE B (Y : INT) ; TABLE C (Z : INT) ; \
+        TABLE D (W : INT) ;");
+  let db = Session.database s in
+  for i = 0 to 59 do
+    Database.insert db "A" [ Value.Int i ];
+    Database.insert db "B" [ Value.Int i ];
+    Database.insert db "C" [ Value.Int i ];
+    Database.insert db "D" [ Value.Int i ]
+  done;
+  s
+
+let test_query_timeout_spares_connection () =
+  let config = { Server.default_config with query_timeout = Some 0.05 } in
+  with_server ~config (slow_session ()) (fun srv ->
+      with_client srv (fun c ->
+          let st, payload =
+            Client.request c "SELECT X FROM A, B, C, D WHERE X = W"
+          in
+          Alcotest.check status "overrunning query errors" Protocol.Error st;
+          Alcotest.(check bool) "error names the timeout" true
+            (contains ~affix:"timeout" payload);
+          (* the connection survives and serves quick queries *)
+          let st, payload = Client.request c "SELECT X FROM A" in
+          Alcotest.check status "quick query after timeout" Protocol.Ok st;
+          Alcotest.(check bool) "full scan answered" true
+            (contains ~affix:"(60 tuples)" payload));
+      let counters = Server.counters srv in
+      Alcotest.(check int) "timeout counted" 1 counters.Server.timeouts;
+      Alcotest.(check int) "not an ordinary error" 0 counters.Server.query_errors)
+
+(* -- admission control --------------------------------------------------- *)
+
+let test_admission_busy () =
+  let config = { Server.default_config with max_connections = 1 } in
+  with_server ~config (Session.create ()) (fun srv ->
+      let c1 = Client.connect (Server.port srv) in
+      let st, _ = Client.request c1 "PING" in
+      Alcotest.check status "first connection served" Protocol.Ok st;
+      (* the second connection is refused with a busy frame *)
+      let c2 = Client.connect (Server.port srv) in
+      let st, payload = Client.request c2 "PING" in
+      Alcotest.check status "second connection refused" Protocol.Busy st;
+      Alcotest.(check bool) "busy names the limit" true
+        (contains ~affix:"busy" payload);
+      Client.close c2;
+      Client.close c1;
+      (* capacity freed: a later connection is admitted.  Poll: the
+         server notices the close asynchronously. *)
+      let rec retry n =
+        let c3 = Client.connect (Server.port srv) in
+        let st, _ = Client.request c3 "PING" in
+        Client.close c3;
+        if st = Protocol.Ok then ()
+        else if n = 0 then Alcotest.fail "capacity never freed"
+        else begin
+          Thread.delay 0.05;
+          retry (n - 1)
+        end
+      in
+      retry 40;
+      Alcotest.(check bool) "refusals counted" true
+        ((Server.counters srv).Server.refused >= 1))
+
+(* -- concurrent load ----------------------------------------------------- *)
+
+let test_loadtest_concurrent_bit_identical () =
+  let s = Session.create () in
+  Loadtest.apply_setup s;
+  let twin = Session.create () in
+  Loadtest.apply_setup twin;
+  let expected = Loadtest.expected_payloads twin in
+  with_server s (fun srv ->
+      let o =
+        Loadtest.run ~expected ~port:(Server.port srv) ~clients:16 ~per_client:12 ()
+      in
+      Alcotest.(check int) "all requests answered ok" (16 * 12) o.Loadtest.ok;
+      Alcotest.(check int) "no dropped connections" 0 o.Loadtest.dropped_connections;
+      Alcotest.(check int) "no protocol errors" 0 o.Loadtest.protocol_errors;
+      Alcotest.(check int) "no busy refusals" 0 o.Loadtest.busy;
+      Alcotest.(check bool) "responses bit-identical to a lone session" true
+        o.Loadtest.bit_identical;
+      Alcotest.(check bool)
+        (Fmt.str "plan-cache hit rate %.2f > 0.5" o.Loadtest.hit_rate)
+        true
+        (o.Loadtest.hit_rate > 0.5))
+
+let suite =
+  [
+    Alcotest.test_case "rwlock: readers share" `Quick test_rwlock_readers_share;
+    Alcotest.test_case "rwlock: writers exclude" `Quick test_rwlock_writers_exclude;
+    Alcotest.test_case "rwlock: readers see invariant" `Quick
+      test_rwlock_readers_see_invariant;
+    Alcotest.test_case "plan cache: LRU eviction" `Quick test_plan_cache_lru;
+    Alcotest.test_case "plan cache: overwrite" `Quick test_plan_cache_overwrite;
+    Alcotest.test_case "planner: normalize" `Quick test_normalize;
+    Alcotest.test_case "planner: generation invalidation" `Quick
+      test_planner_generation;
+    Alcotest.test_case "planner: session stats recorded" `Quick
+      test_planner_records_session_stats;
+    Alcotest.test_case "wire: basics and error recovery" `Quick test_wire_basics;
+    Alcotest.test_case "wire: bit-identical to local session" `Quick
+      test_wire_matches_local_session;
+    Alcotest.test_case "wire: plan cache and invalidation" `Quick
+      test_wire_cache_and_invalidation;
+    Alcotest.test_case "wire: SAVE dump loads back" `Quick test_wire_save_then_load;
+    Alcotest.test_case "wire: METRICS is JSON" `Quick test_wire_metrics_json;
+    Alcotest.test_case "timeout kills query, spares connection" `Quick
+      test_query_timeout_spares_connection;
+    Alcotest.test_case "admission: busy beyond the cap" `Quick test_admission_busy;
+    Alcotest.test_case "16 concurrent clients, bit-identical" `Quick
+      test_loadtest_concurrent_bit_identical;
+  ]

@@ -144,6 +144,30 @@ let test_restore_rejects_garbage () =
        false
      with Storage.Storage_error _ | Session.Session_error _ | Not_found -> true)
 
+(* the server workload must survive dump → restore bit-identically on
+   every physical layer: render each query on the original session, then
+   re-render on the restored one under Naive, Indexed and Parallel *)
+let test_dump_restore_across_physical_layers () =
+  let module Loadtest = Eds_server.Loadtest in
+  let module Eval = Eds_engine.Eval in
+  let s = Session.create () in
+  Loadtest.apply_setup s;
+  let expected = Loadtest.expected_payloads s in
+  let dumped = Storage.dump s in
+  List.iter
+    (fun physical ->
+      let s' = Storage.restore dumped in
+      Session.set_physical s' physical;
+      if physical = Eval.Physical.Parallel then Session.set_domains s' 2;
+      List.iter
+        (fun (q, want) ->
+          let got = List.assoc q (Loadtest.expected_payloads s') in
+          Alcotest.(check string)
+            (Fmt.str "%s under %s" q (Eval.Physical.to_string physical))
+            want got)
+        expected)
+    [ Eval.Physical.Naive; Eval.Physical.Indexed; Eval.Physical.Parallel ]
+
 let test_save_load_files () =
   let s = film_session () in
   let path = Filename.temp_file "eds_dump" ".esql" in
@@ -160,6 +184,8 @@ let suite =
     Alcotest.test_case "dump/restore round trip" `Quick test_dump_restore_round_trip;
     Alcotest.test_case "dump is stable" `Quick test_dump_is_stable;
     Alcotest.test_case "restore rejects garbage" `Quick test_restore_rejects_garbage;
+    Alcotest.test_case "dump/restore across physical layers" `Quick
+      test_dump_restore_across_physical_layers;
     Alcotest.test_case "save/load files" `Quick test_save_load_files;
   ]
   @ [ QCheck_alcotest.to_alcotest prop_value_round_trip ]
