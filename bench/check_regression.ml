@@ -40,6 +40,11 @@ let work_markers =
     (* plan-cache misses may only shrink: each one is a full
        parse → translate → rewrite the cache failed to amortize *)
     "misses";
+    (* E5: snapshot reads are lock-free — committed at zero, so any
+       read-lock acquisition fails the gate; response mismatches against
+       the oracle replay likewise *)
+    "read_lock";
+    "mismatch";
   ]
 
 let is_work_key key =

@@ -36,7 +36,13 @@ let verify_arg =
          ~doc:"Replay the workload on a local session and require every \
                response to match byte-for-byte.")
 
-let main host port clients per_client setup verify =
+let mixed_arg =
+  Arg.(value & flag & info [ "mixed" ]
+         ~doc:"Mixed read/write workload: each client writes to a private \
+               table and interleaves shared reads; every response (write \
+               acks included) is verified against a local oracle replay.")
+
+let main host port clients per_client setup verify mixed =
   if setup then begin
     let c =
       try Client.connect ~host port with
@@ -54,21 +60,24 @@ let main host port clients per_client setup verify =
     Fmt.pr "loadgen: workload schema + data installed@."
   end;
   let expected =
-    if verify then begin
+    if verify || mixed then begin
       let twin = Session.create () in
       Loadtest.apply_setup twin;
       Loadtest.expected_payloads twin
     end
     else []
   in
-  let o = Loadtest.run ~host ~expected ~port ~clients ~per_client () in
+  let o =
+    if mixed then Loadtest.run_mixed ~host ~expected ~port ~clients ~per_client ()
+    else Loadtest.run ~host ~expected ~port ~clients ~per_client ()
+  in
   Loadtest.pp_outcome Fmt.stdout o;
   let failed =
     o.Loadtest.dropped_connections > 0
     || o.Loadtest.protocol_errors > 0
     || o.Loadtest.errors > 0
     || o.Loadtest.busy > 0
-    || (verify && not o.Loadtest.bit_identical)
+    || ((verify || mixed) && not o.Loadtest.bit_identical)
   in
   if failed then begin
     Fmt.epr "loadgen: FAILED@.";
@@ -79,6 +88,6 @@ let cmd =
   let doc = "concurrent load generator for the edsd query server" in
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(const main $ host_arg $ port_arg $ clients_arg $ per_client_arg
-          $ setup_arg $ verify_arg)
+          $ setup_arg $ verify_arg $ mixed_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -961,6 +961,57 @@ let e4 () =
           end))
     [ 1; 4; 16 ]
 
+(* -- E5: mixed read/write load, lock-free snapshot reads ------------------ *)
+
+(* Writers churn per-client private tables while shared-table SELECTs
+   run concurrently against copy-on-write snapshots (EXPERIMENTS.md
+   E5).  Every response — write acks included — is verified
+   byte-for-byte against a per-client oracle replay, and the server's
+   read-lock acquisition counter is gated at zero: SELECTs never touch
+   the read side of the rwlock, so a reader can never be stalled behind
+   a writer.  Wall-clock numbers are reported, never gated. *)
+let e5 () =
+  section "E5" "mixed read/write load: lock-free snapshot reads";
+  let module Server = Eds_server.Server in
+  let module Loadtest = Eds_server.Loadtest in
+  let twin = Session.create () in
+  Loadtest.apply_setup twin;
+  let expected = Loadtest.expected_payloads twin in
+  let total = 480 in
+  List.iter
+    (fun clients ->
+      let s = Session.create () in
+      Loadtest.apply_setup s;
+      let srv = Server.start s in
+      Fun.protect
+        ~finally:(fun () -> Server.stop srv)
+        (fun () ->
+          let per_client = total / clients in
+          let o =
+            Loadtest.run_mixed ~expected ~port:(Server.port srv) ~clients
+              ~per_client ()
+          in
+          let c = Server.counters srv in
+          row
+            "  %2d clients × %3d: %4d ok (%3d writes), %5.0f q/s, p95 %5.2f ms, \
+             locks %d read / %d write@."
+            clients per_client o.Loadtest.ok o.Loadtest.writes o.Loadtest.qps
+            o.Loadtest.p95_ms c.Server.locks.Eds_server.Rwlock.read_acquired
+            c.Server.locks.Eds_server.Rwlock.write_acquired;
+          let key fmt = Fmt.str ("e5.c%d." ^^ fmt) clients in
+          metric_int (key "ok") o.Loadtest.ok;
+          metric_int (key "writes") o.Loadtest.writes;
+          metric_int (key "dropped_connections") o.Loadtest.dropped_connections;
+          metric_int (key "protocol_errors") o.Loadtest.protocol_errors;
+          metric_int (key "busy_refusals") o.Loadtest.busy;
+          metric_int (key "error_responses") o.Loadtest.errors;
+          metric_bool (key "bit_identical") o.Loadtest.bit_identical;
+          metric_int (key "read_lock_acquisitions")
+            c.Server.locks.Eds_server.Rwlock.read_acquired;
+          metric_float (key "qps") o.Loadtest.qps;
+          metric_float (key "p95_ms") o.Loadtest.p95_ms))
+    [ 1; 4; 16 ]
+
 let all () =
   Fmt.pr "EDS rule-based query rewriter — experiment report (per-figure)@.";
   Fmt.pr "paper: Finance & Gardarin, ICDE 1991 (no measured tables: each@.";
@@ -979,6 +1030,7 @@ let all () =
   e2 ();
   e3 ();
   e4 ();
+  e5 ();
   c1 ();
   c2 ();
   c3 ();

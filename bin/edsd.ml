@@ -4,10 +4,18 @@
    port: ESQL statements, edsql dot-directives and the uppercase server
    commands (HELP / PING / STATS / METRICS / SAVE / QUIT).  Attach an
    interactive shell with [edsql --connect HOST:PORT], or talk to it
-   with [nc].  Stops cleanly on SIGINT/SIGTERM. *)
+   with [nc].  Stops cleanly on SIGINT/SIGTERM.
+
+   With --db the daemon is durable: boot recovers the checkpoint dump
+   plus the paired write-ahead log (FILE.wal), every committed write is
+   fsync'd to the log before it is acknowledged, SAVE FILE compacts the
+   log into a fresh checkpoint, and a clean shutdown checkpoints so the
+   next boot replays nothing.  kill -9 loses at most unacknowledged
+   statements. *)
 
 module Session = Eds.Session
 module Storage = Eds.Storage
+module Wal = Eds.Wal
 module Server = Eds_server.Server
 
 open Cmdliner
@@ -22,8 +30,14 @@ let port_arg =
 
 let db_arg =
   Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE"
-         ~doc:"Load this database dump (see the .save directive / SAVE \
-               command) on boot.")
+         ~doc:"Durable database: recover $(docv) plus its write-ahead log \
+               ($(docv).wal) on boot, log every committed write, checkpoint \
+               on SAVE $(docv) and on clean shutdown.")
+
+let no_fsync_arg =
+  Arg.(value & flag & info [ "no-fsync" ]
+         ~doc:"Do not fsync the write-ahead log on every commit (faster, \
+               but a crash may lose acknowledged statements).")
 
 let max_conns_arg =
   Arg.(value & opt int 64 & info [ "max-connections" ] ~docv:"N"
@@ -51,15 +65,28 @@ let domains_arg =
 let norewrite_arg =
   Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Disable the query rewriter.")
 
-let main host port db max_connections backlog timeout_ms cache domains norewrite =
-  let session =
+let main host port db no_fsync max_connections backlog timeout_ms cache domains
+    norewrite =
+  let session, wal =
     match db with
     | Some file ->
-      (try Storage.load file with
+      (try
+         let session, handle, replayed =
+           Wal.Manager.recover ~sync:(not no_fsync) ~db:file ()
+         in
+         if replayed > 0 then
+           Fmt.pr "edsd: replayed %d statement%s from %s@." replayed
+             (if replayed = 1 then "" else "s")
+             (Wal.Manager.wal_path file);
+         (session, Some handle)
+       with
        | Storage.Storage_error msg | Session.Session_error msg | Sys_error msg ->
-         Fmt.epr "edsd: cannot load %s: %s@." file msg;
+         Fmt.epr "edsd: cannot recover %s: %s@." file msg;
+         exit 1
+       | Wal.Wal_error msg ->
+         Fmt.epr "edsd: cannot open %s: %s@." (Wal.Manager.wal_path file) msg;
          exit 1)
-    | None -> Session.create ()
+    | None -> (Session.create (), None)
   in
   if norewrite then Session.set_rewriting session false;
   (match domains with Some d -> Session.set_domains session d | None -> ());
@@ -75,14 +102,17 @@ let main host port db max_connections backlog timeout_ms cache domains norewrite
     }
   in
   let server =
-    try Server.start ~config session with
+    try Server.start ~config ?wal session with
     | Unix.Unix_error (e, _, _) ->
       Fmt.epr "edsd: cannot listen on %s:%d: %s@." host port (Unix.error_message e);
       exit 1
   in
   Fmt.pr "edsd: listening on %s:%d (%d max connections, plan cache %d)@." host
     (Server.port server) max_connections cache;
-  (match db with Some file -> Fmt.pr "edsd: database loaded from %s@." file | None -> ());
+  (match db with
+  | Some file -> Fmt.pr "edsd: durable database at %s (wal: %s)@." file
+                   (Wal.Manager.wal_path file)
+  | None -> ());
   let running = ref true in
   let request_stop _ = running := false in
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
@@ -94,6 +124,13 @@ let main host port db max_connections backlog timeout_ms cache domains norewrite
   done;
   Fmt.pr "edsd: shutting down@.";
   Server.stop server;
+  (* clean shutdown compacts: the next boot replays nothing *)
+  (match wal with
+  | Some handle ->
+    Server.checkpoint server;
+    Wal.Manager.close handle;
+    Fmt.pr "edsd: checkpointed %s@." (Wal.Manager.db_path handle)
+  | None -> ());
   let c = Server.counters server in
   Fmt.pr "edsd: served %d connections (%d refused), %d ok / %d errors / %d timeouts@."
     c.Server.accepted c.Server.refused c.Server.queries_ok c.Server.query_errors
@@ -102,7 +139,7 @@ let main host port db max_connections backlog timeout_ms cache domains norewrite
 let cmd =
   let doc = "EDS query server: shared sessions, plan cache, admission control" in
   Cmd.v (Cmd.info "edsd" ~doc)
-    Term.(const main $ host_arg $ port_arg $ db_arg $ max_conns_arg $ backlog_arg
-          $ timeout_arg $ cache_arg $ domains_arg $ norewrite_arg)
+    Term.(const main $ host_arg $ port_arg $ db_arg $ no_fsync_arg $ max_conns_arg
+          $ backlog_arg $ timeout_arg $ cache_arg $ domains_arg $ norewrite_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -153,9 +153,13 @@ let plan_select s (sel : Ast.select) : plan =
   s.last_rewrite_stats <- Some stats;
   { translated; rewritten; rewrite_stats = stats; trace = events }
 
-let run_plan ?stats s rel =
+let snapshot_db s = Database.snapshot s.db
+let data_generation s = Database.data_generation s.db
+
+let run_plan ?stats ?db s rel =
+  let db = Option.value db ~default:s.db in
   wrap_errors (fun () ->
-      Eval.run ~physical:s.physical ~domains:s.domains ?stats s.db rel)
+      Eval.run ~physical:s.physical ~domains:s.domains ?stats db rel)
 
 let estimate s rel =
   let card name =

@@ -126,7 +126,21 @@ val record_external_execution : t -> Eval.stats -> unit
     parse/translate/rewrite entirely — into {!eval_stats} and
     {!statements_run}. *)
 
-val run_plan : ?stats:Eval.stats -> t -> Lera.rel -> Relation.t
+val snapshot_db : t -> Database.t
+(** An O(1) immutable snapshot of the database ({!Eds_engine.Database.snapshot}):
+    SELECTs evaluated against it need no locking at all — the query
+    server's lock-free read path. *)
+
+val data_generation : t -> int
+(** The database's data epoch ({!Eds_engine.Database.data_generation}):
+    bumped by every INSERT / DELETE / UPDATE / DDL / object mutation.
+    Orthogonal to {!generation}, which tracks {e plan-affecting} changes
+    only. *)
+
+val run_plan : ?stats:Eval.stats -> ?db:Database.t -> t -> Lera.rel -> Relation.t
+(** Evaluate a rewritten plan with the session's physical layer and
+    domain count.  [db] (default: the live database) lets the caller
+    evaluate against a {!snapshot_db} instead. *)
 
 val estimate : t -> Lera.rel -> Eds_lera.Cost.t
 (** Static cost estimate against the live base-relation cardinalities. *)

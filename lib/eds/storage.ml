@@ -171,6 +171,42 @@ let restore (text : string) : Session.t =
     (List.rev !tuples);
   s
 
-let save s path = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (dump s))
+(* -- crash-safe file replacement ------------------------------------------ *)
+
+(* Write-to-temp + fsync + rename: the destination either keeps its old
+   bytes or atomically becomes the complete new content — a crash (or a
+   failing writer) can never leave a half-written database as the only
+   copy.  The temp file lives in the destination's directory so the
+   rename stays within one filesystem. *)
+let atomic_write ?(fsync = true) ~path writer =
+  let tmp = path ^ ".tmp" in
+  let oc = Out_channel.open_bin tmp in
+  (match
+     writer oc;
+     Out_channel.flush oc;
+     if fsync then Unix.fsync (Unix.descr_of_out_channel oc)
+   with
+  | () -> Out_channel.close oc
+  | exception e ->
+    (try Out_channel.close oc with _ -> ());
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  (match Sys.rename tmp path with
+  | () -> ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  if fsync then begin
+    (* persist the directory entry too; best-effort where unsupported *)
+    match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error _ -> ()
+    | dirfd ->
+      (try Unix.fsync dirfd with Unix.Unix_error _ -> ());
+      (try Unix.close dirfd with Unix.Unix_error _ -> ())
+  end
+
+let save ?fsync s path =
+  let text = dump s in
+  atomic_write ?fsync ~path (fun oc -> Out_channel.output_string oc text)
 
 let load path = restore (In_channel.with_open_text path In_channel.input_all)

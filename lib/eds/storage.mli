@@ -26,7 +26,15 @@ val restore : string -> Session.t
 (** Rebuild a session from {!dump} output.  Raises {!Storage_error} (or
     {!Session.Session_error}) on malformed input. *)
 
-val save : Session.t -> string -> unit
-(** [save s path] writes {!dump} to a file. *)
+val atomic_write : ?fsync:bool -> path:string -> (out_channel -> unit) -> unit
+(** [atomic_write ~path writer] runs [writer] against [path ^ ".tmp"],
+    flushes, fsyncs ([fsync] defaults to [true]), and renames the temp
+    file over [path].  If [writer] raises, the temp file is removed and
+    [path] is untouched — a crash or failure mid-write can never corrupt
+    the existing copy. *)
+
+val save : ?fsync:bool -> Session.t -> string -> unit
+(** [save s path] writes {!dump} to a file via {!atomic_write}: the old
+    dump survives intact unless the new one is completely on disk. *)
 
 val load : string -> Session.t

@@ -1,0 +1,293 @@
+(* Append-only write-ahead log with CRC-framed records, and the
+   checkpoint/recovery manager pairing one log with one database dump.
+
+   Frame layout (little-endian):
+
+     [payload length : 4 bytes] [CRC-32 of payload : 4 bytes] [payload]
+
+   Appends are flushed and (by default) fsync'd before the caller's
+   statement is acknowledged, so a committed write survives `kill -9`.
+   Recovery walks frames from the start and stops at the first torn or
+   corrupt one — a crash mid-append loses at most the unacknowledged
+   tail, never an acknowledged record; opening the log for append
+   truncates that tail away.
+
+   The manager couples the log to a checkpoint file through an epoch
+   number: the checkpoint dump carries `-- wal epoch N` and the log's
+   first record is the control payload `--epoch N`.  A checkpoint
+   writes the new dump (atomically, epoch N+1) before truncating the
+   log, so a crash between the two leaves an epoch-N log next to an
+   epoch-N+1 checkpoint; recovery sees the mismatch and discards the
+   stale log instead of replaying statements the checkpoint already
+   contains (replay of a non-idempotent UPDATE twice would corrupt). *)
+
+exception Wal_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Wal_error s)) fmt
+
+(* -- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) ---------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* -- framing -------------------------------------------------------------- *)
+
+let header_len = 8
+let max_payload = 1 lsl 26  (* 64 MiB: any larger length field is corruption *)
+
+let frame payload =
+  let n = String.length payload in
+  if n > max_payload then error "record of %d bytes exceeds the frame limit" n;
+  let b = Bytes.create (header_len + n) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.set_int32_le b 4 (crc32 payload);
+  Bytes.blit_string payload 0 b header_len n;
+  b
+
+(* -- read-only scan ------------------------------------------------------- *)
+
+type scan_result = {
+  applied : int;  (** records delivered to the callback *)
+  valid_bytes : int;  (** prefix of the file covered by intact frames *)
+  torn_bytes : int;  (** trailing bytes past the last intact frame *)
+}
+
+let read_file path =
+  let ic = In_channel.open_bin path in
+  Fun.protect ~finally:(fun () -> In_channel.close ic) (fun () ->
+      In_channel.input_all ic)
+
+(* Walk intact frames, calling [f] on each payload; stop cleanly at the
+   first short or corrupt frame.  [f] may raise [Exit] to stop early
+   (the scan result still reports the full intact prefix). *)
+let scan path f =
+  if not (Sys.file_exists path) then { applied = 0; valid_bytes = 0; torn_bytes = 0 }
+  else begin
+    let data = read_file path in
+    let len = String.length data in
+    let applied = ref 0 in
+    let pos = ref 0 in
+    let stopped = ref false in
+    let intact = ref true in
+    while !intact && !pos + header_len <= len do
+      let b = Bytes.unsafe_of_string data in
+      let plen = Int32.to_int (Bytes.get_int32_le b !pos) in
+      let crc = Bytes.get_int32_le b (!pos + 4) in
+      if plen < 0 || plen > max_payload || !pos + header_len + plen > len then
+        intact := false
+      else begin
+        let payload = String.sub data (!pos + header_len) plen in
+        if crc32 payload <> crc then intact := false
+        else begin
+          pos := !pos + header_len + plen;
+          if not !stopped then begin
+            match f payload with
+            | () -> incr applied
+            | exception Exit -> stopped := true
+          end
+        end
+      end
+    done;
+    { applied = !applied; valid_bytes = !pos; torn_bytes = len - !pos }
+  end
+
+(* -- the append handle ---------------------------------------------------- *)
+
+type t = {
+  fd : Unix.file_descr;
+  wal_path : string;
+  sync : bool;
+  lock : Mutex.t;
+  mutable records : int;  (* intact records currently in the file *)
+  mutable bytes : int;  (* bytes of intact frames currently in the file *)
+}
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd b !written (n - !written)
+  done
+
+let open_log ?(sync = true) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  match scan path ignore with
+  | { valid_bytes; torn_bytes; applied } ->
+    (* drop any torn tail left by a crash mid-append *)
+    if torn_bytes > 0 then Unix.ftruncate fd valid_bytes;
+    ignore (Unix.lseek fd valid_bytes Unix.SEEK_SET);
+    {
+      fd;
+      wal_path = path;
+      sync;
+      lock = Mutex.create ();
+      records = applied;
+      bytes = valid_bytes;
+    }
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let append t payload =
+  locked t (fun () ->
+      let b = frame payload in
+      write_all t.fd b;
+      if t.sync then Unix.fsync t.fd;
+      t.records <- t.records + 1;
+      t.bytes <- t.bytes + Bytes.length b)
+
+let fsync t = locked t (fun () -> Unix.fsync t.fd)
+
+let reset t =
+  locked t (fun () ->
+      Unix.ftruncate t.fd 0;
+      ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+      Unix.fsync t.fd;
+      t.records <- 0;
+      t.bytes <- 0)
+
+let records t = t.records
+let bytes t = t.bytes
+let path t = t.wal_path
+let close t = locked t (fun () -> try Unix.close t.fd with Unix.Unix_error _ -> ())
+
+(* -- checkpoint / recovery manager ---------------------------------------- *)
+
+module Manager = struct
+  let wal_path db = db ^ ".wal"
+
+  let epoch_line n = Printf.sprintf "-- wal epoch %d" n
+  let epoch_control n = Printf.sprintf "--epoch %d" n
+
+  let is_control payload =
+    String.length payload >= 2 && String.sub payload 0 2 = "--"
+
+  let parse_epoch_control payload =
+    match String.split_on_char ' ' (String.trim payload) with
+    | [ "--epoch"; n ] -> int_of_string_opt n
+    | _ -> None
+
+  (* the epoch recorded in a checkpoint dump; 0 for dumps written
+     outside the manager (plain .save) or a missing file *)
+  let checkpoint_epoch_of_text text =
+    let lines = String.split_on_char '\n' text in
+    List.fold_left
+      (fun acc line ->
+        match String.split_on_char ' ' (String.trim line) with
+        | [ "--"; "wal"; "epoch"; n ] -> Option.value (int_of_string_opt n) ~default:acc
+        | _ -> acc)
+      0 lines
+
+  type handle = {
+    wal : t;
+    db_path : string;
+    mutable epoch : int;
+    mutable replayed : int;  (* statements re-executed during recovery *)
+    mutable last_checkpoint : float;  (* Unix time of boot or last checkpoint *)
+  }
+
+  type stats = {
+    wal_records : int;  (** statements in the log (control frame excluded) *)
+    wal_bytes : int;
+    epoch : int;
+    replayed : int;
+    checkpoint_age_s : float;
+  }
+
+  let recover ?(sync = true) ~db () =
+    let checkpoint_text =
+      if Sys.file_exists db then Some (read_file db) else None
+    in
+    let session =
+      match checkpoint_text with
+      | Some text -> Storage.restore text
+      | None -> Session.create ()
+    in
+    let epoch =
+      match checkpoint_text with
+      | Some text -> checkpoint_epoch_of_text text
+      | None -> 0
+    in
+    let wal_file = wal_path db in
+    (* replay intact statements, but only if the log belongs to this
+       checkpoint epoch: a stale log (crash after checkpoint rename,
+       before truncate) holds statements the checkpoint already has *)
+    let replayed = ref 0 in
+    let stale = ref false in
+    let first = ref true in
+    ignore
+      (scan wal_file (fun payload ->
+           if !first then begin
+             first := false;
+             match parse_epoch_control payload with
+             | Some n when n = epoch -> ()
+             | Some _ -> stale := true; raise Exit
+             | None ->
+               (* headerless log: only trust it against an epoch-0
+                  (manager-less or missing) checkpoint *)
+               if epoch <> 0 then begin stale := true; raise Exit end
+               else begin
+                 ignore (Session.exec_string session payload);
+                 incr replayed
+               end
+           end
+           else if not (is_control payload) then begin
+             ignore (Session.exec_string session payload);
+             incr replayed
+           end));
+    let wal = open_log ~sync wal_file in
+    if !stale then reset wal;
+    if records wal = 0 then append wal (epoch_control epoch);
+    let handle =
+      { wal; db_path = db; epoch; replayed = !replayed; last_checkpoint = Unix.gettimeofday () }
+    in
+    (session, handle, !replayed)
+
+  let log h stmt = append h.wal stmt
+
+  let checkpoint (h : handle) session =
+    let next = h.epoch + 1 in
+    let text = Storage.dump session ^ epoch_line next ^ "\n" in
+    Storage.atomic_write ~fsync:h.wal.sync ~path:h.db_path (fun oc ->
+        Out_channel.output_string oc text);
+    (* only after the new dump is durably in place may the log shrink *)
+    reset h.wal;
+    append h.wal (epoch_control next);
+    h.epoch <- next;
+    h.last_checkpoint <- Unix.gettimeofday ()
+
+  let stats (h : handle) =
+    {
+      wal_records = max 0 (records h.wal - 1);  (* minus the epoch frame *)
+      wal_bytes = bytes h.wal;
+      epoch = h.epoch;
+      replayed = h.replayed;
+      checkpoint_age_s = Unix.gettimeofday () -. h.last_checkpoint;
+    }
+
+  let db_path h = h.db_path
+  let close h = close h.wal
+end

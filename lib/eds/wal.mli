@@ -1,0 +1,99 @@
+(** Append-only write-ahead log with CRC-framed records, and the
+    checkpoint/recovery {!Manager} used by the [edsd] daemon.
+
+    Every committed DML/DDL statement is framed as
+    [length (4 bytes LE) · CRC-32 (4 bytes LE) · payload], flushed and
+    fsync'd before the statement is acknowledged.  Recovery replays
+    intact frames in order and stops at the first torn or corrupt one,
+    so a crash — even [kill -9] mid-append — loses at most the
+    unacknowledged tail.  {!Storage.save} through
+    {!Manager.checkpoint} compacts the log: the dump is written
+    atomically first, then the log is truncated, and an epoch number
+    shared by both files lets recovery reject a stale log if the crash
+    lands between those two steps. *)
+
+exception Wal_error of string
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE, as used by gzip) of a string — exposed for tests. *)
+
+(** {1 Low-level framed log} *)
+
+type t
+(** An open append handle. *)
+
+val open_log : ?sync:bool -> string -> t
+(** Open (creating if missing) a log for appending.  Scans existing
+    frames and truncates any torn tail left by a crash mid-append.
+    [sync] (default [true]) makes every {!append} fsync. *)
+
+val append : t -> string -> unit
+(** Frame, write, flush — and fsync when the log is in sync mode.
+    Thread-safe.  Raises {!Wal_error} on oversized payloads. *)
+
+val fsync : t -> unit
+(** Explicit durability point for logs opened with [~sync:false]. *)
+
+val reset : t -> unit
+(** Truncate to empty (the checkpoint compaction step). *)
+
+val records : t -> int
+(** Intact records currently in the file (replayed + appended). *)
+
+val bytes : t -> int
+(** Bytes of intact frames currently in the file. *)
+
+val path : t -> string
+val close : t -> unit
+
+type scan_result = {
+  applied : int;  (** records delivered to the callback *)
+  valid_bytes : int;  (** prefix covered by intact frames *)
+  torn_bytes : int;  (** trailing bytes past the last intact frame *)
+}
+
+val scan : string -> (string -> unit) -> scan_result
+(** Read-only replay: call the function on every intact payload in
+    order, stopping cleanly at the first short or CRC-corrupt frame.
+    The callback may raise [Exit] to stop delivery early.  A missing
+    file scans as empty. *)
+
+(** {1 Checkpoint / recovery manager} *)
+
+module Manager : sig
+  type handle
+
+  val wal_path : string -> string
+  (** The log paired with a database dump: [db ^ ".wal"]. *)
+
+  val recover : ?sync:bool -> db:string -> unit -> Session.t * handle * int
+  (** Boot-time recovery: load the checkpoint dump at [db] (a fresh
+      session if the file does not exist), replay the paired log's
+      intact statements on top — unless the log's epoch shows it is
+      stale, i.e. already folded into the checkpoint — and return the
+      recovered session, an open handle for {!log}/{!checkpoint}, and
+      the number of statements replayed. *)
+
+  val log : handle -> string -> unit
+  (** Append one committed statement; durable once this returns (in
+      sync mode).  Call only after the statement has been applied
+      successfully — failed statements must not replay. *)
+
+  val checkpoint : handle -> Session.t -> unit
+  (** Compact: atomically write the session dump to the database path
+      (tagged with the next epoch), then truncate the log.  A crash
+      between the two steps is safe: recovery discards the
+      stale-epoch log. *)
+
+  type stats = {
+    wal_records : int;  (** statements in the log (control frame excluded) *)
+    wal_bytes : int;
+    epoch : int;
+    replayed : int;  (** statements re-executed by {!recover} *)
+    checkpoint_age_s : float;  (** seconds since boot or last checkpoint *)
+  }
+
+  val stats : handle -> stats
+  val db_path : handle -> string
+  val close : handle -> unit
+end

@@ -1,7 +1,14 @@
 (* Per-thread cooperative deadlines.  The fast path must stay cheap
    enough for the evaluator's innermost loops: [tick] is one atomic load
    when no deadline is installed anywhere, and only threads that went
-   through [with_timeout] ever take the table lock. *)
+   through [with_timeout] ever take the table lock.
+
+   Bookkeeping discipline: [installed] mirrors the table size exactly
+   and both are only ever updated together under [lock], so no exception
+   path can leave the fast-path counter out of sync with the table.  A
+   deadline that somehow survives its frame (the stale-deadline bug a
+   connection thread would otherwise inherit on its next query) can be
+   dropped explicitly with [clear]. *)
 
 exception Timeout of float
 
@@ -10,12 +17,19 @@ let table : (int, float * float) Hashtbl.t = Hashtbl.create 8
 let lock = Mutex.create ()
 
 (* count of installed deadlines, so [tick] can skip the table entirely
-   in the common (no server, no timeout) case *)
+   in the common (no server, no timeout) case; always equals
+   [Hashtbl.length table] *)
 let installed = Atomic.make 0
 
 let active () = Atomic.get installed > 0
 
 let self_id () = Thread.id (Thread.self ())
+
+let set_locked id entry =
+  (match entry with
+  | Some e -> Hashtbl.replace table id e
+  | None -> Hashtbl.remove table id);
+  Atomic.set installed (Hashtbl.length table)
 
 let lookup id =
   Mutex.lock lock;
@@ -23,25 +37,28 @@ let lookup id =
   Mutex.unlock lock;
   entry
 
+let clear () =
+  Mutex.lock lock;
+  set_locked (self_id ()) None;
+  Mutex.unlock lock
+
 let with_timeout budget f =
   let id = self_id () in
-  let previous = lookup id in
   let deadline = Unix.gettimeofday () +. budget in
+  Mutex.lock lock;
+  let previous = Hashtbl.find_opt table id in
   (* nesting never extends an enclosing deadline *)
   let deadline =
     match previous with Some (d, _) -> Float.min d deadline | None -> deadline
   in
-  Mutex.lock lock;
-  Hashtbl.replace table id (deadline, budget);
+  set_locked id (Some (deadline, budget));
   Mutex.unlock lock;
-  Atomic.incr installed;
+  (* one finalizer clears (or restores) the deadline on every exit path,
+     normal or exceptional, in a single locked step *)
   Fun.protect
     ~finally:(fun () ->
-      Atomic.decr installed;
       Mutex.lock lock;
-      (match previous with
-      | Some entry -> Hashtbl.replace table id entry
-      | None -> Hashtbl.remove table id);
+      set_locked id previous;
       Mutex.unlock lock)
     f
 

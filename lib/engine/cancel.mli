@@ -24,9 +24,17 @@ exception Timeout of float
 val with_timeout : float -> (unit -> 'a) -> 'a
 (** [with_timeout budget f] runs [f] with a deadline of [budget] seconds
     from now installed for the calling thread, uninstalling it on the
-    way out (also on exceptions).  A non-positive [budget] times out on
-    the first {!tick}.  Nesting on one thread keeps the earliest
-    deadline. *)
+    way out through a single finalizer that runs on {e every} exit path
+    — normal return, {!Timeout}, or any other exception.  A non-positive
+    [budget] times out on the first {!tick}.  Nesting on one thread
+    keeps the earliest deadline. *)
+
+val clear : unit -> unit
+(** Unconditionally drop the calling thread's deadline, if any.  A
+    defensive backstop for threads that run many statements back to
+    back (the query server's connection loop): a deadline that leaked
+    out of its {!with_timeout} frame would make the thread's next
+    statement die instantly with a stale {!Timeout}. *)
 
 val tick : unit -> unit
 (** Raise {!Timeout} if the calling thread's deadline has passed; no-op

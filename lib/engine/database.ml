@@ -2,70 +2,100 @@ module Value = Eds_value.Value
 module Vtype = Eds_value.Vtype
 module Adt = Eds_value.Adt
 module Schema = Eds_lera.Schema
+module Smap = Map.Make (String)
+module Imap = Map.Make (Int)
 
-type t = {
-  mutable type_env : Vtype.env;
-  mutable adt_registry : Adt.registry;
-  relations : (string, Relation.t) Hashtbl.t;
-  objects : (int, Value.t) Hashtbl.t;
-  mutable next_oid : int;
+(* The whole database is one immutable state record behind a single
+   mutable field.  Every mutation builds a fresh record (the persistent
+   maps share all unchanged substructure) and publishes it with one
+   field write, so [snapshot] is O(1): capture the current record and
+   never look at the live cell again.  Readers holding a snapshot are
+   completely isolated from concurrent writers — the basis of the query
+   server's lock-free SELECTs. *)
+type state = {
+  type_env : Vtype.env;
+  adt_registry : Adt.registry;
+  relations : Relation.t Smap.t;
+  objects : Value.t Imap.t;
+  next_oid : int;
+  generation : int;  (* bumped by every publish *)
 }
+
+type t = { mutable state : state }
 
 let create ?types ?adts () =
   {
-    type_env = Option.value types ~default:Vtype.empty_env;
-    adt_registry = (match adts with Some r -> r | None -> Adt.builtins ());
-    relations = Hashtbl.create 16;
-    objects = Hashtbl.create 64;
-    next_oid = 1;
+    state =
+      {
+        type_env = Option.value types ~default:Vtype.empty_env;
+        adt_registry = (match adts with Some r -> r | None -> Adt.builtins ());
+        relations = Smap.empty;
+        objects = Imap.empty;
+        next_oid = 1;
+        generation = 0;
+      };
   }
 
-let types db = db.type_env
-let adts db = db.adt_registry
-let set_types db env = db.type_env <- env
-let set_adts db reg = db.adt_registry <- reg
+let publish db state = db.state <- { state with generation = state.generation + 1 }
+let snapshot db = { state = db.state }
+let data_generation db = db.state.generation
 
-let add_relation db name rel = Hashtbl.replace db.relations name rel
+let types db = db.state.type_env
+let adts db = db.state.adt_registry
+let set_types db env = publish db { db.state with type_env = env }
+let set_adts db reg = publish db { db.state with adt_registry = reg }
+
+(* Force the relation's lazy hash view before the new state becomes
+   visible: snapshot readers (including pool worker domains) must only
+   ever see forced suspensions — racing [Lazy.force] can raise
+   [Lazy.Undefined]. *)
+let add_relation db name rel =
+  Relation.force_index rel;
+  publish db { db.state with relations = Smap.add name rel db.state.relations }
+
 let relation db name =
-  match Hashtbl.find_opt db.relations name with
+  match Smap.find_opt name db.state.relations with
   | Some r -> r
   | None -> raise Not_found
 
-let relation_opt db name = Hashtbl.find_opt db.relations name
+let relation_opt db name = Smap.find_opt name db.state.relations
 
-let relation_names db =
-  Hashtbl.fold (fun name _ acc -> name :: acc) db.relations [] |> List.sort String.compare
+let relation_names db = List.map fst (Smap.bindings db.state.relations)
 
 let insert db name tup =
   let rel = relation db name in
   add_relation db name (Relation.make rel.Relation.schema (tup :: rel.Relation.tuples))
 
 let schema_env db =
+  let s = db.state in
   {
-    Schema.types = db.type_env;
+    Schema.types = s.type_env;
     Schema.relations =
-      Hashtbl.fold (fun name r acc -> (name, r.Relation.schema) :: acc) db.relations [];
-    Schema.adts = db.adt_registry;
+      Smap.fold (fun name r acc -> (name, r.Relation.schema) :: acc) s.relations [];
+    Schema.adts = s.adt_registry;
   }
 
 let restore_object db oid v =
-  Hashtbl.replace db.objects oid v;
-  if oid >= db.next_oid then db.next_oid <- oid + 1
+  let s = db.state in
+  publish db
+    {
+      s with
+      objects = Imap.add oid v s.objects;
+      next_oid = (if oid >= s.next_oid then oid + 1 else s.next_oid);
+    }
 
-let objects db =
-  Hashtbl.fold (fun oid v acc -> (oid, v) :: acc) db.objects []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+let objects db = Imap.bindings db.state.objects
 
 let new_object db v =
-  let oid = db.next_oid in
-  db.next_oid <- oid + 1;
-  Hashtbl.replace db.objects oid v;
+  let s = db.state in
+  let oid = s.next_oid in
+  publish db { s with objects = Imap.add oid v s.objects; next_oid = oid + 1 };
   Value.Oid oid
 
 let deref db v =
   match v with
   | Value.Oid oid -> (
-    match Hashtbl.find_opt db.objects oid with
+    match Imap.find_opt oid db.state.objects with
     | Some bound -> bound
     | None -> raise Not_found)
   | Value.Null | Value.Bool _ | Value.Int _ | Value.Real _ | Value.Str _
@@ -76,8 +106,8 @@ let deref db v =
 let update_object db oid v =
   match oid with
   | Value.Oid i ->
-    if not (Hashtbl.mem db.objects i) then raise Not_found;
-    Hashtbl.replace db.objects i v
+    if not (Imap.mem i db.state.objects) then raise Not_found;
+    publish db { db.state with objects = Imap.add i v db.state.objects }
   | Value.Null | Value.Bool _ | Value.Int _ | Value.Real _ | Value.Str _
   | Value.Enum _ | Value.Tuple _ | Value.Set _ | Value.Bag _ | Value.List _
   | Value.Array _ ->

@@ -13,6 +13,18 @@ type t
 val create : ?types:Vtype.env -> ?adts:Adt.registry -> unit -> t
 (** A fresh database with the built-in ADT library. *)
 
+val snapshot : t -> t
+(** An O(1) immutable snapshot: the returned database reflects the state
+    at the call and never changes again, no matter what is subsequently
+    done to the live one (internally all state lives in persistent maps
+    behind a single mutable cell, so a snapshot is one record copy).
+    Queries evaluated against a snapshot need no locking whatsoever. *)
+
+val data_generation : t -> int
+(** Monotone data epoch: bumped by every mutation (relation replace,
+    insert, object allocation/update, type/ADT sync).  A snapshot keeps
+    the generation it was taken at. *)
+
 val types : t -> Vtype.env
 val adts : t -> Adt.registry
 val set_types : t -> Vtype.env -> unit
@@ -21,7 +33,9 @@ val set_adts : t -> Adt.registry -> unit
 (** {1 Relations} *)
 
 val add_relation : t -> string -> Relation.t -> unit
-(** Create or replace a base relation. *)
+(** Create or replace a base relation.  The relation's hash view is
+    forced before the new state is published, so concurrent snapshot
+    readers never race a lazy build. *)
 
 val relation : t -> string -> Relation.t
 (** Raises [Not_found]. *)

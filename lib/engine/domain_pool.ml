@@ -20,6 +20,10 @@ type t = {
   m : Mutex.t;
   start : Condition.t;
   finished : Condition.t;
+  submit : Mutex.t;
+      (* held for a whole job: concurrent callers (the query server's
+         connection threads) serialize at job granularity, each job runs
+         with the pool to itself *)
   mutable workers : unit Domain.t array;
 }
 
@@ -77,6 +81,7 @@ let create d =
       m = Mutex.create ();
       start = Condition.create ();
       finished = Condition.create ();
+      submit = Mutex.create ();
       workers = [||];
     }
   in
@@ -92,26 +97,30 @@ let run pool ntasks f =
       f i
     done
   else begin
-    Mutex.lock pool.m;
-    pool.job <- Some f;
-    pool.ntasks <- ntasks;
-    pool.failure <- None;
-    pool.active <- pool.size - 1;
-    pool.gen <- pool.gen + 1;
-    Condition.broadcast pool.start;
-    Mutex.unlock pool.m;
-    run_slot pool f ntasks 0;
-    Mutex.lock pool.m;
-    while pool.active > 0 do
-      Condition.wait pool.finished pool.m
-    done;
-    pool.job <- None;
-    let failure = pool.failure in
-    pool.failure <- None;
-    Mutex.unlock pool.m;
-    match failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ()
+    Mutex.lock pool.submit;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock pool.submit)
+      (fun () ->
+        Mutex.lock pool.m;
+        pool.job <- Some f;
+        pool.ntasks <- ntasks;
+        pool.failure <- None;
+        pool.active <- pool.size - 1;
+        pool.gen <- pool.gen + 1;
+        Condition.broadcast pool.start;
+        Mutex.unlock pool.m;
+        run_slot pool f ntasks 0;
+        Mutex.lock pool.m;
+        while pool.active > 0 do
+          Condition.wait pool.finished pool.m
+        done;
+        pool.job <- None;
+        let failure = pool.failure in
+        pool.failure <- None;
+        Mutex.unlock pool.m;
+        match failure with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
   end
 
 let shutdown pool =

@@ -27,9 +27,14 @@ val run : t -> int -> (int -> unit) -> unit
 (** [run pool n f] executes [f 0 .. f (n-1)], task [i] on slot
     [i mod size pool], and waits for all of them (a barrier).  Tasks
     must not themselves call {!run} on the same pool (no nested
-    parallelism).  If any task raises, the first exception (in slot
-    order of detection) is re-raised on the calling domain after the
-    barrier.  With [size pool = 1] or [n <= 1] the tasks run inline. *)
+    parallelism).  Distinct threads may call {!run} concurrently: jobs
+    serialize on an internal submission lock, each running with the
+    pool to itself — this is what lets the query server evaluate
+    [Parallel]-layer SELECTs from many connection threads at once.  If
+    any task raises, the first exception (in slot order of detection)
+    is re-raised on the calling domain after the barrier.  With
+    [size pool = 1] or [n <= 1] the tasks run inline (and fully
+    concurrently: the inline path touches no shared pool state). *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains.  The pool must be idle. *)

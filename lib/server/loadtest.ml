@@ -85,15 +85,45 @@ let setup_over_wire client =
                (String.trim payload)))
     setup_statements
 
-let render_rows rel =
+let render_result result =
   let buf = Buffer.create 256 in
   let ppf = Format.formatter_of_buffer buf in
-  Repl.print_result ppf (Session.Rows rel);
+  Repl.print_result ppf result;
   Format.pp_print_flush ppf ();
   Buffer.contents buf
 
+let render_rows rel = render_result (Session.Rows rel)
+
 let expected_payloads session =
   List.map (fun q -> (q, render_rows (Session.query session q))) queries
+
+let n_queries = List.length queries
+let query_at i = List.nth queries (i mod n_queries)
+
+(* -- the mixed read/write workload ---------------------------------------- *)
+
+(* Each client owns a private table: writes never collide across
+   clients, so every response — write acks included — can be verified
+   byte-for-byte against a per-client oracle session that replays the
+   same statements locally.  Shared-table reads are interleaved to keep
+   the snapshot read path under pressure while the writers churn. *)
+
+let mix_table index = Printf.sprintf "MIX_%d" index
+let mix_ddl index = Printf.sprintf "TABLE %s (K : INT, V : INT)" (mix_table index)
+
+(* deterministic op [j] of client [index]: 2 writes and 3 reads per 5 *)
+let mixed_op ~index j =
+  let t = mix_table index in
+  match j mod 5 with
+  | 0 -> `Write (Printf.sprintf "INSERT INTO %s VALUES (%d, %d)" t j ((j * 7) mod 100))
+  | 1 -> `Private_read (Printf.sprintf "SELECT V FROM %s WHERE K = %d" t (j - 1))
+  | 2 -> `Shared_read (query_at (index + j))
+  | 3 ->
+      `Write
+        (if j mod 10 = 3 then
+           Printf.sprintf "UPDATE %s SET V = %d WHERE K = %d" t (j mod 50) (j - 3)
+         else Printf.sprintf "DELETE FROM %s WHERE K = %d" t (j - 3))
+  | _ -> `Private_read (Printf.sprintf "SELECT K, V FROM %s" t)
 
 (* -- the fan-out --------------------------------------------------------- *)
 
@@ -102,6 +132,7 @@ type outcome = {
   per_client : int;
   total : int;
   ok : int;
+  writes : int;
   errors : int;
   busy : int;
   protocol_errors : int;
@@ -120,6 +151,7 @@ type outcome = {
 
 type worker = {
   mutable w_ok : int;
+  mutable w_writes : int;
   mutable w_errors : int;
   mutable w_busy : int;
   mutable w_protocol : int;
@@ -132,6 +164,7 @@ type worker = {
 let fresh_worker () =
   {
     w_ok = 0;
+    w_writes = 0;
     w_errors = 0;
     w_busy = 0;
     w_protocol = 0;
@@ -161,9 +194,6 @@ let cache_counters ~host ~port =
               | Error _ -> (0, 0))
           | _ -> (0, 0)
           | exception _ -> (0, 0))
-
-let n_queries = List.length queries
-let query_at i = List.nth queries (i mod n_queries)
 
 let worker_body ~host ~port ~expected ~per_client ~index w =
   match Client.connect ~host port with
@@ -200,16 +230,67 @@ let percentile sorted p =
     let idx = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) - 1 in
     sorted.(max 0 (min (n - 1) idx))
 
-let run ?(host = "127.0.0.1") ?(expected = []) ~port ~clients ~per_client () =
+(* Each client owns a private table, so its write acks and private
+   reads are checked against a per-client oracle session replaying the
+   same statements; shared-table reads check against [expected] like
+   the read-only mode. *)
+let mixed_worker_body ~host ~port ~physical ~expected ~per_client ~index w =
+  match Client.connect ~host port with
+  | exception _ -> w.w_dropped <- w.w_dropped + 1
+  | client -> (
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          try
+            let oracle = Session.create () in
+            Session.set_physical oracle physical;
+            (match Client.request client (mix_ddl index) with
+            | Protocol.Ok, _ -> ignore (Session.exec_string oracle (mix_ddl index))
+            | _, payload ->
+                failwith
+                  (Printf.sprintf "mixed setup for client %d: %s" index
+                     (String.trim payload)));
+            for j = 0 to per_client - 1 do
+              let op = mixed_op ~index j in
+              let stmt =
+                match op with
+                | `Write s | `Shared_read s | `Private_read s -> s
+              in
+              w.w_sent <- w.w_sent + 1;
+              let t0 = Unix.gettimeofday () in
+              match Client.request client stmt with
+              | Protocol.Ok, payload -> (
+                  w.w_latencies <-
+                    ((Unix.gettimeofday () -. t0) *. 1000.) :: w.w_latencies;
+                  w.w_ok <- w.w_ok + 1;
+                  match op with
+                  | `Shared_read _ -> (
+                      match List.assoc_opt stmt expected with
+                      | Some want when want <> payload ->
+                          w.w_mismatch <- w.w_mismatch + 1
+                      | _ -> ())
+                  | `Write _ ->
+                      w.w_writes <- w.w_writes + 1;
+                      if render_result (Session.exec_string oracle stmt) <> payload
+                      then w.w_mismatch <- w.w_mismatch + 1
+                  | `Private_read _ ->
+                      if render_rows (Session.query oracle stmt) <> payload then
+                        w.w_mismatch <- w.w_mismatch + 1)
+              | Protocol.Error, _ -> w.w_errors <- w.w_errors + 1
+              | Protocol.Busy, _ -> w.w_busy <- w.w_busy + 1
+            done
+          with
+          | End_of_file | Unix.Unix_error _ | Sys_error _ ->
+              w.w_dropped <- w.w_dropped + 1
+          | Failure _ -> w.w_protocol <- w.w_protocol + 1
+          | Session.Session_error _ -> w.w_protocol <- w.w_protocol + 1))
+
+let fan_out ~host ~port ~clients ~per_client body =
   let hits0, misses0 = cache_counters ~host ~port in
   let workers = Array.init clients (fun _ -> fresh_worker ()) in
   let t0 = Unix.gettimeofday () in
   let threads =
-    List.init clients (fun i ->
-        Thread.create
-          (fun () ->
-            worker_body ~host ~port ~expected ~per_client ~index:i workers.(i))
-          ())
+    List.init clients (fun i -> Thread.create (fun () -> body i workers.(i)) ())
   in
   List.iter Thread.join threads;
   let elapsed_s = Unix.gettimeofday () -. t0 in
@@ -228,6 +309,7 @@ let run ?(host = "127.0.0.1") ?(expected = []) ~port ~clients ~per_client () =
     per_client;
     total = sum (fun w -> w.w_sent);
     ok;
+    writes = sum (fun w -> w.w_writes);
     errors = sum (fun w -> w.w_errors);
     busy = sum (fun w -> w.w_busy);
     protocol_errors = sum (fun w -> w.w_protocol);
@@ -246,10 +328,19 @@ let run ?(host = "127.0.0.1") ?(expected = []) ~port ~clients ~per_client () =
        else float_of_int cache_hits /. float_of_int looked_up);
   }
 
+let run ?(host = "127.0.0.1") ?(expected = []) ~port ~clients ~per_client () =
+  fan_out ~host ~port ~clients ~per_client (fun i w ->
+      worker_body ~host ~port ~expected ~per_client ~index:i w)
+
+let run_mixed ?(host = "127.0.0.1") ?(physical = Session.Eval.Physical.Indexed)
+    ?(expected = []) ~port ~clients ~per_client () =
+  fan_out ~host ~port ~clients ~per_client (fun i w ->
+      mixed_worker_body ~host ~port ~physical ~expected ~per_client ~index:i w)
+
 let pp_outcome ppf o =
   Fmt.pf ppf "clients          : %d × %d requests@." o.clients o.per_client;
-  Fmt.pf ppf "responses        : %d ok, %d error, %d busy of %d@." o.ok o.errors o.busy
-    o.total;
+  Fmt.pf ppf "responses        : %d ok (%d writes), %d error, %d busy of %d@." o.ok
+    o.writes o.errors o.busy o.total;
   Fmt.pf ppf "failures         : %d dropped connections, %d protocol errors@."
     o.dropped_connections o.protocol_errors;
   Fmt.pf ppf "throughput       : %.0f q/s over %.3fs@." o.qps o.elapsed_s;

@@ -30,11 +30,27 @@ val expected_payloads : Session.t -> (string * string) list
     by the given session exactly as the server renders results.  Call
     it on a fresh session after {!apply_setup}. *)
 
+(** {1 Mixed read/write workload} *)
+
+val mix_table : int -> string
+(** Client [i]'s private table, ["MIX_<i>"] — writes never collide
+    across clients, so every response is verifiable. *)
+
+val mix_ddl : int -> string
+(** The DDL creating {!mix_table}[ i]. *)
+
+val mixed_op :
+  index:int -> int -> [ `Write of string | `Shared_read of string | `Private_read of string ]
+(** Deterministic op [j] of client [index]: per 5 ops, an INSERT and an
+    UPDATE/DELETE on the private table, a shared-table read and two
+    private-table reads. *)
+
 type outcome = {
   clients : int;
   per_client : int;
   total : int;  (** requests attempted *)
   ok : int;
+  writes : int;  (** [ok] responses that were write acks (mixed mode) *)
   errors : int;  (** [error] responses *)
   busy : int;  (** [busy] refusals *)
   protocol_errors : int;  (** malformed frames *)
@@ -64,5 +80,21 @@ val run :
 (** Fan out [clients] connections, each issuing [per_client] requests
     round-robin over {!queries}, and aggregate.  Plan-cache deltas are
     read from [METRICS] before and after. *)
+
+val run_mixed :
+  ?host:string ->
+  ?physical:Session.Eval.Physical.t ->
+  ?expected:(string * string) list ->
+  port:int ->
+  clients:int ->
+  per_client:int ->
+  unit ->
+  outcome
+(** Mixed read/write fan-out: client [i] creates its private
+    {!mix_table} and issues {!mixed_op}s, checking {e every} ok
+    response — write acks and private reads against a per-client local
+    oracle session replaying the same statements ([physical] must match
+    the server session's layer for row-order-identical renderings),
+    shared reads against [expected]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -18,6 +18,7 @@ type 'a t = {
   mutable misses : int;
   mutable evictions : int;
   mutable insertions : int;
+  mutable swept : int;
   lock : Mutex.t;
 }
 
@@ -26,6 +27,7 @@ type stats = {
   misses : int;
   evictions : int;
   insertions : int;
+  swept : int;
   size : int;
   capacity : int;
 }
@@ -41,6 +43,7 @@ let create ~capacity =
     misses = 0;
     evictions = 0;
     insertions = 0;
+    swept = 0;
     lock = Mutex.create ();
   }
 
@@ -92,6 +95,28 @@ let add t key value =
                 t.evictions <- t.evictions + 1
             | None -> ())
 
+let peek t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n -> Some n.value
+      | None -> None)
+
+(* Eagerly drop entries whose key a new generation has orphaned: left to
+   age out of the LRU tail they would squeeze live plans out of a full
+   cache (capacity charged for entries that can never hit again). *)
+let sweep t stale =
+  locked t (fun () ->
+      let doomed =
+        Hashtbl.fold (fun key n acc -> if stale key then n :: acc else acc) t.tbl []
+      in
+      List.iter
+        (fun n ->
+          unlink t n;
+          Hashtbl.remove t.tbl n.key;
+          t.swept <- t.swept + 1)
+        doomed;
+      List.length doomed)
+
 let clear t =
   locked t (fun () ->
       Hashtbl.reset t.tbl;
@@ -105,6 +130,7 @@ let stats t =
         misses = t.misses;
         evictions = t.evictions;
         insertions = t.insertions;
+        swept = t.swept;
         size = Hashtbl.length t.tbl;
         capacity = t.capacity;
       })

@@ -5,9 +5,9 @@
     server keys the result on the statement's normalized text plus the
     session's plan generation ({!Eds.Session.generation}), so a
     repeated query skips straight to evaluation while any
-    config/rule/DDL change naturally orphans the stale entries (they
-    age out of the LRU tail — no explicit flush needed, though
-    {!clear} exists for session swaps).
+    config/rule/DDL change orphans the stale entries; the planner
+    removes those eagerly with {!sweep} so they never squeeze live
+    plans out of a full cache ({!clear} exists for session swaps).
 
     All operations take an internal mutex; the cache is shared by every
     connection thread. *)
@@ -25,6 +25,17 @@ val add : 'a t -> string -> 'a -> unit
 (** Insert (or overwrite) at most-recently-used position, evicting the
     LRU entry when over capacity. *)
 
+val peek : 'a t -> string -> 'a option
+(** Lookup without touching hit/miss counters or recency — for
+    double-checked planning under an exclusive section. *)
+
+val sweep : 'a t -> (string -> bool) -> int
+(** [sweep t stale] eagerly removes every entry whose key satisfies
+    [stale], returning the count.  The planner calls this on a
+    generation bump so dead-generation entries stop occupying capacity
+    (otherwise they would linger until they aged out of the LRU tail,
+    evicting live plans from a full cache). *)
+
 val clear : 'a t -> unit
 (** Drop every entry (counters survive — they are cumulative). *)
 
@@ -33,6 +44,7 @@ type stats = {
   misses : int;
   evictions : int;
   insertions : int;
+  swept : int;  (** entries removed eagerly by {!sweep} *)
   size : int;
   capacity : int;
 }

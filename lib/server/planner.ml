@@ -1,4 +1,5 @@
 module Session = Eds.Session
+module Database = Eds_engine.Database
 module Eval = Eds_engine.Eval
 
 type t = {
@@ -7,10 +8,19 @@ type t = {
   record_lock : Mutex.t;
       (* serializes the fold of per-query stats into the session's
          cumulative counters *)
+  gen_lock : Mutex.t;
+      (* serializes the stale-entry sweep on a generation bump *)
+  mutable swept_gen : int;  (* generation the cache was last swept for *)
 }
 
 let create ?(capacity = 256) session =
-  { session; cache = Plan_cache.create ~capacity; record_lock = Mutex.create () }
+  {
+    session;
+    cache = Plan_cache.create ~capacity;
+    record_lock = Mutex.create ();
+    gen_lock = Mutex.create ();
+    swept_gen = Session.generation session;
+  }
 
 let session t = t.session
 
@@ -40,22 +50,53 @@ let is_select line =
   && String.uppercase_ascii (String.sub line 0 6) = "SELECT"
   && (String.length line = 6 || not (is_ident_char line.[6]))
 
-let key t text =
-  Printf.sprintf "g%d|%s" (Session.generation t.session) (normalize text)
+let gen_prefix gen = Printf.sprintf "g%d|" gen
 
-let plan t text =
+let key t text = gen_prefix (Session.generation t.session) ^ normalize text
+
+(* A generation bump orphans every entry keyed under the old one; sweep
+   them out eagerly so a full cache spends its capacity on live plans
+   only, instead of letting dead keys age out of the LRU tail. *)
+let sweep_stale t gen =
+  Mutex.lock t.gen_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.gen_lock)
+    (fun () ->
+      if t.swept_gen <> gen then begin
+        let live = gen_prefix gen in
+        ignore
+          (Plan_cache.sweep t.cache (fun key ->
+               not (String.starts_with ~prefix:live key)));
+        t.swept_gen <- gen
+      end)
+
+let plan ?(exclusive = fun f -> f ()) t text =
+  let gen = Session.generation t.session in
+  if gen <> t.swept_gen then sweep_stale t gen;
   let key = key t text in
   match Plan_cache.find t.cache key with
   | Some rel -> (rel, `Hit)
   | None ->
-      let p = Session.explain t.session text in
-      Plan_cache.add t.cache key p.Session.rewritten;
-      (p.Session.rewritten, `Miss)
+      let rel =
+        exclusive (fun () ->
+            (* double-check: a racing thread may have planned this text
+               while we waited for the exclusive section *)
+            match Plan_cache.peek t.cache key with
+            | Some rel -> rel
+            | None ->
+                let p = Session.explain t.session text in
+                Plan_cache.add t.cache key p.Session.rewritten;
+                p.Session.rewritten)
+      in
+      (rel, `Miss)
 
-let execute t text =
-  let rel, origin = plan t text in
+let execute ?exclusive t text =
+  let rel, origin = plan ?exclusive t text in
   let stats = Eval.fresh_stats () in
-  let result = Session.run_plan ~stats t.session rel in
+  (* evaluate against an immutable snapshot: no read lock, concurrent
+     writers publish new states without disturbing this query *)
+  let db = Session.snapshot_db t.session in
+  let result = Session.run_plan ~stats ~db t.session rel in
   Mutex.lock t.record_lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.record_lock)

@@ -6,8 +6,16 @@
     plan generation ({!Eds.Session.generation}) plus the statement
     with whitespace runs collapsed and the trailing [';'] dropped.  Any
     optimizer-config change, rule addition or DDL bumps the generation,
-    so stale plans can never be served; the orphaned entries simply age
-    out of the LRU tail. *)
+    so stale plans can never be served; the first planning after a bump
+    eagerly sweeps the orphaned entries ({!Plan_cache.sweep}) so a full
+    cache spends its capacity on live plans only.
+
+    Evaluation runs against an immutable database snapshot
+    ({!Eds.Session.snapshot_db}), so concurrent callers never need a
+    read lock: the only shared mutable state a SELECT touches is the
+    catalog during planning of a cache {e miss}, which is why [plan] /
+    [execute] accept an [exclusive] wrapper the server points at its
+    write lock. *)
 
 module Session = Eds.Session
 
@@ -25,16 +33,29 @@ val normalize : string -> string
 val is_select : string -> bool
 (** Does the (trimmed) line start a SELECT statement? *)
 
-val plan : t -> string -> Session.Lera.rel * [ `Hit | `Miss ]
+val plan :
+  ?exclusive:((unit -> Session.Lera.rel) -> Session.Lera.rel) ->
+  t ->
+  string ->
+  Session.Lera.rel * [ `Hit | `Miss ]
 (** The rewritten plan for a SELECT, from the cache when possible.
-    Raises like {!Session.explain} on a miss (parse/type errors are
-    never cached). *)
+    A cache hit touches nothing but the cache itself.  A miss must read
+    the shared catalog to parse/translate/rewrite, so the miss path runs
+    inside [exclusive] (default: run in place) — the server passes its
+    write-lock wrapper.  The section double-checks the cache on entry,
+    so two threads racing on the same cold query plan it once.  Raises
+    like {!Session.explain} on a miss (parse/type errors are never
+    cached). *)
 
-val execute : t -> string -> Session.Relation.t * [ `Hit | `Miss ]
-(** [plan] + evaluate.  Evaluation runs with a private stats record,
-    folded into the session's cumulative counters afterwards under an
-    internal lock — safe for concurrent callers (the server's read
-    side). *)
+val execute :
+  ?exclusive:((unit -> Session.Lera.rel) -> Session.Lera.rel) ->
+  t ->
+  string ->
+  Session.Relation.t * [ `Hit | `Miss ]
+(** [plan] + evaluate against {!Session.snapshot_db} — no lock needed
+    during evaluation.  Runs with a private stats record, folded into
+    the session's cumulative counters afterwards under an internal
+    lock — safe for concurrent callers. *)
 
 val cache_stats : t -> Plan_cache.stats
 val clear_cache : t -> unit

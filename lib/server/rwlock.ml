@@ -1,3 +1,5 @@
+type stats = { read_acquired : int; write_acquired : int }
+
 type t = {
   lock : Mutex.t;
   can_read : Condition.t;
@@ -5,6 +7,8 @@ type t = {
   mutable active_readers : int;
   mutable writer : bool;
   mutable waiting_writers : int;
+  mutable read_acquired : int;
+  mutable write_acquired : int;
 }
 
 let create () =
@@ -15,6 +19,8 @@ let create () =
     active_readers = 0;
     writer = false;
     waiting_writers = 0;
+    read_acquired = 0;
+    write_acquired = 0;
   }
 
 let read_lock t =
@@ -24,6 +30,7 @@ let read_lock t =
     Condition.wait t.can_read t.lock
   done;
   t.active_readers <- t.active_readers + 1;
+  t.read_acquired <- t.read_acquired + 1;
   Mutex.unlock t.lock
 
 let read_unlock t =
@@ -40,6 +47,7 @@ let write_lock t =
   done;
   t.waiting_writers <- t.waiting_writers - 1;
   t.writer <- true;
+  t.write_acquired <- t.write_acquired + 1;
   Mutex.unlock t.lock
 
 let write_unlock t =
@@ -64,3 +72,9 @@ let readers t =
   let n = t.active_readers in
   Mutex.unlock t.lock;
   n
+
+let stats t =
+  Mutex.lock t.lock;
+  let s = { read_acquired = t.read_acquired; write_acquired = t.write_acquired } in
+  Mutex.unlock t.lock;
+  s

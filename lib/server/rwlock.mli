@@ -19,3 +19,10 @@ val with_write : t -> (unit -> 'a) -> 'a
 
 val readers : t -> int
 (** Instantaneous active-reader count (diagnostics only). *)
+
+type stats = { read_acquired : int; write_acquired : int }
+
+val stats : t -> stats
+(** Cumulative acquisition counts.  The query server's snapshot reads
+    are verified lock-free by asserting [read_acquired] stays zero
+    under a concurrent SELECT load. *)

@@ -1,6 +1,7 @@
 module Session = Eds.Session
 module Repl = Eds.Repl
 module Storage = Eds.Storage
+module Wal = Eds.Wal
 module Eval = Eds_engine.Eval
 module Cancel = Eds_engine.Cancel
 module Relation = Eds_engine.Relation
@@ -34,13 +35,16 @@ type counters = {
   query_errors : int;
   timeouts : int;
   cache : Plan_cache.stats;
+  locks : Rwlock.stats;
 }
 
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   bound_port : int;
-  rw : Rwlock.t;  (* readers: SELECTs; writer: everything mutating *)
+  rw : Rwlock.t;  (* writer: everything mutating.  SELECTs do not read-lock:
+                     they evaluate against an immutable snapshot *)
+  wal : Wal.Manager.handle option;  (* durability; [None] = in-memory only *)
   mutable planner : Planner.t;  (* swapped wholesale by [.load] *)
   state : Mutex.t;  (* guards everything below *)
   mutable accepted : int;
@@ -65,18 +69,6 @@ let resolve_addr host =
   with _ -> (
     try (Unix.gethostbyname host).Unix.h_addr_list.(0)
     with _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
-
-(* Readers probe base-relation hash views concurrently; forcing the same
-   lazy from two threads races, reading a forced one does not — so every
-   write path re-forces eagerly before releasing the write lock. *)
-let force_all_indexes session =
-  let db = Session.database session in
-  List.iter
-    (fun name ->
-      match Database.relation_opt db name with
-      | Some rel -> Relation.force_index rel
-      | None -> ())
-    (Database.relation_names db)
 
 (* ------------------------------------------------------------------ *)
 (* request handling                                                    *)
@@ -128,32 +120,34 @@ let obs_query t conn_id ~cache ~ts =
       "server.query" ~ts ~dur:(Obs.now () -. ts);
   ignore t
 
-(* SELECTs share the session read-only — except under the Parallel
-   physical layer, whose domain pool is shared mutable state, so those
-   serialize like writers. *)
+(* SELECTs take no lock at all: evaluation runs against an immutable
+   database snapshot, and a cached plan skips the catalog entirely.
+   Only a plan-cache miss needs the shared catalog (parse → translate →
+   rewrite), so exactly that section runs under the write lock, with a
+   double-check inside so racing threads plan a cold query once. *)
 let run_select t conn_id line =
   let ts = Obs.now () in
-  let exec () =
-    let planner = t.planner in
-    let rel, origin = Planner.execute planner line in
-    let payload = render (fun ppf -> Repl.print_result ppf (Session.Rows rel)) in
-    (payload, origin)
-  in
-  let payload, origin =
-    if Session.physical (Planner.session t.planner) = Eval.Physical.Parallel then
-      Rwlock.with_write t.rw (fun () -> with_budget t exec)
-    else Rwlock.with_read t.rw (fun () -> with_budget t exec)
-  in
+  let planner = t.planner in
+  let exclusive f = Rwlock.with_write t.rw f in
+  let rel, origin = with_budget t (fun () -> Planner.execute ~exclusive planner line) in
+  let payload = render (fun ppf -> Repl.print_result ppf (Session.Rows rel)) in
   obs_query t conn_id ~cache:(match origin with `Hit -> "hit" | `Miss -> "miss") ~ts;
   `Reply (Protocol.Ok, payload)
 
+(* Mutations serialize under the write lock.  Once a statement has
+   applied successfully it is appended to the WAL — still inside the
+   lock, so the log order is the commit order — and only then
+   acknowledged: a crash after the ack cannot lose it. *)
 let run_write t conn_id line =
   let ts = Obs.now () in
   let payload =
     Rwlock.with_write t.rw (fun () ->
         let session = Planner.session t.planner in
         let result = with_budget t (fun () -> Session.exec_string session line) in
-        force_all_indexes session;
+        (match (result, t.wal) with
+        | Session.Rows _, _ | _, None -> ()
+        | (Session.Done | Session.Inserted _ | Session.Deleted _ | Session.Updated _), Some wal ->
+            Wal.Manager.log wal line);
         render (fun ppf -> Repl.print_result ppf result))
   in
   obs_query t conn_id ~cache:"write" ~ts;
@@ -171,73 +165,123 @@ let run_directive t line =
       | `Continue -> `Reply (Protocol.Ok, payload)
       | `Quit -> `Close (Protocol.Ok, payload ^ "bye\n")
       | `Swap session' ->
-          (* a fresh session: drop every cached plan with the old planner *)
+          (* a fresh session: drop every cached plan with the old
+             planner, and re-checkpoint so recovery reflects the
+             swapped-in state rather than replaying a log written
+             against the old one *)
           t.planner <- Planner.create ~capacity:t.cfg.cache_capacity session';
-          force_all_indexes session';
+          (match t.wal with
+          | Some wal -> Wal.Manager.checkpoint wal session'
+          | None -> ());
           `Reply (Protocol.Ok, payload))
 
+(* STATS/METRICS take no lock either: every ingredient is a monotonic
+   counter or an O(1) snapshot read, and the loadgen verifier polls
+   METRICS while checking that SELECTs acquire zero read locks. *)
 let stats_text t =
-  Rwlock.with_read t.rw (fun () ->
-      let session = Planner.session t.planner in
-      let cache = Planner.cache_stats t.planner in
-      let accepted, refused, active, ok, errors, timeouts =
-        locked t (fun () ->
-            (t.accepted, t.refused, t.active, t.queries_ok, t.query_errors, t.timeouts))
-      in
-      render (fun ppf ->
-          Fmt.pf ppf "connections      : %d active, %d accepted, %d refused@." active
-            accepted refused;
-          Fmt.pf ppf "requests         : %d ok, %d errors, %d timeouts@." ok errors
-            timeouts;
+  let planner = t.planner in
+  let session = Planner.session planner in
+  let cache = Planner.cache_stats planner in
+  let rw = Rwlock.stats t.rw in
+  let accepted, refused, active, ok, errors, timeouts =
+    locked t (fun () ->
+        (t.accepted, t.refused, t.active, t.queries_ok, t.query_errors, t.timeouts))
+  in
+  render (fun ppf ->
+      Fmt.pf ppf "connections      : %d active, %d accepted, %d refused@." active
+        accepted refused;
+      Fmt.pf ppf "requests         : %d ok, %d errors, %d timeouts@." ok errors
+        timeouts;
+      Fmt.pf ppf
+        "plan cache       : %d/%d entries, %d hits, %d misses, %d evictions, %d \
+         swept (hit rate %.2f)@."
+        cache.Plan_cache.size cache.Plan_cache.capacity cache.Plan_cache.hits
+        cache.Plan_cache.misses cache.Plan_cache.evictions cache.Plan_cache.swept
+        (Plan_cache.hit_rate cache);
+      Fmt.pf ppf "plan generation  : %d@." (Session.generation session);
+      Fmt.pf ppf "data generation  : %d@." (Session.data_generation session);
+      Fmt.pf ppf "rwlock           : %d read, %d write acquisitions@."
+        rw.Rwlock.read_acquired rw.Rwlock.write_acquired;
+      (match t.wal with
+      | None -> Fmt.pf ppf "wal              : disabled@."
+      | Some wal ->
+          let ws = Wal.Manager.stats wal in
           Fmt.pf ppf
-            "plan cache       : %d/%d entries, %d hits, %d misses, %d evictions \
-             (hit rate %.2f)@."
-            cache.Plan_cache.size cache.Plan_cache.capacity cache.Plan_cache.hits
-            cache.Plan_cache.misses cache.Plan_cache.evictions
-            (Plan_cache.hit_rate cache);
-          Fmt.pf ppf "plan generation  : %d@." (Session.generation session);
-          Repl.print_session_stats ppf session))
+            "wal              : %d records (%d bytes), epoch %d, %d replayed at \
+             boot, checkpoint age %.1fs@."
+            ws.Wal.Manager.wal_records ws.Wal.Manager.wal_bytes ws.Wal.Manager.epoch
+            ws.Wal.Manager.replayed ws.Wal.Manager.checkpoint_age_s);
+      Repl.print_session_stats ppf session)
 
 let metrics t =
-  Rwlock.with_read t.rw (fun () ->
-      let session = Planner.session t.planner in
-      let cache = Planner.cache_stats t.planner in
-      let es = Session.eval_stats session in
-      let accepted, refused, active, ok, errors, timeouts =
-        locked t (fun () ->
-            (t.accepted, t.refused, t.active, t.queries_ok, t.query_errors, t.timeouts))
-      in
-      Obs.Json.Obj
+  let planner = t.planner in
+  let session = Planner.session planner in
+  let cache = Planner.cache_stats planner in
+  let rw = Rwlock.stats t.rw in
+  let es = Session.eval_stats session in
+  let accepted, refused, active, ok, errors, timeouts =
+    locked t (fun () ->
+        (t.accepted, t.refused, t.active, t.queries_ok, t.query_errors, t.timeouts))
+  in
+  let wal_fields =
+    match t.wal with
+    | None -> [ ("wal.enabled", Obs.Json.Bool false) ]
+    | Some wal ->
+        let ws = Wal.Manager.stats wal in
         [
-          ("server.connections.accepted", Obs.Json.Int accepted);
-          ("server.connections.refused", Obs.Json.Int refused);
-          ("server.connections.active", Obs.Json.Int active);
-          ("server.queries.ok", Obs.Json.Int ok);
-          ("server.queries.errors", Obs.Json.Int errors);
-          ("server.queries.timeouts", Obs.Json.Int timeouts);
-          ("server.plan_cache.hits", Obs.Json.Int cache.Plan_cache.hits);
-          ("server.plan_cache.misses", Obs.Json.Int cache.Plan_cache.misses);
-          ("server.plan_cache.evictions", Obs.Json.Int cache.Plan_cache.evictions);
-          ("server.plan_cache.insertions", Obs.Json.Int cache.Plan_cache.insertions);
-          ("server.plan_cache.size", Obs.Json.Int cache.Plan_cache.size);
-          ("server.plan_cache.capacity", Obs.Json.Int cache.Plan_cache.capacity);
-          ("server.plan_cache.hit_rate", Obs.Json.Float (Plan_cache.hit_rate cache));
-          ("session.statements_run", Obs.Json.Int (Session.statements_run session));
-          ("session.generation", Obs.Json.Int (Session.generation session));
-          ("session.eval.combinations", Obs.Json.Int es.Eval.combinations);
-          ("session.eval.tuples_read", Obs.Json.Int es.Eval.tuples_read);
-          ("session.eval.tuples_produced", Obs.Json.Int es.Eval.tuples_produced);
-          ("session.eval.probes", Obs.Json.Int es.Eval.probes);
-          ("session.eval.builds", Obs.Json.Int es.Eval.builds);
-          ("session.eval.fix_iterations", Obs.Json.Int es.Eval.fix_iterations);
-        ])
+          ("wal.enabled", Obs.Json.Bool true);
+          ("wal.records", Obs.Json.Int ws.Wal.Manager.wal_records);
+          ("wal.bytes", Obs.Json.Int ws.Wal.Manager.wal_bytes);
+          ("wal.epoch", Obs.Json.Int ws.Wal.Manager.epoch);
+          ("wal.replayed", Obs.Json.Int ws.Wal.Manager.replayed);
+          ("wal.checkpoint_age_s", Obs.Json.Float ws.Wal.Manager.checkpoint_age_s);
+        ]
+  in
+  Obs.Json.Obj
+    ([
+       ("server.connections.accepted", Obs.Json.Int accepted);
+       ("server.connections.refused", Obs.Json.Int refused);
+       ("server.connections.active", Obs.Json.Int active);
+       ("server.queries.ok", Obs.Json.Int ok);
+       ("server.queries.errors", Obs.Json.Int errors);
+       ("server.queries.timeouts", Obs.Json.Int timeouts);
+       ("server.rwlock.read_acquired", Obs.Json.Int rw.Rwlock.read_acquired);
+       ("server.rwlock.write_acquired", Obs.Json.Int rw.Rwlock.write_acquired);
+       ("server.plan_cache.hits", Obs.Json.Int cache.Plan_cache.hits);
+       ("server.plan_cache.misses", Obs.Json.Int cache.Plan_cache.misses);
+       ("server.plan_cache.evictions", Obs.Json.Int cache.Plan_cache.evictions);
+       ("server.plan_cache.insertions", Obs.Json.Int cache.Plan_cache.insertions);
+       ("server.plan_cache.swept", Obs.Json.Int cache.Plan_cache.swept);
+       ("server.plan_cache.size", Obs.Json.Int cache.Plan_cache.size);
+       ("server.plan_cache.capacity", Obs.Json.Int cache.Plan_cache.capacity);
+       ("server.plan_cache.hit_rate", Obs.Json.Float (Plan_cache.hit_rate cache));
+       ("session.statements_run", Obs.Json.Int (Session.statements_run session));
+       ("session.generation", Obs.Json.Int (Session.generation session));
+       ("session.data_generation", Obs.Json.Int (Session.data_generation session));
+       ("session.eval.combinations", Obs.Json.Int es.Eval.combinations);
+       ("session.eval.tuples_read", Obs.Json.Int es.Eval.tuples_read);
+       ("session.eval.tuples_produced", Obs.Json.Int es.Eval.tuples_produced);
+       ("session.eval.probes", Obs.Json.Int es.Eval.probes);
+       ("session.eval.builds", Obs.Json.Int es.Eval.builds);
+       ("session.eval.fix_iterations", Obs.Json.Int es.Eval.fix_iterations);
+     ]
+    @ wal_fields)
 
+(* SAVE to the daemon's own database path is a checkpoint: the dump and
+   the log truncation must be one atomic step relative to writers, so it
+   runs under the write lock.  SAVE elsewhere is a plain (atomic) dump. *)
 let run_save t path =
   if path = "" then `Reply (Protocol.Error, "error: usage: SAVE <path>\n")
   else
-    Rwlock.with_read t.rw (fun () ->
-        Storage.save (Planner.session t.planner) path;
-        `Reply (Protocol.Ok, Printf.sprintf "saved %s\n" path))
+    Rwlock.with_write t.rw (fun () ->
+        let session = Planner.session t.planner in
+        match t.wal with
+        | Some wal when Wal.Manager.db_path wal = path ->
+            Wal.Manager.checkpoint wal session;
+            `Reply (Protocol.Ok, Printf.sprintf "saved %s (checkpoint, wal reset)\n" path)
+        | _ ->
+            Storage.save session path;
+            `Reply (Protocol.Ok, Printf.sprintf "saved %s\n" path))
 
 let dispatch_line t conn_id line =
   if line.[0] = '.' then run_directive t line
@@ -263,12 +307,16 @@ let dispatch_line t conn_id line =
           run_write t conn_id line
 
 (* per-line recovery, mirroring the REPL: one bad request must never
-   kill the connection, let alone the server *)
+   kill the connection, let alone the server.  [Cancel.clear] backstops
+   the per-statement budget — a deadline that somehow survived its
+   [with_timeout] frame must not poison this thread's next request. *)
 let process t conn_id raw =
   let line = String.trim raw in
   if line = "" then `Reply (Protocol.Ok, "")
   else
-    match dispatch_line t conn_id line with
+    match
+      Fun.protect ~finally:Cancel.clear (fun () -> dispatch_line t conn_id line)
+    with
     | reply ->
         (match reply with
         | `Reply (Protocol.Ok, _) | `Close (Protocol.Ok, _) ->
@@ -370,7 +418,7 @@ let rec accept_loop t =
 
 (* ------------------------------------------------------------------ *)
 
-let start ?(config = default_config) session =
+let start ?(config = default_config) ?wal session =
   if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let t =
@@ -383,12 +431,12 @@ let start ?(config = default_config) session =
         | Unix.ADDR_INET (_, p) -> p
         | _ -> assert false
       in
-      force_all_indexes session;
       {
         cfg = config;
         listen_fd = fd;
         bound_port;
         rw = Rwlock.create ();
+        wal;
         planner = Planner.create ~capacity:config.cache_capacity session;
         state = Mutex.create ();
         accepted = 0;
@@ -413,9 +461,11 @@ let start ?(config = default_config) session =
 let port t = t.bound_port
 let config t = t.cfg
 let session t = Planner.session t.planner
+let wal t = t.wal
 
 let counters t =
   let cache = Planner.cache_stats t.planner in
+  let locks = Rwlock.stats t.rw in
   locked t (fun () ->
       {
         accepted = t.accepted;
@@ -425,7 +475,14 @@ let counters t =
         query_errors = t.query_errors;
         timeouts = t.timeouts;
         cache;
+        locks;
       })
+
+let checkpoint t =
+  Rwlock.with_write t.rw (fun () ->
+      match t.wal with
+      | Some wal -> Wal.Manager.checkpoint wal (Planner.session t.planner)
+      | None -> ())
 
 let stop t =
   let already = locked t (fun () ->

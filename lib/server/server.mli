@@ -2,13 +2,17 @@
 
     One process serves many concurrent connections against a single
     shared {!Eds.Session}.  SELECTs plan through the shared
-    {!Plan_cache} (via {!Planner}) and evaluate concurrently under the
-    read side of a {!Rwlock}; every mutating statement, [.directive]
-    and [Parallel]-layer query runs exclusively under the write side
-    (the domain pool is shared process state).  Each statement gets a
-    wall-clock budget enforced cooperatively by
-    {!Eds_engine.Cancel}: an overrunning query dies with an [error]
-    response, the connection survives.
+    {!Plan_cache} (via {!Planner}) and evaluate {e without any lock}
+    against an immutable copy-on-write database snapshot
+    ({!Eds.Session.snapshot_db}); only a plan-cache miss — which must
+    read the shared catalog — briefly takes the write lock, with a
+    double-check so racing threads plan a cold query once.  Every
+    mutating statement and [.directive] runs exclusively under the
+    write side; under WAL-backed durability ({!start}'s [wal]) each
+    committed DML/DDL statement is appended and fsync'd before it is
+    acknowledged.  Each statement gets a wall-clock budget enforced
+    cooperatively by {!Eds_engine.Cancel}: an overrunning query dies
+    with an [error] response, the connection survives.
 
     Admission control: at most [max_connections] connections are served
     at once; beyond that, [backlog] connections queue in the kernel and
@@ -16,6 +20,7 @@
     response.  See {!Protocol} for the wire format. *)
 
 module Session = Eds.Session
+module Wal = Eds.Wal
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
@@ -38,15 +43,21 @@ type counters = {
   query_errors : int;  (** requests answered [error] (excl. timeouts) *)
   timeouts : int;  (** requests killed by the query budget *)
   cache : Plan_cache.stats;
+  locks : Rwlock.stats;
+      (** [read_acquired] stays zero across any pure-SELECT workload —
+          the observable proof that snapshot reads are lock-free *)
 }
 
 type t
 
-val start : ?config:config -> Session.t -> t
+val start : ?config:config -> ?wal:Wal.Manager.handle -> Session.t -> t
 (** Bind, listen and spawn the accept thread; returns immediately.  The
     session must not be used by the caller concurrently with the
-    running server (hand it over).  Base-relation indexes are forced
-    eagerly so concurrent readers never race a lazy build. *)
+    running server (hand it over).  [wal] (from
+    {!Wal.Manager.recover}) turns on durability: committed writes are
+    logged-then-acknowledged, [SAVE <db-path>] checkpoints and resets
+    the log, and a [.load] over the wire re-checkpoints so recovery
+    reflects the swapped-in session. *)
 
 val port : t -> int
 (** The actually-bound port (useful with [port = 0]). *)
@@ -55,10 +66,16 @@ val config : t -> config
 val session : t -> Session.t
 (** The session currently served — [.load] over the wire swaps it. *)
 
+val wal : t -> Wal.Manager.handle option
+
+val checkpoint : t -> unit
+(** Checkpoint under the write lock (no-op without a WAL) — the clean
+    path for a daemon shutting down, so restart replays nothing. *)
+
 val counters : t -> counters
 val metrics : t -> Eds_obs.Obs.Json.t
 (** The [METRICS] wire payload: a flat JSON object of server,
-    plan-cache and session counters. *)
+    plan-cache, rwlock, WAL and session counters. *)
 
 val stop : t -> unit
 (** Stop accepting, sever every live connection, join all threads.

@@ -20,6 +20,7 @@ let () =
       ("soundness", Test_soundness.suite);
       ("cost", Test_cost.suite);
       ("storage", Test_storage.suite);
+      ("wal", Test_wal.suite);
       ("robustness", Test_robustness.suite);
       ("conformance", Test_conformance.suite);
       ("obs", Test_obs.suite);

@@ -7,9 +7,11 @@ module Value = Eds_value.Value
 module Relation = Eds_engine.Relation
 module Database = Eds_engine.Database
 module Eval = Eds_engine.Eval
+module Cancel = Eds_engine.Cancel
 module Session = Eds.Session
 module Repl = Eds.Repl
 module Storage = Eds.Storage
+module Wal = Eds.Wal
 module Rwlock = Eds_server.Rwlock
 module Plan_cache = Eds_server.Plan_cache
 module Planner = Eds_server.Planner
@@ -175,10 +177,65 @@ let test_planner_records_session_stats () =
   Alcotest.(check bool) "eval work folded into the session" true
     ((Session.eval_stats s).Eval.tuples_read > 0)
 
+(* -- copy-on-write snapshots --------------------------------------------- *)
+
+let test_database_snapshot_isolation () =
+  let s = planner_session () in
+  let db = Session.database s in
+  let g0 = Database.data_generation db in
+  let snap = Database.snapshot db in
+  ignore (Session.exec_string s "INSERT INTO P VALUES (99)");
+  Alcotest.(check bool) "data generation bumped by the insert" true
+    (Database.data_generation db > g0);
+  Alcotest.(check int) "snapshot is isolated from the insert" 5
+    (Relation.cardinality (Database.relation snap "P"));
+  Alcotest.(check int) "live database sees the insert" 6
+    (Relation.cardinality (Database.relation db "P"));
+  Alcotest.(check int) "snapshot generation frozen" g0 (Database.data_generation snap)
+
+let test_planner_sweeps_stale_generation () =
+  let s = planner_session () in
+  let p = Planner.create ~capacity:4 s in
+  ignore (Planner.execute p "SELECT A FROM P");
+  ignore (Planner.execute p "SELECT A FROM P WHERE A = 1");
+  Alcotest.(check int) "two live entries" 2 (Planner.cache_stats p).Plan_cache.size;
+  (* DDL bumps the plan generation, orphaning both keys *)
+  ignore (Session.exec_string s "TABLE QQ (B : INT)");
+  ignore (Planner.execute p "SELECT A FROM P");
+  let st = Planner.cache_stats p in
+  Alcotest.(check int) "stale entries swept eagerly" 2 st.Plan_cache.swept;
+  Alcotest.(check int) "capacity spent on live keys only" 1 st.Plan_cache.size
+
+(* -- cancellation hygiene ------------------------------------------------- *)
+
+let test_cancel_deadline_never_leaks () =
+  (* a Timeout leaves no deadline behind *)
+  Alcotest.(check bool) "timeout fires" true
+    (try
+       Cancel.with_timeout 0.000_001 (fun () ->
+           Thread.delay 0.005;
+           Cancel.tick ();
+           false)
+     with Cancel.Timeout _ -> true);
+  Alcotest.(check bool) "uninstalled after Timeout" false (Cancel.active ());
+  Cancel.tick ();
+  (* nor does any other exception *)
+  (try Cancel.with_timeout 30. (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "uninstalled after exception" false (Cancel.active ());
+  (* nesting restores the outer deadline, and the outermost exit clears *)
+  Cancel.with_timeout 30. (fun () ->
+      Cancel.with_timeout 20. (fun () -> Cancel.tick ());
+      Alcotest.(check bool) "outer deadline restored" true (Cancel.active ()));
+  Alcotest.(check bool) "cleared after outermost exit" false (Cancel.active ());
+  (* the backstop is idempotent and safe with nothing installed *)
+  Cancel.clear ();
+  Cancel.clear ();
+  Cancel.tick ()
+
 (* -- wire protocol ------------------------------------------------------- *)
 
-let with_server ?config session f =
-  let srv = Server.start ?config session in
+let with_server ?config ?wal session f =
+  let srv = Server.start ?config ?wal session in
   Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
 
 let with_client srv f =
@@ -345,6 +402,25 @@ let test_query_timeout_spares_connection () =
       Alcotest.(check int) "timeout counted" 1 counters.Server.timeouts;
       Alcotest.(check int) "not an ordinary error" 0 counters.Server.query_errors)
 
+(* regression: a deadline surviving a timed-out statement would make the
+   same connection's next statements die instantly with stale Timeouts *)
+let test_backtoback_queries_after_timeout () =
+  let config = { Server.default_config with query_timeout = Some 0.05 } in
+  with_server ~config (slow_session ()) (fun srv ->
+      with_client srv (fun c ->
+          let st, _ = Client.request c "SELECT X FROM A, B, C, D WHERE X = W" in
+          Alcotest.check status "overrunning query errors" Protocol.Error st;
+          for i = 1 to 6 do
+            let st, payload = Client.request c "SELECT X FROM A" in
+            Alcotest.check status (Fmt.str "query %d after the timeout" i)
+              Protocol.Ok st;
+            Alcotest.(check bool)
+              (Fmt.str "query %d answered in full" i)
+              true
+              (contains ~affix:"(60 tuples)" payload)
+          done);
+      Alcotest.(check int) "exactly one timeout" 1 (Server.counters srv).Server.timeouts)
+
 (* -- admission control --------------------------------------------------- *)
 
 let test_admission_busy () =
@@ -378,6 +454,73 @@ let test_admission_busy () =
       Alcotest.(check bool) "refusals counted" true
         ((Server.counters srv).Server.refused >= 1))
 
+(* -- durability over the wire --------------------------------------------- *)
+
+let with_temp_db f =
+  let db = Filename.temp_file "eds_srv_wal" ".esql" in
+  Sys.remove db;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ db; db ^ ".tmp"; Wal.Manager.wal_path db ])
+    (fun () -> f db)
+
+let test_wire_wal_crash_recovery () =
+  with_temp_db (fun db ->
+      let session, handle, _ = Wal.Manager.recover ~sync:false ~db () in
+      let want = ref "" in
+      with_server ~wal:handle session (fun srv ->
+          with_client srv (fun c ->
+              List.iter
+                (fun stmt ->
+                  let st, _ = Client.request c stmt in
+                  Alcotest.check status (Fmt.str "ok: %s" stmt) Protocol.Ok st)
+                [
+                  "TABLE P (A : INT)";
+                  "INSERT INTO P VALUES (1)";
+                  "INSERT INTO P VALUES (2)";
+                  "UPDATE P SET A = 10 WHERE A = 1";
+                  "SELECT A FROM P";
+                  "DELETE FROM P WHERE A = 2";
+                ]);
+          want := Storage.dump (Server.session srv));
+      Alcotest.(check int) "5 writes logged, SELECT not" 5
+        (Wal.Manager.stats handle).Wal.Manager.wal_records;
+      (* crash: no checkpoint, the handle is abandoned *)
+      Wal.Manager.close handle;
+      let recovered, handle', replayed = Wal.Manager.recover ~sync:false ~db () in
+      Alcotest.(check int) "committed statements replayed" 5 replayed;
+      Alcotest.(check string) "recovered byte-identical" !want
+        (Storage.dump recovered);
+      Wal.Manager.close handle')
+
+let test_wire_save_checkpoints_wal () =
+  with_temp_db (fun db ->
+      let session, handle, _ = Wal.Manager.recover ~sync:false ~db () in
+      let want = ref "" in
+      with_server ~wal:handle session (fun srv ->
+          with_client srv (fun c ->
+              ignore (Client.request c "TABLE P (A : INT)");
+              ignore (Client.request c "INSERT INTO P VALUES (1)");
+              let st, payload = Client.request c (Fmt.str "SAVE %s" db) in
+              Alcotest.check status "save ok" Protocol.Ok st;
+              Alcotest.(check bool) "save names the checkpoint" true
+                (contains ~affix:"checkpoint" payload);
+              Alcotest.(check int) "wal truncated by the checkpoint" 0
+                (Wal.Manager.stats handle).Wal.Manager.wal_records;
+              (* post-checkpoint writes land in the fresh log *)
+              ignore (Client.request c "INSERT INTO P VALUES (2)");
+              Alcotest.(check int) "new write logged after checkpoint" 1
+                (Wal.Manager.stats handle).Wal.Manager.wal_records);
+          want := Storage.dump (Server.session srv));
+      Wal.Manager.close handle;
+      let recovered, handle', replayed = Wal.Manager.recover ~sync:false ~db () in
+      Alcotest.(check int) "only the post-checkpoint write replays" 1 replayed;
+      Alcotest.(check string) "checkpoint + tail recover byte-identical" !want
+        (Storage.dump recovered);
+      Wal.Manager.close handle')
+
 (* -- concurrent load ----------------------------------------------------- *)
 
 let test_loadtest_concurrent_bit_identical () =
@@ -399,7 +542,38 @@ let test_loadtest_concurrent_bit_identical () =
       Alcotest.(check bool)
         (Fmt.str "plan-cache hit rate %.2f > 0.5" o.Loadtest.hit_rate)
         true
-        (o.Loadtest.hit_rate > 0.5))
+        (o.Loadtest.hit_rate > 0.5);
+      (* the acceptance criterion: SELECTs never touch the read lock —
+         they evaluate against snapshots; only plan-cache misses took
+         the write side *)
+      let c = Server.counters srv in
+      Alcotest.(check int) "zero read-lock acquisitions" 0
+        c.Server.locks.Rwlock.read_acquired;
+      Alcotest.(check bool) "misses planned under the write lock" true
+        (c.Server.locks.Rwlock.write_acquired > 0))
+
+let test_loadtest_mixed_verified () =
+  let s = Session.create () in
+  Loadtest.apply_setup s;
+  let twin = Session.create () in
+  Loadtest.apply_setup twin;
+  let expected = Loadtest.expected_payloads twin in
+  with_server s (fun srv ->
+      let o =
+        Loadtest.run_mixed ~expected ~port:(Server.port srv) ~clients:8
+          ~per_client:20 ()
+      in
+      Alcotest.(check int) "all requests answered ok" (8 * 20) o.Loadtest.ok;
+      Alcotest.(check int) "2 writes per 5 ops" (8 * 20 * 2 / 5) o.Loadtest.writes;
+      Alcotest.(check int) "no error responses" 0 o.Loadtest.errors;
+      Alcotest.(check int) "no dropped connections" 0 o.Loadtest.dropped_connections;
+      Alcotest.(check int) "no protocol errors" 0 o.Loadtest.protocol_errors;
+      Alcotest.(check bool)
+        "every response — write acks included — matches the oracle" true
+        o.Loadtest.bit_identical;
+      let c = Server.counters srv in
+      Alcotest.(check int) "snapshot reads acquired zero read locks" 0
+        c.Server.locks.Rwlock.read_acquired)
 
 let suite =
   [
@@ -414,6 +588,12 @@ let suite =
       test_planner_generation;
     Alcotest.test_case "planner: session stats recorded" `Quick
       test_planner_records_session_stats;
+    Alcotest.test_case "database: snapshot isolation" `Quick
+      test_database_snapshot_isolation;
+    Alcotest.test_case "planner: stale generation swept" `Quick
+      test_planner_sweeps_stale_generation;
+    Alcotest.test_case "cancel: deadline never leaks" `Quick
+      test_cancel_deadline_never_leaks;
     Alcotest.test_case "wire: basics and error recovery" `Quick test_wire_basics;
     Alcotest.test_case "wire: bit-identical to local session" `Quick
       test_wire_matches_local_session;
@@ -423,7 +603,15 @@ let suite =
     Alcotest.test_case "wire: METRICS is JSON" `Quick test_wire_metrics_json;
     Alcotest.test_case "timeout kills query, spares connection" `Quick
       test_query_timeout_spares_connection;
+    Alcotest.test_case "back-to-back queries after a timeout" `Quick
+      test_backtoback_queries_after_timeout;
     Alcotest.test_case "admission: busy beyond the cap" `Quick test_admission_busy;
+    Alcotest.test_case "wal: crash recovery over the wire" `Quick
+      test_wire_wal_crash_recovery;
+    Alcotest.test_case "wal: SAVE checkpoints and truncates" `Quick
+      test_wire_save_checkpoints_wal;
     Alcotest.test_case "16 concurrent clients, bit-identical" `Quick
       test_loadtest_concurrent_bit_identical;
+    Alcotest.test_case "mixed read/write load, oracle-verified" `Quick
+      test_loadtest_mixed_verified;
   ]

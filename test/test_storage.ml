@@ -177,6 +177,47 @@ let test_save_load_files () =
   Alcotest.(check int) "loaded session answers queries" 2
     (Relation.cardinality (Session.query s' "SELECT Numf FROM FILM"))
 
+(* Crash-safety of SAVE: the dump goes to <path>.tmp first and is
+   renamed over the target only once complete, so a failure mid-write —
+   a full disk, a kill — can corrupt only the temporary copy. *)
+let test_atomic_save_failure_preserves_old () =
+  let s = film_session () in
+  let path = Filename.temp_file "eds_atomic" ".esql" in
+  Storage.save s path;
+  let before = In_channel.with_open_bin path In_channel.input_all in
+  (* a writer that dies halfway through, as a crashing dump would *)
+  let boom () =
+    Storage.atomic_write ~path (fun oc ->
+        Out_channel.output_string oc "TABLE GARBAGE (";
+        failwith "disk full")
+  in
+  Alcotest.(check bool) "failure propagates" true
+    (try
+       boom ();
+       false
+     with Failure _ -> true);
+  let after = In_channel.with_open_bin path In_channel.input_all in
+  Alcotest.(check string) "old file intact after mid-save failure" before after;
+  Alcotest.(check bool) "no .tmp left behind" false (Sys.file_exists (path ^ ".tmp"));
+  (* and the survivor still loads *)
+  let s' = Storage.load path in
+  Sys.remove path;
+  Alcotest.(check int) "survivor loads" 2
+    (Relation.cardinality (Session.query s' "SELECT Numf FROM FILM"))
+
+let test_atomic_save_overwrites_cleanly () =
+  let s = film_session () in
+  let path = Filename.temp_file "eds_atomic2" ".esql" in
+  Storage.save s path;
+  Database.insert (Session.database s) "FILM"
+    [ Value.Int 3; Value.list [ Value.Str "Brazil" ]; Value.set [] ];
+  Storage.save s path;
+  let s' = Storage.load path in
+  Alcotest.(check bool) "no .tmp left behind" false (Sys.file_exists (path ^ ".tmp"));
+  Sys.remove path;
+  Alcotest.(check int) "second save wins" 3
+    (Relation.cardinality (Session.query s' "SELECT Numf FROM FILM"))
+
 let suite =
   [
     Alcotest.test_case "value text basics" `Quick test_value_text_basics;
@@ -187,5 +228,9 @@ let suite =
     Alcotest.test_case "dump/restore across physical layers" `Quick
       test_dump_restore_across_physical_layers;
     Alcotest.test_case "save/load files" `Quick test_save_load_files;
+    Alcotest.test_case "atomic save: mid-write failure keeps old file" `Quick
+      test_atomic_save_failure_preserves_old;
+    Alcotest.test_case "atomic save: overwrite leaves no temp" `Quick
+      test_atomic_save_overwrites_cleanly;
   ]
   @ [ QCheck_alcotest.to_alcotest prop_value_round_trip ]
