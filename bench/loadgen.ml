@@ -42,7 +42,13 @@ let mixed_arg =
                table and interleaves shared reads; every response (write \
                acks included) is verified against a local oracle replay.")
 
-let main host port clients per_client setup verify mixed =
+let check_percentiles_arg =
+  Arg.(value & flag & info [ "check-percentiles" ]
+         ~doc:"Fail unless the client-side p50/p95/p99 agree with the \
+               server-side METRICS PROM latency histogram within one \
+               log2 bucket.")
+
+let main host port clients per_client setup verify mixed check_percentiles =
   if setup then begin
     let c =
       try Client.connect ~host port with
@@ -78,6 +84,7 @@ let main host port clients per_client setup verify mixed =
     || o.Loadtest.errors > 0
     || o.Loadtest.busy > 0
     || ((verify || mixed) && not o.Loadtest.bit_identical)
+    || (check_percentiles && not o.Loadtest.percentiles_agree)
   in
   if failed then begin
     Fmt.epr "loadgen: FAILED@.";
@@ -88,6 +95,6 @@ let cmd =
   let doc = "concurrent load generator for the edsd query server" in
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(const main $ host_arg $ port_arg $ clients_arg $ per_client_arg
-          $ setup_arg $ verify_arg $ mixed_arg)
+          $ setup_arg $ verify_arg $ mixed_arg $ check_percentiles_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -65,8 +65,35 @@ let domains_arg =
 let norewrite_arg =
   Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Disable the query rewriter.")
 
+let slow_ms_arg =
+  Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS"
+         ~doc:"Slow-query log: append one JSON line (query text, total and \
+               per-phase latency, plan-cache origin, work counters) for every \
+               request taking at least $(docv) milliseconds.")
+
+let slow_log_arg =
+  Arg.(value & opt (some string) None & info [ "slow-log" ] ~docv:"FILE"
+         ~doc:"Append slow-query lines to $(docv) instead of stderr \
+               (implies nothing without --slow-ms).")
+
+(* one line per append, O_APPEND so concurrent daemons interleave whole
+   lines; opened lazily on the first slow query *)
+let file_sink path =
+  let lock = Mutex.create () in
+  let oc =
+    lazy (open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path)
+  in
+  fun line ->
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        let oc = Lazy.force oc in
+        output_string oc (line ^ "\n");
+        flush oc)
+
 let main host port db no_fsync max_connections backlog timeout_ms cache domains
-    norewrite =
+    norewrite slow_ms slow_log =
   let session, wal =
     match db with
     | Some file ->
@@ -99,6 +126,8 @@ let main host port db no_fsync max_connections backlog timeout_ms cache domains
       query_timeout =
         (if timeout_ms <= 0 then None else Some (float_of_int timeout_ms /. 1000.));
       cache_capacity = cache;
+      slow_query_ms = slow_ms;
+      slow_log = Option.map file_sink slow_log;
     }
   in
   let server =
@@ -140,6 +169,7 @@ let cmd =
   let doc = "EDS query server: shared sessions, plan cache, admission control" in
   Cmd.v (Cmd.info "edsd" ~doc)
     Term.(const main $ host_arg $ port_arg $ db_arg $ no_fsync_arg $ max_conns_arg
-          $ backlog_arg $ timeout_arg $ cache_arg $ domains_arg $ norewrite_arg)
+          $ backlog_arg $ timeout_arg $ cache_arg $ domains_arg $ norewrite_arg
+          $ slow_ms_arg $ slow_log_arg)
 
 let () = exit (Cmd.eval cmd)

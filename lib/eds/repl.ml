@@ -22,6 +22,7 @@ let print_result ppf = function
   | Session.Rows rel ->
     Fmt.pf ppf "%a(%d tuple%s)@." Relation.pp rel (Relation.cardinality rel)
       (if Relation.cardinality rel = 1 then "" else "s")
+  | Session.Report text -> Fmt.pf ppf "%s@?" text
 
 let print_plan ppf session (p : Session.plan) =
   let side label rel =
@@ -61,11 +62,14 @@ let cut_directive line =
 let help_text =
   "directives:\n\
   \  .explain SELECT ...   show the LERA expression before/after rewriting\n\
+  \  .analyze SELECT ...   EXPLAIN ANALYZE: execute and show per-operator\n\
+  \                        actual rows, probes/builds and elapsed time\n\
   \  .trace SELECT ...     show every rule application, in order\n\
   \  .trace-file FILE      write a Chrome trace-event file (.trace-file off stops)\n\
   \  .profile on|off       collect per-rule attempt/fire/veto statistics;\n\
   \                        'off' (or bare .profile) prints the report\n\
   \  .stats                cumulative evaluator counters and last rewrite stats\n\
+  \  .stats reset          zero the cumulative counters (generations survive)\n\
   \  .rules                list the current rule program\n\
   \  .check                termination warnings for the rule program (\xc2\xa74.2)\n\
   \  .limits N             set every block limit to N (negative = infinite)\n\
@@ -162,7 +166,15 @@ let handle_directive ppf session line =
     | _ -> Fmt.pf ppf "usage: .profile on|off@.");
     `Continue
   | ".stats" ->
-    print_session_stats ppf session;
+    (match arg with
+    | "reset" ->
+      Session.reset_stats session;
+      Eds_obs.Metrics.reset_values ();
+      Fmt.pf ppf "stats reset (generations and integrity counters preserved)@."
+    | _ -> print_session_stats ppf session);
+    `Continue
+  | ".analyze" ->
+    print_result ppf (Session.exec_string session ("EXPLAIN ANALYZE " ^ arg));
     `Continue
   | ".rules" ->
     let program = Session.program session in

@@ -18,6 +18,24 @@ module Rule_parser = Eds_rewriter.Rule_parser
 module Engine = Eds_rewriter.Engine
 module Optimizer = Eds_rewriter.Optimizer
 module Obs = Eds_obs.Obs
+module Metrics = Eds_obs.Metrics
+
+(* always-on per-phase latency histograms (paper pipeline: parse →
+   translate → rewrite → execute), shared by every session in the
+   process; the slow-query log and METRICS PROM read these back *)
+let m_phase p =
+  Metrics.histogram ~help:"Pipeline phase latency in seconds"
+    ~labels:[ ("phase", p) ]
+    "eds_phase_duration_seconds"
+
+let m_parse = m_phase "parse"
+let m_translate = m_phase "translate"
+let m_rewrite = m_phase "rewrite"
+let m_execute = m_phase "execute"
+
+let m_statements =
+  Metrics.counter ~help:"Statements executed by sessions"
+    "eds_session_statements_total"
 
 type t = {
   cat : Catalog.t;
@@ -33,6 +51,9 @@ type t = {
   eval_stats : Eval.stats;  (** cumulative over every executed statement *)
   mutable last_rewrite_stats : Engine.stats option;
   mutable statements_run : int;
+  mutable last_parse_s : float;
+      (** parse time of the statement currently being executed, set by
+          {!exec_string} so {!plan_select} can fold it into the plan *)
   mutable generation : int;
       (** bumped by every change that can alter what a SELECT plans to —
           config, rule program, catalog DDL, registered functions /
@@ -61,6 +82,7 @@ let create ?(config = Optimizer.default_config) () =
     eval_stats = Eval.fresh_stats ();
     last_rewrite_stats = None;
     statements_run = 0;
+    last_parse_s = 0.;
     generation = 0;
   }
 
@@ -107,11 +129,15 @@ type result =
   | Deleted of int
   | Updated of int
   | Rows of Relation.t
+  | Report of string
 
 type plan = {
   translated : Lera.rel;
   rewritten : Lera.rel;
   rewrite_stats : Engine.stats;
+  parse_s : float;
+  translate_s : float;
+  rewrite_s : float;
   trace : Obs.event list;
       (** the trace events emitted while planning this query; empty when
           tracing is off *)
@@ -129,13 +155,16 @@ let wrap_errors f =
   | Expr_eval.Eval_error msg -> error "evaluation error: %s" msg
   | Rule_parser.Rule_parse_error msg -> error "rule error: %s" msg
 
-let plan_select s (sel : Ast.select) : plan =
-  let (translated, rewritten, stats), events =
+let plan_select ?(parse_s = 0.) s (sel : Ast.select) : plan =
+  let (translated, rewritten, stats, translate_s, rewrite_s), events =
     Obs.with_collector @@ fun () ->
+    let t0 = Obs.now () in
     let translated =
       Obs.span ~cat:"pipeline" "translate" (fun () -> Translate.select s.cat sel)
     in
-    if not s.rewriting then (translated, translated, Engine.fresh_stats ())
+    let t1 = Obs.now () in
+    if not s.rewriting then
+      (translated, translated, Engine.fresh_stats (), t1 -. t0, 0.)
     else begin
       let stats = Engine.fresh_stats () in
       let program =
@@ -147,11 +176,14 @@ let plan_select s (sel : Ast.select) : plan =
         Obs.span ~cat:"pipeline" "rewrite" (fun () ->
             Optimizer.rewrite ~program ~stats (make_ctx s) translated)
       in
-      (translated, rewritten, stats)
+      (translated, rewritten, stats, t1 -. t0, Obs.now () -. t1)
     end
   in
+  Metrics.Histogram.observe m_translate translate_s;
+  Metrics.Histogram.observe m_rewrite rewrite_s;
   s.last_rewrite_stats <- Some stats;
-  { translated; rewritten; rewrite_stats = stats; trace = events }
+  { translated; rewritten; rewrite_stats = stats; parse_s; translate_s;
+    rewrite_s; trace = events }
 
 let snapshot_db s = Database.snapshot s.db
 let data_generation s = Database.data_generation s.db
@@ -167,9 +199,49 @@ let estimate s rel =
   in
   Eds_lera.Cost.estimate ~relation_cardinality:card (Catalog.schema_env s.cat) rel
 
+(* the plan halves of an EXPLAIN report, shaped like the REPL's
+   .explain output so both surfaces read the same *)
+let render_plan s (p : plan) =
+  let buf = Buffer.create 256 in
+  let ppf = Fmt.with_buffer buf in
+  let side label rel =
+    if Lera.operator_count rel <= 3 then
+      Fmt.pf ppf "%s: %a@.            (%a)@." label Lera.pp rel Eds_lera.Cost.pp
+        (estimate s rel)
+    else
+      Fmt.pf ppf "%s: (%a)@.%a" label Eds_lera.Cost.pp (estimate s rel)
+        Lera.pp_tree rel
+  in
+  side "translated" p.translated;
+  side "rewritten " p.rewritten;
+  Fmt.pf ppf "rewriting : %a@." Engine.pp_stats p.rewrite_stats;
+  Fmt.flush ppf ();
+  Buffer.contents buf
+
+let render_analyze s (p : plan) (report : Eval.node_report) rel ~exec_s
+    ~(stats : Eval.stats) =
+  let buf = Buffer.create 512 in
+  let ppf = Fmt.with_buffer buf in
+  Fmt.pf ppf "EXPLAIN ANALYZE (physical=%s)@."
+    (Eval.Physical.to_string s.physical);
+  Eval.pp_report ppf report;
+  Fmt.pf ppf
+    "planning : parse %.3fms  translate %.3fms  rewrite %.3fms (%a)@."
+    (p.parse_s *. 1000.) (p.translate_s *. 1000.) (p.rewrite_s *. 1000.)
+    Engine.pp_stats p.rewrite_stats;
+  Fmt.pf ppf "execution: %.3fms, %d tuple%s@." (exec_s *. 1000.)
+    (Relation.cardinality rel)
+    (if Relation.cardinality rel = 1 then "" else "s");
+  Fmt.pf ppf "work     : %a@." Eval.pp_stats stats;
+  Fmt.flush ppf ();
+  Buffer.contents buf
+
 let exec s (stmt : Ast.stmt) : result =
   wrap_errors @@ fun () ->
   s.statements_run <- s.statements_run + 1;
+  Metrics.Counter.incr m_statements;
+  let parse_s = s.last_parse_s in
+  s.last_parse_s <- 0.;
   match stmt with
   | Ast.Create_type _ | Ast.Create_view _ ->
     Catalog.apply_ddl s.cat stmt;
@@ -251,15 +323,42 @@ let exec s (stmt : Ast.stmt) : result =
         (Relation.make schema (List.map update rel.Relation.tuples));
       Updated !touched)
   | Ast.Select_stmt sel ->
-    let plan = plan_select s sel in
-    Rows
-      (Obs.span ~cat:"pipeline" "execute" (fun () ->
-           Eval.run ~physical:s.physical ~domains:s.domains ~stats:s.eval_stats
-             s.db plan.rewritten))
+    let plan = plan_select ~parse_s s sel in
+    let t0 = Obs.now () in
+    let rel =
+      Obs.span ~cat:"pipeline" "execute" (fun () ->
+          Eval.run ~physical:s.physical ~domains:s.domains ~stats:s.eval_stats
+            s.db plan.rewritten)
+    in
+    Metrics.Histogram.observe m_execute (Obs.now () -. t0);
+    Rows rel
+  | Ast.Explain { analyze; query } ->
+    let plan = plan_select ~parse_s s query in
+    if not analyze then Report (render_plan s plan)
+    else begin
+      let stats = Eval.fresh_stats () in
+      let t0 = Obs.now () in
+      let rel, report =
+        Obs.span ~cat:"pipeline" "execute" (fun () ->
+            Eval.run_analyzed ~physical:s.physical ~domains:s.domains ~stats
+              s.db plan.rewritten)
+      in
+      let exec_s = Obs.now () -. t0 in
+      Metrics.Histogram.observe m_execute exec_s;
+      Eval.add_stats s.eval_stats stats;
+      Report (render_analyze s plan report rel ~exec_s ~stats)
+    end
 
 let exec_string s input =
   wrap_errors (fun () ->
-      exec s (Obs.span ~cat:"pipeline" "parse" (fun () -> Parser.parse_stmt input)))
+      let t0 = Obs.now () in
+      let stmt =
+        Obs.span ~cat:"pipeline" "parse" (fun () -> Parser.parse_stmt input)
+      in
+      let parse_s = Obs.now () -. t0 in
+      Metrics.Histogram.observe m_parse parse_s;
+      s.last_parse_s <- parse_s;
+      exec s stmt)
 
 let exec_script s input =
   wrap_errors (fun () -> List.map (exec s) (Parser.parse_program input))
@@ -267,12 +366,20 @@ let exec_script s input =
 let query s input =
   match exec_string s input with
   | Rows rel -> rel
-  | Done | Inserted _ | Deleted _ | Updated _ -> error "expected a SELECT statement"
+  | Done | Inserted _ | Deleted _ | Updated _ | Report _ ->
+    error "expected a SELECT statement"
 
 let explain s input =
   wrap_errors @@ fun () ->
-  match Obs.span ~cat:"pipeline" "parse" (fun () -> Parser.parse_stmt input) with
-  | Ast.Select_stmt sel -> plan_select s sel
+  let t0 = Obs.now () in
+  let stmt =
+    Obs.span ~cat:"pipeline" "parse" (fun () -> Parser.parse_stmt input)
+  in
+  let parse_s = Obs.now () -. t0 in
+  Metrics.Histogram.observe m_parse parse_s;
+  match stmt with
+  | Ast.Select_stmt sel | Ast.Explain { query = sel; _ } ->
+    plan_select ~parse_s s sel
   | _ -> error "EXPLAIN expects a SELECT statement"
 
 let eval_stats s = s.eval_stats
@@ -281,7 +388,23 @@ let statements_run s = s.statements_run
 
 let record_external_execution s stats =
   s.statements_run <- s.statements_run + 1;
+  Metrics.Counter.incr m_statements;
   Eval.add_stats s.eval_stats stats
+
+(* STATS RESET / .stats reset: zero the cumulative work counters; the
+   generations (plan + data epochs) are integrity markers and survive *)
+let reset_stats s =
+  let es = s.eval_stats in
+  es.Eval.combinations <- 0;
+  es.Eval.tuples_read <- 0;
+  es.Eval.tuples_produced <- 0;
+  es.Eval.fix_iterations <- 0;
+  es.Eval.probes <- 0;
+  es.Eval.builds <- 0;
+  es.Eval.fix_cache_hits <- 0;
+  es.Eval.fix_cache_misses <- 0;
+  s.statements_run <- 0;
+  s.last_rewrite_stats <- None
 
 (* -- DBI extension surface ---------------------------------------------- *)
 

@@ -78,6 +78,8 @@ type result =
   | Deleted of int
   | Updated of int
   | Rows of Relation.t
+  | Report of string
+      (** rendered EXPLAIN / EXPLAIN ANALYZE output (never WAL-logged) *)
 
 exception Session_error of string
 (** Wraps parse, type, schema and evaluation errors with context. *)
@@ -99,6 +101,9 @@ type plan = {
   translated : Lera.rel;  (** canonical LERA straight out of translation *)
   rewritten : Lera.rel;  (** after the rule program *)
   rewrite_stats : Engine.stats;
+  parse_s : float;  (** parse time, when the statement came in as text *)
+  translate_s : float;
+  rewrite_s : float;
   trace : Obs.event list;
       (** trace events captured while planning (translate + rewrite
           phases, per-block and per-rule spans).  Empty unless a trace
@@ -119,6 +124,12 @@ val last_rewrite_stats : t -> Engine.stats option
 
 val statements_run : t -> int
 (** Number of statements submitted through {!exec} (and wrappers). *)
+
+val reset_stats : t -> unit
+(** Zero {!eval_stats}, {!statements_run} and the last rewrite stats.
+    {!generation} and {!data_generation} are integrity markers and are
+    deliberately untouched (the [STATS RESET] wire command and the
+    [.stats reset] directive call this). *)
 
 val record_external_execution : t -> Eval.stats -> unit
 (** Fold the work of a statement executed outside {!exec} — e.g. a

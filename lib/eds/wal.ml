@@ -25,6 +25,26 @@ exception Wal_error of string
 
 let error fmt = Fmt.kstr (fun s -> raise (Wal_error s)) fmt
 
+module Metrics = Eds_obs.Metrics
+
+(* always-on durability telemetry; the record/byte counters are
+   data-integrity markers and survive STATS RESET *)
+let m_fsync =
+  Metrics.histogram ~help:"WAL fsync latency in seconds"
+    "eds_wal_fsync_duration_seconds"
+
+let m_records =
+  Metrics.counter ~help:"Statements appended to the WAL" ~permanent:true
+    "eds_wal_records_total"
+
+let m_bytes =
+  Metrics.counter ~help:"Framed bytes appended to the WAL" ~permanent:true
+    "eds_wal_bytes_total"
+
+let m_checkpoints =
+  Metrics.counter ~help:"Checkpoints taken" ~permanent:true
+    "eds_wal_checkpoints_total"
+
 (* -- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) ---------------------- *)
 
 let crc_table =
@@ -155,9 +175,15 @@ let append t payload =
   locked t (fun () ->
       let b = frame payload in
       write_all t.fd b;
-      if t.sync then Unix.fsync t.fd;
+      if t.sync then begin
+        let t0 = Unix.gettimeofday () in
+        Unix.fsync t.fd;
+        Metrics.Histogram.observe m_fsync (Unix.gettimeofday () -. t0)
+      end;
       t.records <- t.records + 1;
-      t.bytes <- t.bytes + Bytes.length b)
+      t.bytes <- t.bytes + Bytes.length b;
+      Metrics.Counter.incr m_records;
+      Metrics.Counter.add m_bytes (Bytes.length b))
 
 let fsync t = locked t (fun () -> Unix.fsync t.fd)
 
@@ -277,7 +303,8 @@ module Manager = struct
     reset h.wal;
     append h.wal (epoch_control next);
     h.epoch <- next;
-    h.last_checkpoint <- Unix.gettimeofday ()
+    h.last_checkpoint <- Unix.gettimeofday ();
+    Metrics.Counter.incr m_checkpoints
 
   let stats (h : handle) =
     {

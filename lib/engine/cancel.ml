@@ -12,6 +12,11 @@
 
 exception Timeout of float
 
+let m_timeouts =
+  Eds_obs.Metrics.counter
+    ~help:"Queries cancelled by a cooperative deadline"
+    "eds_cancel_timeouts_total"
+
 (* thread id -> (absolute deadline, budget it was derived from) *)
 let table : (int, float * float) Hashtbl.t = Hashtbl.create 8
 let lock = Mutex.create ()
@@ -66,6 +71,7 @@ let tick () =
   if Atomic.get installed > 0 then begin
     match lookup (self_id ()) with
     | Some (deadline, budget) when Unix.gettimeofday () > deadline ->
+      Eds_obs.Metrics.Counter.incr m_timeouts;
       raise (Timeout budget)
     | Some _ | None -> ()
   end

@@ -2,6 +2,37 @@ module Value = Eds_value.Value
 module Lera = Eds_lera.Lera
 module Schema = Eds_lera.Schema
 module Obs = Eds_obs.Obs
+module Metrics = Eds_obs.Metrics
+
+(* always-on work counters: every [run] batches its stats deltas into
+   the registry on the way out (one fetch_and_add per field per query,
+   nothing in the per-tuple loops) *)
+let m_produced =
+  Metrics.counter ~help:"Tuples produced by evaluator operators"
+    "eds_eval_tuples_produced_total"
+
+let m_read =
+  Metrics.counter ~help:"Base relation tuples scanned" "eds_eval_tuples_read_total"
+
+let m_combos =
+  Metrics.counter ~help:"Operand combinations enumerated by filter/join/search"
+    "eds_eval_combinations_total"
+
+let m_probes =
+  Metrics.counter ~help:"Hash-index lookups" "eds_eval_probes_total"
+
+let m_builds =
+  Metrics.counter ~help:"Tuples loaded into hash indexes" "eds_eval_builds_total"
+
+let m_fix_iters =
+  Metrics.counter ~help:"Fixpoint iterations" "eds_eval_fix_iterations_total"
+
+let m_fix_hits =
+  Metrics.counter ~help:"Closed-fixpoint memo hits" "eds_eval_fix_cache_hits_total"
+
+let m_fix_misses =
+  Metrics.counter ~help:"Closed fixpoints actually computed"
+    "eds_eval_fix_cache_misses_total"
 
 type stats = {
   mutable combinations : int;
@@ -148,6 +179,55 @@ module Fix_cache = Hashtbl.Make (struct
   let hash = Lera.hash
 end)
 
+(* -- EXPLAIN ANALYZE collection ------------------------------------------
+
+   When an analysis is attached to the context, every operator
+   evaluation records its inclusive wall time, output cardinality and
+   stats deltas into an execution-tree node.  After the run the raw tree
+   is collapsed: sibling nodes with the same operator label merge (so a
+   fixpoint's per-iteration re-evaluations of the same arm fold into one
+   line with a loop count, Postgres-style) and each node's work counters
+   become {e exclusive} (total minus children), so summing any counter
+   over the whole report reproduces the stats total exactly. *)
+
+type node_report = {
+  op : string;  (** {!op_label} of the operator *)
+  mutable loops : int;  (** times this node was evaluated *)
+  mutable rows : int;  (** output tuples, summed over loops *)
+  mutable elapsed_s : float;  (** inclusive wall time, summed over loops *)
+  mutable combinations : int;  (** exclusive of children *)
+  mutable tuples_read : int;
+  mutable probes : int;
+  mutable builds : int;
+  mutable children : node_report list;  (** first-execution order *)
+}
+
+type raw_node = {
+  rw_label : string;
+  rw_rows : int;
+  rw_t : float;
+  rw_c : int;
+  rw_r : int;
+  rw_p : int;
+  rw_b : int;
+  rw_kids : raw_node list;
+}
+
+type frame = {
+  fr_label : string;
+  fr_t0 : float;
+  fr_c0 : int;
+  fr_r0 : int;
+  fr_p0 : int;
+  fr_b0 : int;
+  mutable fr_kids : raw_node list;  (** reversed *)
+}
+
+type analysis = {
+  mutable an_stack : frame list;
+  mutable an_roots : raw_node list;
+}
+
 type ctx = {
   db : Database.t;
   mode : fix_mode;
@@ -156,6 +236,7 @@ type ctx = {
   rvars : (string * Relation.t) list;
   fix_cache : Relation.t Fix_cache.t;
   pool : Domain_pool.t option;  (** [Some] exactly under {!Physical.Parallel} *)
+  analyze : analysis option;  (** [Some] only under {!run_analyzed} *)
 }
 
 (* leaf scans shorter than this stay sequential under [Parallel]: the
@@ -294,8 +375,20 @@ let op_label : Lera.rel -> string = function
   | Lera.Nest _ -> "nest"
   | Lera.Unnest _ -> "unnest"
 
-let rec run ?(mode = Seminaive) ?(physical = Physical.Indexed) ?stats ?domains
-    ?(rvars = []) db (r : Lera.rel) : Relation.t =
+(* batch this run's stats deltas into the always-on registry — recorded
+   on every exit path so timed-out work still shows up *)
+let record_deltas (s : stats) ~c0 ~r0 ~pr0 ~b0 ~f0 ~fh0 ~fm0 ~p0 =
+  Metrics.Counter.add m_combos (s.combinations - c0);
+  Metrics.Counter.add m_read (s.tuples_read - r0);
+  Metrics.Counter.add m_produced (s.tuples_produced - p0);
+  Metrics.Counter.add m_probes (s.probes - pr0);
+  Metrics.Counter.add m_builds (s.builds - b0);
+  Metrics.Counter.add m_fix_iters (s.fix_iterations - f0);
+  Metrics.Counter.add m_fix_hits (s.fix_cache_hits - fh0);
+  Metrics.Counter.add m_fix_misses (s.fix_cache_misses - fm0)
+
+let rec run_ctx ?(mode = Seminaive) ?(physical = Physical.Indexed) ?stats
+    ?domains ?(rvars = []) ?analyze db (r : Lera.rel) : Relation.t =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   let pool =
     match physical with
@@ -306,14 +399,73 @@ let rec run ?(mode = Seminaive) ?(physical = Physical.Indexed) ?stats ?domains
       Some (Domain_pool.get d)
     | Physical.Naive | Physical.Indexed -> None
   in
-  eval { db; mode; physical; stats; rvars; fix_cache = Fix_cache.create 8; pool } r
+  let c0 = stats.combinations
+  and r0 = stats.tuples_read
+  and pr0 = stats.probes
+  and b0 = stats.builds
+  and f0 = stats.fix_iterations
+  and fh0 = stats.fix_cache_hits
+  and fm0 = stats.fix_cache_misses
+  and p0 = stats.tuples_produced in
+  Fun.protect
+    ~finally:(fun () -> record_deltas stats ~c0 ~r0 ~pr0 ~b0 ~f0 ~fh0 ~fm0 ~p0)
+    (fun () ->
+      eval
+        { db; mode; physical; stats; rvars; fix_cache = Fix_cache.create 8;
+          pool; analyze }
+        r)
 
 (* Every operator evaluation becomes a span when tracing is on, carrying
    its output cardinality and the combinations it enumerated — the
    intermediate-result sizes of a plan are then readable straight off
-   the trace.  With tracing off this is one load and one branch around
-   [eval_node]. *)
+   the trace.  With tracing off (and no analysis attached) this is one
+   load and one branch around [eval_node]. *)
 and eval ctx (r : Lera.rel) : Relation.t =
+  match ctx.analyze with
+  | Some a -> eval_analyzed ctx a r
+  | None -> eval_traced ctx r
+
+and eval_analyzed ctx a (r : Lera.rel) : Relation.t =
+  let s = ctx.stats in
+  let fr =
+    {
+      fr_label = op_label r;
+      fr_t0 = Obs.now ();
+      fr_c0 = s.combinations;
+      fr_r0 = s.tuples_read;
+      fr_p0 = s.probes;
+      fr_b0 = s.builds;
+      fr_kids = [];
+    }
+  in
+  a.an_stack <- fr :: a.an_stack;
+  let finish rows =
+    (match a.an_stack with _ :: rest -> a.an_stack <- rest | [] -> ());
+    let raw =
+      {
+        rw_label = fr.fr_label;
+        rw_rows = rows;
+        rw_t = Obs.now () -. fr.fr_t0;
+        rw_c = s.combinations - fr.fr_c0;
+        rw_r = s.tuples_read - fr.fr_r0;
+        rw_p = s.probes - fr.fr_p0;
+        rw_b = s.builds - fr.fr_b0;
+        rw_kids = List.rev fr.fr_kids;
+      }
+    in
+    match a.an_stack with
+    | parent :: _ -> parent.fr_kids <- raw :: parent.fr_kids
+    | [] -> a.an_roots <- raw :: a.an_roots
+  in
+  match eval_node ctx r with
+  | rel ->
+    finish (Relation.cardinality rel);
+    rel
+  | exception e ->
+    finish 0;
+    raise e
+
+and eval_traced ctx (r : Lera.rel) : Relation.t =
   if not (Obs.enabled ()) then eval_node ctx r
   else begin
     let name = "eval:" ^ op_label r in
@@ -622,3 +774,96 @@ and seminaive_fixpoint ctx n body schema =
     end
   in
   if rec_arms = [] then base else iterate base base
+
+let run ?mode ?physical ?stats ?domains ?rvars db r =
+  run_ctx ?mode ?physical ?stats ?domains ?rvars db r
+
+(* -- report collapse ------------------------------------------------------ *)
+
+let rec merge_node (dst : node_report) (src : node_report) =
+  dst.loops <- dst.loops + src.loops;
+  dst.rows <- dst.rows + src.rows;
+  dst.elapsed_s <- dst.elapsed_s +. src.elapsed_s;
+  dst.combinations <- dst.combinations + src.combinations;
+  dst.tuples_read <- dst.tuples_read + src.tuples_read;
+  dst.probes <- dst.probes + src.probes;
+  dst.builds <- dst.builds + src.builds;
+  dst.children <- merge_children dst.children src.children
+
+and merge_children dst src =
+  List.fold_left
+    (fun acc s ->
+      match List.find_opt (fun d -> d.op = s.op) acc with
+      | Some d ->
+        merge_node d s;
+        acc
+      | None -> acc @ [ s ])
+    dst src
+
+let rec collapse (raws : raw_node list) : node_report list =
+  List.fold_left
+    (fun acc rw ->
+      let node = node_of_raw rw in
+      match List.find_opt (fun d -> d.op = node.op) acc with
+      | Some d ->
+        merge_node d node;
+        acc
+      | None -> acc @ [ node ])
+    [] raws
+
+and node_of_raw rw =
+  let kc, kr, kp, kb =
+    List.fold_left
+      (fun (c, r, p, b) k -> (c + k.rw_c, r + k.rw_r, p + k.rw_p, b + k.rw_b))
+      (0, 0, 0, 0) rw.rw_kids
+  in
+  {
+    op = rw.rw_label;
+    loops = 1;
+    rows = rw.rw_rows;
+    elapsed_s = rw.rw_t;
+    combinations = max 0 (rw.rw_c - kc);
+    tuples_read = max 0 (rw.rw_r - kr);
+    probes = max 0 (rw.rw_p - kp);
+    builds = max 0 (rw.rw_b - kb);
+    children = collapse rw.rw_kids;
+  }
+
+let run_analyzed ?mode ?physical ?stats ?domains ?rvars db r =
+  let a = { an_stack = []; an_roots = [] } in
+  let rel = run_ctx ?mode ?physical ?stats ?domains ?rvars ~analyze:a db r in
+  let report =
+    match collapse (List.rev a.an_roots) with
+    | [ n ] -> n
+    | ns ->
+      (* a single top-level eval yields a single root; synthesize one
+         defensively for the empty/multiple cases *)
+      {
+        op = "plan";
+        loops = 1;
+        rows = Relation.cardinality rel;
+        elapsed_s = List.fold_left (fun t n -> t +. n.elapsed_s) 0. ns;
+        combinations = 0;
+        tuples_read = 0;
+        probes = 0;
+        builds = 0;
+        children = ns;
+      }
+  in
+  (rel, report)
+
+let rec fold_report f acc n = List.fold_left (fold_report f) (f acc n) n.children
+
+let pp_report ppf root =
+  let rec go indent n =
+    Fmt.pf ppf "%s%s  (rows=%d" (String.make indent ' ') n.op n.rows;
+    if n.loops > 1 then Fmt.pf ppf " loops=%d" n.loops;
+    Fmt.pf ppf " time=%.3fms" (n.elapsed_s *. 1000.);
+    if n.combinations > 0 then Fmt.pf ppf " combos=%d" n.combinations;
+    if n.probes > 0 then Fmt.pf ppf " probes=%d" n.probes;
+    if n.builds > 0 then Fmt.pf ppf " builds=%d" n.builds;
+    if n.tuples_read > 0 then Fmt.pf ppf " read=%d" n.tuples_read;
+    Fmt.pf ppf ")@\n";
+    List.iter (go (indent + 2)) n.children
+  in
+  go 0 root

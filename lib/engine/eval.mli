@@ -82,4 +82,46 @@ val run :
     the worker pool used by {!Physical.Parallel} (default
     {!Domain_pool.default_size}; pools are process-wide and cached, see
     {!Domain_pool.get}) and is ignored by the other layers.  Raises
-    {!Eval_error} (or {!Expr_eval.Eval_error}) on ill-formed plans. *)
+    {!Eval_error} (or {!Expr_eval.Eval_error}) on ill-formed plans.
+
+    Every run additionally batches its {!stats} deltas into the
+    always-on {!Eds_obs.Metrics} registry (one atomic add per field per
+    run, on every exit path). *)
+
+(** {1 EXPLAIN ANALYZE} *)
+
+type node_report = {
+  op : string;  (** operator label ([base:NAME], [join], [fix:NAME], …) *)
+  mutable loops : int;  (** times this node was evaluated (fixpoint iterations) *)
+  mutable rows : int;  (** output tuples, summed over loops *)
+  mutable elapsed_s : float;  (** inclusive wall time, summed over loops *)
+  mutable combinations : int;  (** exclusive of children *)
+  mutable tuples_read : int;  (** exclusive of children *)
+  mutable probes : int;  (** exclusive of children *)
+  mutable builds : int;  (** exclusive of children *)
+  mutable children : node_report list;  (** first-execution order *)
+}
+
+val run_analyzed :
+  ?mode:fix_mode ->
+  ?physical:Physical.t ->
+  ?stats:stats ->
+  ?domains:int ->
+  ?rvars:(string * Relation.t) list ->
+  Database.t ->
+  Lera.rel ->
+  Relation.t * node_report
+(** Like {!run}, but also collect a per-operator execution report:
+    sibling evaluations of the same operator merge into one node with a
+    loop count (so a fixpoint's per-iteration arm re-evaluations fold
+    together), and work counters are {e exclusive} of children — summing
+    any counter over the whole report reproduces the {!stats} delta of
+    the run exactly. *)
+
+val fold_report : ('a -> node_report -> 'a) -> 'a -> node_report -> 'a
+(** Pre-order fold over a report tree. *)
+
+val pp_report : Format.formatter -> node_report -> unit
+(** Indented tree, one line per operator:
+    [op  (rows=… loops=… time=…ms combos=… probes=… builds=… read=…)]
+    (zero-valued counters omitted). *)

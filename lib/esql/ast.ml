@@ -47,6 +47,7 @@ type stmt =
   | Delete of { table : string; where : expr option }
   | Update of { table : string; assignments : (string * expr) list; where : expr option }
   | Select_stmt of select
+  | Explain of { analyze : bool; query : select }
 
 let comma = Fmt.any ", "
 
@@ -130,3 +131,5 @@ let pp_stmt ppf = function
     Fmt.pf ppf "UPDATE %s SET %a" table (Fmt.list ~sep:comma assign) assignments;
     (match where with Some w -> Fmt.pf ppf " WHERE %a" pp_expr w | None -> ())
   | Select_stmt s -> pp_select ppf s
+  | Explain { analyze; query } ->
+    Fmt.pf ppf "EXPLAIN %s%a" (if analyze then "ANALYZE " else "") pp_select query

@@ -57,6 +57,10 @@ type stmt =
   | Delete of { table : string; where : expr option }
   | Update of { table : string; assignments : (string * expr) list; where : expr option }
   | Select_stmt of select
+  | Explain of { analyze : bool; query : select }
+      (** [EXPLAIN SELECT …] shows the rewritten plan; [EXPLAIN ANALYZE
+          SELECT …] executes it and reports per-operator actual rows,
+          work counters and elapsed time. *)
 
 val pp_expr : Format.formatter -> expr -> unit
 val pp_select : Format.formatter -> select -> unit

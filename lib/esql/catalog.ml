@@ -129,4 +129,5 @@ let apply_ddl cat (stmt : Ast.stmt) =
     ignore (declare_view cat ~name ~columns body)
   | Ast.Insert _ | Ast.Delete _ | Ast.Update _ ->
     error "DML is handled by the session, not the catalog"
-  | Ast.Select_stmt _ -> error "SELECT is handled by the session, not the catalog"
+  | Ast.Select_stmt _ | Ast.Explain _ ->
+    error "SELECT is handled by the session, not the catalog"

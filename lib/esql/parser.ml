@@ -12,6 +12,7 @@ let keywords =
     "DELETE"; "UPDATE"; "SET"; "HAVING";
     "SUBTYPE"; "OF"; "OBJECT"; "TUPLE"; "SET"; "BAG"; "LIST"; "ARRAY";
     "ENUMERATION"; "FUNCTION"; "TRUE"; "FALSE"; "NULL";
+    "EXPLAIN"; "ANALYZE";
   ]
 
 let reserved word = List.mem (String.uppercase_ascii word) keywords
@@ -389,6 +390,11 @@ let stmt st =
   else if eat_kw st "INSERT" then insert st
   else if eat_kw st "DELETE" then delete st
   else if eat_kw st "UPDATE" then update st
+  else if eat_kw st "EXPLAIN" then begin
+    let analyze = eat_kw st "ANALYZE" in
+    if not (peek_kw st "SELECT") then error "EXPLAIN expects a SELECT statement";
+    Ast.Explain { analyze; query = select st }
+  end
   else if peek_kw st "SELECT" then Ast.Select_stmt (select st)
   else error "expected a statement, found %a" Lexer.pp_token (peek st)
 

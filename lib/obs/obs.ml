@@ -366,64 +366,47 @@ let complete ?(cat = "eds") ?(attrs = []) name ~ts ~dur =
 
 (* -- counters and histograms --------------------------------------------- *)
 
-(* in-memory aggregation, alive whenever a sink is installed or metrics
-   were explicitly enabled (so counters work without paying for a trace) *)
-type metric = {
-  mutable count : int;
-  mutable sum : float;
-  mutable min_v : float;
-  mutable max_v : float;
-}
+(* The aggregation store lives in {!Metrics.Summary} and is always on:
+   historically these were gated on a trace sink being installed (a
+   tracing concern), which silently dropped measurements whenever
+   tracing was off.  [counter] still emits a Chrome counter event when a
+   sink is present, so values graph over time in Perfetto. *)
 
-let metric_table : (string, metric) Hashtbl.t = Hashtbl.create 32
-let metrics_on = ref false
-let enable_metrics () = metrics_on := true
-let disable_metrics () = metrics_on := false
-let reset_metrics () = Hashtbl.reset metric_table
+let enable_metrics () = ()
+let disable_metrics () = ()
+(* retained for API compatibility: the store no longer needs arming *)
 
-let collecting () = !metrics_on || Option.is_some !sink_ref
-
-let observe name v =
-  let m =
-    match Hashtbl.find_opt metric_table name with
-    | Some m -> m
-    | None ->
-      let m = { count = 0; sum = 0.; min_v = infinity; max_v = neg_infinity } in
-      Hashtbl.add metric_table name m;
-      m
-  in
-  m.count <- m.count + 1;
-  m.sum <- m.sum +. v;
-  if v < m.min_v then m.min_v <- v;
-  if v > m.max_v then m.max_v <- v
+let reset_metrics () = Metrics.Summary.reset ()
+let observe = Metrics.Summary.observe
 
 let counter name v =
-  if collecting () then begin
-    observe name v;
-    match !sink_ref with
-    | Some s -> s.emit (Counter { name; ts = now (); value = v })
-    | None -> ()
-  end
+  observe name v;
+  match !sink_ref with
+  | Some s -> s.emit (Counter { name; ts = now (); value = v })
+  | None -> ()
 
-let histogram name v = if collecting () then observe name v
+let histogram name v = observe name v
 
 let metrics () =
   let entries =
-    Hashtbl.fold
-      (fun name m acc ->
+    List.map
+      (fun (name, s) ->
         ( name,
           Json.Obj
             [
-              ("count", Json.Int m.count);
-              ("sum", Json.Float m.sum);
-              ("min", Json.Float (if m.count = 0 then 0. else m.min_v));
-              ("max", Json.Float (if m.count = 0 then 0. else m.max_v));
-              ("mean", Json.Float (if m.count = 0 then 0. else m.sum /. float_of_int m.count));
+              ("count", Json.Int s.Metrics.Summary.count);
+              ("sum", Json.Float s.Metrics.Summary.sum);
+              ("min", Json.Float (if s.Metrics.Summary.count = 0 then 0. else s.Metrics.Summary.min_v));
+              ("max", Json.Float (if s.Metrics.Summary.count = 0 then 0. else s.Metrics.Summary.max_v));
+              ( "mean",
+                Json.Float
+                  (if s.Metrics.Summary.count = 0 then 0.
+                   else s.Metrics.Summary.sum /. float_of_int s.Metrics.Summary.count) );
             ] )
-        :: acc)
-      metric_table []
+      )
+      (Metrics.Summary.snapshot ())
   in
-  Json.Obj (List.sort (fun (a, _) (b, _) -> String.compare a b) entries)
+  Json.Obj entries
 
 (* -- sink implementations ------------------------------------------------ *)
 

@@ -115,15 +115,21 @@ val with_collector : (unit -> 'a) -> 'a * event list
 
 (** {1 Counters and histograms}
 
-    In-memory aggregations (count/sum/min/max/mean), alive whenever a
-    sink is installed or {!enable_metrics} was called.  {!counter}
-    additionally emits a Chrome counter event when a sink is on, so the
-    value graphs over time in Perfetto. *)
+    In-memory aggregations (count/sum/min/max/mean), {e always on}:
+    they record into {!Metrics.Summary} whether or not a trace sink is
+    installed, so measurements are never silently dropped when tracing
+    is off.  {!counter} additionally emits a Chrome counter event when a
+    sink is on, so the value graphs over time in Perfetto. *)
 
 val counter : string -> float -> unit
 val histogram : string -> float -> unit
+
 val enable_metrics : unit -> unit
 val disable_metrics : unit -> unit
+(** No-ops, retained for API compatibility: the aggregation store no
+    longer needs arming (see {!Metrics.set_enabled} for the global
+    registry switch). *)
+
 val reset_metrics : unit -> unit
 val metrics : unit -> Json.t
 

@@ -1,6 +1,7 @@
 module Session = Eds.Session
 module Repl = Eds.Repl
 module Obs = Eds_obs.Obs
+module Metrics = Eds_obs.Metrics
 
 (* -- the workload -------------------------------------------------------- *)
 
@@ -147,6 +148,17 @@ type outcome = {
   cache_hits : int;
   cache_misses : int;
   hit_rate : float;
+  server_p50_ms : float;
+  server_p95_ms : float;
+  server_p99_ms : float;
+  ping_p50_ms : float;
+  ping_p95_ms : float;
+  ping_p99_ms : float;
+  client_mean_ms : float;
+  ping_mean_ms : float;
+  server_mean_ms : float;  (** histogram sum/count of the run's delta *)
+  server_within_client : bool;
+  percentiles_agree : bool;
 }
 
 type worker = {
@@ -159,6 +171,10 @@ type worker = {
   mutable w_sent : int;
   mutable w_mismatch : int;
   mutable w_latencies : float list;  (** ms, newest first *)
+  mutable w_ping_latencies : float list;
+      (** round-trips of no-op PINGs interleaved into the load: the
+          transport + scheduling floor a query's RTT pays on top of
+          server-side processing *)
 }
 
 let fresh_worker () =
@@ -172,7 +188,20 @@ let fresh_worker () =
     w_sent = 0;
     w_mismatch = 0;
     w_latencies = [];
+    w_ping_latencies = [];
   }
+
+(* One no-op PING per few requests, recorded separately: its RTT under
+   the very same load measures everything a query round-trip pays
+   {e besides} server-side processing (syscalls, wire, and waiting for
+   the server's runtime lock behind the other clients). *)
+let record_ping client w =
+  let t0 = Unix.gettimeofday () in
+  match Client.request client "PING" with
+  | Protocol.Ok, _ ->
+      w.w_ping_latencies <-
+        ((Unix.gettimeofday () -. t0) *. 1000.) :: w.w_ping_latencies
+  | _ -> ()
 
 let cache_counters ~host ~port =
   match Client.connect ~host port with
@@ -204,6 +233,7 @@ let worker_body ~host ~port ~expected ~per_client ~index w =
         (fun () ->
           try
             for j = 0 to per_client - 1 do
+              if j mod 4 = 3 then record_ping client w;
               let q = query_at (index + j) in
               w.w_sent <- w.w_sent + 1;
               let t0 = Unix.gettimeofday () in
@@ -223,12 +253,102 @@ let worker_body ~host ~port ~expected ~per_client ~index w =
               w.w_dropped <- w.w_dropped + 1
           | Failure _ -> w.w_protocol <- w.w_protocol + 1))
 
+(* Linear interpolation between the two ranks straddling p (the
+   "exclusive" definition used by most monitoring stacks): continuous in
+   p and far less grid-snapped than nearest-rank on small samples, so it
+   compares meaningfully against the server histogram's interpolated
+   quantiles. *)
 let percentile sorted p =
   let n = Array.length sorted in
   if n = 0 then 0.
-  else
-    let idx = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) - 1 in
-    sorted.(max 0 (min (n - 1) idx))
+  else if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = max 0 (min (n - 2) (int_of_float (Float.floor rank))) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(lo + 1) -. sorted.(lo)))
+  end
+
+(* -- server-side latency via the Prometheus exposition -------------------- *)
+
+let contains line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let line_value line =
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some i ->
+      float_of_string_opt (String.sub line (i + 1) (String.length line - i - 1))
+
+let le_of_line line =
+  match String.index_opt line '{' with
+  | None -> None
+  | Some _ -> (
+      let marker = "le=\"" in
+      let rec find i =
+        if i + String.length marker > String.length line then None
+        else if String.sub line i (String.length marker) = marker then
+          let start = i + String.length marker in
+          String.index_from_opt line start '"'
+          |> Option.map (fun stop -> String.sub line start (stop - start))
+        else find (i + 1)
+      in
+      match find 0 with
+      | Some "+Inf" -> Some infinity
+      | Some s -> float_of_string_opt s
+      | None -> None)
+
+(* Rebuild a {!Metrics.Histogram.snapshot} for [name] restricted to the
+   series carrying [label] (e.g. [verb="select"]) from Prometheus text:
+   the fixed log₂ bucket layout means the [le] bounds map 1:1 onto
+   {!Metrics.Histogram.bounds}, so cumulative wire buckets de-cumulate
+   straight into a snapshot that merges and quantiles like a local one. *)
+let histogram_of_prom ~name ~label text =
+  let nbuckets = Array.length Metrics.Histogram.bounds + 1 in
+  let cumulative = Array.make nbuckets 0 in
+  let sum = ref 0. in
+  let seen = ref false in
+  List.iter
+    (fun line ->
+      if String.starts_with ~prefix:(name ^ "_bucket{") line && contains line label
+      then (
+        match (le_of_line line, line_value line) with
+        | Some le, Some v ->
+            seen := true;
+            cumulative.(Metrics.Histogram.bucket_index le) <- int_of_float v
+        | _ -> ())
+      else if String.starts_with ~prefix:(name ^ "_sum{") line && contains line label
+      then
+        match line_value line with
+        | Some v ->
+            seen := true;
+            sum := v
+        | None -> ())
+    (String.split_on_char '\n' text);
+  if not !seen then None
+  else begin
+    let counts =
+      Array.init nbuckets (fun i ->
+          if i = 0 then cumulative.(0) else max 0 (cumulative.(i) - cumulative.(i - 1)))
+    in
+    Some { Metrics.Histogram.counts; sum = !sum }
+  end
+
+let select_latency_snapshot ~host ~port =
+  match Client.connect ~host port with
+  | exception _ -> None
+  | client -> (
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          match Client.request client "METRICS PROM" with
+          | Protocol.Ok, payload ->
+              histogram_of_prom ~name:"eds_query_duration_seconds"
+                ~label:"verb=\"select\"" payload
+          | _ -> None
+          | exception _ -> None))
 
 (* Each client owns a private table, so its write acks and private
    reads are checked against a per-client oracle session replaying the
@@ -251,6 +371,7 @@ let mixed_worker_body ~host ~port ~physical ~expected ~per_client ~index w =
                   (Printf.sprintf "mixed setup for client %d: %s" index
                      (String.trim payload)));
             for j = 0 to per_client - 1 do
+              if j mod 4 = 3 then record_ping client w;
               let op = mixed_op ~index j in
               let stmt =
                 match op with
@@ -287,6 +408,7 @@ let mixed_worker_body ~host ~port ~physical ~expected ~per_client ~index w =
 
 let fan_out ~host ~port ~clients ~per_client body =
   let hits0, misses0 = cache_counters ~host ~port in
+  let hist0 = select_latency_snapshot ~host ~port in
   let workers = Array.init clients (fun _ -> fresh_worker ()) in
   let t0 = Unix.gettimeofday () in
   let threads =
@@ -295,6 +417,7 @@ let fan_out ~host ~port ~clients ~per_client body =
   List.iter Thread.join threads;
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let hits1, misses1 = cache_counters ~host ~port in
+  let hist1 = select_latency_snapshot ~host ~port in
   let sum f = Array.fold_left (fun acc w -> acc + f w) 0 workers in
   let ok = sum (fun w -> w.w_ok) in
   let latencies =
@@ -304,6 +427,109 @@ let fan_out ~host ~port ~clients ~per_client body =
   let cache_hits = max 0 (hits1 - hits0) in
   let cache_misses = max 0 (misses1 - misses0) in
   let looked_up = cache_hits + cache_misses in
+  let p50_ms = percentile latencies 50. in
+  let p95_ms = percentile latencies 95. in
+  let p99_ms = percentile latencies 99. in
+  (* the run's own server-side recordings: the registry histogram is
+     cumulative (and process-wide under the in-process tests), so only
+     the before/after delta belongs to this fan-out *)
+  let delta =
+    match (hist0, hist1) with
+    | Some a, Some b -> Some (Metrics.Histogram.sub b a)
+    | None, Some b -> Some b
+    | _ -> None
+  in
+  let server_q p =
+    match delta with
+    | Some d when Metrics.Histogram.count d > 0 ->
+        Metrics.Histogram.quantile d (p /. 100.) *. 1000.
+    | _ -> 0.
+  in
+  let server_p50_ms = server_q 50. in
+  let server_p95_ms = server_q 95. in
+  let server_p99_ms = server_q 99. in
+  let pings =
+    Array.of_list
+      (Array.fold_left (fun acc w -> w.w_ping_latencies @ acc) [] workers)
+  in
+  Array.sort compare pings;
+  let ping_p50_ms = percentile pings 50. in
+  let ping_p95_ms = percentile pings 95. in
+  let ping_p99_ms = percentile pings 99. in
+  (* Cross-check: a query's client-side RTT is server-side processing
+     plus a transport/scheduling floor, and the interleaved PINGs
+     measure that floor under the same load.  Queue waits do not
+     correspond rank-by-rank, so tail quantiles cannot be equated — but
+     expectations add: E[RTT] = E[floor] + E[service].  Agreement
+     therefore demands (a) at each of p50/p95/p99 the server-side
+     quantile never exceeds the client-side value by more than one log₂
+     bucket (processing is a component of the round trip); (b) the mean
+     identity holds — client mean minus ping mean matches the
+     histogram's sum/count within the larger of 0.5 ms and the server
+     mean itself (scheduling noise at sub-ms scales rivals service
+     time, and a units or labelling bug is off by orders of magnitude,
+     not a factor of two); and (c) at the median, where ranks are
+     stable, the floor-adjusted client value matches the server value
+     within one bucket width plus the same 0.5 ms allowance. *)
+  let mean a =
+    let n = Array.length a in
+    if n = 0 then 0.
+    else Array.fold_left ( +. ) 0. a /. float_of_int n
+  in
+  let client_mean_ms = mean latencies in
+  let ping_mean_ms = mean pings in
+  let bucket_width_ms v_ms =
+    let b = Metrics.Histogram.bounds in
+    let i = Metrics.Histogram.bucket_index (v_ms /. 1000.) in
+    let w =
+      if i >= Array.length b then b.(Array.length b - 1)
+      else if i = 0 then b.(0)
+      else b.(i) -. b.(i - 1)
+    in
+    w *. 1000.
+  in
+  let server_mean_ms =
+    match delta with
+    | Some d when Metrics.Histogram.count d > 0 ->
+        d.Metrics.Histogram.sum /. float_of_int (Metrics.Histogram.count d) *. 1000.
+    | _ -> 0.
+  in
+  let have_delta =
+    match delta with
+    | Some d -> Metrics.Histogram.count d > 0
+    | None -> false
+  in
+  let server_within_client =
+    (not have_delta)
+    || List.for_all
+         (fun (client_ms, server_ms) ->
+           client_ms <= 0. || server_ms <= 0.
+           || Metrics.Histogram.bucket_index (server_ms /. 1000.)
+              <= Metrics.Histogram.bucket_index (client_ms /. 1000.) + 1)
+         [
+           (p50_ms, server_p50_ms);
+           (p95_ms, server_p95_ms);
+           (p99_ms, server_p99_ms);
+         ]
+  in
+  let percentiles_agree =
+    (not have_delta)
+    || begin
+         let mean_ok =
+           let adjusted = Float.max (client_mean_ms -. ping_mean_ms) 0. in
+           Float.abs (adjusted -. server_mean_ms)
+           <= Float.max 0.5 (Float.max server_mean_ms (0.5 *. ping_mean_ms))
+         in
+         let median_ok =
+           p50_ms <= 0. || server_p50_ms <= 0.
+           ||
+           let adjusted = Float.max (p50_ms -. ping_p50_ms) 0. in
+           Float.abs (server_p50_ms -. adjusted)
+           <= Float.max (bucket_width_ms (Float.max server_p50_ms adjusted)) 0.5
+         in
+         server_within_client && mean_ok && median_ok
+       end
+  in
   {
     clients;
     per_client;
@@ -316,9 +542,9 @@ let fan_out ~host ~port ~clients ~per_client body =
     dropped_connections = sum (fun w -> w.w_dropped);
     elapsed_s;
     qps = (if elapsed_s > 0. then float_of_int ok /. elapsed_s else 0.);
-    p50_ms = percentile latencies 50.;
-    p95_ms = percentile latencies 95.;
-    p99_ms = percentile latencies 99.;
+    p50_ms;
+    p95_ms;
+    p99_ms;
     max_ms = (if Array.length latencies = 0 then 0. else latencies.(Array.length latencies - 1));
     bit_identical = sum (fun w -> w.w_mismatch) = 0;
     cache_hits;
@@ -326,6 +552,17 @@ let fan_out ~host ~port ~clients ~per_client body =
     hit_rate =
       (if looked_up = 0 then 0.
        else float_of_int cache_hits /. float_of_int looked_up);
+    server_p50_ms;
+    server_p95_ms;
+    server_p99_ms;
+    ping_p50_ms;
+    ping_p95_ms;
+    ping_p99_ms;
+    client_mean_ms;
+    ping_mean_ms;
+    server_mean_ms;
+    server_within_client;
+    percentiles_agree;
   }
 
 let run ?(host = "127.0.0.1") ?(expected = []) ~port ~clients ~per_client () =
@@ -346,6 +583,12 @@ let pp_outcome ppf o =
   Fmt.pf ppf "throughput       : %.0f q/s over %.3fs@." o.qps o.elapsed_s;
   Fmt.pf ppf "latency (ms)     : p50 %.2f, p95 %.2f, p99 %.2f, max %.2f@." o.p50_ms
     o.p95_ms o.p99_ms o.max_ms;
+  Fmt.pf ppf "ping floor (ms)  : p50 %.2f, p95 %.2f, p99 %.2f@." o.ping_p50_ms
+    o.ping_p95_ms o.ping_p99_ms;
+  Fmt.pf ppf "means (ms)       : client %.3f = ping %.3f + server %.3f (+ noise)@."
+    o.client_mean_ms o.ping_mean_ms o.server_mean_ms;
+  Fmt.pf ppf "server hist (ms) : p50 %.2f, p95 %.2f, p99 %.2f (agree: %b)@."
+    o.server_p50_ms o.server_p95_ms o.server_p99_ms o.percentiles_agree;
   Fmt.pf ppf "plan cache       : %d hits, %d misses (hit rate %.2f)@." o.cache_hits
     o.cache_misses o.hit_rate;
   Fmt.pf ppf "bit-identical    : %b@." o.bit_identical

@@ -67,6 +67,45 @@ type outcome = {
   cache_hits : int;  (** plan-cache hit delta over the run *)
   cache_misses : int;
   hit_rate : float;  (** of the deltas; 0 when nothing ran *)
+  server_p50_ms : float;
+      (** quantiles of the run's delta of the server-side
+          [eds_query_duration_seconds{verb="select"}] histogram, fetched
+          via [METRICS PROM] before and after the fan-out; 0 when the
+          fetch failed or nothing was recorded *)
+  server_p95_ms : float;
+  server_p99_ms : float;
+  ping_p50_ms : float;
+      (** round-trip percentiles of no-op PINGs interleaved into the
+          load (one per four requests): the transport + scheduling floor
+          a query's RTT pays on top of server-side processing, measured
+          under the same concurrency *)
+  ping_p95_ms : float;
+  ping_p99_ms : float;
+  client_mean_ms : float;  (** mean query round-trip *)
+  ping_mean_ms : float;  (** mean no-op round-trip: the floor *)
+  server_mean_ms : float;
+      (** server-side histogram sum/count over the run's delta *)
+  server_within_client : bool;
+      (** the structural direction alone: at each of p50/p95/p99 the
+          server-side quantile never exceeds the client-side value by
+          more than one log₂ bucket (server processing is a component
+          of the client round trip).  Holds regardless of queueing, so
+          it is the part safe to gate when the loadgen shares a runtime
+          with the server (in-process benchmarks). *)
+  percentiles_agree : bool;
+      (** the server-side histogram is consistent with the client-side
+          measurements: at each of p50/p95/p99 the server quantile never
+          exceeds the client value by more than one log₂ bucket
+          (processing is a component of the round trip); the mean
+          identity E[RTT] = E[ping floor] + E[service] holds within the
+          largest of 0.5 ms, the server mean, and half the ping mean
+          (the floor estimate's own uncertainty scales with the floor);
+          and at the median — where ranks are stable — the
+          floor-adjusted client value matches the server value within
+          one bucket width plus the same 0.5 ms scheduling allowance.
+          Queue waits do not correspond rank-by-rank across the two
+          vantage points, so tail quantiles are bounded, not equated.
+          Vacuously true when no server-side data was recorded. *)
 }
 
 val run :
@@ -98,3 +137,16 @@ val run_mixed :
     shared reads against [expected]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] for [p] in [0,100] over an ascending array:
+    linear interpolation between the two straddling ranks. *)
+
+val histogram_of_prom :
+  name:string ->
+  label:string ->
+  string ->
+  Eds_obs.Metrics.Histogram.snapshot option
+(** Rebuild a histogram snapshot from Prometheus text exposition,
+    restricted to series whose label block contains [label] verbatim
+    (e.g. [verb="select"]).  [None] when no matching series appears. *)

@@ -2,6 +2,24 @@
    recency order.  [mru]/[lru] are the ends; every hit splices the node
    to the front, every insertion beyond capacity drops the tail. *)
 
+module Metrics = Eds_obs.Metrics
+
+(* process-wide registry counters, aggregated across cache instances;
+   the per-instance [stats] record remains the precise view *)
+let m_hits = Metrics.counter ~help:"Plan-cache lookups served from cache" "eds_plan_cache_hits_total"
+let m_misses = Metrics.counter ~help:"Plan-cache lookups that missed" "eds_plan_cache_misses_total"
+
+let m_evictions =
+  Metrics.counter ~help:"Plans evicted by LRU capacity pressure"
+    "eds_plan_cache_evictions_total"
+
+let m_insertions =
+  Metrics.counter ~help:"Plans inserted into the cache" "eds_plan_cache_insertions_total"
+
+let m_swept =
+  Metrics.counter ~help:"Stale-generation plans removed eagerly"
+    "eds_plan_cache_swept_total"
+
 type 'a node = {
   key : string;
   mutable value : 'a;
@@ -68,11 +86,13 @@ let find t key =
       match Hashtbl.find_opt t.tbl key with
       | Some n ->
           t.hits <- t.hits + 1;
+          Metrics.Counter.incr m_hits;
           unlink t n;
           push_front t n;
           Some n.value
       | None ->
           t.misses <- t.misses + 1;
+          Metrics.Counter.incr m_misses;
           None)
 
 let add t key value =
@@ -87,12 +107,14 @@ let add t key value =
           Hashtbl.replace t.tbl key n;
           push_front t n;
           t.insertions <- t.insertions + 1;
+          Metrics.Counter.incr m_insertions;
           if Hashtbl.length t.tbl > t.capacity then
             match t.lru with
             | Some tail ->
                 unlink t tail;
                 Hashtbl.remove t.tbl tail.key;
-                t.evictions <- t.evictions + 1
+                t.evictions <- t.evictions + 1;
+                Metrics.Counter.incr m_evictions
             | None -> ())
 
 let peek t key =
@@ -113,7 +135,8 @@ let sweep t stale =
         (fun n ->
           unlink t n;
           Hashtbl.remove t.tbl n.key;
-          t.swept <- t.swept + 1)
+          t.swept <- t.swept + 1;
+          Metrics.Counter.incr m_swept)
         doomed;
       List.length doomed)
 
@@ -134,6 +157,14 @@ let stats t =
         size = Hashtbl.length t.tbl;
         capacity = t.capacity;
       })
+
+let reset_stats t =
+  locked t (fun () ->
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0;
+      t.insertions <- 0;
+      t.swept <- 0)
 
 let hit_rate s =
   let total = s.hits + s.misses in

@@ -51,5 +51,8 @@ type stats = {
 
 val stats : 'a t -> stats
 
+val reset_stats : 'a t -> unit
+(** Zero the cumulative counters ([STATS RESET]); entries stay cached. *)
+
 val hit_rate : stats -> float
 (** [hits / (hits + misses)], or [0.] before any lookup. *)

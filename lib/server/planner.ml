@@ -1,6 +1,25 @@
 module Session = Eds.Session
 module Database = Eds_engine.Database
 module Eval = Eds_engine.Eval
+module Metrics = Eds_obs.Metrics
+
+(* same cell as the session's execute-phase histogram: cached-plan
+   executions skip Session.exec entirely but must still show up in
+   eds_phase_duration_seconds{phase="execute"} *)
+let m_execute =
+  Metrics.histogram ~help:"Query pipeline phase latency in seconds"
+    ~labels:[ ("phase", "execute") ]
+    "eds_phase_duration_seconds"
+
+type report = {
+  origin : [ `Hit | `Miss ];
+  parse_s : float;
+  translate_s : float;
+  rewrite_s : float;
+  plan_s : float;
+  exec_s : float;
+  work : Eval.stats;
+}
 
 type t = {
   session : Session.t;
@@ -70,13 +89,14 @@ let sweep_stale t gen =
         t.swept_gen <- gen
       end)
 
-let plan ?(exclusive = fun f -> f ()) t text =
+let plan_timed ?(exclusive = fun f -> f ()) t text =
   let gen = Session.generation t.session in
   if gen <> t.swept_gen then sweep_stale t gen;
   let key = key t text in
   match Plan_cache.find t.cache key with
-  | Some rel -> (rel, `Hit)
+  | Some rel -> (rel, `Hit, (0., 0., 0.))
   | None ->
+      let phases = ref (0., 0., 0.) in
       let rel =
         exclusive (fun () ->
             (* double-check: a racing thread may have planned this text
@@ -85,23 +105,38 @@ let plan ?(exclusive = fun f -> f ()) t text =
             | Some rel -> rel
             | None ->
                 let p = Session.explain t.session text in
+                phases := (p.Session.parse_s, p.Session.translate_s, p.Session.rewrite_s);
                 Plan_cache.add t.cache key p.Session.rewritten;
                 p.Session.rewritten)
       in
-      (rel, `Miss)
+      (rel, `Miss, !phases)
 
-let execute ?exclusive t text =
-  let rel, origin = plan ?exclusive t text in
+let plan ?exclusive t text =
+  let rel, origin, _ = plan_timed ?exclusive t text in
+  (rel, origin)
+
+let execute_timed ?exclusive t text =
+  let t0 = Unix.gettimeofday () in
+  let rel, origin, (parse_s, translate_s, rewrite_s) = plan_timed ?exclusive t text in
+  let plan_s = Unix.gettimeofday () -. t0 in
   let stats = Eval.fresh_stats () in
   (* evaluate against an immutable snapshot: no read lock, concurrent
      writers publish new states without disturbing this query *)
   let db = Session.snapshot_db t.session in
+  let t1 = Unix.gettimeofday () in
   let result = Session.run_plan ~stats ~db t.session rel in
+  let exec_s = Unix.gettimeofday () -. t1 in
+  Metrics.Histogram.observe m_execute exec_s;
   Mutex.lock t.record_lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.record_lock)
     (fun () -> Session.record_external_execution t.session stats);
-  (result, origin)
+  (result, { origin; parse_s; translate_s; rewrite_s; plan_s; exec_s; work = stats })
+
+let execute ?exclusive t text =
+  let rel, r = execute_timed ?exclusive t text in
+  (rel, r.origin)
 
 let cache_stats t = Plan_cache.stats t.cache
 let clear_cache t = Plan_cache.clear t.cache
+let reset_cache_stats t = Plan_cache.reset_stats t.cache

@@ -57,5 +57,26 @@ val execute :
     the session's cumulative counters afterwards under an internal
     lock — safe for concurrent callers. *)
 
+type report = {
+  origin : [ `Hit | `Miss ];
+  parse_s : float;  (** 0 on a cache hit (no parsing happened) *)
+  translate_s : float;
+  rewrite_s : float;
+  plan_s : float;  (** end-to-end planning incl. cache lookup and lock wait *)
+  exec_s : float;
+  work : Eds_engine.Eval.stats;  (** this query's private work counters *)
+}
+
+val execute_timed :
+  ?exclusive:((unit -> Session.Lera.rel) -> Session.Lera.rel) ->
+  t ->
+  string ->
+  Session.Relation.t * report
+(** [execute] with the per-phase latency breakdown and work counters the
+    server's slow-query log and latency histograms need. *)
+
 val cache_stats : t -> Plan_cache.stats
 val clear_cache : t -> unit
+
+val reset_cache_stats : t -> unit
+(** Zero the cache's cumulative counters; cached plans stay. *)

@@ -1,5 +1,17 @@
 type stats = { read_acquired : int; write_acquired : int }
 
+module Metrics = Eds_obs.Metrics
+
+let m_read =
+  Metrics.counter ~help:"Reader-writer lock acquisitions"
+    ~labels:[ ("mode", "read") ]
+    "eds_rwlock_acquisitions_total"
+
+let m_write =
+  Metrics.counter ~help:"Reader-writer lock acquisitions"
+    ~labels:[ ("mode", "write") ]
+    "eds_rwlock_acquisitions_total"
+
 type t = {
   lock : Mutex.t;
   can_read : Condition.t;
@@ -31,6 +43,7 @@ let read_lock t =
   done;
   t.active_readers <- t.active_readers + 1;
   t.read_acquired <- t.read_acquired + 1;
+  Metrics.Counter.incr m_read;
   Mutex.unlock t.lock
 
 let read_unlock t =
@@ -48,6 +61,7 @@ let write_lock t =
   t.waiting_writers <- t.waiting_writers - 1;
   t.writer <- true;
   t.write_acquired <- t.write_acquired + 1;
+  Metrics.Counter.incr m_write;
   Mutex.unlock t.lock
 
 let write_unlock t =
@@ -78,3 +92,9 @@ let stats t =
   let s = { read_acquired = t.read_acquired; write_acquired = t.write_acquired } in
   Mutex.unlock t.lock;
   s
+
+let reset_stats t =
+  Mutex.lock t.lock;
+  t.read_acquired <- 0;
+  t.write_acquired <- 0;
+  Mutex.unlock t.lock

@@ -26,3 +26,6 @@ val stats : t -> stats
 (** Cumulative acquisition counts.  The query server's snapshot reads
     are verified lock-free by asserting [read_acquired] stays zero
     under a concurrent SELECT load. *)
+
+val reset_stats : t -> unit
+(** Zero the acquisition counters ([STATS RESET]). *)

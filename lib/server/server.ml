@@ -7,6 +7,7 @@ module Cancel = Eds_engine.Cancel
 module Relation = Eds_engine.Relation
 module Database = Eds_engine.Database
 module Obs = Eds_obs.Obs
+module Metrics = Eds_obs.Metrics
 
 type config = {
   host : string;
@@ -15,6 +16,8 @@ type config = {
   backlog : int;
   query_timeout : float option;
   cache_capacity : int;
+  slow_query_ms : float option;
+  slow_log : (string -> unit) option;
 }
 
 let default_config =
@@ -25,7 +28,54 @@ let default_config =
     backlog = 16;
     query_timeout = Some 30.;
     cache_capacity = 256;
+    slow_query_ms = None;
+    slow_log = None;
   }
+
+(* ------------------------------------------------------------------ *)
+(* always-on registry metrics.  Labelled cells are pre-registered at
+   module init so the request path touches no registry lock — just an
+   assoc lookup over a handful of pairs and an atomic increment. *)
+
+let verbs = [ "select"; "explain"; "write"; "directive"; "admin" ]
+let outcomes = [ "ok"; "error"; "timeout" ]
+
+let m_queries =
+  List.concat_map
+    (fun v ->
+      List.map
+        (fun o ->
+          ( (v, o),
+            Metrics.counter ~help:"Requests handled, by verb and outcome"
+              ~labels:[ ("verb", v); ("outcome", o) ]
+              "eds_queries_total" ))
+        outcomes)
+    verbs
+
+let query_counter v o = List.assoc (v, o) m_queries
+
+let m_durations =
+  List.map
+    (fun v ->
+      ( v,
+        Metrics.histogram ~help:"Request latency in seconds, by verb"
+          ~labels:[ ("verb", v) ]
+          "eds_query_duration_seconds" ))
+    verbs
+
+let duration_of v = List.assoc v m_durations
+
+let m_conn_accepted =
+  Metrics.counter ~help:"Connections admitted" "eds_connections_accepted_total"
+
+let m_conn_refused =
+  Metrics.counter ~help:"Connections refused by admission control"
+    "eds_connections_refused_total"
+
+let m_conn_active =
+  Metrics.gauge ~help:"Connections currently being served" "eds_connections_active"
+
+let m_slow = Metrics.counter ~help:"Queries over the slow-query threshold" "eds_slow_queries_total"
 
 type counters = {
   accepted : int;
@@ -58,6 +108,7 @@ type t = {
   mutable conn_threads : Thread.t list;
   mutable accept_thread : Thread.t option;
   mutable next_conn : int;
+  mutable collector : Metrics.collector_id option;
 }
 
 let locked t f =
@@ -77,15 +128,20 @@ let help_text =
   "edsd wire protocol — one request per line:\n\
   \  <ESQL statement>   SELECT / TABLE / CREATE / INSERT / DELETE / UPDATE\n\
   \  .<directive>       any edsql shell directive (.help lists them)\n\
+  \  EXPLAIN [ANALYZE] SELECT ...   plan report; ANALYZE also executes\n\
   \  HELP               this text\n\
   \  PING               liveness probe\n\
   \  STATS              server + session counters, human-readable\n\
+  \  STATS RESET        zero the cumulative counters (generations and WAL\n\
+  \                     integrity markers survive)\n\
   \  METRICS            the same as one flat JSON object\n\
+  \  METRICS PROM       Prometheus text exposition of the metrics registry\n\
   \  SAVE <path>        dump the database to <path> on the server host\n\
   \  QUIT               close this connection\n\
    responses are framed as \"<ok|error|busy> <nbytes>\\n<payload>\"\n"
 
-let esql_starters = [ "SELECT"; "CREATE"; "TYPE"; "TABLE"; "INSERT"; "DELETE"; "UPDATE" ]
+let esql_starters =
+  [ "SELECT"; "EXPLAIN"; "CREATE"; "TYPE"; "TABLE"; "INSERT"; "DELETE"; "UPDATE" ]
 
 let first_token line =
   match String.index_opt line ' ' with
@@ -120,6 +176,54 @@ let obs_query t conn_id ~cache ~ts =
       "server.query" ~ts ~dur:(Obs.now () -. ts);
   ignore t
 
+(* -- slow-query log ------------------------------------------------- *)
+
+let slow_sink_lock = Mutex.create ()
+
+let default_slow_sink line =
+  Mutex.lock slow_sink_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock slow_sink_lock)
+    (fun () ->
+      prerr_endline line;
+      flush stderr)
+
+let ms_of s = Float.round (s *. 1e6) /. 1e3  (* µs-precision milliseconds *)
+
+(* One JSON object per line: greppable, and each line parses on its own. *)
+let slow_log_line ~conn_id ~query ~total_s ~cache ~parse_s ~translate_s ~rewrite_s
+    ~exec_s ~rows ~(work : Eval.stats) =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [
+         ("ts", Obs.Json.Float (Unix.gettimeofday ()));
+         ("conn", Obs.Json.Int conn_id);
+         ("query", Obs.Json.Str query);
+         ("total_ms", Obs.Json.Float (ms_of total_s));
+         ("parse_ms", Obs.Json.Float (ms_of parse_s));
+         ("translate_ms", Obs.Json.Float (ms_of translate_s));
+         ("rewrite_ms", Obs.Json.Float (ms_of rewrite_s));
+         ("execute_ms", Obs.Json.Float (ms_of exec_s));
+         ("cache", Obs.Json.Str cache);
+         ("rows", Obs.Json.Int rows);
+         ("combinations", Obs.Json.Int work.Eval.combinations);
+         ("tuples_read", Obs.Json.Int work.Eval.tuples_read);
+         ("tuples_produced", Obs.Json.Int work.Eval.tuples_produced);
+         ("probes", Obs.Json.Int work.Eval.probes);
+         ("builds", Obs.Json.Int work.Eval.builds);
+       ])
+
+let maybe_slow_log t conn_id ~query ~total_s ~cache ~parse_s ~translate_s ~rewrite_s
+    ~exec_s ~rows ~work =
+  match t.cfg.slow_query_ms with
+  | Some threshold_ms when total_s *. 1000. >= threshold_ms ->
+      Metrics.Counter.incr m_slow;
+      let sink = Option.value t.cfg.slow_log ~default:default_slow_sink in
+      sink
+        (slow_log_line ~conn_id ~query ~total_s ~cache ~parse_s ~translate_s
+           ~rewrite_s ~exec_s ~rows ~work)
+  | _ -> ()
+
 (* SELECTs take no lock at all: evaluation runs against an immutable
    database snapshot, and a cached plan skips the catalog entirely.
    Only a plan-cache miss needs the shared catalog (parse → translate →
@@ -129,15 +233,23 @@ let run_select t conn_id line =
   let ts = Obs.now () in
   let planner = t.planner in
   let exclusive f = Rwlock.with_write t.rw f in
-  let rel, origin = with_budget t (fun () -> Planner.execute ~exclusive planner line) in
+  let rel, r = with_budget t (fun () -> Planner.execute_timed ~exclusive planner line) in
   let payload = render (fun ppf -> Repl.print_result ppf (Session.Rows rel)) in
-  obs_query t conn_id ~cache:(match origin with `Hit -> "hit" | `Miss -> "miss") ~ts;
+  let cache = match r.Planner.origin with `Hit -> "hit" | `Miss -> "miss" in
+  obs_query t conn_id ~cache ~ts;
+  maybe_slow_log t conn_id ~query:line ~total_s:(Obs.now () -. ts) ~cache
+    ~parse_s:r.Planner.parse_s ~translate_s:r.Planner.translate_s
+    ~rewrite_s:r.Planner.rewrite_s ~exec_s:r.Planner.exec_s
+    ~rows:(Relation.cardinality rel) ~work:r.Planner.work;
   `Reply (Protocol.Ok, payload)
 
 (* Mutations serialize under the write lock.  Once a statement has
    applied successfully it is appended to the WAL — still inside the
    lock, so the log order is the commit order — and only then
-   acknowledged: a crash after the ack cannot lose it. *)
+   acknowledged: a crash after the ack cannot lose it.  EXPLAIN comes
+   through here too (it needs the shared catalog); its [Report] result
+   is never WAL-logged — replaying an EXPLAIN ANALYZE at recovery would
+   re-execute the query. *)
 let run_write t conn_id line =
   let ts = Obs.now () in
   let payload =
@@ -145,12 +257,16 @@ let run_write t conn_id line =
         let session = Planner.session t.planner in
         let result = with_budget t (fun () -> Session.exec_string session line) in
         (match (result, t.wal) with
-        | Session.Rows _, _ | _, None -> ()
+        | (Session.Rows _ | Session.Report _), _ | _, None -> ()
         | (Session.Done | Session.Inserted _ | Session.Deleted _ | Session.Updated _), Some wal ->
             Wal.Manager.log wal line);
         render (fun ppf -> Repl.print_result ppf result))
   in
   obs_query t conn_id ~cache:"write" ~ts;
+  let total_s = Obs.now () -. ts in
+  maybe_slow_log t conn_id ~query:line ~total_s ~cache:"write" ~parse_s:0.
+    ~translate_s:0. ~rewrite_s:0. ~exec_s:total_s ~rows:0
+    ~work:(Eval.fresh_stats ());
   `Reply (Protocol.Ok, payload)
 
 let run_directive t line =
@@ -283,6 +399,28 @@ let run_save t path =
             Storage.save session path;
             `Reply (Protocol.Ok, Printf.sprintf "saved %s\n" path))
 
+(* STATS RESET zeroes every cumulative, non-integrity counter: the
+   server's own tallies, the plan cache's, the rwlock's, the session's
+   evaluator counters, and the registry's resettable cells.  The plan
+   and data generations, the WAL epoch and its record/byte counters are
+   integrity markers and deliberately survive. *)
+let run_stats_reset t =
+  Rwlock.with_write t.rw (fun () ->
+      Session.reset_stats (Planner.session t.planner);
+      Planner.reset_cache_stats t.planner;
+      Rwlock.reset_stats t.rw;
+      locked t (fun () ->
+          t.accepted <- 0;
+          t.refused <- 0;
+          t.queries_ok <- 0;
+          t.query_errors <- 0;
+          t.timeouts <- 0);
+      Metrics.reset_values ();
+      `Reply
+        ( Protocol.Ok,
+          "stats reset (generations, WAL integrity counters and active \
+           connections preserved)\n" ))
+
 let dispatch_line t conn_id line =
   if line.[0] = '.' then run_directive t line
   else
@@ -293,7 +431,11 @@ let dispatch_line t conn_id line =
       match token with
       | "HELP" -> `Reply (Protocol.Ok, help_text)
       | "PING" -> `Reply (Protocol.Ok, "pong\n")
+      | "STATS" when String.uppercase_ascii (rest_after_token line) = "RESET" ->
+          run_stats_reset t
       | "STATS" -> `Reply (Protocol.Ok, stats_text t)
+      | "METRICS" when String.uppercase_ascii (rest_after_token line) = "PROM" ->
+          `Reply (Protocol.Ok, Metrics.prometheus ())
       | "METRICS" -> `Reply (Protocol.Ok, Obs.Json.to_string (metrics t) ^ "\n")
       | "SAVE" -> run_save t (rest_after_token line)
       | "QUIT" -> `Close (Protocol.Ok, "bye\n")
@@ -306,6 +448,15 @@ let dispatch_line t conn_id line =
           (* let the ESQL parser produce its own error message *)
           run_write t conn_id line
 
+let verb_of_line line =
+  if line.[0] = '.' then "directive"
+  else
+    match String.uppercase_ascii (first_token line) with
+    | "SELECT" -> "select"
+    | "EXPLAIN" -> "explain"
+    | "HELP" | "PING" | "STATS" | "METRICS" | "SAVE" | "QUIT" -> "admin"
+    | _ -> "write"
+
 (* per-line recovery, mirroring the REPL: one bad request must never
    kill the connection, let alone the server.  [Cancel.clear] backstops
    the per-statement budget — a deadline that somehow survived its
@@ -313,23 +464,38 @@ let dispatch_line t conn_id line =
 let process t conn_id raw =
   let line = String.trim raw in
   if line = "" then `Reply (Protocol.Ok, "")
-  else
+  else begin
+    let verb = verb_of_line line in
+    let t0 = Unix.gettimeofday () in
+    let finish outcome reply =
+      Metrics.Histogram.observe (duration_of verb) (Unix.gettimeofday () -. t0);
+      Metrics.Counter.incr (query_counter verb outcome);
+      reply
+    in
     match
       Fun.protect ~finally:Cancel.clear (fun () -> dispatch_line t conn_id line)
     with
     | reply ->
-        (match reply with
-        | `Reply (Protocol.Ok, _) | `Close (Protocol.Ok, _) ->
-            locked t (fun () -> t.queries_ok <- t.queries_ok + 1)
-        | _ -> locked t (fun () -> t.query_errors <- t.query_errors + 1));
-        reply
+        let outcome =
+          match reply with
+          | `Reply (Protocol.Ok, _) | `Close (Protocol.Ok, _) ->
+              locked t (fun () -> t.queries_ok <- t.queries_ok + 1);
+              "ok"
+          | _ ->
+              locked t (fun () -> t.query_errors <- t.query_errors + 1);
+              "error"
+        in
+        finish outcome reply
     | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
     | exception (Cancel.Timeout _ as e) ->
         locked t (fun () -> t.timeouts <- t.timeouts + 1);
-        `Reply (Protocol.Error, "error: " ^ Repl.describe_error e ^ "\n")
+        finish "timeout"
+          (`Reply (Protocol.Error, "error: " ^ Repl.describe_error e ^ "\n"))
     | exception e ->
         locked t (fun () -> t.query_errors <- t.query_errors + 1);
-        `Reply (Protocol.Error, "error: " ^ Repl.describe_error e ^ "\n")
+        finish "error"
+          (`Reply (Protocol.Error, "error: " ^ Repl.describe_error e ^ "\n"))
+  end
 
 (* ------------------------------------------------------------------ *)
 (* connection lifecycle                                                *)
@@ -359,6 +525,7 @@ let handle_connection t conn_id fd =
     locked t (fun () ->
         t.active <- t.active - 1;
         Hashtbl.remove t.conns conn_id);
+    Metrics.Gauge.add m_conn_active (-1);
     (try flush oc with _ -> ());
     try Unix.close fd with _ -> ()
   in
@@ -380,6 +547,7 @@ let handle_connection t conn_id fd =
 
 let refuse t fd =
   locked t (fun () -> t.refused <- t.refused + 1);
+  Metrics.Counter.incr m_conn_refused;
   let payload =
     Printf.sprintf "busy: %d connections active (limit %d), retry later\n"
       t.cfg.max_connections t.cfg.max_connections
@@ -408,6 +576,8 @@ let rec accept_loop t =
               end)
         in
         if admitted then begin
+          Metrics.Counter.incr m_conn_accepted;
+          Metrics.Gauge.add m_conn_active 1;
           let conn_id = locked t (fun () -> t.next_conn) in
           let th = Thread.create (fun () -> handle_connection t conn_id fd) () in
           locked t (fun () -> t.conn_threads <- th :: t.conn_threads)
@@ -417,6 +587,43 @@ let rec accept_loop t =
       end
 
 (* ------------------------------------------------------------------ *)
+
+(* Instance-scoped point-in-time state — cache occupancy, generations,
+   WAL epoch/age — is exposed through a registry collector rather than
+   stored cells: it belongs to this server instance and is read fresh at
+   every scrape.  Registered at [start], unregistered at [stop] so a
+   later instance in the same process doesn't double-report. *)
+let collector_samples t () =
+  let session = Planner.session t.planner in
+  let cache = Planner.cache_stats t.planner in
+  let g name help v =
+    {
+      Metrics.name;
+      help;
+      kind = Metrics.K_gauge;
+      labels = [];
+      value = Metrics.Gauge_v v;
+    }
+  in
+  [
+    g "eds_plan_cache_entries" "Plans currently cached" (float_of_int cache.Plan_cache.size);
+    g "eds_plan_cache_capacity" "Plan-cache capacity" (float_of_int cache.Plan_cache.capacity);
+    g "eds_session_generation" "Plan-affecting generation (integrity marker)"
+      (float_of_int (Session.generation session));
+    g "eds_session_data_generation" "Data epoch (integrity marker)"
+      (float_of_int (Session.data_generation session));
+  ]
+  @
+  match t.wal with
+  | None -> []
+  | Some wal ->
+      let ws = Wal.Manager.stats wal in
+      [
+        g "eds_wal_epoch" "WAL checkpoint epoch (integrity marker)"
+          (float_of_int ws.Wal.Manager.epoch);
+        g "eds_wal_checkpoint_age_seconds" "Seconds since boot or last checkpoint"
+          ws.Wal.Manager.checkpoint_age_s;
+      ]
 
 let start ?(config = default_config) ?wal session =
   if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -450,11 +657,13 @@ let start ?(config = default_config) ?wal session =
         conn_threads = [];
         accept_thread = None;
         next_conn = 0;
+        collector = None;
       }
     with e ->
       (try Unix.close fd with _ -> ());
       raise e
   in
+  t.collector <- Some (Metrics.register_collector (collector_samples t));
   t.accept_thread <- Some (Thread.create accept_loop t);
   t
 
@@ -491,6 +700,11 @@ let stop t =
       s)
   in
   if not already then begin
+    (match t.collector with
+    | Some id ->
+        Metrics.unregister_collector id;
+        t.collector <- None
+    | None -> ());
     (* wake the accept loop with a throwaway connection, then close *)
     (try
        let wake = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in

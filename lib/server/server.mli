@@ -29,11 +29,18 @@ type config = {
   backlog : int;  (** kernel accept-queue bound *)
   query_timeout : float option;  (** per-statement budget, seconds *)
   cache_capacity : int;  (** shared plan-cache entries *)
+  slow_query_ms : float option;
+      (** log every request at least this slow (milliseconds); [None]
+          disables the slow-query log *)
+  slow_log : (string -> unit) option;
+      (** sink for slow-query JSON lines (one object per line: query
+          text, total and per-phase latency, cache origin, work
+          counters).  Default: stderr, mutex-protected. *)
 }
 
 val default_config : config
 (** [127.0.0.1:0], 64 connections, backlog 16, 30 s timeout, 256
-    plans. *)
+    plans, no slow-query log. *)
 
 type counters = {
   accepted : int;  (** connections admitted *)

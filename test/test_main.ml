@@ -24,5 +24,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("conformance", Test_conformance.suite);
       ("obs", Test_obs.suite);
+      ("metrics", Test_metrics.suite);
+      ("analyze", Test_analyze.suite);
       ("server", Test_server.suite);
     ]

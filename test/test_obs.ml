@@ -71,17 +71,27 @@ let test_json_float_repr () =
 let test_disabled_noop () =
   isolated @@ fun () ->
   Obs.set_sink None;
+  Obs.reset_metrics ();
   Alcotest.(check bool) "disabled" false (Obs.enabled ());
-  (* every API entry point must be callable and inert with no sink *)
+  (* every tracing entry point must be callable and inert with no sink *)
   Alcotest.(check int) "span is transparent" 7 (Obs.span "s" (fun () -> 7));
   Obs.span_begin "x";
   Obs.span_end "x";
   Obs.instant "i";
   Obs.counter "c" 1.;
   Obs.histogram "h" 2.;
-  (match Obs.metrics () with
-  | Json.Obj [] -> ()
-  | j -> Alcotest.failf "metrics recorded while disabled: %s" (Json.to_string j));
+  (* regression: measurements are never dropped — counters and
+     histograms record even with tracing off (they used to be gated on
+     a sink being installed, silently losing every observation) *)
+  let j = Obs.metrics () in
+  let get name field =
+    Option.bind (Json.member name j) (fun m ->
+        Option.bind (Json.member field m) Json.to_float)
+  in
+  Alcotest.(check (option (float 0.))) "counter recorded without sink" (Some 1.)
+    (get "c" "sum");
+  Alcotest.(check (option (float 0.))) "histogram recorded without sink" (Some 2.)
+    (get "h" "sum");
   let v, events = Obs.with_collector (fun () -> 9) in
   Alcotest.(check int) "collector transparent" 9 v;
   Alcotest.(check int) "no events collected when disabled" 0 (List.length events)

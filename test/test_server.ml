@@ -363,6 +363,126 @@ let test_wire_metrics_json () =
                 | Some n -> n >= 1
                 | None -> false)))
 
+let test_wire_metrics_prom () =
+  with_server (planner_session ()) (fun srv ->
+      with_client srv (fun c ->
+          ignore (Client.request c "SELECT A FROM P");
+          let st, payload = Client.request c "METRICS PROM" in
+          Alcotest.check status "prom ok" Protocol.Ok st;
+          (match Test_metrics.lint_prometheus payload with
+          | [] -> ()
+          | errs ->
+              Alcotest.failf "METRICS PROM fails exposition lint:\n%s"
+                (String.concat "\n" errs));
+          Alcotest.(check bool) "query counter exposed" true
+            (contains ~affix:{|eds_queries_total{verb="select",outcome="ok"}|}
+               payload);
+          Alcotest.(check bool) "latency histogram exposed" true
+            (contains ~affix:"eds_query_duration_seconds_bucket" payload);
+          Alcotest.(check bool) "instance collector exposed" true
+            (contains ~affix:"eds_plan_cache_entries" payload)))
+
+let test_wire_stats_reset () =
+  with_server (planner_session ()) (fun srv ->
+      with_client srv (fun c ->
+          ignore (Client.request c "TABLE Q9 (B : INT)");
+          ignore (Client.request c "SELECT A FROM P");
+          ignore (Client.request c "SELECT A FROM P");
+          let geti payload k =
+            match Eds_obs.Obs.Json.parse (String.trim payload) with
+            | Error e -> Alcotest.failf "METRICS is not JSON: %s" e
+            | Ok json -> (
+                match Eds_obs.Obs.Json.member k json with
+                | Some v -> Eds_obs.Obs.Json.to_int v
+                | None -> None)
+          in
+          let _, before = Client.request c "METRICS" in
+          let gen0 = geti before "session.generation" in
+          let dgen0 = geti before "session.data_generation" in
+          Alcotest.(check bool) "tallies advanced" true
+            (match geti before "server.queries.ok" with
+            | Some n -> n >= 3
+            | None -> false);
+          Alcotest.(check (option int)) "a miss accumulated" (Some 1)
+            (geti before "server.plan_cache.misses");
+          let st, payload = Client.request c "STATS RESET" in
+          Alcotest.check status "stats reset ok" Protocol.Ok st;
+          Alcotest.(check bool) "reset names what survives" true
+            (contains ~affix:"preserved" payload);
+          let _, after = Client.request c "METRICS" in
+          (* the STATS RESET request itself was the only query since *)
+          Alcotest.(check (option int)) "query tally zeroed" (Some 1)
+            (geti after "server.queries.ok");
+          Alcotest.(check (option int)) "cache misses zeroed" (Some 0)
+            (geti after "server.plan_cache.misses");
+          Alcotest.(check (option int)) "cache hits zeroed" (Some 0)
+            (geti after "server.plan_cache.hits");
+          (* integrity markers survive: generations are monotone history *)
+          Alcotest.(check (option int)) "generation preserved" gen0
+            (geti after "session.generation");
+          Alcotest.(check (option int)) "data generation preserved" dgen0
+            (geti after "session.data_generation")))
+
+let test_slow_query_log () =
+  let lines = ref [] in
+  let lock = Mutex.create () in
+  let sink line =
+    Mutex.lock lock;
+    lines := line :: !lines;
+    Mutex.unlock lock
+  in
+  let config =
+    {
+      Server.default_config with
+      slow_query_ms = Some 0.;
+      slow_log = Some sink;
+    }
+  in
+  with_server ~config (planner_session ()) (fun srv ->
+      with_client srv (fun c ->
+          ignore (Client.request c "SELECT A FROM P");
+          ignore (Client.request c "SELECT A FROM P")));
+  let captured = List.rev !lines in
+  Alcotest.(check bool) "slow log captured both queries" true
+    (List.length captured >= 2);
+  List.iter
+    (fun line ->
+      match Eds_obs.Obs.Json.parse line with
+      | Error e -> Alcotest.failf "slow-log line is not JSON (%s): %s" e line
+      | Ok json ->
+          let mem k = Eds_obs.Obs.Json.member k json in
+          Alcotest.(check bool) "has query" true (mem "query" <> None);
+          Alcotest.(check bool) "has total_ms" true (mem "total_ms" <> None);
+          Alcotest.(check bool) "has cache" true (mem "cache" <> None);
+          Alcotest.(check bool) "has rows" true (mem "rows" <> None))
+    captured;
+  (* second execution is a plan-cache hit and says so *)
+  Alcotest.(check bool) "cache origin recorded" true
+    (contains ~affix:{|"cache":"hit"|} (List.nth captured 1))
+
+let test_wire_explain_analyze () =
+  with_server (planner_session ()) (fun srv ->
+      with_client srv (fun c ->
+          let st, payload = Client.request c "EXPLAIN SELECT A FROM P" in
+          Alcotest.check status "explain ok" Protocol.Ok st;
+          Alcotest.(check bool) "shows rewritten plan" true
+            (contains ~affix:"rewritten" payload);
+          let st, payload =
+            Client.request c "EXPLAIN ANALYZE SELECT A FROM P"
+          in
+          Alcotest.check status "explain analyze ok" Protocol.Ok st;
+          Alcotest.(check bool) "analyze header" true
+            (contains ~affix:"EXPLAIN ANALYZE" payload);
+          Alcotest.(check bool) "per-operator rows" true
+            (contains ~affix:"rows=" payload);
+          Alcotest.(check bool) "execution phase" true
+            (contains ~affix:"execution" payload);
+          (* the connection survives an EXPLAIN of a non-SELECT *)
+          let st, _ = Client.request c "EXPLAIN INSERT INTO P VALUES (1)" in
+          Alcotest.check status "explain non-select errors" Protocol.Error st;
+          let st, _ = Client.request c "PING" in
+          Alcotest.check status "still alive" Protocol.Ok st))
+
 (* -- timeouts ------------------------------------------------------------ *)
 
 (* a 60^4 cartesian product under the naive physical layer: far more
@@ -601,6 +721,13 @@ let suite =
       test_wire_cache_and_invalidation;
     Alcotest.test_case "wire: SAVE dump loads back" `Quick test_wire_save_then_load;
     Alcotest.test_case "wire: METRICS is JSON" `Quick test_wire_metrics_json;
+    Alcotest.test_case "wire: METRICS PROM passes exposition lint" `Quick
+      test_wire_metrics_prom;
+    Alcotest.test_case "wire: STATS RESET spares integrity markers" `Quick
+      test_wire_stats_reset;
+    Alcotest.test_case "slow-query log captures structured lines" `Quick
+      test_slow_query_log;
+    Alcotest.test_case "wire: EXPLAIN ANALYZE" `Quick test_wire_explain_analyze;
     Alcotest.test_case "timeout kills query, spares connection" `Quick
       test_query_timeout_spares_connection;
     Alcotest.test_case "back-to-back queries after a timeout" `Quick
