@@ -1154,6 +1154,152 @@ let e6 () =
       ("e6.fig8_rewritten", "Fig. 8 join, rewritten", plan.Session.rewritten);
     ]
 
+(* -- E7: interned, columnar storage — vectorized loops vs boxed ------------ *)
+
+(* The columnar tentpole A/B (DESIGN.md decision 14): the same plans on
+   the same physical layer, boxed tuple loops ([~columnar:false] — the
+   seed implementation, still the counter oracle) against interned
+   columnar chunked loops ([~columnar:true]).  The work counters must be
+   identical — the columnar rewrite changes the representation, not the
+   algorithm — so result+counter parity and columnar-path liveness are
+   gated booleans; the wall-clock and allocation shrinkage is the payoff
+   recorded in EXPERIMENTS.md §E7.  Allocation is measured in kilowords
+   on the sequential layer only (domain-local GC stats make the parallel
+   figure a coordinator-only view) and gated decrease-or-hold: the
+   chunked loops must never start allocating per tuple again. *)
+let e7 () =
+  section "E7" "columnar layout: interned ids + chunked int loops vs boxed";
+  let time f =
+    ignore (f ());
+    (* warm-up: also forces the lazy column build out of the loop *)
+    let reps = 3 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1000.
+  in
+  let alloc_kwords f =
+    (* measured on a fresh domain: Gc.allocated_bytes is domain-local,
+       and a clean domain carries none of the earlier sections' worker
+       threads, so the sequential run's count is exact and repeatable *)
+    Domain.join
+      (Domain.spawn (fun () ->
+           ignore (f ());
+           let b0 = Gc.allocated_bytes () in
+           ignore (f ());
+           int_of_float ((Gc.allocated_bytes () -. b0) /. float_of_int (8 * 1000))))
+  in
+  row "  %-26s %10s %10s %8s %9s %s@." "" "boxed" "columnar" "speedup"
+    "alloc kw" "parity";
+  let compare key label ?domains db q =
+    let physical =
+      match domains with None -> Eval.Physical.Indexed | Some _ -> Eval.Physical.Parallel
+    in
+    let run ~columnar ?stats () =
+      Eval.run ~physical ?domains ?stats ~columnar db q
+    in
+    let sb = Eval.fresh_stats () in
+    let rb = run ~columnar:false ~stats:sb () in
+    let sc = Eval.fresh_stats () in
+    let rc = run ~columnar:true ~stats:sc () in
+    let equal = Relation.equal rb rc in
+    let counters_equal =
+      sb.Eval.combinations = sc.Eval.combinations
+      && sb.Eval.probes = sc.Eval.probes
+      && sb.Eval.builds = sc.Eval.builds
+      && sb.Eval.tuples_produced = sc.Eval.tuples_produced
+    in
+    let columnar_live = sc.Eval.columnar_ops > 0 in
+    let t_boxed = time (fun () -> run ~columnar:false ()) in
+    let t_col = time (fun () -> run ~columnar:true ()) in
+    let speedup = t_boxed /. t_col in
+    metric_int (key ^ ".combinations") sc.Eval.combinations;
+    metric_int (key ^ ".probes") sc.Eval.probes;
+    metric_int (key ^ ".builds") sc.Eval.builds;
+    metric_bool (key ^ ".equal") equal;
+    metric_bool (key ^ ".counters_equal") counters_equal;
+    metric_bool (key ^ ".columnar_live") columnar_live;
+    metric_float (key ^ ".boxed_ms") t_boxed;
+    metric_float (key ^ ".columnar_ms") t_col;
+    metric_float (key ^ ".speedup") speedup;
+    let alloc_note =
+      match domains with
+      | Some _ -> ""
+      | None ->
+        let a_boxed = alloc_kwords (fun () -> run ~columnar:false ()) in
+        let a_col = alloc_kwords (fun () -> run ~columnar:true ()) in
+        (* the columnar count is exactly repeatable (chunked int loops,
+           no hash-bucket shape sensitivity) and gated decrease-or-hold;
+           the boxed baseline is bimodal across processes (hash-table
+           growth interacts with minor-heap phase), so it is reported
+           under a non-gated key and only the 2x-margin shrink claim is
+           asserted *)
+        metric_int (key ^ ".boxed_heap_kwords") a_boxed;
+        metric_int (key ^ ".columnar_alloc_kwords") a_col;
+        metric_bool (key ^ ".alloc_shrinks") (2 * a_col <= a_boxed);
+        Fmt.str "%4d→%-4d" a_boxed a_col
+    in
+    row "  %-26s %8.2fms %8.2fms %7.1fx %9s equal %b, counters %b, live %b@."
+      label t_boxed t_col speedup alloc_note equal counters_equal columnar_live;
+    speedup
+  in
+  (* the E2 chain join at its bench sizes: counter-parity evidence *)
+  ignore (compare "e7.chain40" "R⋈S⋈T, size 40" (Workloads.chain_join_db ~size:40)
+            Workloads.chain_join_query);
+  (* the E3 fat-intermediate chain: the hot-loop payoff, sequential and
+     parallel *)
+  let big = Workloads.par_chain_db ~size:2000 ~fan:50 in
+  let s_chain =
+    compare "e7.chain2000_fan50" "chain 2000 fan 50"
+      big Workloads.par_chain_query
+  in
+  let s_par =
+    compare "e7.par_chain2000_d4" "chain 2000 fan 50, d=4" ~domains:4 big
+      Workloads.par_chain_query
+  in
+  (* a Figure-8-shaped selective join over interned CHAR columns: FILM ⋈
+     APPEARS_IN with a selective Title probe, every title distinct so the
+     intern table carries real weight *)
+  let module Vtype = Eds_value.Vtype in
+  let films = 4000 in
+  let fig8_db =
+    let db = Database.create () in
+    Database.add_relation db "FILM8"
+      (Relation.make
+         [ ("Numf", Vtype.Int); ("Title", Vtype.String) ]
+         (List.init films (fun i ->
+              [ Value.Int i; Value.Str (Fmt.str "e7film-%d" i) ])));
+    Database.add_relation db "APPEARS8"
+      (Relation.make
+         [ ("Numf", Vtype.Int); ("Actor", Vtype.String) ]
+         (List.concat_map
+            (fun i ->
+              List.init 5 (fun j ->
+                  [ Value.Int i; Value.Str (Fmt.str "e7actor-%d" ((i + j) mod 97)) ]))
+            (List.init films Fun.id)));
+    db
+  in
+  let fig8_q =
+    Lera.Search
+      ( [ Lera.Base "FILM8"; Lera.Base "APPEARS8" ],
+        Lera.conj
+          [
+            Lera.eq (Lera.col 1 1) (Lera.col 2 1);
+            Lera.eq (Lera.col 2 2) (Lera.Cst (Value.Str "e7actor-13"));
+          ],
+        [ Lera.col 1 2 ] )
+  in
+  let s_fig8 = compare "e7.fig8" "Fig. 8 interned CHAR join" fig8_db fig8_q in
+  metric_int "e7.interned_strings" (Eds_value.Intern.size ());
+  row "  intern table: %d distinct strings@." (Eds_value.Intern.size ());
+  (* the headline gate: the hot loops must hold a 5x margin on at least
+     one of the heavy workloads (chain-2000 sequential/parallel, fig8) *)
+  let best = Float.max s_fig8 (Float.max s_chain s_par) in
+  metric_float "e7.best_speedup" best;
+  metric_bool "e7.speedup_ge_5" (best >= 5.0);
+  row "  best columnar speedup: %.1fx (gate: >= 5x)@." best
+
 let all () =
   Fmt.pr "EDS rule-based query rewriter — experiment report (per-figure)@.";
   Fmt.pr "paper: Finance & Gardarin, ICDE 1991 (no measured tables: each@.";
@@ -1174,6 +1320,7 @@ let all () =
   e4 ();
   e5 ();
   e6 ();
+  e7 ();
   c1 ();
   c2 ();
   c3 ();

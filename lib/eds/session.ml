@@ -403,6 +403,7 @@ let reset_stats s =
   es.Eval.builds <- 0;
   es.Eval.fix_cache_hits <- 0;
   es.Eval.fix_cache_misses <- 0;
+  es.Eval.columnar_ops <- 0;
   s.statements_run <- 0;
   s.last_rewrite_stats <- None
 

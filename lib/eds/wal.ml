@@ -45,6 +45,15 @@ let m_checkpoints =
   Metrics.counter ~help:"Checkpoints taken" ~permanent:true
     "eds_wal_checkpoints_total"
 
+(* group commit: [fsyncs ≤ commits] always; the gap is the batching win *)
+let m_fsyncs =
+  Metrics.counter ~help:"WAL fsyncs performed (group commit batches commits)"
+    ~permanent:true "eds_wal_fsyncs_total"
+
+let m_commits =
+  Metrics.counter ~help:"Commits acknowledged durable by the WAL"
+    ~permanent:true "eds_wal_commits_total"
+
 (* -- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) ---------------------- *)
 
 let crc_table =
@@ -136,9 +145,21 @@ type t = {
   fd : Unix.file_descr;
   wal_path : string;
   sync : bool;
-  lock : Mutex.t;
+  lock : Mutex.t;  (* serializes appends and truncation *)
   mutable records : int;  (* intact records currently in the file *)
   mutable bytes : int;  (* bytes of intact frames currently in the file *)
+  (* group commit state.  [seq] is a monotone append watermark
+     (incremented under [lock], never reset); [synced] is the highest
+     watermark known durable.  One committer at a time elects itself
+     fsync leader; the others wait on [cond] and are acknowledged in
+     bulk when the leader's single fsync covers their watermark. *)
+  sync_lock : Mutex.t;
+  cond : Condition.t;
+  mutable seq : int;
+  mutable synced : int;
+  mutable leader : bool;  (* an fsync is in flight *)
+  mutable n_fsyncs : int;
+  mutable n_commits : int;
 }
 
 let write_all fd b =
@@ -162,6 +183,13 @@ let open_log ?(sync = true) path =
       lock = Mutex.create ();
       records = applied;
       bytes = valid_bytes;
+      sync_lock = Mutex.create ();
+      cond = Condition.create ();
+      seq = 0;
+      synced = 0;
+      leader = false;
+      n_fsyncs = 0;
+      n_commits = 0;
     }
   | exception e ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -171,29 +199,103 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let append t payload =
+(* Write one frame without waiting for durability; returns the append
+   watermark to hand to {!sync_to} once the caller is ready to commit
+   (typically after releasing whatever coarse lock serialized it). *)
+let append_nosync t payload =
   locked t (fun () ->
       let b = frame payload in
       write_all t.fd b;
-      if t.sync then begin
-        let t0 = Unix.gettimeofday () in
-        Unix.fsync t.fd;
-        Metrics.Histogram.observe m_fsync (Unix.gettimeofday () -. t0)
-      end;
       t.records <- t.records + 1;
       t.bytes <- t.bytes + Bytes.length b;
+      t.seq <- t.seq + 1;
       Metrics.Counter.incr m_records;
-      Metrics.Counter.add m_bytes (Bytes.length b))
+      Metrics.Counter.add m_bytes (Bytes.length b);
+      t.seq)
 
-let fsync t = locked t (fun () -> Unix.fsync t.fd)
+let do_fsync t =
+  let t0 = Unix.gettimeofday () in
+  Unix.fsync t.fd;
+  Metrics.Histogram.observe m_fsync (Unix.gettimeofday () -. t0);
+  Metrics.Counter.incr m_fsyncs
+
+(* Group commit: make everything up to watermark [w] durable with as
+   few fsyncs as the arrival pattern allows.  The first committer to
+   find no fsync in flight becomes leader; before syncing it takes the
+   append lock once — waiting out any in-flight append, so the batch
+   absorbs every record already written — reads the current watermark,
+   and its single fsync then covers every waiter at or below it.
+   Waiters blocked on [cond] re-check after each broadcast and a
+   late-arriving one simply becomes the next leader.  On a log opened
+   with [~sync:false] this only counts the commit. *)
+let sync_to t w =
+  Mutex.lock t.sync_lock;
+  if t.sync then begin
+    let rec ensure () =
+      if t.synced >= w then ()
+      else if t.leader then begin
+        Condition.wait t.cond t.sync_lock;
+        ensure ()
+      end
+      else begin
+        t.leader <- true;
+        Mutex.unlock t.sync_lock;
+        let finish () =
+          Mutex.lock t.sync_lock;
+          t.leader <- false;
+          Condition.broadcast t.cond
+        in
+        (match locked t (fun () -> t.seq) with
+         | target ->
+           (match do_fsync t with
+            | () ->
+              finish ();
+              t.n_fsyncs <- t.n_fsyncs + 1;
+              if target > t.synced then t.synced <- target
+            | exception e -> finish (); Mutex.unlock t.sync_lock; raise e)
+         | exception e -> finish (); Mutex.unlock t.sync_lock; raise e);
+        ensure ()
+      end
+    in
+    ensure ()
+  end;
+  t.n_commits <- t.n_commits + 1;
+  Metrics.Counter.incr m_commits;
+  Mutex.unlock t.sync_lock
+
+(* durable on return, batching with any concurrent committer *)
+let append t payload = sync_to t (append_nosync t payload)
+
+let fsync t =
+  let w =
+    locked t (fun () ->
+        Unix.fsync t.fd;
+        t.seq)
+  in
+  Mutex.lock t.sync_lock;
+  if w > t.synced then t.synced <- w;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.sync_lock
 
 let reset t =
-  locked t (fun () ->
-      Unix.ftruncate t.fd 0;
-      ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
-      Unix.fsync t.fd;
-      t.records <- 0;
-      t.bytes <- 0)
+  let w =
+    locked t (fun () ->
+        Unix.ftruncate t.fd 0;
+        ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+        Unix.fsync t.fd;
+        t.records <- 0;
+        t.bytes <- 0;
+        t.seq)
+  in
+  (* everything at or below the truncation point is accounted for by
+     the checkpoint that triggered the reset: release any waiter *)
+  Mutex.lock t.sync_lock;
+  if w > t.synced then t.synced <- w;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.sync_lock
+
+let fsyncs t = t.n_fsyncs
+let commits t = t.n_commits
 
 let records t = t.records
 let bytes t = t.bytes
@@ -241,6 +343,8 @@ module Manager = struct
     epoch : int;
     replayed : int;
     checkpoint_age_s : float;
+    fsyncs : int;  (** fsyncs performed on this log since open *)
+    commits : int;  (** commits acknowledged durable since open *)
   }
 
   let recover ?(sync = true) ~db () =
@@ -293,6 +397,8 @@ module Manager = struct
     (session, handle, !replayed)
 
   let log h stmt = append h.wal stmt
+  let log_nosync h stmt = append_nosync h.wal stmt
+  let sync h w = sync_to h.wal w
 
   let checkpoint (h : handle) session =
     let next = h.epoch + 1 in
@@ -313,6 +419,8 @@ module Manager = struct
       epoch = h.epoch;
       replayed = h.replayed;
       checkpoint_age_s = Unix.gettimeofday () -. h.last_checkpoint;
+      fsyncs = fsyncs h.wal;
+      commits = commits h.wal;
     }
 
   let db_path h = h.db_path

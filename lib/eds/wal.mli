@@ -28,11 +28,38 @@ val open_log : ?sync:bool -> string -> t
     [sync] (default [true]) makes every {!append} fsync. *)
 
 val append : t -> string -> unit
-(** Frame, write, flush — and fsync when the log is in sync mode.
-    Thread-safe.  Raises {!Wal_error} on oversized payloads. *)
+(** Frame, write, flush — and, when the log is in sync mode, wait for
+    durability through the group-commit machinery (equivalent to
+    {!append_nosync} followed by {!sync_to}, so concurrent appenders
+    share fsyncs).  Thread-safe.  Raises {!Wal_error} on oversized
+    payloads. *)
+
+val append_nosync : t -> string -> int
+(** Frame, write, flush — but do {e not} wait for durability.  Returns
+    the record's append watermark; the statement may only be
+    acknowledged after [sync_to] with that watermark returns.  Use this
+    to keep the fsync wait outside whatever coarse lock serializes
+    appends, so concurrent committers batch into one fsync. *)
+
+val sync_to : t -> int -> unit
+(** [sync_to t w] blocks until every record at or below watermark [w]
+    is durable.  Concurrent callers elect one fsync leader: the leader
+    waits out any in-flight append (so the batch absorbs every record
+    already written), issues a single fsync covering the current
+    watermark, and wakes every waiting committer it covered — [n]
+    concurrent commits cost one or two fsyncs, not [n].  On a log
+    opened with [~sync:false] this returns immediately (it still counts
+    the commit). *)
 
 val fsync : t -> unit
 (** Explicit durability point for logs opened with [~sync:false]. *)
+
+val fsyncs : t -> int
+(** Fsyncs performed on this log since open (group commit makes this
+    lag {!commits} under concurrency). *)
+
+val commits : t -> int
+(** Commits acknowledged durable ({!append} / {!sync_to} returns). *)
 
 val reset : t -> unit
 (** Truncate to empty (the checkpoint compaction step). *)
@@ -79,6 +106,15 @@ module Manager : sig
       sync mode).  Call only after the statement has been applied
       successfully — failed statements must not replay. *)
 
+  val log_nosync : handle -> string -> int
+  (** {!Wal.append_nosync} on the managed log: append without waiting,
+      returning the watermark for {!sync}.  Lets a server append inside
+      its write lock (log order = commit order) but wait for the fsync
+      after releasing it, so concurrent writers group-commit. *)
+
+  val sync : handle -> int -> unit
+  (** {!Wal.sync_to} on the managed log. *)
+
   val checkpoint : handle -> Session.t -> unit
   (** Compact: atomically write the session dump to the database path
       (tagged with the next epoch), then truncate the log.  A crash
@@ -91,6 +127,8 @@ module Manager : sig
     epoch : int;
     replayed : int;  (** statements re-executed by {!recover} *)
     checkpoint_age_s : float;  (** seconds since boot or last checkpoint *)
+    fsyncs : int;  (** fsyncs since open; [fsyncs ≤ commits] always *)
+    commits : int;  (** commits acknowledged durable since open *)
   }
 
   val stats : handle -> stats

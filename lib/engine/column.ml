@@ -1,0 +1,352 @@
+(* Typed columnar shadow of a relation plus the two engines that run
+   over it: a flat chained hash index (join build/probe, whole-row
+   membership) and a compiler from LERA scalar predicates to
+   allocation-free row predicates.  See column.mli for the contract;
+   the invariant that matters throughout is *flavor purity*: a column
+   holds exactly one Value constructor, so cell comparisons reduce to
+   Int.compare / Float.compare / String.compare — the same result
+   Value.compare gives on those constructor pairs. *)
+
+module Value = Eds_value.Value
+module Intern = Eds_value.Intern
+module Adt = Eds_value.Adt
+module Lera = Eds_lera.Lera
+
+type col =
+  | Ints of int array
+  | Oids of int array
+  | Ids of int array
+  | Floats of float array
+
+type flavor = F_int | F_oid | F_id | F_float
+
+type table = {
+  nrows : int;
+  cols : col array;
+}
+
+let chunk_rows = 1024
+
+let enabled_flag =
+  let init =
+    match Sys.getenv_opt "EDS_COLUMNAR" with Some "0" -> false | _ -> true
+  in
+  Atomic.make init
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let flavor = function
+  | Ints _ -> F_int
+  | Oids _ -> F_oid
+  | Ids _ -> F_id
+  | Floats _ -> F_float
+
+let flavors_equal a b =
+  Array.length a.cols = Array.length b.cols
+  && Array.for_all2 (fun ca cb -> flavor ca = flavor cb) a.cols b.cols
+
+(* -- building from boxed tuples ------------------------------------------- *)
+
+exception Bail
+
+let of_tuples ~arity nrows tuples =
+  if arity = 0 || nrows = 0 then None
+  else
+    match tuples with
+    | [] -> None
+    | first :: _ -> (
+      try
+        let cols =
+          Array.of_list
+            (List.map
+               (function
+                 | Value.Int _ -> Ints (Array.make nrows 0)
+                 | Value.Oid _ -> Oids (Array.make nrows 0)
+                 | Value.Str _ -> Ids (Array.make nrows 0)
+                 | Value.Real _ -> Floats (Array.make nrows 0.)
+                 | Value.Null | Value.Bool _ | Value.Enum _ | Value.Tuple _
+                 | Value.Set _ | Value.Bag _ | Value.List _ | Value.Array _ ->
+                   raise Bail)
+               first)
+        in
+        if Array.length cols <> arity then raise Bail;
+        let r = ref 0 in
+        List.iter
+          (fun tup ->
+            let i = !r in
+            List.iteri
+              (fun j v ->
+                match cols.(j), v with
+                | Ints a, Value.Int x -> a.(i) <- x
+                | Oids a, Value.Oid x -> a.(i) <- x
+                | Ids a, Value.Str s -> a.(i) <- Intern.id_of_string s
+                | Floats a, Value.Real x -> a.(i) <- x
+                | (Ints _ | Oids _ | Ids _ | Floats _), _ -> raise Bail)
+              tup;
+            incr r)
+          tuples;
+        Some { nrows; cols }
+      with Bail -> None)
+
+(* -- materializing back to boxed values ------------------------------------ *)
+
+let value_at t ~row ~col =
+  match t.cols.(col) with
+  | Ints a -> Value.Int a.(row)
+  | Oids a -> Value.Oid a.(row)
+  | Ids a -> Value.Str (Intern.string_of_id a.(row))
+  | Floats a -> Value.Real a.(row)
+
+let tuple_at t row =
+  List.init (Array.length t.cols) (fun col -> value_at t ~row ~col)
+
+(* -- cell comparison ------------------------------------------------------- *)
+
+let cell_equal ca i cb j =
+  match ca, cb with
+  | Ints a, Ints b | Oids a, Oids b | Ids a, Ids b -> a.(i) = b.(j)
+  | Floats a, Floats b -> Float.compare a.(i) b.(j) = 0
+  | (Ints _ | Oids _ | Ids _ | Floats _), _ -> false
+
+(* Packed int for hashing only (equality always goes through
+   [cell_equal]): equal cells must pack equally, so -0. is normalized
+   to +0. and every NaN to one canonical pattern; the 64->63 bit
+   truncation can only cause extra hash collisions, never missed
+   matches. *)
+let float_key x =
+  if Float.is_nan x then 0x7FF8_0000_0000_0001
+  else Int64.to_int (Int64.bits_of_float (x +. 0.))
+
+let cell_key c i =
+  match c with
+  | Ints a | Oids a | Ids a -> a.(i)
+  | Floats a -> float_key a.(i)
+
+(* -- flat chained hash index ----------------------------------------------- *)
+
+module Index = struct
+  type t = {
+    key : col array;  (** resolved build-side key columns *)
+    mask : int;
+    heads : int array;
+    next : int array;
+  }
+
+  let mix h =
+    let h = h * 0x9E3779B1 in
+    (h lxor (h lsr 16)) land max_int
+
+  (* hash of the build key at row [r]: every key cell is read at [r] *)
+  let hash_build key r =
+    let h = ref 23 in
+    Array.iter (fun c -> h := (!h * 31) + cell_key c r) key;
+    mix !h
+
+  (* hash of a probe key given per-cell rows; folds [cell_key] exactly
+     like [hash_build], so equal cells hash equally across the two *)
+  let hash_probe key rows =
+    let h = ref 23 in
+    for e = 0 to Array.length key - 1 do
+      h := (!h * 31) + cell_key key.(e) rows.(e)
+    done;
+    mix !h
+
+  let bucket_count n =
+    let want = max 16 (2 * n) in
+    let b = ref 16 in
+    while !b < want do
+      b := !b * 2
+    done;
+    !b
+
+  let build ?on_build tbl ~key_cols =
+    let key = Array.map (fun c -> tbl.cols.(c)) key_cols in
+    let n = tbl.nrows in
+    let mask = bucket_count n - 1 in
+    let heads = Array.make (mask + 1) (-1) in
+    let next = Array.make (max 1 n) (-1) in
+    for r = 0 to n - 1 do
+      let b = hash_build key r land mask in
+      next.(r) <- heads.(b);
+      heads.(b) <- r;
+      match on_build with Some f -> f () | None -> ()
+    done;
+    { key; mask; heads; next }
+
+  let matches t key rows r =
+    let nk = Array.length t.key in
+    let ok = ref true in
+    let e = ref 0 in
+    while !ok && !e < nk do
+      if not (cell_equal t.key.(!e) r key.(!e) rows.(!e)) then ok := false;
+      incr e
+    done;
+    !ok
+
+  let rec scan t key rows r =
+    if r < 0 then -1
+    else if matches t key rows r then r
+    else scan t key rows t.next.(r)
+
+  let first t ~key ~rows = scan t key rows t.heads.(hash_probe key rows land t.mask)
+  let next t ~key ~rows r = scan t key rows t.next.(r)
+end
+
+(* -- predicate compiler ---------------------------------------------------- *)
+
+module Pred = struct
+  type t =
+    | Always
+    | Rows of (int array -> bool)
+    | Opaque
+
+  (* The six comparison operators live in the ADT registry and can be
+     shadowed by a user-registered function of the same name; compiled
+     code must only stand in for the *builtin* entries.  Adt.builtins
+     re-registers the same physically-shared entry records on every
+     call, so physical equality against a reference registry detects
+     shadowing exactly. *)
+  let reference = lazy (Adt.builtins ())
+
+  let is_builtin adts op =
+    match Adt.find adts op, Adt.find (Lazy.force reference) op with
+    | Some a, Some b -> a == b
+    | (Some _ | None), _ -> false
+
+  let tests =
+    [
+      ("=", fun c -> c = 0);
+      ("<>", fun c -> c <> 0);
+      ("<", fun c -> c < 0);
+      ("<=", fun c -> c <= 0);
+      (">", fun c -> c > 0);
+      (">=", fun c -> c >= 0);
+    ]
+
+  type getter =
+    | G_int of (int array -> int)
+    | G_oid of (int array -> int)
+    | G_str of (int array -> string)
+    | G_float of (int array -> float)
+
+  let rank_g = function
+    | G_int _ | G_float _ -> 2
+    | G_str _ -> 3
+    | G_oid _ -> 5
+
+  (* comparator matching Value.compare on the covered constructor
+     pairs; None when the ranks differ (constant outcome) *)
+  let cmp_of ga gb =
+    match ga, gb with
+    | G_int f, G_int g -> Some (fun rows -> Int.compare (f rows) (g rows))
+    | G_int f, G_float g ->
+      Some (fun rows -> Float.compare (float_of_int (f rows)) (g rows))
+    | G_float f, G_int g ->
+      Some (fun rows -> Float.compare (f rows) (float_of_int (g rows)))
+    | G_float f, G_float g -> Some (fun rows -> Float.compare (f rows) (g rows))
+    | G_str f, G_str g -> Some (fun rows -> String.compare (f rows) (g rows))
+    | G_oid f, G_oid g -> Some (fun rows -> Int.compare (f rows) (g rows))
+    | (G_int _ | G_oid _ | G_str _ | G_float _), _ -> None
+
+  (* a side of a comparison: a typed accessor, a constant whose rank
+     settles the outcome against any column, or not compilable *)
+  let side tables s =
+    match s with
+    | Lera.Col (i, j) -> (
+      let k = i - 1 and c = j - 1 in
+      if k < 0 || k >= Array.length tables then `Bad
+      else
+        let t = tables.(k) in
+        if c < 0 || c >= Array.length t.cols then `Bad
+        else
+          `G
+            (match t.cols.(c) with
+            | Ints a -> G_int (fun rows -> a.(rows.(k)))
+            | Oids a -> G_oid (fun rows -> a.(rows.(k)))
+            | Ids a -> G_str (fun rows -> Intern.string_of_id a.(rows.(k)))
+            | Floats a -> G_float (fun rows -> a.(rows.(k)))))
+    | Lera.Cst v when Value.is_collection v -> `Bad
+    | Lera.Cst v -> (
+      match v with
+      | Value.Int x -> `G (G_int (fun _ -> x))
+      | Value.Real x -> `G (G_float (fun _ -> x))
+      | Value.Str s -> `G (G_str (fun _ -> s))
+      | Value.Enum (_, l) -> `G (G_str (fun _ -> l))
+      | Value.Oid x -> `G (G_oid (fun _ -> x))
+      | Value.Null | Value.Bool _ | Value.Tuple _ -> `Rank (Value.rank v)
+      | Value.Set _ | Value.Bag _ | Value.List _ | Value.Array _ -> `Bad)
+    | Lera.Call _ -> `Bad
+
+  let atom tables a b =
+    match a, b with
+    | Lera.Cst u, Lera.Cst v ->
+      if Value.is_collection u || Value.is_collection v then `Bad
+      else `Const (Value.compare u v)
+    | _ -> (
+      match side tables a, side tables b with
+      | `G ga, `G gb -> (
+        match cmp_of ga gb with
+        | Some f -> `Cmp f
+        | None -> `Const (Int.compare (rank_g ga) (rank_g gb)))
+      | `Rank ra, `G gb -> `Const (Int.compare ra (rank_g gb))
+      | `G ga, `Rank rb -> `Const (Int.compare (rank_g ga) rb)
+      | `Rank ra, `Rank rb -> `Const (Int.compare ra rb)
+      | `Bad, _ | _, `Bad -> `Bad)
+
+  let is_opaque = function `O -> true | `T | `F | `P _ -> false
+  let is_false = function `F -> true | `T | `O | `P _ -> false
+  let is_true = function `T -> true | `F | `O | `P _ -> false
+  let pred_of = function `P f -> Some f | `T | `F | `O -> None
+
+  let compile ~adts tables q =
+    let rec comp q =
+      match q with
+      | Lera.Cst (Value.Bool true) -> `T
+      | Lera.Cst (Value.Bool false) -> `F
+      (* eval_bool maps Null to false without erroring *)
+      | Lera.Cst Value.Null -> `F
+      | Lera.Cst _ -> `O
+      | Lera.Call ("and", args) -> (
+        (* matches the evaluator's special form exactly (literal,
+           case-sensitive "and"); all compiled conjuncts are pure and
+           total, so dropping short-circuit order is unobservable *)
+        let cs = List.map comp args in
+        if List.exists is_opaque cs then `O
+        else if List.exists is_false cs then `F
+        else
+          match List.filter_map pred_of cs with
+          | [] -> `T
+          | [ f ] -> `P f
+          | fs -> `P (fun rows -> List.for_all (fun f -> f rows) fs))
+      | Lera.Call ("or", args) -> (
+        let cs = List.map comp args in
+        if List.exists is_opaque cs then `O
+        else if List.exists is_true cs then `T
+        else
+          match List.filter_map pred_of cs with
+          | [] -> `F
+          | [ f ] -> `P f
+          | fs -> `P (fun rows -> List.exists (fun f -> f rows) fs))
+      | Lera.Call ("not", [ a ]) -> (
+        match comp a with
+        | `T -> `F
+        | `F -> `T
+        | `P f -> `P (fun rows -> not (f rows))
+        | `O -> `O)
+      | Lera.Call (op, [ a; b ]) -> (
+        match List.assoc_opt op tests with
+        | Some test when is_builtin adts op -> (
+          match atom tables a b with
+          | `Const c -> if test c then `T else `F
+          | `Cmp f -> `P (fun rows -> test (f rows))
+          | `Bad -> `O)
+        | Some _ | None -> `O)
+      | Lera.Call _ | Lera.Col _ -> `O
+    in
+    match comp q with
+    | `T -> Always
+    | `F -> Rows (fun _ -> false)
+    | `P f -> Rows f
+    | `O -> Opaque
+end

@@ -1,0 +1,127 @@
+(** Typed columnar view of a relation (the vectorized execution layer).
+
+    A relation whose tuples are made exclusively of [Int], [Oid], [Str]
+    and [Real] scalars — one constructor per column — can be shadowed by
+    a {!table}: one typed array per column, strings replaced by their
+    {!Eds_value.Intern} ids.  The hot loops of the Indexed and Parallel
+    layers (hash-join build/probe, filter, semi-naive freshness) then
+    run over plain [int]/[float] arrays with no boxed [Value.t] in the
+    inner loop; boxed tuples are materialized only at result-construction
+    and Obs boundaries.
+
+    The boxed sorted tuple list of {!Relation} stays the canonical
+    identity — a table is always {e derived} from it, never the other
+    way around, so set semantics, rendering and storage are untouched.
+
+    Fallback rules (all-or-nothing per relation): any [Null], [Bool],
+    [Enum], [Tuple], collection value, or a column mixing constructors
+    makes {!of_tuples} return [None] and execution falls back to the
+    boxed paths.  [Enum] is excluded because a bare interned label would
+    lose the type name that rendering preserves. *)
+
+module Value = Eds_value.Value
+
+type col =
+  | Ints of int array
+  | Oids of int array
+  | Ids of int array  (** interned [Str] labels, see {!Eds_value.Intern} *)
+  | Floats of float array
+
+type flavor = F_int | F_oid | F_id | F_float
+
+type table = {
+  nrows : int;
+  cols : col array;  (** all of length [nrows] *)
+}
+
+val chunk_rows : int
+(** Row granularity of chunked (vectorized) loops: 1024. *)
+
+val enabled : unit -> bool
+(** Default for the evaluator's [~columnar] switch.  Initialized from
+    the [EDS_COLUMNAR] environment variable ([0] disables; anything
+    else, or unset, enables). *)
+
+val set_enabled : bool -> unit
+
+val flavor : col -> flavor
+
+val flavors_equal : table -> table -> bool
+(** Same width and column-wise same flavor — the precondition for
+    whole-row columnar membership (diff/inter/freshness): within equal
+    flavors, cell equality coincides with [Value.compare = 0], while
+    across flavors boxed cross-equalities (Int/Real) could apply. *)
+
+val of_tuples : arity:int -> int -> Value.t list list -> table option
+(** [of_tuples ~arity nrows tuples] builds the columnar shadow of a
+    width-[arity] tuple list, or [None] under the fallback rules above
+    (also for [nrows = 0] or [arity = 0]).  Row order is preserved.
+    Interns every string cell. *)
+
+val value_at : table -> row:int -> col:int -> Value.t
+(** Materialize one cell ([Str] cells share the interned string). *)
+
+val tuple_at : table -> int -> Value.t list
+(** Materialize one boxed row. *)
+
+val cell_equal : col -> int -> col -> int -> bool
+(** [cell_equal ca i cb j]: [Value.compare]-equality of two cells,
+    [false] across flavors (callers gate with {!flavors_equal} or the
+    join planner's flavor check first).  Float cells follow
+    [Float.compare]: NaN equals NaN, [-0. = 0.]. *)
+
+(** Flat chained hash index over selected key columns of one table.
+    Build is sequential; probes are lock-free reads, safe from any
+    domain once built.  A probe key is given as parallel arrays
+    [key]/[rows]: cell [e] of the key is [key.(e)] at row [rows.(e)], so
+    a join key spanning several operands probes without materializing
+    anything.  The cursor protocol is allocation-free:
+
+    {[
+      let r = ref (Index.first idx ~key ~rows) in
+      while !r >= 0 do
+        ...consume matching row !r of the indexed table...;
+        r := Index.next idx ~key ~rows !r
+      done
+    ]}
+
+    Probe cells must have the same flavor as the corresponding build
+    key column (gate with {!flavors_equal} or a per-edge flavor check):
+    across flavors, cell equality is [false] while the boxed paths
+    apply [Value.compare]'s Int/Real cross-equality. *)
+module Index : sig
+  type t
+
+  val build : ?on_build:(unit -> unit) -> table -> key_cols:int array -> t
+  (** Index rows [0 .. nrows-1] on the given columns; [on_build] fires
+      once per row inserted (the build-side work counter). *)
+
+  val first : t -> key:col array -> rows:int array -> int
+  (** First indexed row whose build-key cells equal the probe cells
+      (same order as [key_cols] at build), or [-1]. *)
+
+  val next : t -> key:col array -> rows:int array -> int -> int
+  (** Next match after a row returned by {!first}/[next], or [-1];
+      [key]/[rows] must be unchanged since {!first}. *)
+end
+
+(** Compiler from LERA scalar predicates to allocation-free row
+    predicates over columnar operands. *)
+module Pred : sig
+  type t =
+    | Always  (** constant true — no per-row work at all *)
+    | Rows of (int array -> bool)
+        (** [rows.(k)] is the current row of operand [k+1] *)
+    | Opaque
+        (** not compilable (or could raise, or a comparison operator was
+            overridden in the ADT registry) — use the boxed evaluator *)
+
+  val compile : adts:Eds_value.Adt.registry -> table array -> Eds_lera.Lera.scalar -> t
+  (** Compiles conjunctions/disjunctions/negations of the six builtin
+      comparison operators over [Col]/[Cst] sides.  Semantics replicate
+      the boxed path bit-for-bit ([test (Value.compare a b)] with
+      [to_bool] at the top); every shape whose boxed evaluation could
+      raise, touch a collection broadcast, or hit a user-overridden
+      operator compiles to [Opaque] so the fallback raises or evaluates
+      identically. *)
+end

@@ -166,3 +166,11 @@ let default_size () =
     | Some n when n >= 1 -> clamp 1 64 n
     | Some _ | None -> 1)
   | None -> clamp 1 8 (Domain.recommended_domain_count ())
+
+(* The one chunking rule shared by every fan-out site (joins, scans,
+   columnar loops): small inputs stay sequential, larger ones split
+   into at most [slots] contiguous chunks of at least [min_chunk]
+   items.  Pure in [(slots, min_chunk, n)], so the split — and with it
+   the per-slot counter attribution — is deterministic. *)
+let chunk_count ~slots ~min_chunk n =
+  if slots <= 1 || n < 2 * min_chunk then 1 else min slots (n / min_chunk)

@@ -48,3 +48,10 @@ val default_size : unit -> int
     [EDS_DOMAINS] environment variable if set to a positive integer,
     otherwise [Domain.recommended_domain_count ()], clamped to
     [\[1, 8\]]. *)
+
+val chunk_count : slots:int -> min_chunk:int -> int -> int
+(** [chunk_count ~slots ~min_chunk n]: how many contiguous chunks to
+    cut [n] items into — [1] (stay sequential) when [slots <= 1] or
+    [n < 2 * min_chunk], else [min slots (n / min_chunk)].  The shared
+    chunking rule of every fan-out site, pure in its arguments, so a
+    fixed pool size always yields the same deterministic split. *)

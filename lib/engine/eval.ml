@@ -34,6 +34,10 @@ let m_fix_misses =
   Metrics.counter ~help:"Closed fixpoints actually computed"
     "eds_eval_fix_cache_misses_total"
 
+let m_columnar =
+  Metrics.counter ~help:"Operator evaluations that took a columnar fast path"
+    "eds_eval_columnar_ops_total"
+
 type stats = {
   mutable combinations : int;
   mutable tuples_read : int;
@@ -43,6 +47,9 @@ type stats = {
   mutable builds : int;
   mutable fix_cache_hits : int;
   mutable fix_cache_misses : int;
+  mutable columnar_ops : int;
+      (** operator evaluations that ran vectorized; every other field is
+          identical between the boxed and columnar paths by construction *)
 }
 
 let fresh_stats () =
@@ -55,6 +62,7 @@ let fresh_stats () =
     builds = 0;
     fix_cache_hits = 0;
     fix_cache_misses = 0;
+    columnar_ops = 0;
   }
 
 let add_stats acc s =
@@ -65,15 +73,17 @@ let add_stats acc s =
   acc.probes <- acc.probes + s.probes;
   acc.builds <- acc.builds + s.builds;
   acc.fix_cache_hits <- acc.fix_cache_hits + s.fix_cache_hits;
-  acc.fix_cache_misses <- acc.fix_cache_misses + s.fix_cache_misses
+  acc.fix_cache_misses <- acc.fix_cache_misses + s.fix_cache_misses;
+  acc.columnar_ops <- acc.columnar_ops + s.columnar_ops
 
 let pp_stats ppf s =
   Fmt.pf ppf
     "combinations=%d read=%d produced=%d fix_iters=%d probes=%d builds=%d \
-     fix_cache=%d/%d"
+     fix_cache=%d/%d columnar=%d"
     s.combinations s.tuples_read s.tuples_produced s.fix_iterations s.probes
     s.builds s.fix_cache_hits
     (s.fix_cache_hits + s.fix_cache_misses)
+    s.columnar_ops
 
 type fix_mode = Naive | Seminaive
 
@@ -199,6 +209,9 @@ type node_report = {
   mutable tuples_read : int;
   mutable probes : int;
   mutable builds : int;
+  mutable columnar : bool;
+      (** this node itself (exclusive of children) took a columnar fast
+          path at least once — the [layout=] tag of EXPLAIN ANALYZE *)
   mutable children : node_report list;  (** first-execution order *)
 }
 
@@ -210,6 +223,7 @@ type raw_node = {
   rw_r : int;
   rw_p : int;
   rw_b : int;
+  rw_co : int;
   rw_kids : raw_node list;
 }
 
@@ -220,6 +234,7 @@ type frame = {
   fr_r0 : int;
   fr_p0 : int;
   fr_b0 : int;
+  fr_co0 : int;
   mutable fr_kids : raw_node list;  (** reversed *)
 }
 
@@ -236,6 +251,9 @@ type ctx = {
   rvars : (string * Relation.t) list;
   fix_cache : Relation.t Fix_cache.t;
   pool : Domain_pool.t option;  (** [Some] exactly under {!Physical.Parallel} *)
+  columnar : bool;
+      (** try the vectorized fast paths; always [false] under
+          {!Physical.Naive} (the paper-shape counter oracle stays boxed) *)
   analyze : analysis option;  (** [Some] only under {!run_analyzed} *)
 }
 
@@ -270,8 +288,8 @@ let merge_cells ~op ctx (cells : stats array) =
 (* cut [n] items into at most [size pool] contiguous chunks of at least
    [par_min_chunk]; 1 means "stay sequential" *)
 let chunks_for pool n =
-  if n < 2 * par_min_chunk then 1
-  else min (Domain_pool.size pool) (n / par_min_chunk)
+  Domain_pool.chunk_count ~slots:(Domain_pool.size pool)
+    ~min_chunk:par_min_chunk n
 
 (* Selection: one [combinations] per input tuple, [q] applied to the
    single-tuple binding.  Under [Parallel] the tuple list is cut into
@@ -360,6 +378,137 @@ let fresh_against ctx total new_tuples =
       List.concat (Array.to_list outs)
     end
 
+(* Vectorized selection: when the input has a columnar shadow and the
+   qualification compiles to a row predicate, filter by row number over
+   the typed arrays and rebuild the output as an order-preserving subset
+   (no re-sort).  Counter parity with {!filter_tuples}: one
+   [combinations] per input row, in both the sequential and the chunked
+   parallel shape.  Falls back to the boxed path otherwise. *)
+let columnar_filter ctx q (ra : Relation.t) =
+  let boxed () = Relation.make ra.Relation.schema (filter_tuples ctx q ra) in
+  if not ctx.columnar then boxed ()
+  else
+    match Relation.columns ra with
+    | None -> boxed ()
+    | Some tbl -> (
+      match Column.Pred.compile ~adts:(Database.adts ctx.db) [| tbl |] q with
+      | Column.Pred.Opaque -> boxed ()
+      | Column.Pred.Always ->
+        (* constant-true qualification: every row qualifies, and the
+           input is already in canonical form *)
+        let stats = ctx.stats in
+        stats.combinations <- stats.combinations + tbl.Column.nrows;
+        stats.columnar_ops <- stats.columnar_ops + 1;
+        ra
+      | Column.Pred.Rows p ->
+        let stats = ctx.stats in
+        let n = tbl.Column.nrows in
+        let nchunks =
+          match ctx.pool with
+          | Some pl ->
+            Domain_pool.chunk_count ~slots:(Domain_pool.size pl)
+              ~min_chunk:Column.chunk_rows n
+          | None -> 1
+        in
+        let out =
+          if nchunks = 1 then begin
+            let rows = [| 0 |] in
+            Relation.filteri
+              (fun i _ ->
+                Cancel.tick ();
+                stats.combinations <- stats.combinations + 1;
+                rows.(0) <- i;
+                p rows)
+              ra
+          end
+          else begin
+            let pool = Option.get ctx.pool in
+            let keep = Bytes.make n '\000' in
+            let cells = Array.init nchunks (fun _ -> fresh_stats ()) in
+            Domain_pool.run pool nchunks (fun c ->
+                let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
+                let cell = cells.(c) in
+                let rows = [| 0 |] in
+                for i = lo to hi - 1 do
+                  cell.combinations <- cell.combinations + 1;
+                  rows.(0) <- i;
+                  if p rows then Bytes.unsafe_set keep i '\001'
+                done);
+            merge_cells ~op:"filter" ctx cells;
+            Relation.filteri (fun i _ -> Bytes.unsafe_get keep i = '\001') ra
+          end
+        in
+        stats.columnar_ops <- stats.columnar_ops + 1;
+        out)
+
+(* Vectorized projection for pure column-pick lists ([Col (1, j)] only):
+   materialize the picked cells straight off the typed arrays.  Like
+   {!project_tuples} this counts nothing; any non-column item (or an
+   out-of-range pick, whose boxed evaluation raises) falls back. *)
+let columnar_project ctx ps schema (ra : Relation.t) =
+  let boxed () = Relation.make schema (project_tuples ctx ps ra) in
+  if not ctx.columnar then boxed ()
+  else
+    match Relation.columns ra with
+    | None -> boxed ()
+    | Some tbl ->
+      let width = Array.length tbl.Column.cols in
+      let pure_pick =
+        List.for_all
+          (function Lera.Col (1, j) -> j >= 1 && j <= width | _ -> false)
+          ps
+      in
+      if not pure_pick then boxed ()
+      else begin
+        let js =
+          Array.of_list
+            (List.map
+               (function Lera.Col (_, j) -> j - 1 | _ -> assert false)
+               ps)
+        in
+        let out = ref [] in
+        for row = tbl.Column.nrows - 1 downto 0 do
+          out :=
+            Array.to_list
+              (Array.map (fun j -> Column.value_at tbl ~row ~col:j) js)
+            :: !out
+        done;
+        ctx.stats.columnar_ops <- ctx.stats.columnar_ops + 1;
+        Relation.make schema !out
+      end
+
+(* Vectorized whole-row membership, shared by Diff/Inter and the
+   semi-naive freshness test: index [rb] on all of its columns, probe
+   each row of [ra] allocation-free, keep the (non-)members as an
+   order-preserving subset.  Requires flavor-identical shadows on both
+   sides (within equal flavors, cell equality coincides with
+   [Value.compare]-equality); [None] means "use the boxed path" — which
+   also preserves the boxed arity-mismatch error, since differing
+   arities never pass [flavors_equal].  Like the boxed set operations,
+   counts nothing. *)
+let columnar_members ctx ~keep_found (ra : Relation.t) (rb : Relation.t) =
+  if (not ctx.columnar) || Relation.is_empty ra || Relation.is_empty rb then
+    None
+  else
+    match (Relation.columns ra, Relation.columns rb) with
+    | Some ta, Some tb when Column.flavors_equal ta tb ->
+      let width = Array.length tb.Column.cols in
+      let idx = Column.Index.build tb ~key_cols:(Array.init width Fun.id) in
+      let key = ta.Column.cols in
+      let rows = Array.make width 0 in
+      let mem i =
+        Array.fill rows 0 width i;
+        Column.Index.first idx ~key ~rows >= 0
+      in
+      let out =
+        Relation.filteri
+          (fun i _ -> if keep_found then mem i else not (mem i))
+          ra
+      in
+      ctx.stats.columnar_ops <- ctx.stats.columnar_ops + 1;
+      Some out
+    | _ -> None
+
 (* trace-span label of one operator node *)
 let op_label : Lera.rel -> string = function
   | Lera.Base n -> "base:" ^ n
@@ -377,7 +526,7 @@ let op_label : Lera.rel -> string = function
 
 (* batch this run's stats deltas into the always-on registry — recorded
    on every exit path so timed-out work still shows up *)
-let record_deltas (s : stats) ~c0 ~r0 ~pr0 ~b0 ~f0 ~fh0 ~fm0 ~p0 =
+let record_deltas (s : stats) ~c0 ~r0 ~pr0 ~b0 ~f0 ~fh0 ~fm0 ~p0 ~co0 =
   Metrics.Counter.add m_combos (s.combinations - c0);
   Metrics.Counter.add m_read (s.tuples_read - r0);
   Metrics.Counter.add m_produced (s.tuples_produced - p0);
@@ -385,10 +534,11 @@ let record_deltas (s : stats) ~c0 ~r0 ~pr0 ~b0 ~f0 ~fh0 ~fm0 ~p0 =
   Metrics.Counter.add m_builds (s.builds - b0);
   Metrics.Counter.add m_fix_iters (s.fix_iterations - f0);
   Metrics.Counter.add m_fix_hits (s.fix_cache_hits - fh0);
-  Metrics.Counter.add m_fix_misses (s.fix_cache_misses - fm0)
+  Metrics.Counter.add m_fix_misses (s.fix_cache_misses - fm0);
+  Metrics.Counter.add m_columnar (s.columnar_ops - co0)
 
 let rec run_ctx ?(mode = Seminaive) ?(physical = Physical.Indexed) ?stats
-    ?domains ?(rvars = []) ?analyze db (r : Lera.rel) : Relation.t =
+    ?domains ?(rvars = []) ?columnar ?analyze db (r : Lera.rel) : Relation.t =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   let pool =
     match physical with
@@ -399,6 +549,10 @@ let rec run_ctx ?(mode = Seminaive) ?(physical = Physical.Indexed) ?stats
       Some (Domain_pool.get d)
     | Physical.Naive | Physical.Indexed -> None
   in
+  let columnar =
+    (match columnar with Some c -> c | None -> Column.enabled ())
+    && physical <> Physical.Naive
+  in
   let c0 = stats.combinations
   and r0 = stats.tuples_read
   and pr0 = stats.probes
@@ -406,13 +560,15 @@ let rec run_ctx ?(mode = Seminaive) ?(physical = Physical.Indexed) ?stats
   and f0 = stats.fix_iterations
   and fh0 = stats.fix_cache_hits
   and fm0 = stats.fix_cache_misses
-  and p0 = stats.tuples_produced in
+  and p0 = stats.tuples_produced
+  and co0 = stats.columnar_ops in
   Fun.protect
-    ~finally:(fun () -> record_deltas stats ~c0 ~r0 ~pr0 ~b0 ~f0 ~fh0 ~fm0 ~p0)
+    ~finally:(fun () ->
+      record_deltas stats ~c0 ~r0 ~pr0 ~b0 ~f0 ~fh0 ~fm0 ~p0 ~co0)
     (fun () ->
       eval
         { db; mode; physical; stats; rvars; fix_cache = Fix_cache.create 8;
-          pool; analyze }
+          pool; columnar; analyze }
         r)
 
 (* Every operator evaluation becomes a span when tracing is on, carrying
@@ -435,6 +591,7 @@ and eval_analyzed ctx a (r : Lera.rel) : Relation.t =
       fr_r0 = s.tuples_read;
       fr_p0 = s.probes;
       fr_b0 = s.builds;
+      fr_co0 = s.columnar_ops;
       fr_kids = [];
     }
   in
@@ -450,6 +607,7 @@ and eval_analyzed ctx a (r : Lera.rel) : Relation.t =
         rw_r = s.tuples_read - fr.fr_r0;
         rw_p = s.probes - fr.fr_p0;
         rw_b = s.builds - fr.fr_b0;
+        rw_co = s.columnar_ops - fr.fr_co0;
         rw_kids = List.rev fr.fr_kids;
       }
     in
@@ -521,6 +679,91 @@ and joined ctx (inputs : Relation.t list) q (yield : Relation.tuple list -> unit
           if Expr_eval.eval_bool ctx.db ~inputs:combo residual then yield combo)
     end
 
+(* columnar shadows of every operand, or [None] on the first fallback
+   (forces each relation's lazy shadow on the calling domain) *)
+and all_columns inputs =
+  let rec go acc = function
+    | [] -> Some (Array.of_list (List.rev acc))
+    | (r : Relation.t) :: rest -> (
+      match Relation.columns r with
+      | Some t -> go (t :: acc) rest
+      | None -> None)
+  in
+  go [] inputs
+
+(* The vectorized join driver: when every operand has a columnar shadow,
+   the plan's equi edges are flavor-compatible and the residual compiles
+   to a row predicate, enumeration runs through
+   {!Join_plan.execute_columnar} — combinations stay row-number cursors
+   and boxed tuples are materialized only for combinations surviving the
+   residual.  Counter totals (combinations, probes, builds) match the
+   boxed executors by construction; [None] means "use the boxed path". *)
+and columnar_join : 'a. ctx -> Relation.t list -> Lera.scalar ->
+    (Relation.tuple list -> 'a) -> 'a list option =
+  fun ctx inputs q f ->
+  if (not ctx.columnar) || inputs = [] then None
+  else begin
+    let plan = Join_plan.analyze ~operands:(List.length inputs) q in
+    if not (Join_plan.has_equis plan) then None
+    else
+      match all_columns inputs with
+      | None -> None
+      | Some tables ->
+        if not (Join_plan.columnar_ok plan tables) then None
+        else begin
+          match
+            Column.Pred.compile ~adts:(Database.adts ctx.db) tables
+              (Join_plan.residual plan)
+          with
+          | Column.Pred.Opaque -> None
+          | pred ->
+            let test =
+              match pred with
+              | Column.Pred.Always -> fun _ -> true
+              | Column.Pred.Rows p -> p
+              | Column.Pred.Opaque -> assert false
+            in
+            let ntab = Array.length tables in
+            let materialize (rows : int array) =
+              List.init ntab (fun k -> Column.tuple_at tables.(k) rows.(k))
+            in
+            let stats = ctx.stats in
+            let result =
+              match ctx.pool with
+              | None ->
+                let out = ref [] in
+                Join_plan.execute_columnar
+                  ~on_build:(fun () -> stats.builds <- stats.builds + 1)
+                  ~on_probe:(fun _ -> stats.probes <- stats.probes + 1)
+                  plan tables
+                  (fun _ rows ->
+                    Cancel.tick ();
+                    stats.combinations <- stats.combinations + 1;
+                    if test rows then out := f (materialize rows) :: !out);
+                !out
+              | Some pool ->
+                let slots = Domain_pool.size pool in
+                let cells = Array.init slots (fun _ -> fresh_stats ()) in
+                let outs = Array.make slots [] in
+                Join_plan.execute_columnar ~pool
+                  ~on_build:(fun () -> stats.builds <- stats.builds + 1)
+                  ~on_probe:(fun s ->
+                    let c = cells.(s) in
+                    c.probes <- c.probes + 1)
+                  plan tables
+                  (fun s rows ->
+                    let c = cells.(s) in
+                    c.combinations <- c.combinations + 1;
+                    if test rows then
+                      outs.(s) <- f (materialize rows) :: outs.(s));
+                merge_cells ~op:"join" ctx cells;
+                List.concat (Array.to_list outs)
+            in
+            stats.columnar_ops <- stats.columnar_ops + 1;
+            Some result
+        end
+  end
+
 (* Collect [f combo] over every qualified combination.  Under [Parallel]
    (with an equi conjunct to drive the hash plan) this fans out through
    {!Join_plan.execute_parallel}: counters accumulate into slot-private
@@ -531,6 +774,9 @@ and joined ctx (inputs : Relation.t list) q (yield : Relation.tuple list -> unit
 and collect_joined : 'a. ctx -> Relation.t list -> Lera.scalar ->
     (Relation.tuple list -> 'a) -> 'a list =
   fun ctx inputs q f ->
+  match columnar_join ctx inputs q f with
+  | Some out -> out
+  | None -> (
   match ctx.pool with
   | None ->
     let out = ref [] in
@@ -567,7 +813,7 @@ and collect_joined : 'a. ctx -> Relation.t list -> Lera.scalar ->
             outs.(s) <- f combo :: outs.(s));
       merge_cells ~op:"join" ctx cells;
       List.concat (Array.to_list outs)
-    end
+    end)
 
 and eval_node ctx (r : Lera.rel) : Relation.t =
   let { db; stats; rvars; _ } = ctx in
@@ -588,11 +834,11 @@ and eval_node ctx (r : Lera.rel) : Relation.t =
   | Lera.Filter (_, q) when is_false q -> Relation.empty (rel_schema ctx r)
   | Lera.Filter (a, q) ->
     let ra = eval ctx a in
-    produce stats (Relation.make ra.Relation.schema (filter_tuples ctx q ra))
+    produce stats (columnar_filter ctx q ra)
   | Lera.Project (a, ps) ->
     let ra = eval ctx a in
     let schema = rel_schema ctx r in
-    produce stats (Relation.make schema (project_tuples ctx ps ra))
+    produce stats (columnar_project ctx ps schema ra)
   | Lera.Join (_, _, q) when is_false q -> Relation.empty (rel_schema ctx r)
   | Lera.Join (a, b, q) ->
     let ra = eval ctx a and rb = eval ctx b in
@@ -606,8 +852,22 @@ and eval_node ctx (r : Lera.rel) : Relation.t =
     match List.map (eval ctx) rs with
     | [] -> error "empty union"
     | first :: rest -> produce stats (List.fold_left Relation.union first rest))
-  | Lera.Diff (a, b) -> produce stats (Relation.diff (eval ctx a) (eval ctx b))
-  | Lera.Inter (a, b) -> produce stats (Relation.inter (eval ctx a) (eval ctx b))
+  | Lera.Diff (a, b) ->
+    let ra = eval ctx a and rb = eval ctx b in
+    let out =
+      match columnar_members ctx ~keep_found:false ra rb with
+      | Some d -> d
+      | None -> Relation.diff ra rb
+    in
+    produce stats out
+  | Lera.Inter (a, b) ->
+    let ra = eval ctx a and rb = eval ctx b in
+    let out =
+      match columnar_members ctx ~keep_found:true ra rb with
+      | Some d -> d
+      | None -> Relation.inter ra rb
+    in
+    produce stats out
   | Lera.Search (_, q, _) when is_false q -> Relation.empty (rel_schema ctx r)
   | Lera.Search (rs, q, ps) ->
     let inputs = List.map (eval ctx) rs in
@@ -750,33 +1010,43 @@ and seminaive_fixpoint ctx n body schema =
               ("total", Obs.Json.Int (Relation.cardinality total));
             ]
           ("fix-iteration:" ^ n);
-      let new_tuples =
-        List.concat_map
-          (fun arm ->
+      (* fold the per-occurrence variants into one candidate relation
+         (union dedups exactly what the sort_uniq of [Relation.make]
+         used to), then subtract [total] — columnar whole-row diff when
+         both sides qualify, the chunked hash-set freshness test
+         otherwise; neither counts anything, and both produce the same
+         set *)
+      let candidates =
+        List.fold_left
+          (fun acc arm ->
             let occurrences = count_occurrences n arm in
-            List.concat_map
-              (fun which ->
+            List.fold_left
+              (fun acc which ->
                 let variant =
                   map_occurrences n
                     (fun i -> if i = which then Lera.Rvar "__delta" else Lera.Rvar n)
                     arm
                 in
-                let produced =
-                  eval_with [ (n, total); ("__delta", delta) ] variant
-                in
-                produced.Relation.tuples)
+                Relation.union acc
+                  (eval_with [ (n, total); ("__delta", delta) ] variant))
+              acc
               (List.init occurrences (fun i -> i + 1)))
-          rec_arms
+          (Relation.empty schema) rec_arms
       in
-      let fresh = fresh_against ctx total new_tuples in
-      let delta' = Relation.make schema fresh in
+      let delta' =
+        match columnar_members ctx ~keep_found:false candidates total with
+        | Some d -> d
+        | None ->
+          Relation.make schema
+            (fresh_against ctx total candidates.Relation.tuples)
+      in
       iterate (Relation.union total delta') delta'
     end
   in
   if rec_arms = [] then base else iterate base base
 
-let run ?mode ?physical ?stats ?domains ?rvars db r =
-  run_ctx ?mode ?physical ?stats ?domains ?rvars db r
+let run ?mode ?physical ?stats ?domains ?rvars ?columnar db r =
+  run_ctx ?mode ?physical ?stats ?domains ?rvars ?columnar db r
 
 (* -- report collapse ------------------------------------------------------ *)
 
@@ -788,6 +1058,7 @@ let rec merge_node (dst : node_report) (src : node_report) =
   dst.tuples_read <- dst.tuples_read + src.tuples_read;
   dst.probes <- dst.probes + src.probes;
   dst.builds <- dst.builds + src.builds;
+  dst.columnar <- dst.columnar || src.columnar;
   dst.children <- merge_children dst.children src.children
 
 and merge_children dst src =
@@ -812,10 +1083,11 @@ let rec collapse (raws : raw_node list) : node_report list =
     [] raws
 
 and node_of_raw rw =
-  let kc, kr, kp, kb =
+  let kc, kr, kp, kb, kco =
     List.fold_left
-      (fun (c, r, p, b) k -> (c + k.rw_c, r + k.rw_r, p + k.rw_p, b + k.rw_b))
-      (0, 0, 0, 0) rw.rw_kids
+      (fun (c, r, p, b, co) k ->
+        (c + k.rw_c, r + k.rw_r, p + k.rw_p, b + k.rw_b, co + k.rw_co))
+      (0, 0, 0, 0, 0) rw.rw_kids
   in
   {
     op = rw.rw_label;
@@ -826,12 +1098,15 @@ and node_of_raw rw =
     tuples_read = max 0 (rw.rw_r - kr);
     probes = max 0 (rw.rw_p - kp);
     builds = max 0 (rw.rw_b - kb);
+    columnar = rw.rw_co - kco > 0;
     children = collapse rw.rw_kids;
   }
 
-let run_analyzed ?mode ?physical ?stats ?domains ?rvars db r =
+let run_analyzed ?mode ?physical ?stats ?domains ?rvars ?columnar db r =
   let a = { an_stack = []; an_roots = [] } in
-  let rel = run_ctx ?mode ?physical ?stats ?domains ?rvars ~analyze:a db r in
+  let rel =
+    run_ctx ?mode ?physical ?stats ?domains ?rvars ?columnar ~analyze:a db r
+  in
   let report =
     match collapse (List.rev a.an_roots) with
     | [ n ] -> n
@@ -847,6 +1122,7 @@ let run_analyzed ?mode ?physical ?stats ?domains ?rvars db r =
         tuples_read = 0;
         probes = 0;
         builds = 0;
+        columnar = false;
         children = ns;
       }
   in
@@ -863,6 +1139,7 @@ let pp_report ppf root =
     if n.probes > 0 then Fmt.pf ppf " probes=%d" n.probes;
     if n.builds > 0 then Fmt.pf ppf " builds=%d" n.builds;
     if n.tuples_read > 0 then Fmt.pf ppf " read=%d" n.tuples_read;
+    Fmt.pf ppf " layout=%s" (if n.columnar then "columnar" else "boxed");
     Fmt.pf ppf ")@\n";
     List.iter (go (indent + 2)) n.children
   in

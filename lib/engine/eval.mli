@@ -34,6 +34,12 @@ type stats = {
   mutable fix_cache_hits : int;
       (** closed-fixpoint memo hits — each one skips a whole fixpoint *)
   mutable fix_cache_misses : int;  (** closed fixpoints actually computed *)
+  mutable columnar_ops : int;
+      (** operator evaluations that took a vectorized (columnar) fast
+          path.  Every {e other} field is identical between the boxed
+          and columnar paths by construction, so this is pure
+          provenance: it never participates in cross-layer counter
+          comparisons. *)
 }
 
 val fresh_stats : unit -> stats
@@ -73,6 +79,7 @@ val run :
   ?stats:stats ->
   ?domains:int ->
   ?rvars:(string * Relation.t) list ->
+  ?columnar:bool ->
   Database.t ->
   Lera.rel ->
   Relation.t
@@ -81,8 +88,15 @@ val run :
     [Seminaive]; default physical layer is [Indexed].  [domains] sizes
     the worker pool used by {!Physical.Parallel} (default
     {!Domain_pool.default_size}; pools are process-wide and cached, see
-    {!Domain_pool.get}) and is ignored by the other layers.  Raises
-    {!Eval_error} (or {!Expr_eval.Eval_error}) on ill-formed plans.
+    {!Domain_pool.get}) and is ignored by the other layers.  [columnar]
+    enables the vectorized fast paths of the Indexed/Parallel layers
+    (join, filter, project, diff/inter, semi-naive freshness) for
+    operators whose operands have a columnar shadow ({!Column}); it
+    defaults to {!Column.enabled} and is forced off under
+    {!Physical.Naive}, whose boxed enumeration is the counter oracle.
+    Results and all {!stats} fields except [columnar_ops] are identical
+    either way.  Raises {!Eval_error} (or {!Expr_eval.Eval_error}) on
+    ill-formed plans.
 
     Every run additionally batches its {!stats} deltas into the
     always-on {!Eds_obs.Metrics} registry (one atomic add per field per
@@ -99,6 +113,9 @@ type node_report = {
   mutable tuples_read : int;  (** exclusive of children *)
   mutable probes : int;  (** exclusive of children *)
   mutable builds : int;  (** exclusive of children *)
+  mutable columnar : bool;
+      (** this node itself (exclusive of children) took a columnar fast
+          path at least once — the [layout=] tag of EXPLAIN ANALYZE *)
   mutable children : node_report list;  (** first-execution order *)
 }
 
@@ -108,6 +125,7 @@ val run_analyzed :
   ?stats:stats ->
   ?domains:int ->
   ?rvars:(string * Relation.t) list ->
+  ?columnar:bool ->
   Database.t ->
   Lera.rel ->
   Relation.t * node_report
@@ -123,5 +141,5 @@ val fold_report : ('a -> node_report -> 'a) -> 'a -> node_report -> 'a
 
 val pp_report : Format.formatter -> node_report -> unit
 (** Indented tree, one line per operator:
-    [op  (rows=… loops=… time=…ms combos=… probes=… builds=… read=…)]
-    (zero-valued counters omitted). *)
+    [op  (rows=… loops=… time=…ms combos=… probes=… builds=… read=…
+    layout=columnar|boxed)] (zero-valued counters omitted). *)

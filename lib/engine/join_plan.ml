@@ -363,3 +363,157 @@ let execute_parallel ~pool ~on_build ~on_probe p (rels : Relation.t array)
       Domain_pool.run pool nchunks (fun c ->
           run_chunk c (c * dn / nchunks) ((c + 1) * dn / nchunks))
   end
+
+(* -- the columnar executor (Indexed/Parallel with qualifying schemas) -----
+
+   Same combination set and the same probe/build counter totals as
+   [execute] (single-tuple operands compare directly with no counters,
+   cartesian steps count nothing, probes fire once per partial reaching
+   a hash step — the pipelined-equals-materializing argument above),
+   but the inner loops never touch a boxed [Value.t]: operands are
+   typed column arrays, probe keys hash and compare as packed ints
+   ({!Column.Index}), and a match yields the per-operand *row numbers*
+   so the caller materializes tuples only for combinations that survive
+   its residual.
+
+   Callers must check {!columnar_ok} first: every equi edge needs its
+   two columns in range and of equal flavor, because the int fast path
+   cannot see [Value.compare]'s Int/Real cross-equality. *)
+
+let columnar_ok p (tables : Column.table array) =
+  List.for_all
+    (fun { left = li, lj; right = ri, rj } ->
+      let ok (i, j) = j >= 1 && j <= Array.length tables.(i - 1).Column.cols in
+      ok (li, lj)
+      && ok (ri, rj)
+      && Column.flavor tables.(li - 1).Column.cols.(lj - 1)
+         = Column.flavor tables.(ri - 1).Column.cols.(rj - 1))
+    p.equis
+
+type cstep =
+  | C_scan of int
+  | C_single of {
+      op : int;
+      skey : Column.col array;  (** build key cells, all at row 0 *)
+      pkey : Column.col array;
+      pops : int array;  (** probe-side operand per edge *)
+    }
+  | C_probe of {
+      op : int;
+      index : Column.Index.t;
+      pkey : Column.col array;
+      pops : int array;
+    }
+
+let execute_columnar ?pool ~on_build ~on_probe p (tables : Column.table array)
+    (yield : int -> int array -> unit) =
+  let n = Array.length tables in
+  let cards = Array.map (fun (t : Column.table) -> t.Column.nrows) tables in
+  let order = greedy_order p cards in
+  let driver, rest = match order with d :: r -> (d, r) | [] -> assert false in
+  let bound = Array.make n false in
+  bound.(driver) <- true;
+  let steps =
+    List.map
+      (fun k ->
+        let edges = edges_to_bound p bound k in
+        bound.(k) <- true;
+        match edges with
+        | [] -> C_scan k
+        | edges ->
+          let key_cols =
+            Array.of_list (List.map (fun (_, j) -> j - 1) edges)
+          in
+          let pkey =
+            Array.of_list
+              (List.map
+                 (fun ((b, j), _) -> tables.(b).Column.cols.(j - 1))
+                 edges)
+          in
+          let pops = Array.of_list (List.map (fun ((b, _), _) -> b) edges) in
+          if cards.(k) = 1 then
+            C_single
+              {
+                op = k;
+                skey = Array.map (fun c -> tables.(k).Column.cols.(c)) key_cols;
+                pkey;
+                pops;
+              }
+          else
+            C_probe
+              {
+                op = k;
+                index = Column.Index.build ~on_build tables.(k) ~key_cols;
+                pkey;
+                pops;
+              })
+      rest
+  in
+  let dn = cards.(driver) in
+  let run_chunk slot lo hi =
+    let current = Array.make n 0 in
+    (* per-step probe-row scratch: private to this chunk, refilled
+       before each probe and left untouched by deeper steps *)
+    let scratch =
+      Array.of_list
+        (List.map
+           (function
+             | C_scan _ -> [||]
+             | C_single { pkey; _ } | C_probe { pkey; _ } ->
+               Array.make (Array.length pkey) 0)
+           steps)
+    in
+    let single_matches skey pkey pops =
+      let ok = ref true in
+      let e = ref 0 in
+      let ne = Array.length skey in
+      while !ok && !e < ne do
+        if not (Column.cell_equal skey.(!e) 0 pkey.(!e) current.(pops.(!e)))
+        then ok := false;
+        incr e
+      done;
+      !ok
+    in
+    let rec go si = function
+      | [] -> yield slot current
+      | C_scan k :: deeper ->
+        for r = 0 to cards.(k) - 1 do
+          current.(k) <- r;
+          go (si + 1) deeper
+        done
+      | C_single { op; skey; pkey; pops } :: deeper ->
+        if single_matches skey pkey pops then begin
+          current.(op) <- 0;
+          go (si + 1) deeper
+        end
+      | C_probe pr :: deeper ->
+        on_probe slot;
+        let rows = scratch.(si) in
+        for e = 0 to Array.length rows - 1 do
+          rows.(e) <- current.(pr.pops.(e))
+        done;
+        let r = ref (Column.Index.first pr.index ~key:pr.pkey ~rows) in
+        while !r >= 0 do
+          current.(pr.op) <- !r;
+          go (si + 1) deeper;
+          r := Column.Index.next pr.index ~key:pr.pkey ~rows !r
+        done
+    in
+    for i = lo to hi - 1 do
+      current.(driver) <- i;
+      go 0 steps
+    done
+  in
+  let nchunks =
+    match pool with
+    | None -> 1
+    | Some pool ->
+      chunk_plan ~slots:(Domain_pool.size pool) ~min_chunk:Column.chunk_rows dn
+  in
+  if nchunks = 1 then run_chunk 0 0 dn
+  else
+    match pool with
+    | Some pool ->
+      Domain_pool.run pool nchunks (fun c ->
+          run_chunk c (c * dn / nchunks) ((c + 1) * dn / nchunks))
+    | None -> assert false

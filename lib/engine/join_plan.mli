@@ -67,3 +67,32 @@ val execute_parallel :
     for a fixed pool size.  [yield] and the callbacks run on worker
     domains: they must not emit {!Eds_obs.Obs} events or touch shared
     mutable state. *)
+
+val columnar_ok : t -> Column.table array -> bool
+(** Whether {!execute_columnar} may run this plan over these operand
+    tables: every equi edge's two columns must be in range and share a
+    flavor (the packed-int fast path cannot see [Value.compare]'s
+    Int/Real cross-equality).  The caller separately guarantees that
+    {e every} operand has a columnar shadow. *)
+
+val execute_columnar :
+  ?pool:Domain_pool.t ->
+  on_build:(unit -> unit) ->
+  on_probe:(int -> unit) ->
+  t ->
+  Column.table array ->
+  (int -> int array -> unit) ->
+  unit
+(** The vectorized executor: same combination set and the same
+    [on_build]/[on_probe] {e totals} as {!execute}, but enumeration
+    runs entirely over typed column arrays — probe keys hash and
+    compare as packed ints, and [yield slot rows] hands over the
+    per-operand {e row numbers} ([rows.(k)] indexes operand [k]'s
+    table) so the caller materializes boxed tuples only for surviving
+    combinations.  [rows] is a reused cursor: read it during the
+    callback, don't keep it.  Index builds run sequentially on the
+    caller ([on_build] needs no slot); with a [pool], driver rows are
+    cut into chunks of at least {!Column.chunk_rows} and [yield]/
+    [on_probe] follow the slot discipline of {!execute_parallel},
+    otherwise everything runs on slot 0.  Precondition: {!columnar_ok}
+    holds and no operand table is empty. *)

@@ -37,6 +37,7 @@ type t = {
   tuples : tuple list;
   card : int;
   index : index Lazy.t;
+  cols : Column.table option Lazy.t;
 }
 
 let build_index card tuples =
@@ -45,10 +46,23 @@ let build_index card tuples =
      List.iter (fun tup -> Tuple_tbl.replace tbl tup ()) tuples;
      tbl)
 
+(* The columnar shadow is derived from the canonical tuple list at
+   every construction (never carried over from an operand), so set
+   operations can take any representation shortcut without the two
+   views drifting apart. *)
+let build_cols schema card tuples =
+  lazy (Column.of_tuples ~arity:(Schema.arity schema) card tuples)
+
 (* sorted, duplicate-free input *)
 let of_sorted schema tuples =
   let card = List.length tuples in
-  { schema; tuples; card; index = build_index card tuples }
+  {
+    schema;
+    tuples;
+    card;
+    index = build_index card tuples;
+    cols = build_cols schema card tuples;
+  }
 
 let make schema tuples =
   let width = Schema.arity schema in
@@ -72,6 +86,20 @@ let mem tup r = r.card > 0 && Tuple_tbl.mem (Lazy.force r.index) tup
    raise [Lazy.Undefined]); forcing here first makes subsequent
    concurrent [mem] calls plain reads of the forced value. *)
 let force_index r = if r.card > 0 then ignore (Lazy.force r.index)
+
+let columns r = Lazy.force r.cols
+let force_columns r = ignore (Lazy.force r.cols)
+
+(* Subset keeping the canonical order: a filtered sorted duplicate-free
+   list is still sorted and duplicate-free, so no re-sort. *)
+let filteri keep r =
+  let i = ref (-1) in
+  of_sorted r.schema
+    (List.filter
+       (fun tup ->
+         incr i;
+         keep !i tup)
+       r.tuples)
 
 let equal a b =
   a.card = b.card && List.for_all2 (fun x y -> compare_tuples x y = 0) a.tuples b.tuples

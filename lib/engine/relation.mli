@@ -28,6 +28,10 @@ type t = private {
   tuples : tuple list;  (** sorted, duplicate-free *)
   card : int;  (** [List.length tuples], cached *)
   index : index Lazy.t;  (** hash-set over [tuples], built on first use *)
+  cols : Column.table option Lazy.t;
+      (** typed columnar shadow, derived from [tuples] on first use;
+          [None] when the schema or the values disqualify (see
+          {!Column.of_tuples}) *)
 }
 
 val make : Schema.t -> tuple list -> t
@@ -46,6 +50,20 @@ val force_index : t -> unit
     calling {!mem} concurrently from several domains: forcing the same
     lazy suspension from two domains races, reading a forced one does
     not. *)
+
+val columns : t -> Column.table option
+(** The columnar shadow of the tuples, built on first use; [None] when
+    the relation does not qualify.  Same cross-domain caveat as the
+    hash-set view: force on one domain (see {!force_columns}) before
+    reading from several. *)
+
+val force_columns : t -> unit
+(** Build the columnar shadow now, on the calling domain. *)
+
+val filteri : (int -> tuple -> bool) -> t -> t
+(** Subset of the tuples by position (0-based, canonical order) and
+    value; keeps the schema.  O(n) with no re-sort, since a subset of
+    the sorted duplicate-free list is itself sorted and duplicate-free. *)
 
 val equal : t -> t -> bool
 (** Same tuple sets (schemas are not compared beyond arity). *)

@@ -148,6 +148,8 @@ type outcome = {
   cache_hits : int;
   cache_misses : int;
   hit_rate : float;
+  wal_fsyncs : int;
+  wal_commits : int;
   server_p50_ms : float;
   server_p95_ms : float;
   server_p99_ms : float;
@@ -203,9 +205,12 @@ let record_ping client w =
         ((Unix.gettimeofday () -. t0) *. 1000.) :: w.w_ping_latencies
   | _ -> ()
 
-let cache_counters ~host ~port =
+(* one METRICS round trip: plan-cache hits/misses plus the WAL's
+   group-commit tallies (0 when the server runs without a WAL) *)
+let server_counters ~host ~port =
+  let zero = (0, 0, 0, 0) in
   match Client.connect ~host port with
-  | exception _ -> (0, 0)
+  | exception _ -> zero
   | client ->
       Fun.protect
         ~finally:(fun () -> Client.close client)
@@ -219,10 +224,13 @@ let cache_counters ~host ~port =
                     | Some v -> Option.value ~default:0 (Obs.Json.to_int v)
                     | None -> 0
                   in
-                  (geti "server.plan_cache.hits", geti "server.plan_cache.misses")
-              | Error _ -> (0, 0))
-          | _ -> (0, 0)
-          | exception _ -> (0, 0))
+                  ( geti "server.plan_cache.hits",
+                    geti "server.plan_cache.misses",
+                    geti "wal.fsyncs",
+                    geti "wal.commits" )
+              | Error _ -> zero)
+          | _ -> zero
+          | exception _ -> zero)
 
 let worker_body ~host ~port ~expected ~per_client ~index w =
   match Client.connect ~host port with
@@ -407,7 +415,7 @@ let mixed_worker_body ~host ~port ~physical ~expected ~per_client ~index w =
           | Session.Session_error _ -> w.w_protocol <- w.w_protocol + 1))
 
 let fan_out ~host ~port ~clients ~per_client body =
-  let hits0, misses0 = cache_counters ~host ~port in
+  let hits0, misses0, fsyncs0, commits0 = server_counters ~host ~port in
   let hist0 = select_latency_snapshot ~host ~port in
   let workers = Array.init clients (fun _ -> fresh_worker ()) in
   let t0 = Unix.gettimeofday () in
@@ -416,7 +424,7 @@ let fan_out ~host ~port ~clients ~per_client body =
   in
   List.iter Thread.join threads;
   let elapsed_s = Unix.gettimeofday () -. t0 in
-  let hits1, misses1 = cache_counters ~host ~port in
+  let hits1, misses1, fsyncs1, commits1 = server_counters ~host ~port in
   let hist1 = select_latency_snapshot ~host ~port in
   let sum f = Array.fold_left (fun acc w -> acc + f w) 0 workers in
   let ok = sum (fun w -> w.w_ok) in
@@ -552,6 +560,8 @@ let fan_out ~host ~port ~clients ~per_client body =
     hit_rate =
       (if looked_up = 0 then 0.
        else float_of_int cache_hits /. float_of_int looked_up);
+    wal_fsyncs = max 0 (fsyncs1 - fsyncs0);
+    wal_commits = max 0 (commits1 - commits0);
     server_p50_ms;
     server_p95_ms;
     server_p99_ms;
@@ -591,4 +601,8 @@ let pp_outcome ppf o =
     o.server_p50_ms o.server_p95_ms o.server_p99_ms o.percentiles_agree;
   Fmt.pf ppf "plan cache       : %d hits, %d misses (hit rate %.2f)@." o.cache_hits
     o.cache_misses o.hit_rate;
+  if o.wal_commits > 0 then
+    Fmt.pf ppf "wal group commit : %d commits in %d fsyncs (%.2f fsyncs/commit)@."
+      o.wal_commits o.wal_fsyncs
+      (float_of_int o.wal_fsyncs /. float_of_int o.wal_commits);
   Fmt.pf ppf "bit-identical    : %b@." o.bit_identical

@@ -67,6 +67,10 @@ type outcome = {
   cache_hits : int;  (** plan-cache hit delta over the run *)
   cache_misses : int;
   hit_rate : float;  (** of the deltas; 0 when nothing ran *)
+  wal_fsyncs : int;
+      (** WAL fsync delta over the run; with group commit under write
+          concurrency this is strictly less than [wal_commits] *)
+  wal_commits : int;  (** durable-commit delta; 0 when the WAL is off *)
   server_p50_ms : float;
       (** quantiles of the run's delta of the server-side
           [eds_query_duration_seconds{verb="select"}] histogram, fetched

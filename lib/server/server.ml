@@ -211,6 +211,9 @@ let slow_log_line ~conn_id ~query ~total_s ~cache ~parse_s ~translate_s ~rewrite
          ("tuples_produced", Obs.Json.Int work.Eval.tuples_produced);
          ("probes", Obs.Json.Int work.Eval.probes);
          ("builds", Obs.Json.Int work.Eval.builds);
+         ( "layout",
+           Obs.Json.Str
+             (if work.Eval.columnar_ops > 0 then "columnar" else "boxed") );
        ])
 
 let maybe_slow_log t conn_id ~query ~total_s ~cache ~parse_s ~translate_s ~rewrite_s
@@ -252,16 +255,27 @@ let run_select t conn_id line =
    re-execute the query. *)
 let run_write t conn_id line =
   let ts = Obs.now () in
-  let payload =
+  (* The WAL append happens inside the write lock (log order = commit
+     order), but the fsync wait happens after releasing it: concurrent
+     writers then land their frames back-to-back and the group-commit
+     leader makes them all durable with one fsync.  The ack still only
+     goes out after [sync] returns. *)
+  let payload, commit =
     Rwlock.with_write t.rw (fun () ->
         let session = Planner.session t.planner in
         let result = with_budget t (fun () -> Session.exec_string session line) in
-        (match (result, t.wal) with
-        | (Session.Rows _ | Session.Report _), _ | _, None -> ()
-        | (Session.Done | Session.Inserted _ | Session.Deleted _ | Session.Updated _), Some wal ->
-            Wal.Manager.log wal line);
-        render (fun ppf -> Repl.print_result ppf result))
+        let commit =
+          match (result, t.wal) with
+          | (Session.Rows _ | Session.Report _), _ | _, None -> None
+          | ( (Session.Done | Session.Inserted _ | Session.Deleted _ | Session.Updated _),
+              Some wal ) ->
+              Some (wal, Wal.Manager.log_nosync wal line)
+        in
+        (render (fun ppf -> Repl.print_result ppf result), commit))
   in
+  (match commit with
+  | Some (wal, watermark) -> Wal.Manager.sync wal watermark
+  | None -> ());
   obs_query t conn_id ~cache:"write" ~ts;
   let total_s = Obs.now () -. ts in
   maybe_slow_log t conn_id ~query:line ~total_s ~cache:"write" ~parse_s:0.
@@ -326,7 +340,14 @@ let stats_text t =
             "wal              : %d records (%d bytes), epoch %d, %d replayed at \
              boot, checkpoint age %.1fs@."
             ws.Wal.Manager.wal_records ws.Wal.Manager.wal_bytes ws.Wal.Manager.epoch
-            ws.Wal.Manager.replayed ws.Wal.Manager.checkpoint_age_s);
+            ws.Wal.Manager.replayed ws.Wal.Manager.checkpoint_age_s;
+          Fmt.pf ppf
+            "wal group commit : %d commits in %d fsyncs (%.2f fsyncs/commit)@."
+            ws.Wal.Manager.commits ws.Wal.Manager.fsyncs
+            (if ws.Wal.Manager.commits = 0 then 0.
+             else
+               float_of_int ws.Wal.Manager.fsyncs
+               /. float_of_int ws.Wal.Manager.commits));
       Repl.print_session_stats ppf session)
 
 let metrics t =
@@ -351,6 +372,8 @@ let metrics t =
           ("wal.epoch", Obs.Json.Int ws.Wal.Manager.epoch);
           ("wal.replayed", Obs.Json.Int ws.Wal.Manager.replayed);
           ("wal.checkpoint_age_s", Obs.Json.Float ws.Wal.Manager.checkpoint_age_s);
+          ("wal.fsyncs", Obs.Json.Int ws.Wal.Manager.fsyncs);
+          ("wal.commits", Obs.Json.Int ws.Wal.Manager.commits);
         ]
   in
   Obs.Json.Obj

@@ -1,0 +1,56 @@
+module Metrics = Eds_obs.Metrics
+module Smap = Map.Make (String)
+
+(* One immutable snapshot behind one atomic: readers dereference it and
+   go, writers extend a copy under [lock] and publish with a single
+   [Atomic.set].  [rev] is grow-only with amortized doubling; the slot
+   for a fresh id is written before the snapshot carrying the larger [n]
+   is published, so a reader can only see index [i] after the store to
+   [rev.(i)] — the standard safe-publication idiom. *)
+type state = {
+  fwd : int Smap.t;
+  rev : string array;  (** ids [0 .. n-1] valid *)
+  n : int;
+}
+
+let state = Atomic.make { fwd = Smap.empty; rev = [||]; n = 0 }
+let lock = Mutex.create ()
+
+let m_size =
+  lazy (Metrics.gauge ~help:"Distinct strings in the global intern table"
+          "eds_intern_strings")
+
+let find s = Smap.find_opt s (Atomic.get state).fwd
+let size () = (Atomic.get state).n
+
+let string_of_id id =
+  let st = Atomic.get state in
+  if id < 0 || id >= st.n then
+    invalid_arg (Fmt.str "Intern.string_of_id: unknown id %d" id)
+  else st.rev.(id)
+
+let register s =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) @@ fun () ->
+  let st = Atomic.get state in
+  match Smap.find_opt s st.fwd with
+  | Some id -> id
+  | None ->
+    let id = st.n in
+    let rev =
+      if id < Array.length st.rev then st.rev
+      else begin
+        let grown = Array.make (max 64 (2 * Array.length st.rev)) "" in
+        Array.blit st.rev 0 grown 0 st.n;
+        grown
+      end
+    in
+    rev.(id) <- s;
+    Atomic.set state { fwd = Smap.add s id st.fwd; rev; n = id + 1 };
+    Metrics.Gauge.set (Lazy.force m_size) (id + 1);
+    id
+
+let id_of_string s =
+  match find s with
+  | Some id -> id
+  | None -> register s

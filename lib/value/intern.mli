@@ -1,0 +1,35 @@
+(** Global string/atom intern table.
+
+    Maps strings to dense integer ids and back, process-wide, so the
+    columnar execution paths can carry CHAR/ENUM columns as plain [int]
+    arrays and compare/hash probe keys without touching the heap
+    (shapiro/lasso idiom: intern once, run the hot loops over ids).
+
+    Ids are dense, starting at 0, assigned in registration order, and
+    never reused or dropped: within a process the id of a string is
+    stable for the whole lifetime, so relations built at different times
+    agree on ids.  Across a save/recover cycle ids are re-assigned on
+    re-registration — persistent artefacts therefore always store the
+    {e strings} (the ESQL dump format is unchanged) and re-intern on
+    load.
+
+    Concurrency: reads ({!string_of_id}, {!find}) are lock-free — they
+    dereference one [Atomic.t] snapshot — and safe from any domain.
+    Registration ({!id_of_string}) takes a single writer mutex,
+    publishes the extended snapshot with one atomic store, and is
+    idempotent.  The table size is exported as the [eds_intern_strings]
+    METRICS gauge. *)
+
+val id_of_string : string -> int
+(** Intern [s]: return its id, registering it first if unseen.
+    Idempotent; takes the writer lock only on the miss path. *)
+
+val find : string -> int option
+(** Lock-free lookup, [None] if [s] was never interned. *)
+
+val string_of_id : int -> string
+(** Lock-free reverse lookup.  Raises [Invalid_argument] on an id that
+    was never issued. *)
+
+val size : unit -> int
+(** Number of distinct strings interned so far (= the next fresh id). *)

@@ -24,6 +24,12 @@ val compare : t -> t -> int
 (** Total structural order.  [Int] and [Real] compare numerically across the
     two constructors so that [Int 1 = Real 1.]. *)
 
+val rank : t -> int
+(** Constructor rank used by {!compare} to order values of distinct
+    constructors ([Int] and [Real] share a rank, as do [Str] and [Enum]).
+    Exposed so the columnar predicate compiler can constant-fold
+    comparisons whose sides can never share a rank. *)
+
 val equal : t -> t -> bool
 
 val hash : t -> int

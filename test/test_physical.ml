@@ -9,13 +9,17 @@
      magnitude;
    - set-operation operand validation (union/diff/inter arity errors);
    - Join_plan equi-conjunct extraction;
-   - a qcheck property over random schema-correct LERA plans: all three
-     layers agree, the indexed layer's combinations and probes never
+   - a qcheck property over random schema-correct LERA plans: all four
+     configurations (Naive, boxed Indexed, columnar Indexed, columnar
+     Parallel) agree, the indexed layer's combinations and probes never
      exceed the naive layer's combinations, and the parallel layer's
      aggregated counters equal the indexed layer's exactly at every
      domain count in {1, 2, 4};
    - determinism: two Parallel runs at d=4 produce identical relations
-     and identical aggregated work counters. *)
+     and identical aggregated work counters;
+   - columnar activation: qualifying all-scalar plans actually take the
+     vectorized paths (columnar_ops > 0) and mixed-flavor or
+     disqualified inputs fall back with identical results. *)
 
 module Value = Eds_value.Value
 module Vtype = Eds_value.Vtype
@@ -25,18 +29,29 @@ module Database = Eds_engine.Database
 module Eval = Eds_engine.Eval
 module Join_plan = Eds_engine.Join_plan
 
+(* boxed runs: ~columnar:false pins the representation so the matrix
+   below stays meaningful even though EDS_COLUMNAR defaults on *)
 let run_both ?mode db rel =
   let sn = Eval.fresh_stats () and si = Eval.fresh_stats () in
   let rn = Eval.run ?mode ~physical:Eval.Physical.Naive ~stats:sn db rel in
-  let ri = Eval.run ?mode ~physical:Eval.Physical.Indexed ~stats:si db rel in
+  let ri =
+    Eval.run ?mode ~physical:Eval.Physical.Indexed ~columnar:false ~stats:si db
+      rel
+  in
   ((rn, sn), (ri, si))
 
 let run_parallel ?mode ~domains db rel =
   let sp = Eval.fresh_stats () in
   let rp =
-    Eval.run ?mode ~physical:Eval.Physical.Parallel ~domains ~stats:sp db rel
+    Eval.run ?mode ~physical:Eval.Physical.Parallel ~domains ~columnar:false
+      ~stats:sp db rel
   in
   (rp, sp)
+
+let run_columnar ?mode ?domains ~physical db rel =
+  let s = Eval.fresh_stats () in
+  let r = Eval.run ?mode ?domains ~physical ~columnar:true ~stats:s db rel in
+  (r, s)
 
 (* every counter, including the hash work and the fix-cache ones: the
    parallel layer must aggregate to exactly the indexed totals *)
@@ -72,6 +87,27 @@ let check_agree ?mode name db rel =
       Alcotest.(check bool)
         (Fmt.str "%s: parallel(d=%d) counters equal indexed (%a vs %a)" name
            domains Eval.pp_stats sp Eval.pp_stats si)
+        true (stats_equal sp si))
+    [ 1; 2; 4 ];
+  let rc, sc = run_columnar ?mode ~physical:Eval.Physical.Indexed db rel in
+  Alcotest.(check bool)
+    (name ^ ": columnar indexed equals boxed indexed")
+    true (Relation.equal ri rc);
+  Alcotest.(check bool)
+    (Fmt.str "%s: columnar counters equal boxed (%a vs %a)" name Eval.pp_stats
+       sc Eval.pp_stats si)
+    true (stats_equal sc si);
+  List.iter
+    (fun domains ->
+      let rp, sp =
+        run_columnar ?mode ~domains ~physical:Eval.Physical.Parallel db rel
+      in
+      Alcotest.(check bool)
+        (Fmt.str "%s: columnar parallel(d=%d) equals indexed" name domains)
+        true (Relation.equal ri rp);
+      Alcotest.(check bool)
+        (Fmt.str "%s: columnar parallel(d=%d) counters equal indexed (%a vs %a)"
+           name domains Eval.pp_stats sp Eval.pp_stats si)
         true (stats_equal sp si))
     [ 1; 2; 4 ]
 
@@ -351,19 +387,150 @@ let print_plan (r, _) = Lera.to_string r
 let test_random_plans_agree =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make
-       ~name:"naive, indexed and parallel agree on 250 random plans"
+       ~name:
+         "naive, boxed/columnar indexed and parallel agree on 250 random plans"
        ~count:250 ~print:print_plan gen_plan
        (fun (rel, _) ->
          let db = qdb () in
          let (rn, sn), (ri, si) = run_both db rel in
+         let rc, sc = run_columnar ~physical:Eval.Physical.Indexed db rel in
          Relation.equal rn ri
+         && Relation.equal ri rc
+         && stats_equal sc si
          && si.Eval.combinations <= sn.Eval.combinations
          && si.Eval.probes <= sn.Eval.combinations
          && List.for_all
               (fun domains ->
                 let rp, sp = run_parallel ~domains db rel in
-                Relation.equal ri rp && stats_equal sp si)
+                let rpc, spc =
+                  run_columnar ~domains ~physical:Eval.Physical.Parallel db rel
+                in
+                Relation.equal ri rp && stats_equal sp si
+                && Relation.equal ri rpc && stats_equal spc si)
               [ 1; 2; 4 ]))
+
+(* -- columnar activation and representation normalization ---------------- *)
+
+(* the vectorized paths must actually fire on qualifying all-scalar
+   plans: a silent universal fallback would keep every parity test green
+   while losing the whole point of the layer *)
+let test_columnar_fires () =
+  let db = fig8_shape_db () in
+  let join =
+    Lera.Search
+      ( [ Lera.Base "FILM"; Lera.Base "APPEARS_IN" ],
+        Lera.eq (Lera.col 1 1) (Lera.col 2 1),
+        [ Lera.col 1 2; Lera.col 2 2 ] )
+  in
+  let check_fires name plan =
+    let _, s = run_columnar ~physical:Eval.Physical.Indexed db plan in
+    Alcotest.(check bool)
+      (Fmt.str "%s: columnar_ops %d > 0" name s.Eval.columnar_ops)
+      true
+      (s.Eval.columnar_ops > 0)
+  in
+  check_fires "hash join" join;
+  check_fires "filter"
+    (Lera.Filter
+       (Lera.Base "FILM", Lera.eq (Lera.col 1 1) (Lera.Cst (Value.Int 7))));
+  check_fires "project" (Lera.Project (Lera.Base "FILM", [ Lera.col 1 2 ]));
+  check_fires "diff"
+    (Lera.Diff
+       ( Lera.Project (Lera.Base "APPEARS_IN", [ Lera.col 1 1 ]),
+         Lera.Project (Lera.Base "FILM", [ Lera.col 1 1 ]) ));
+  let tc_db = Fixtures.chain_db 12 in
+  let _, s = run_columnar ~physical:Eval.Physical.Indexed tc_db tc_fix in
+  Alcotest.(check bool)
+    (Fmt.str "semi-naive closure: columnar_ops %d > 0" s.Eval.columnar_ops)
+    true
+    (s.Eval.columnar_ops > 0);
+  (* the switch really is a switch *)
+  let _, s0 =
+    let st = Eval.fresh_stats () in
+    ( Eval.run ~physical:Eval.Physical.Indexed ~columnar:false ~stats:st db join,
+      st )
+  in
+  Alcotest.(check int) "boxed run takes no columnar path" 0 s0.Eval.columnar_ops;
+  (* Naive is the boxed oracle: the flag must not reach it *)
+  let sn = Eval.fresh_stats () in
+  ignore (Eval.run ~physical:Eval.Physical.Naive ~columnar:true ~stats:sn db join);
+  Alcotest.(check int) "naive never goes columnar" 0 sn.Eval.columnar_ops
+
+(* mixed-flavor operands (Int column vs Real column) must fall back:
+   the packed-key path cannot see Value.compare's Int/Real
+   cross-equality, so parity here proves the flavor gate works *)
+let test_columnar_mixed_flavor () =
+  let db = Database.create () in
+  let num = [ ("A", Vtype.Int); ("B", Vtype.Int) ] in
+  Database.add_relation db "RI"
+    (Relation.make num
+       (List.init 20 (fun i -> [ Value.Int i; Value.Int (i * i) ])));
+  Database.add_relation db "RF"
+    (Relation.make num
+       (List.init 20 (fun i -> [ Value.Real (float_of_int i); Value.Int i ])));
+  let join =
+    Lera.Search
+      ( [ Lera.Base "RI"; Lera.Base "RF" ],
+        Lera.eq (Lera.col 1 1) (Lera.col 2 1),
+        [ Lera.col 1 2; Lera.col 2 2 ] )
+  in
+  check_agree "Int/Real cross-equality join" db join;
+  check_agree "Int/Real diff" db
+    (Lera.Diff
+       ( Lera.Project (Lera.Base "RI", [ Lera.col 1 1 ]),
+         Lera.Project (Lera.Base "RF", [ Lera.col 1 1 ]) ));
+  (* same-flavor float keys, including the -0./NaN normal forms *)
+  let dbf = Database.create () in
+  Database.add_relation dbf "F1"
+    (Relation.make num
+       [
+         [ Value.Real 0.; Value.Int 1 ];
+         [ Value.Real (-0.); Value.Int 2 ];
+         [ Value.Real 2.5; Value.Int 3 ];
+         [ Value.Real Float.nan; Value.Int 4 ];
+       ]);
+  Database.add_relation dbf "F2"
+    (Relation.make num
+       [
+         [ Value.Real (-0.); Value.Int 10 ];
+         [ Value.Real 2.5; Value.Int 20 ];
+         [ Value.Real Float.nan; Value.Int 30 ];
+       ]);
+  check_agree "float-keyed join (-0./NaN)" dbf
+    (Lera.Search
+       ( [ Lera.Base "F1"; Lera.Base "F2" ],
+         Lera.eq (Lera.col 1 1) (Lera.col 2 1),
+         [ Lera.col 1 2; Lera.col 2 2 ] ))
+
+(* satellite: set operations must re-derive the columnar layout from the
+   result's content — union with an empty or boxed-only side must not
+   drop (or wrongly keep) the shadow *)
+let test_union_layout_normalized () =
+  let two = [ ("A", Vtype.Int); ("B", Vtype.Int) ] in
+  let ri =
+    Relation.make two (List.init 5 (fun i -> [ Value.Int i; Value.Int (i + 1) ]))
+  in
+  let re = Relation.empty two in
+  let mixed = Relation.make two [ [ Value.Null; Value.Int 9 ] ] in
+  let has_cols r = Relation.columns r <> None in
+  Alcotest.(check bool) "columnar side qualifies" true (has_cols ri);
+  Alcotest.(check bool) "empty side has no shadow" false (has_cols re);
+  Alcotest.(check bool) "empty ∪ columnar keeps the layout" true
+    (has_cols (Relation.union re ri));
+  Alcotest.(check bool) "columnar ∪ empty keeps the layout" true
+    (has_cols (Relation.union ri re));
+  Alcotest.(check bool) "columnar ∪ boxed is boxed (Null present)" false
+    (has_cols (Relation.union ri mixed));
+  Alcotest.(check bool) "boxed ∖ columnar stays boxed" false
+    (has_cols (Relation.diff mixed ri));
+  Alcotest.(check bool) "columnar ∖ boxed keeps the layout" true
+    (has_cols (Relation.diff ri mixed));
+  Alcotest.(check bool) "inter re-derives the layout" true
+    (has_cols (Relation.inter ri ri));
+  (* subset extraction preserves canonical order and the shadow *)
+  let sub = Relation.filteri (fun i _ -> i mod 2 = 0) ri in
+  Alcotest.(check int) "filteri keeps the kept rows" 3 (Relation.cardinality sub);
+  Alcotest.(check bool) "filteri result has a shadow" true (has_cols sub)
 
 (* -- parallel determinism ------------------------------------------------ *)
 
@@ -401,6 +568,12 @@ let suite =
     Alcotest.test_case "set-op arity validation" `Quick test_setop_arity_errors;
     Alcotest.test_case "join plan extraction" `Quick test_join_plan_analyze;
     test_random_plans_agree;
+    Alcotest.test_case "columnar paths fire on qualifying plans" `Quick
+      test_columnar_fires;
+    Alcotest.test_case "columnar flavor gate and float keys" `Quick
+      test_columnar_mixed_flavor;
+    Alcotest.test_case "set ops normalize columnar layout" `Quick
+      test_union_layout_normalized;
     Alcotest.test_case "parallel determinism at d=4" `Quick
       test_parallel_determinism;
   ]

@@ -218,6 +218,118 @@ let test_atomic_save_overwrites_cleanly () =
   Alcotest.(check int) "second save wins" 3
     (Relation.cardinality (Session.query s' "SELECT Numf FROM FILM"))
 
+(* -- interned-column round trip (qcheck) ----------------------------------- *)
+
+(* A database whose CHAR columns ride the intern table must survive
+   save / checkpoint / crash-recover byte-identically, render the same
+   rows under every physical layer (columnar included), and never move
+   an already-issued intern id: ids are grow-only for the process
+   lifetime, so relations loaded before and after recovery agree. *)
+let prop_interned_column_round_trip =
+  let module Wal = Eds.Wal in
+  let module Eval = Eds_engine.Eval in
+  let open QCheck2 in
+  let name_pool = [| "zorba"; "gilda"; "brazil"; "quinn"; "ran"; "alien" |] in
+  let row_gen =
+    Gen.(
+      pair (int_range 0 999)
+        (oneof
+           [
+             map (fun i -> name_pool.(i mod Array.length name_pool)) (int_range 0 5);
+             string_size ~gen:(char_range 'a' 'z') (int_range 1 8);
+           ]))
+  in
+  let gen =
+    Gen.(
+      pair
+        (list_size (int_range 1 40) row_gen)
+        (option (int_range 0 40)))
+  in
+  let print (rows, ck) =
+    Printf.sprintf "rows=%d checkpoint=%s distinct=%d" (List.length rows)
+      (match ck with None -> "none" | Some c -> string_of_int c)
+      (List.length (List.sort_uniq compare (List.map snd rows)))
+  in
+  Test.make ~name:"interned columns survive save/checkpoint/recover" ~count:30
+    ~print gen (fun (rows, ck) ->
+      let stmts =
+        "TABLE NAMED (K : INT, Name : CHAR)"
+        :: List.map
+             (fun (k, s) -> Printf.sprintf "INSERT INTO NAMED VALUES (%d, '%s')" k s)
+             rows
+      in
+      let checkpoint_at =
+        match ck with Some c when c < List.length stmts -> Some c | _ -> None
+      in
+      let db = Filename.temp_file "eds_intern" ".esql" in
+      Sys.remove db;
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun p -> if Sys.file_exists p then Sys.remove p)
+            [ db; db ^ ".tmp"; Wal.Manager.wal_path db ])
+        (fun () ->
+          let session, handle, _ = Wal.Manager.recover ~sync:false ~db () in
+          List.iteri
+            (fun i stmt ->
+              ignore (Session.exec_string session stmt);
+              Wal.Manager.log handle stmt;
+              if checkpoint_at = Some (i + 1) then
+                Wal.Manager.checkpoint handle session)
+            stmts;
+          (* force the columnar path once pre-crash so every Name is
+             interned, then pin the ids we expect to survive *)
+          ignore (Session.query session "SELECT K FROM NAMED WHERE Name = 'zorba'");
+          let distinct = List.sort_uniq compare (List.map snd rows) in
+          let ids_before =
+            List.map (fun s -> (s, Eds_value.Intern.id_of_string s)) distinct
+          in
+          Wal.Manager.close handle;
+          let oracle = Session.create () in
+          List.iter (fun st -> ignore (Session.exec_string oracle st)) stmts;
+          let want_dump = Storage.dump oracle in
+          let recovered, handle', _ = Wal.Manager.recover ~sync:false ~db () in
+          let got_dump = Storage.dump recovered in
+          Wal.Manager.close handle';
+          if want_dump <> got_dump then
+            Test.fail_reportf "recovered dump differs:@.%s@.vs@.%s" got_dump
+              want_dump;
+          (* every physical layer renders the probe queries identically,
+             with the columnar path live on Indexed/Parallel *)
+          let probe = List.nth rows (List.length rows / 2) in
+          let queries =
+            [
+              Printf.sprintf "SELECT K FROM NAMED WHERE Name = '%s'" (snd probe);
+              "SELECT Name FROM NAMED WHERE K < 500";
+            ]
+          in
+          let render s q =
+            let buf = Buffer.create 64 in
+            let ppf = Format.formatter_of_buffer buf in
+            Eds.Repl.print_result ppf (Session.Rows (Session.query s q));
+            Format.pp_print_flush ppf ();
+            Buffer.contents buf
+          in
+          let wants = List.map (render oracle) queries in
+          List.iter
+            (fun physical ->
+              let s' = Storage.restore got_dump in
+              Session.set_physical s' physical;
+              if physical = Eval.Physical.Parallel then Session.set_domains s' 2;
+              List.iter2
+                (fun q want ->
+                  if render s' q <> want then
+                    Test.fail_reportf "layer %s disagrees on %s"
+                      (Eval.Physical.to_string physical)
+                      q)
+                queries wants)
+            [ Eval.Physical.Naive; Eval.Physical.Indexed; Eval.Physical.Parallel ];
+          (* intern-id stability: recovery re-interns the same strings,
+             and ids already issued never move *)
+          List.for_all
+            (fun (s, id) -> Eds_value.Intern.id_of_string s = id)
+            ids_before))
+
 let suite =
   [
     Alcotest.test_case "value text basics" `Quick test_value_text_basics;
@@ -233,4 +345,7 @@ let suite =
     Alcotest.test_case "atomic save: overwrite leaves no temp" `Quick
       test_atomic_save_overwrites_cleanly;
   ]
-  @ [ QCheck_alcotest.to_alcotest prop_value_round_trip ]
+  @ [
+      QCheck_alcotest.to_alcotest prop_value_round_trip;
+      QCheck_alcotest.to_alcotest prop_interned_column_round_trip;
+    ]

@@ -104,6 +104,54 @@ let test_crc32_known_value () =
   (* the standard check value for CRC-32/IEEE *)
   Alcotest.(check int32) "crc32 of '123456789'" 0xCBF43926l (Wal.crc32 "123456789")
 
+(* With sync on, concurrent appenders elect a group-commit leader: every
+   commit waits for durability, but the fsyncs are shared.  The hard
+   invariants are fsyncs ≤ commits and no record lost; actual batching
+   (fsyncs < commits) depends on scheduling, so it is reported but not
+   asserted. *)
+let test_group_commit_shares_fsyncs () =
+  with_db (fun db ->
+      let path = Wal.Manager.wal_path db in
+      let wal = Wal.open_log ~sync:true path in
+      let clients = 8 and per_client = 25 in
+      let threads =
+        List.init clients (fun i ->
+            Thread.create
+              (fun () ->
+                for j = 0 to per_client - 1 do
+                  Wal.append wal (Printf.sprintf "c%d-%d" i j)
+                done)
+              ())
+      in
+      List.iter Thread.join threads;
+      let commits = Wal.commits wal and fsyncs = Wal.fsyncs wal in
+      Wal.close wal;
+      Alcotest.(check int) "every append committed" (clients * per_client) commits;
+      Alcotest.(check bool) "at least one fsync" true (fsyncs >= 1);
+      Alcotest.(check bool) "fsyncs never exceed commits" true (fsyncs <= commits);
+      let r = Wal.scan path ignore in
+      Alcotest.(check int) "no record lost" (clients * per_client) r.Wal.applied;
+      Alcotest.(check int) "no torn bytes" 0 r.Wal.torn_bytes)
+
+(* The split commit protocol the server uses: append under its write
+   lock, sync after release.  A watermark below the current one must be
+   satisfiable by a later leader's fsync. *)
+let test_nosync_then_sync_to () =
+  with_db (fun db ->
+      let wal = Wal.open_log ~sync:true (Wal.Manager.wal_path db) in
+      let w1 = Wal.append_nosync wal "first" in
+      let w2 = Wal.append_nosync wal "second" in
+      Alcotest.(check bool) "watermarks increase" true (w2 > w1);
+      Wal.sync_to wal w2;
+      (* w1 < w2 is already durable: this must return without an fsync *)
+      let fsyncs_before = Wal.fsyncs wal in
+      Wal.sync_to wal w1;
+      Alcotest.(check int) "covered watermark needs no new fsync"
+        fsyncs_before (Wal.fsyncs wal);
+      Alcotest.(check int) "both sync_to calls counted as commits" 2
+        (Wal.commits wal);
+      Wal.close wal)
+
 (* -- manager: recovery, checkpointing, epoch fencing ---------------------- *)
 
 let exec session stmt = ignore (Session.exec_string session stmt)
@@ -292,6 +340,10 @@ let suite =
     Alcotest.test_case "oversized record rejected" `Quick
       test_oversized_record_rejected;
     Alcotest.test_case "crc32 known value" `Quick test_crc32_known_value;
+    Alcotest.test_case "group commit shares fsyncs" `Quick
+      test_group_commit_shares_fsyncs;
+    Alcotest.test_case "append_nosync / sync_to split" `Quick
+      test_nosync_then_sync_to;
     Alcotest.test_case "recover, log, crash, replay" `Quick
       test_recover_fresh_then_log_then_replay;
     Alcotest.test_case "checkpoint truncates the log" `Quick
