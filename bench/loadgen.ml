@@ -42,13 +42,20 @@ let mixed_arg =
                table and interleaves shared reads; every response (write \
                acks included) is verified against a local oracle replay.")
 
+let mview_arg =
+  Arg.(value & flag & info [ "mview" ]
+         ~doc:"Materialized-view workload: each client maintains a private \
+               recursive materialized view under interleaved DML, reads and \
+               REFRESHes; every response is verified against a local oracle \
+               replay.")
+
 let check_percentiles_arg =
   Arg.(value & flag & info [ "check-percentiles" ]
          ~doc:"Fail unless the client-side p50/p95/p99 agree with the \
                server-side METRICS PROM latency histogram within one \
                log2 bucket.")
 
-let main host port clients per_client setup verify mixed check_percentiles =
+let main host port clients per_client setup verify mixed mview check_percentiles =
   if setup then begin
     let c =
       try Client.connect ~host port with
@@ -66,7 +73,7 @@ let main host port clients per_client setup verify mixed check_percentiles =
     Fmt.pr "loadgen: workload schema + data installed@."
   end;
   let expected =
-    if verify || mixed then begin
+    if verify || mixed || mview then begin
       let twin = Session.create () in
       Loadtest.apply_setup twin;
       Loadtest.expected_payloads twin
@@ -74,7 +81,9 @@ let main host port clients per_client setup verify mixed check_percentiles =
     else []
   in
   let o =
-    if mixed then Loadtest.run_mixed ~host ~expected ~port ~clients ~per_client ()
+    if mview then Loadtest.run_mview ~host ~expected ~port ~clients ~per_client ()
+    else if mixed then
+      Loadtest.run_mixed ~host ~expected ~port ~clients ~per_client ()
     else Loadtest.run ~host ~expected ~port ~clients ~per_client ()
   in
   Loadtest.pp_outcome Fmt.stdout o;
@@ -83,7 +92,7 @@ let main host port clients per_client setup verify mixed check_percentiles =
     || o.Loadtest.protocol_errors > 0
     || o.Loadtest.errors > 0
     || o.Loadtest.busy > 0
-    || ((verify || mixed) && not o.Loadtest.bit_identical)
+    || ((verify || mixed || mview) && not o.Loadtest.bit_identical)
     || (check_percentiles && not o.Loadtest.percentiles_agree)
   in
   if failed then begin
@@ -95,6 +104,7 @@ let cmd =
   let doc = "concurrent load generator for the edsd query server" in
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(const main $ host_arg $ port_arg $ clients_arg $ per_client_arg
-          $ setup_arg $ verify_arg $ mixed_arg $ check_percentiles_arg)
+          $ setup_arg $ verify_arg $ mixed_arg $ mview_arg
+          $ check_percentiles_arg)
 
 let () = exit (Cmd.eval cmd)

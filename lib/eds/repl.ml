@@ -77,6 +77,7 @@ let help_text =
   \  .physical naive|indexed|parallel   select the physical evaluation layer\n\
   \  .domains N            worker domains for the parallel layer\n\
   \  .constraint TEXT      declare an integrity constraint (Fig. 10)\n\
+  \  .refresh VIEW         force a full recompute of a materialized view\n\
   \  .save FILE / .load FILE   dump or restore the whole session\n\
   \                        (.save also works against an edsd server;\n\
   \                         start one with `edsd --db FILE` and attach\n\
@@ -123,6 +124,20 @@ let print_session_stats ppf session =
   Fmt.pf ppf "index builds     : %d@." es.Eval.builds;
   Fmt.pf ppf "fix-cache hit/miss: %d/%d@." es.Eval.fix_cache_hits
     es.Eval.fix_cache_misses;
+  let entries, invalidations = Session.fix_cache_stats session in
+  Fmt.pf ppf "fix-cache shared : %d entries, %d invalidated by DML@." entries
+    invalidations;
+  let mvs = Session.mv_stats session in
+  let extents = List.length (Session.Materializer.views (Session.mviews session)) in
+  Fmt.pf ppf
+    "mat. views       : %d extents, %d maintenance runs, %d fallback \
+     recomputes, %d refreshes, %d delta tuples@."
+    extents mvs.Session.Materializer.maintenance_runs
+    mvs.Session.Materializer.fallback_recomputes
+    mvs.Session.Materializer.refreshes mvs.Session.Materializer.delta_tuples;
+  if mvs.Session.Materializer.last_refresh > 0. then
+    Fmt.pf ppf "mv last refresh  : %.1fs ago@."
+      (Unix.gettimeofday () -. mvs.Session.Materializer.last_refresh);
   match Session.last_rewrite_stats session with
   | None -> Fmt.pf ppf "last rewrite     : (none)@."
   | Some rs -> Fmt.pf ppf "last rewrite     : %a@." Engine.pp_stats rs
@@ -175,6 +190,11 @@ let handle_directive ppf session line =
     `Continue
   | ".analyze" ->
     print_result ppf (Session.exec_string session ("EXPLAIN ANALYZE " ^ arg));
+    `Continue
+  | ".refresh" ->
+    (match arg with
+    | "" -> Fmt.pf ppf "usage: .refresh VIEW@."
+    | name -> print_result ppf (Session.exec_string session ("REFRESH " ^ name)));
     `Continue
   | ".rules" ->
     let program = Session.program session in

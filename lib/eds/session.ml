@@ -6,6 +6,7 @@ module Lera = Eds_lera.Lera
 module Schema = Eds_lera.Schema
 module Relation = Eds_engine.Relation
 module Database = Eds_engine.Database
+module Materializer = Eds_engine.Materializer
 module Eval = Eds_engine.Eval
 module Expr_eval = Eds_engine.Expr_eval
 module Ast = Eds_esql.Ast
@@ -48,6 +49,11 @@ type t = {
   mutable domains : int;  (** pool size used by {!Eval.Physical.Parallel} *)
   mutable semantic_constraints : (string * Term.t) list;
   mutable extra_methods : (string * Engine.method_fn) list;
+  mviews : Materializer.t;  (** materialized views and their extents *)
+  fix_cache : Eval.Shared_fix_cache.t;
+      (** cross-statement closed-fixpoint memo, validated per-relation
+          against the copy-on-write database — DML invalidates only the
+          fixpoints that read the written relation *)
   eval_stats : Eval.stats;  (** cumulative over every executed statement *)
   mutable last_rewrite_stats : Engine.stats option;
   mutable statements_run : int;
@@ -79,6 +85,8 @@ let create ?(config = Optimizer.default_config) () =
     domains = Eds_engine.Domain_pool.default_size ();
     semantic_constraints = [];
     extra_methods = [];
+    mviews = Materializer.create ();
+    fix_cache = Eval.Shared_fix_cache.create ();
     eval_stats = Eval.fresh_stats ();
     last_rewrite_stats = None;
     statements_run = 0;
@@ -89,7 +97,12 @@ let create ?(config = Optimizer.default_config) () =
 let catalog s = s.cat
 let database s = s.db
 let generation s = s.generation
-let invalidate_plans s = s.generation <- s.generation + 1
+
+let invalidate_plans s =
+  s.generation <- s.generation + 1;
+  (* memoized fixpoint results stay {e correct} across plan changes, but
+     the layers' work counters must remain comparable: start cold *)
+  Eval.Shared_fix_cache.clear s.fix_cache
 
 let set_config s config =
   s.config <- config;
@@ -103,12 +116,18 @@ let set_rewriting s flag =
 let set_adaptive s flag =
   s.adaptive <- flag;
   invalidate_plans s
-let set_physical s p = s.physical <- p
+let set_physical s p =
+  s.physical <- p;
+  (* results memoized under another layer would make this layer's
+     counters incomparable to a cold run *)
+  Eval.Shared_fix_cache.clear s.fix_cache
+
 let physical s = s.physical
 
 let set_domains s d =
   if d < 1 then error "domains must be >= 1 (got %d)" d;
-  s.domains <- d
+  s.domains <- d;
+  Eval.Shared_fix_cache.clear s.fix_cache
 
 let domains s = s.domains
 
@@ -191,13 +210,33 @@ let data_generation s = Database.data_generation s.db
 let run_plan ?stats ?db s rel =
   let db = Option.value db ~default:s.db in
   wrap_errors (fun () ->
-      Eval.run ~physical:s.physical ~domains:s.domains ?stats db rel)
+      Eval.run ~physical:s.physical ~domains:s.domains ?stats
+        ~fix_cache:s.fix_cache db rel)
 
 let estimate s rel =
   let card name =
     Option.map Relation.cardinality (Database.relation_opt s.db name)
   in
   Eds_lera.Cost.estimate ~relation_cardinality:card (Catalog.schema_env s.cat) rel
+
+let mviews s = s.mviews
+let mv_stats s = Materializer.stats s.mviews
+
+let fix_cache_stats s =
+  (Eval.Shared_fix_cache.size s.fix_cache,
+   Eval.Shared_fix_cache.invalidations s.fix_cache)
+
+(* Install a base-relation change together with every maintained
+   materialized extent under one publish: readers (and the plan cache,
+   which keys on the data generation) see the statement atomically. *)
+let apply_dml s ~table ~before ~after =
+  let updates =
+    Materializer.apply s.mviews ~physical:s.physical ~domains:s.domains
+      ~stats:s.eval_stats
+      ~recompute_cost:(fun rel -> (estimate s rel).Eds_lera.Cost.cost)
+      s.db ~table ~before ~after
+  in
+  Database.replace_many s.db updates
 
 (* the plan halves of an EXPLAIN report, shaped like the REPL's
    .explain output so both surfaces read the same *)
@@ -218,8 +257,24 @@ let render_plan s (p : plan) =
   Fmt.flush ppf ();
   Buffer.contents buf
 
+(* EXPLAIN ANALYZE labels scans of materialized extents [mview:NAME] so
+   a plan reading a stored extent is distinguishable from a base scan *)
+let rec tag_mv_scans s (r : Eval.node_report) : Eval.node_report =
+  let op =
+    match String.index_opt r.Eval.op ':' with
+    | Some i
+      when String.sub r.Eval.op 0 i = "base"
+           && Materializer.is_view s.mviews
+                (String.sub r.Eval.op (i + 1) (String.length r.Eval.op - i - 1))
+      ->
+      "mview:" ^ String.sub r.Eval.op (i + 1) (String.length r.Eval.op - i - 1)
+    | _ -> r.Eval.op
+  in
+  { r with Eval.op; Eval.children = List.map (tag_mv_scans s) r.Eval.children }
+
 let render_analyze s (p : plan) (report : Eval.node_report) rel ~exec_s
     ~(stats : Eval.stats) =
+  let report = tag_mv_scans s report in
   let buf = Buffer.create 512 in
   let ppf = Fmt.with_buffer buf in
   Fmt.pf ppf "EXPLAIN ANALYZE (physical=%s)@."
@@ -243,11 +298,39 @@ let exec s (stmt : Ast.stmt) : result =
   let parse_s = s.last_parse_s in
   s.last_parse_s <- 0.;
   match stmt with
-  | Ast.Create_type _ | Ast.Create_view _ ->
+  | Ast.Create_type _ | Ast.Create_view { materialized = false; _ } ->
     Catalog.apply_ddl s.cat stmt;
     sync s;
     invalidate_plans s;
     Done
+  | Ast.Create_view { name; materialized = true; _ } ->
+    (* declare, translate the definition by expansion, then store and
+       maintain the extent; once the schema is recorded, queries (and
+       later view definitions) read the view as a stored base relation *)
+    Catalog.apply_ddl s.cat stmt;
+    let v =
+      match Catalog.view s.cat name with
+      | Some v -> v
+      | None -> error "materialized view %s failed to register" name
+    in
+    let plan, schema = Translate.view_plan s.cat v in
+    Catalog.set_view_schema s.cat name schema;
+    Materializer.register s.mviews ~name ~plan ~schema;
+    ignore
+      (Obs.span ~cat:"pipeline" "materialize" (fun () ->
+           Materializer.initialize s.mviews ~physical:s.physical
+             ~domains:s.domains ~stats:s.eval_stats s.db name));
+    sync s;
+    invalidate_plans s;
+    Done
+  | Ast.Refresh name -> (
+    match
+      Obs.span ~cat:"pipeline" "materialize" (fun () ->
+          Materializer.refresh s.mviews ~physical:s.physical ~domains:s.domains
+            ~stats:s.eval_stats s.db name)
+    with
+    | Some _ -> Done
+    | None -> error "unknown materialized view %s" name)
   | Ast.Create_table { name; columns } ->
     let schema = Catalog.declare_table s.cat ~name columns in
     Database.add_relation s.db name (Relation.empty schema);
@@ -266,7 +349,9 @@ let exec s (stmt : Ast.stmt) : result =
           (fun (_, ty) e -> Translate.expr_to_value ~expected:ty s.cat e)
           schema values
       in
-      Database.insert s.db table tuple;
+      let before = Database.relation s.db table in
+      let after = Relation.make schema (tuple :: before.Relation.tuples) in
+      apply_dml s ~table ~before ~after;
       Inserted 1)
   | Ast.Delete { table; where } -> (
     match Catalog.table s.cat table with
@@ -283,7 +368,7 @@ let exec s (stmt : Ast.stmt) : result =
           (fun tup -> not (Expr_eval.eval_bool s.db ~inputs:[ tup ] qual))
           rel.Relation.tuples
       in
-      Database.add_relation s.db table (Relation.make schema keep);
+      apply_dml s ~table ~before:rel ~after:(Relation.make schema keep);
       Deleted (List.length drop))
   | Ast.Update { table; assignments; where } -> (
     match Catalog.table s.cat table with
@@ -319,8 +404,8 @@ let exec s (stmt : Ast.stmt) : result =
         else tup
       in
       let rel = Database.relation s.db table in
-      Database.add_relation s.db table
-        (Relation.make schema (List.map update rel.Relation.tuples));
+      apply_dml s ~table ~before:rel
+        ~after:(Relation.make schema (List.map update rel.Relation.tuples));
       Updated !touched)
   | Ast.Select_stmt sel ->
     let plan = plan_select ~parse_s s sel in
@@ -328,7 +413,7 @@ let exec s (stmt : Ast.stmt) : result =
     let rel =
       Obs.span ~cat:"pipeline" "execute" (fun () ->
           Eval.run ~physical:s.physical ~domains:s.domains ~stats:s.eval_stats
-            s.db plan.rewritten)
+            ~fix_cache:s.fix_cache s.db plan.rewritten)
     in
     Metrics.Histogram.observe m_execute (Obs.now () -. t0);
     Rows rel
@@ -341,7 +426,7 @@ let exec s (stmt : Ast.stmt) : result =
       let rel, report =
         Obs.span ~cat:"pipeline" "execute" (fun () ->
             Eval.run_analyzed ~physical:s.physical ~domains:s.domains ~stats
-              s.db plan.rewritten)
+              ~fix_cache:s.fix_cache s.db plan.rewritten)
       in
       let exec_s = Obs.now () -. t0 in
       Metrics.Histogram.observe m_execute exec_s;

@@ -19,6 +19,7 @@ module Schema = Eds_lera.Schema
 module Relation = Eds_engine.Relation
 module Database = Eds_engine.Database
 module Eval = Eds_engine.Eval
+module Materializer = Eds_engine.Materializer
 module Ast = Eds_esql.Ast
 module Catalog = Eds_esql.Catalog
 module Rule = Eds_rewriter.Rule
@@ -155,6 +156,28 @@ val run_plan : ?stats:Eval.stats -> ?db:Database.t -> t -> Lera.rel -> Relation.
 
 val estimate : t -> Lera.rel -> Eds_lera.Cost.t
 (** Static cost estimate against the live base-relation cardinalities. *)
+
+(** {1 Materialized views} *)
+
+val mviews : t -> Materializer.t
+(** The session's materialized-view registry.  [CREATE MATERIALIZED VIEW]
+    registers a view and stores its initial extent; INSERT / DELETE /
+    UPDATE maintain every dependent extent incrementally (semi-naive
+    delta propagation for insertions, delete-and-rederive for deletions)
+    and install base change + extents under a single atomic publish,
+    falling back to a full recompute when maintenance is estimated more
+    expensive than {!estimate} of the definition; [REFRESH <view>] (or
+    the REPL's [.refresh]) forces the recompute. *)
+
+val mv_stats : t -> Materializer.stats
+(** Counters of the registry: maintenance runs, fallback recomputes,
+    refreshes, delta tuples, last full (re)compute time. *)
+
+val fix_cache_stats : t -> int * int
+(** [(entries, invalidations)] of the session's shared closed-fixpoint
+    memo (see {!Eds_engine.Eval.Shared_fix_cache}): entries currently
+    cached, and entries evicted because a relation they read was
+    replaced by DML. *)
 
 (** {1 Extending the optimizer (the DBI interface, §4 / §6.1)} *)
 

@@ -3,6 +3,7 @@ module Value_text = Eds_value.Value_text
 module Vtype = Eds_value.Vtype
 module Relation = Eds_engine.Relation
 module Database = Eds_engine.Database
+module Materializer = Eds_engine.Materializer
 module Ast = Eds_esql.Ast
 module Catalog = Eds_esql.Catalog
 
@@ -99,8 +100,9 @@ let dump (s : Session.t) : string =
         | [] -> ""
         | cs -> Fmt.str " (%s)" (String.concat ", " cs)
       in
-      line "CREATE VIEW %s%s AS ( %a ) ;" v.Catalog.vname cols Ast.pp_select
-        v.Catalog.body)
+      line "CREATE %sVIEW %s%s AS ( %a ) ;"
+        (if v.Catalog.materialized then "MATERIALIZED " else "")
+        v.Catalog.vname cols Ast.pp_select v.Catalog.body)
     (Catalog.views cat);
   List.iter
     (fun (oid, v) -> line "--@@ %d %s" oid (Value.to_string v))
@@ -112,6 +114,20 @@ let dump (s : Session.t) : string =
         (fun tup -> line "--+ %s %s" name (Value.to_string (Value.list tup)))
         rel.Relation.tuples)
     (List.map fst (Catalog.tables cat));
+  (* materialized extents, so restore installs them directly instead of
+     re-deriving (restore feeds base tuples to the database, not through
+     the session, so maintenance never runs) *)
+  List.iter
+    (fun (v : Materializer.view) ->
+      match Database.relation_opt db v.Materializer.name with
+      | None -> ()
+      | Some rel ->
+        List.iter
+          (fun tup ->
+            line "--* %s %s" v.Materializer.name
+              (Value.to_string (Value.list tup)))
+          rel.Relation.tuples)
+    (Materializer.views (Session.mviews s));
   Buffer.contents buf
 
 (* -- restore -------------------------------------------------------------- *)
@@ -137,6 +153,7 @@ let restore (text : string) : Session.t =
   let lines = String.split_on_char '\n' text in
   let objects = ref [] in
   let tuples = ref [] in
+  let extents = ref [] in
   let script = Buffer.create 4096 in
   List.iter
     (fun l ->
@@ -152,9 +169,12 @@ let restore (text : string) : Session.t =
       | None -> (
         match strip_prefix "--+ " l with
         | Some rest -> tuples := split_first_word rest :: !tuples
-        | None ->
-          Buffer.add_string script l;
-          Buffer.add_char script '\n'))
+        | None -> (
+          match strip_prefix "--* " l with
+          | Some rest -> extents := split_first_word rest :: !extents
+          | None ->
+            Buffer.add_string script l;
+            Buffer.add_char script '\n')))
     lines;
   ignore (Session.exec_script s (Buffer.contents script));
   List.iter
@@ -169,6 +189,28 @@ let restore (text : string) : Session.t =
       | Some (Value.List tup) -> Database.insert db table tup
       | Some _ | None -> error "bad tuple payload for %s: %s" table payload)
     (List.rev !tuples);
+  (* materialized extents: install the dumped tuples per view; a view
+     with no dumped extent (older dump format) is recomputed instead *)
+  let by_view = Hashtbl.create 8 in
+  List.iter
+    (fun (view, payload) ->
+      let tup =
+        match Value_text.parse_opt payload with
+        | Some (Value.List tup) -> tup
+        | Some _ | None -> error "bad extent payload for %s: %s" view payload
+      in
+      let prev = try Hashtbl.find by_view view with Not_found -> [] in
+      Hashtbl.replace by_view view (tup :: prev))
+    !extents (* reversed input + reversed accumulation = dump order *);
+  List.iter
+    (fun (v : Materializer.view) ->
+      match Hashtbl.find_opt by_view v.Materializer.name with
+      | Some tuples ->
+        Database.add_relation db v.Materializer.name
+          (Relation.make v.Materializer.schema tuples)
+      | None ->
+        ignore (Session.exec s (Ast.Refresh v.Materializer.name)))
+    (Materializer.views (Session.mviews s));
   s
 
 (* -- crash-safe file replacement ------------------------------------------ *)

@@ -16,6 +16,11 @@ type col =
   | Ints of int array
   | Oids of int array
   | Ids of int array
+  | Enums of string * int array
+      (* enum type name + interned label ids; Value.compare makes
+         Enum (_, l) cross-equal to Str l (both rank 3, compared by
+         label), so an Enums column compares/hashes against an Ids
+         column by id exactly like Ids vs Ids *)
   | Floats of float array
 
 type flavor = F_int | F_oid | F_id | F_float
@@ -39,7 +44,7 @@ let set_enabled b = Atomic.set enabled_flag b
 let flavor = function
   | Ints _ -> F_int
   | Oids _ -> F_oid
-  | Ids _ -> F_id
+  | Ids _ | Enums _ -> F_id
   | Floats _ -> F_float
 
 let flavors_equal a b =
@@ -64,8 +69,9 @@ let of_tuples ~arity nrows tuples =
                  | Value.Int _ -> Ints (Array.make nrows 0)
                  | Value.Oid _ -> Oids (Array.make nrows 0)
                  | Value.Str _ -> Ids (Array.make nrows 0)
+                 | Value.Enum (ty, _) -> Enums (ty, Array.make nrows 0)
                  | Value.Real _ -> Floats (Array.make nrows 0.)
-                 | Value.Null | Value.Bool _ | Value.Enum _ | Value.Tuple _
+                 | Value.Null | Value.Bool _ | Value.Tuple _
                  | Value.Set _ | Value.Bag _ | Value.List _ | Value.Array _ ->
                    raise Bail)
                first)
@@ -81,8 +87,10 @@ let of_tuples ~arity nrows tuples =
                 | Ints a, Value.Int x -> a.(i) <- x
                 | Oids a, Value.Oid x -> a.(i) <- x
                 | Ids a, Value.Str s -> a.(i) <- Intern.id_of_string s
+                | Enums (ty, a), Value.Enum (ty', l) when ty' = ty ->
+                  a.(i) <- Intern.id_of_string l
                 | Floats a, Value.Real x -> a.(i) <- x
-                | (Ints _ | Oids _ | Ids _ | Floats _), _ -> raise Bail)
+                | (Ints _ | Oids _ | Ids _ | Enums _ | Floats _), _ -> raise Bail)
               tup;
             incr r)
           tuples;
@@ -96,6 +104,7 @@ let value_at t ~row ~col =
   | Ints a -> Value.Int a.(row)
   | Oids a -> Value.Oid a.(row)
   | Ids a -> Value.Str (Intern.string_of_id a.(row))
+  | Enums (ty, a) -> Value.Enum (ty, Intern.string_of_id a.(row))
   | Floats a -> Value.Real a.(row)
 
 let tuple_at t row =
@@ -105,9 +114,12 @@ let tuple_at t row =
 
 let cell_equal ca i cb j =
   match ca, cb with
-  | Ints a, Ints b | Oids a, Oids b | Ids a, Ids b -> a.(i) = b.(j)
+  | Ints a, Ints b | Oids a, Oids b -> a.(i) = b.(j)
+  (* enum labels and strings are cross-equal by label (Value.compare),
+     and both carry interned label ids *)
+  | (Ids a | Enums (_, a)), (Ids b | Enums (_, b)) -> a.(i) = b.(j)
   | Floats a, Floats b -> Float.compare a.(i) b.(j) = 0
-  | (Ints _ | Oids _ | Ids _ | Floats _), _ -> false
+  | (Ints _ | Oids _ | Ids _ | Enums _ | Floats _), _ -> false
 
 (* Packed int for hashing only (equality always goes through
    [cell_equal]): equal cells must pack equally, so -0. is normalized
@@ -120,7 +132,7 @@ let float_key x =
 
 let cell_key c i =
   match c with
-  | Ints a | Oids a | Ids a -> a.(i)
+  | Ints a | Oids a | Ids a | Enums (_, a) -> a.(i)
   | Floats a -> float_key a.(i)
 
 (* -- flat chained hash index ----------------------------------------------- *)
@@ -264,7 +276,8 @@ module Pred = struct
             (match t.cols.(c) with
             | Ints a -> G_int (fun rows -> a.(rows.(k)))
             | Oids a -> G_oid (fun rows -> a.(rows.(k)))
-            | Ids a -> G_str (fun rows -> Intern.string_of_id a.(rows.(k)))
+            | Ids a | Enums (_, a) ->
+              G_str (fun rows -> Intern.string_of_id a.(rows.(k)))
             | Floats a -> G_float (fun rows -> a.(rows.(k)))))
     | Lera.Cst v when Value.is_collection v -> `Bad
     | Lera.Cst v -> (

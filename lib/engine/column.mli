@@ -1,9 +1,9 @@
 (** Typed columnar view of a relation (the vectorized execution layer).
 
-    A relation whose tuples are made exclusively of [Int], [Oid], [Str]
-    and [Real] scalars — one constructor per column — can be shadowed by
-    a {!table}: one typed array per column, strings replaced by their
-    {!Eds_value.Intern} ids.  The hot loops of the Indexed and Parallel
+    A relation whose tuples are made exclusively of [Int], [Oid], [Str],
+    [Enum] and [Real] scalars — one constructor per column — can be
+    shadowed by a {!table}: one typed array per column, strings and enum
+    labels replaced by their {!Eds_value.Intern} ids.  The hot loops of the Indexed and Parallel
     layers (hash-join build/probe, filter, semi-naive freshness) then
     run over plain [int]/[float] arrays with no boxed [Value.t] in the
     inner loop; boxed tuples are materialized only at result-construction
@@ -14,10 +14,14 @@
     way around, so set semantics, rendering and storage are untouched.
 
     Fallback rules (all-or-nothing per relation): any [Null], [Bool],
-    [Enum], [Tuple], collection value, or a column mixing constructors
-    makes {!of_tuples} return [None] and execution falls back to the
-    boxed paths.  [Enum] is excluded because a bare interned label would
-    lose the type name that rendering preserves. *)
+    [Tuple], collection value, or a column mixing constructors (including
+    [Enum] cells of different enum types, or an [Enum]/[Str] mix) makes
+    {!of_tuples} return [None] and execution falls back to the boxed
+    paths.  An [Enum] column keeps its type name in the column header
+    ({!Enums}), so rendering-faithful values are rebuilt on
+    materialization while the hot loops compare interned label ids —
+    exactly [Value.compare]'s semantics, which equates [Enum (_, l)]
+    with [Str l] by label. *)
 
 module Value = Eds_value.Value
 
@@ -25,6 +29,9 @@ type col =
   | Ints of int array
   | Oids of int array
   | Ids of int array  (** interned [Str] labels, see {!Eds_value.Intern} *)
+  | Enums of string * int array
+      (** enum type name + interned labels; flavor {!F_id}, compares and
+          hashes against [Ids] by id (enum/string cross-equality) *)
   | Floats of float array
 
 type flavor = F_int | F_oid | F_id | F_float

@@ -53,6 +53,20 @@ let add_relation db name rel =
   Relation.force_index rel;
   publish db { db.state with relations = Smap.add name rel db.state.relations }
 
+(* Install several relations under one publish: a DML statement and every
+   materialized extent it maintains become visible atomically, and the
+   data generation moves once per statement, not once per relation. *)
+let replace_many db updates =
+  List.iter (fun (_, rel) -> Relation.force_index rel) updates;
+  publish db
+    {
+      db.state with
+      relations =
+        List.fold_left
+          (fun m (name, rel) -> Smap.add name rel m)
+          db.state.relations updates;
+    }
+
 let relation db name =
   match Smap.find_opt name db.state.relations with
   | Some r -> r

@@ -37,6 +37,12 @@ val add_relation : t -> string -> Relation.t -> unit
     forced before the new state is published, so concurrent snapshot
     readers never race a lazy build. *)
 
+val replace_many : t -> (string * Relation.t) list -> unit
+(** Create or replace several relations under a {e single} publish, so
+    readers see all of them change atomically and the data generation is
+    bumped once.  Used by DML to install a base-relation change together
+    with every maintained materialized-view extent. *)
+
 val relation : t -> string -> Relation.t
 (** Raises [Not_found]. *)
 

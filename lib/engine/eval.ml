@@ -133,6 +133,22 @@ let is_false (q : Lera.scalar) =
   | Lera.Cst (Eds_value.Value.Bool false) -> true
   | _ -> false
 
+let is_true (q : Lera.scalar) =
+  match q with
+  | Lera.Cst (Eds_value.Value.Bool true) -> true
+  | _ -> false
+
+(* [Search] over one operand with a trivially-true predicate and the
+   identity projection is the operand itself — the shape every
+   [SELECT <all columns> FROM <one relation>] translates to, and in
+   particular every full read of a materialized extent *)
+let is_identity_proj ps arity =
+  List.length ps = arity
+  && List.for_all2
+       (fun p j -> match p with Lera.Col (1, k) -> k = j | _ -> false)
+       ps
+       (List.init arity (fun j -> j + 1))
+
 (* Replace the [i]-th occurrence (1-based, left-to-right) of recursion
    variable [n] — written either [Rvar n] or [Base n] — by the result of
    [f i].  Used by semi-naive differentiation. *)
@@ -188,6 +204,80 @@ module Fix_cache = Hashtbl.Make (struct
   let equal = Lera.equal
   let hash = Lera.hash
 end)
+
+(* Base/Rvar names a term reads from the database: everything not bound
+   by an enclosing Fix.  For a closed fixpoint these are exactly the base
+   relations its evaluation can touch. *)
+let base_deps (r : Lera.rel) : string list =
+  let rec go bound acc r =
+    match r with
+    | Lera.Base n | Lera.Rvar n -> if List.mem n bound then acc else n :: acc
+    | Lera.Fix (n, body) -> go (n :: bound) acc body
+    | Lera.Filter _ | Lera.Project _ | Lera.Join _ | Lera.Union _ | Lera.Diff _
+    | Lera.Inter _ | Lera.Search _ | Lera.Nest _ | Lera.Unnest _ ->
+      List.fold_left (go bound) acc (Lera.inputs r)
+  in
+  List.sort_uniq String.compare (go [] [] r)
+
+(* A closed-fixpoint memo that survives across runs, with per-relation
+   invalidation: each entry records the base relations the fixpoint read,
+   by {e physical identity}.  The copy-on-write database replaces exactly
+   the relation records a write touches, so an entry is stale iff one of
+   its dependencies is no longer the same record — DML on unrelated
+   relations leaves it valid, no explicit invalidation hooks needed.
+   Thread-safe (the query server shares one across connections). *)
+module Shared_fix_cache = struct
+  type entry = {
+    result : Relation.t;
+    deps : (string * Relation.t option) list;
+        (** dependency name → the relation record it resolved to when the
+            fixpoint was computed ([None] = was absent) *)
+  }
+
+  type t = {
+    tbl : entry Fix_cache.t;
+    lock : Mutex.t;
+    mutable invalidations : int;
+  }
+
+  let create () =
+    { tbl = Fix_cache.create 16; lock = Mutex.create (); invalidations = 0 }
+
+  let clear t = Mutex.protect t.lock (fun () -> Fix_cache.reset t.tbl)
+  let size t = Mutex.protect t.lock (fun () -> Fix_cache.length t.tbl)
+  let invalidations t = t.invalidations
+
+  let deps_valid db deps =
+    List.for_all
+      (fun (n, ro) ->
+        match (ro, Database.relation_opt db n) with
+        | Some a, Some b -> a == b
+        | None, None -> true
+        | Some _, None | None, Some _ -> false)
+      deps
+
+  (* a hit must validate against the database the *current* run reads,
+     so snapshot readers match entries from their own snapshot state *)
+  let find t db r =
+    Mutex.protect t.lock (fun () ->
+        match Fix_cache.find_opt t.tbl r with
+        | Some e ->
+          if deps_valid db e.deps then Some e.result
+          else begin
+            Fix_cache.remove t.tbl r;
+            t.invalidations <- t.invalidations + 1;
+            None
+          end
+        | None -> None)
+
+  let store t db r result =
+    let deps =
+      List.map (fun n -> (n, Database.relation_opt db n)) (base_deps r)
+    in
+    Mutex.protect t.lock (fun () -> Fix_cache.replace t.tbl r { result; deps })
+end
+
+type fix_memo = Per_run of Relation.t Fix_cache.t | Shared of Shared_fix_cache.t
 
 (* -- EXPLAIN ANALYZE collection ------------------------------------------
 
@@ -249,7 +339,7 @@ type ctx = {
   physical : Physical.t;
   stats : stats;
   rvars : (string * Relation.t) list;
-  fix_cache : Relation.t Fix_cache.t;
+  fix_cache : fix_memo;
   pool : Domain_pool.t option;  (** [Some] exactly under {!Physical.Parallel} *)
   columnar : bool;
       (** try the vectorized fast paths; always [false] under
@@ -538,8 +628,14 @@ let record_deltas (s : stats) ~c0 ~r0 ~pr0 ~b0 ~f0 ~fh0 ~fm0 ~p0 ~co0 =
   Metrics.Counter.add m_columnar (s.columnar_ops - co0)
 
 let rec run_ctx ?(mode = Seminaive) ?(physical = Physical.Indexed) ?stats
-    ?domains ?(rvars = []) ?columnar ?analyze db (r : Lera.rel) : Relation.t =
+    ?domains ?(rvars = []) ?columnar ?fix_cache ?analyze db (r : Lera.rel) :
+    Relation.t =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let fix_memo =
+    match fix_cache with
+    | Some shared -> Shared shared
+    | None -> Per_run (Fix_cache.create 8)
+  in
   let pool =
     match physical with
     | Physical.Parallel ->
@@ -567,8 +663,8 @@ let rec run_ctx ?(mode = Seminaive) ?(physical = Physical.Indexed) ?stats
       record_deltas stats ~c0 ~r0 ~pr0 ~b0 ~f0 ~fh0 ~fm0 ~p0 ~co0)
     (fun () ->
       eval
-        { db; mode; physical; stats; rvars; fix_cache = Fix_cache.create 8;
-          pool; columnar; analyze }
+        { db; mode; physical; stats; rvars; fix_cache = fix_memo; pool;
+          columnar; analyze }
         r)
 
 (* Every operator evaluation becomes a span when tracing is on, carrying
@@ -869,14 +965,20 @@ and eval_node ctx (r : Lera.rel) : Relation.t =
     in
     produce stats out
   | Lera.Search (_, q, _) when is_false q -> Relation.empty (rel_schema ctx r)
-  | Lera.Search (rs, q, ps) ->
+  | Lera.Search (rs, q, ps) -> (
     let inputs = List.map (eval ctx) rs in
     let schema = rel_schema ctx r in
-    let out =
-      collect_joined ctx inputs q (fun combo ->
-          List.map (fun p -> Expr_eval.eval db ~inputs:combo p) ps)
-    in
-    produce stats (Relation.make schema out)
+    match inputs with
+    | [ ra ] when is_true q && is_identity_proj ps (Schema.arity ra.Relation.schema) ->
+      (* identity search: share the operand, retagged to the node's
+         column names *)
+      produce stats (Relation.with_schema schema ra)
+    | _ ->
+      let out =
+        collect_joined ctx inputs q (fun combo ->
+            List.map (fun p -> Expr_eval.eval db ~inputs:combo p) ps)
+      in
+      produce stats (Relation.make schema out))
   | Lera.Fix (n, body) ->
     (* memoize closed fixpoints whose base relations are not shadowed by
        an enclosing recursion variable *)
@@ -889,7 +991,12 @@ and eval_node ctx (r : Lera.rel) : Relation.t =
     in
     if not closed then produce stats (fixpoint ctx n body)
     else begin
-      match Fix_cache.find_opt ctx.fix_cache r with
+      let cached =
+        match ctx.fix_cache with
+        | Per_run tbl -> Fix_cache.find_opt tbl r
+        | Shared c -> Shared_fix_cache.find c db r
+      in
+      match cached with
       | Some cached ->
         stats.fix_cache_hits <- stats.fix_cache_hits + 1;
         if Obs.enabled () then
@@ -901,7 +1008,9 @@ and eval_node ctx (r : Lera.rel) : Relation.t =
           Obs.counter "eval.fix_cache.misses"
             (float_of_int stats.fix_cache_misses);
         let result = produce stats (fixpoint ctx n body) in
-        Fix_cache.replace ctx.fix_cache r result;
+        (match ctx.fix_cache with
+        | Per_run tbl -> Fix_cache.replace tbl r result
+        | Shared c -> Shared_fix_cache.store c db r result);
         result
     end
   | Lera.Nest (a, group, nested) ->
@@ -1045,8 +1154,8 @@ and seminaive_fixpoint ctx n body schema =
   in
   if rec_arms = [] then base else iterate base base
 
-let run ?mode ?physical ?stats ?domains ?rvars ?columnar db r =
-  run_ctx ?mode ?physical ?stats ?domains ?rvars ?columnar db r
+let run ?mode ?physical ?stats ?domains ?rvars ?columnar ?fix_cache db r =
+  run_ctx ?mode ?physical ?stats ?domains ?rvars ?columnar ?fix_cache db r
 
 (* -- report collapse ------------------------------------------------------ *)
 
@@ -1102,10 +1211,12 @@ and node_of_raw rw =
     children = collapse rw.rw_kids;
   }
 
-let run_analyzed ?mode ?physical ?stats ?domains ?rvars ?columnar db r =
+let run_analyzed ?mode ?physical ?stats ?domains ?rvars ?columnar ?fix_cache db
+    r =
   let a = { an_stack = []; an_roots = [] } in
   let rel =
-    run_ctx ?mode ?physical ?stats ?domains ?rvars ?columnar ~analyze:a db r
+    run_ctx ?mode ?physical ?stats ?domains ?rvars ?columnar ?fix_cache
+      ~analyze:a db r
   in
   let report =
     match collapse (List.rev a.an_roots) with

@@ -73,6 +73,41 @@ end
 
 exception Eval_error of string
 
+(** {1 Term utilities} *)
+
+val map_occurrences : string -> (int -> Lera.rel) -> Lera.rel -> Lera.rel
+(** [map_occurrences n f r] replaces the [i]-th occurrence (1-based,
+    left-to-right) of name [n] — written either [Rvar n] or [Base n],
+    not descending into a [Fix] that rebinds [n] — by [f i].  The
+    substitution step behind semi-naive differentiation, also used by
+    {!Materializer} to build per-occurrence delta variants. *)
+
+val count_occurrences : string -> Lera.rel -> int
+
+val base_deps : Lera.rel -> string list
+(** Names the term reads from the database ([Base]/[Rvar] occurrences
+    not bound by an enclosing [Fix]), sorted and deduplicated. *)
+
+(** {1 Cross-run fixpoint memoization} *)
+
+(** A closed-fixpoint memo that survives across runs, with
+    {e per-relation} invalidation: each entry records the base relations
+    the fixpoint read, by physical identity.  The copy-on-write database
+    replaces exactly the relation records a write touches, so a lookup
+    validates an entry in O(deps) pointer comparisons — DML invalidates
+    only the fixpoints that actually read the written relation, instead
+    of flushing everything.  Thread-safe. *)
+module Shared_fix_cache : sig
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+  val size : t -> int
+
+  val invalidations : t -> int
+  (** Stale entries evicted on lookup since creation. *)
+end
+
 val run :
   ?mode:fix_mode ->
   ?physical:Physical.t ->
@@ -80,6 +115,7 @@ val run :
   ?domains:int ->
   ?rvars:(string * Relation.t) list ->
   ?columnar:bool ->
+  ?fix_cache:Shared_fix_cache.t ->
   Database.t ->
   Lera.rel ->
   Relation.t
@@ -95,8 +131,12 @@ val run :
     defaults to {!Column.enabled} and is forced off under
     {!Physical.Naive}, whose boxed enumeration is the counter oracle.
     Results and all {!stats} fields except [columnar_ops] are identical
-    either way.  Raises {!Eval_error} (or {!Expr_eval.Eval_error}) on
-    ill-formed plans.
+    either way.  [fix_cache] attaches a {!Shared_fix_cache} so closed
+    fixpoints memoized by a previous run can be reused (validated
+    per-relation against this run's database); without it every run gets
+    a fresh private memo, preserving exact counter parity across layers.
+    Raises {!Eval_error} (or {!Expr_eval.Eval_error}) on ill-formed
+    plans.
 
     Every run additionally batches its {!stats} deltas into the
     always-on {!Eds_obs.Metrics} registry (one atomic add per field per
@@ -126,6 +166,7 @@ val run_analyzed :
   ?domains:int ->
   ?rvars:(string * Relation.t) list ->
   ?columnar:bool ->
+  ?fix_cache:Shared_fix_cache.t ->
   Database.t ->
   Lera.rel ->
   Relation.t * node_report

@@ -76,6 +76,16 @@ let make schema tuples =
   of_sorted schema (List.sort_uniq compare_tuples tuples)
 
 let empty schema = of_sorted schema []
+
+(* retag under a same-arity schema: tuples, membership index and the
+   columnar shadow are all schema-name-independent, so they are shared *)
+let with_schema schema r =
+  if Schema.arity schema <> Schema.arity r.schema then
+    invalid_arg
+      (Fmt.str "Relation.with_schema: arity %d differs from %d"
+         (Schema.arity schema) (Schema.arity r.schema))
+  else { r with schema }
+
 let cardinality r = r.card
 let is_empty r = r.card = 0
 

@@ -39,6 +39,12 @@ val make : Schema.t -> tuple list -> t
     differs from the schema's arity. *)
 
 val empty : Schema.t -> t
+
+val with_schema : Schema.t -> t -> t
+(** Retag under a same-arity schema, sharing tuples and the lazy
+    index/columnar caches (all schema-name-independent).  O(1); raises
+    [Invalid_argument] on arity mismatch. *)
+
 val cardinality : t -> int
 val is_empty : t -> bool
 

@@ -42,12 +42,18 @@ type stmt =
       functions : string list;
     }
   | Create_table of { name : string; columns : (string * type_expr) list }
-  | Create_view of { name : string; columns : string list; body : select }
+  | Create_view of {
+      name : string;
+      columns : string list;
+      body : select;
+      materialized : bool;
+    }
   | Insert of { table : string; values : expr list }
   | Delete of { table : string; where : expr option }
   | Update of { table : string; assignments : (string * expr) list; where : expr option }
   | Select_stmt of select
   | Explain of { analyze : bool; query : select }
+  | Refresh of string
 
 let comma = Fmt.any ", "
 
@@ -117,8 +123,10 @@ let pp_stmt ppf = function
   | Create_table { name; columns } ->
     let column ppf (n, t) = Fmt.pf ppf "%s: %a" n pp_type_expr t in
     Fmt.pf ppf "TABLE %s (%a)" name (Fmt.list ~sep:comma column) columns
-  | Create_view { name; columns; body } ->
-    Fmt.pf ppf "CREATE VIEW %s (%a) AS %a" name
+  | Create_view { name; columns; body; materialized } ->
+    Fmt.pf ppf "CREATE %sVIEW %s (%a) AS %a"
+      (if materialized then "MATERIALIZED " else "")
+      name
       (Fmt.list ~sep:comma Fmt.string)
       columns pp_select body
   | Insert { table; values } ->
@@ -133,3 +141,4 @@ let pp_stmt ppf = function
   | Select_stmt s -> pp_select ppf s
   | Explain { analyze; query } ->
     Fmt.pf ppf "EXPLAIN %s%a" (if analyze then "ANALYZE " else "") pp_select query
+  | Refresh name -> Fmt.pf ppf "REFRESH %s" name

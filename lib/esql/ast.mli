@@ -52,7 +52,14 @@ type stmt =
       functions : string list;  (** declared FUNCTION names (bodies are ADTs) *)
     }
   | Create_table of { name : string; columns : (string * type_expr) list }
-  | Create_view of { name : string; columns : string list; body : select }
+  | Create_view of {
+      name : string;
+      columns : string list;
+      body : select;
+      materialized : bool;
+          (** CREATE MATERIALIZED VIEW: the extent is stored and
+              incrementally maintained instead of expanded per query *)
+    }
   | Insert of { table : string; values : expr list }
   | Delete of { table : string; where : expr option }
   | Update of { table : string; assignments : (string * expr) list; where : expr option }
@@ -61,6 +68,9 @@ type stmt =
       (** [EXPLAIN SELECT …] shows the rewritten plan; [EXPLAIN ANALYZE
           SELECT …] executes it and reports per-operator actual rows,
           work counters and elapsed time. *)
+  | Refresh of string
+      (** [REFRESH <view>]: force a full recompute of a materialized
+          view's stored extent. *)
 
 val pp_expr : Format.formatter -> expr -> unit
 val pp_select : Format.formatter -> select -> unit

@@ -1,4 +1,5 @@
 module Value = Eds_value.Value
+module Intern = Eds_value.Intern
 module Vtype = Eds_value.Vtype
 module Adt = Eds_value.Adt
 module Schema = Eds_lera.Schema
@@ -8,12 +9,16 @@ type view = {
   columns : string list;
   body : Ast.select;
   recursive : bool;
+  materialized : bool;
 }
 
 type t = {
   mutable type_env : Vtype.env;
   mutable table_schemas : (string * Schema.t) list;
   mutable view_list : view list;
+  mutable view_schemas : (string * Schema.t) list;
+      (* materialized views whose extent schema the session has recorded;
+         the rewriter and the cost model see them as base relations *)
   mutable adt_registry : Adt.registry;
   mutable enum_counter : int;
 }
@@ -27,6 +32,7 @@ let create ?adts () =
     type_env = Vtype.empty_env;
     table_schemas = [];
     view_list = [];
+    view_schemas = [];
     adt_registry = (match adts with Some r -> r | None -> Adt.builtins ());
     enum_counter = 0;
   }
@@ -48,10 +54,20 @@ let view cat name =
 
 let views cat = cat.view_list
 
+let set_view_schema cat name schema =
+  cat.view_schemas <-
+    (name, schema)
+    :: List.filter
+         (fun (n, _) ->
+           String.lowercase_ascii n <> String.lowercase_ascii name)
+         cat.view_schemas
+
+let view_schema cat name = Option.map snd (find_ci cat.view_schemas name)
+
 let schema_env cat =
   {
     Schema.types = cat.type_env;
-    Schema.relations = cat.table_schemas;
+    Schema.relations = cat.table_schemas @ cat.view_schemas;
     Schema.adts = cat.adt_registry;
   }
 
@@ -70,7 +86,10 @@ let rec resolve_type cat (te : Ast.type_expr) : Vtype.t =
       | None -> error "unknown type %s" n))
   | Ast.T_enum labels ->
     (* anonymous enumeration: register it under a fresh name so values
-       carry a nominal type *)
+       carry a nominal type; intern the labels now so enum-keyed
+       relations qualify for the columnar id flavor without per-tuple
+       intern misses later *)
+    List.iter (fun l -> ignore (Intern.id_of_string l)) labels;
     cat.enum_counter <- cat.enum_counter + 1;
     let name = Fmt.str "enum_%d" cat.enum_counter in
     let ty = Vtype.Enum (name, labels) in
@@ -88,7 +107,10 @@ let rec resolve_type cat (te : Ast.type_expr) : Vtype.t =
 let declare_type cat ~name ~is_object ~supertype te =
   let definition =
     match te with
-    | Ast.T_enum labels -> Vtype.Enum (name, labels)
+    | Ast.T_enum labels ->
+      (* parse-time interning, as for anonymous enumerations above *)
+      List.iter (fun l -> ignore (Intern.id_of_string l)) labels;
+      Vtype.Enum (name, labels)
     | _ -> resolve_type cat te
   in
   match
@@ -114,9 +136,17 @@ let select_mentions name (s : Ast.select) =
   in
   go s
 
-let declare_view cat ~name ~columns body =
+let declare_view cat ?(materialized = false) ~name ~columns body =
   if Option.is_some (view cat name) then error "view %s already exists" name;
-  let v = { vname = name; columns; body; recursive = select_mentions name body } in
+  let v =
+    {
+      vname = name;
+      columns;
+      body;
+      recursive = select_mentions name body;
+      materialized;
+    }
+  in
   cat.view_list <- cat.view_list @ [ v ];
   v
 
@@ -125,9 +155,9 @@ let apply_ddl cat (stmt : Ast.stmt) =
   | Ast.Create_type { name; is_object; supertype; definition; functions = _ } ->
     declare_type cat ~name ~is_object ~supertype definition
   | Ast.Create_table { name; columns } -> ignore (declare_table cat ~name columns)
-  | Ast.Create_view { name; columns; body } ->
-    ignore (declare_view cat ~name ~columns body)
+  | Ast.Create_view { name; columns; body; materialized } ->
+    ignore (declare_view cat ~materialized ~name ~columns body)
   | Ast.Insert _ | Ast.Delete _ | Ast.Update _ ->
     error "DML is handled by the session, not the catalog"
-  | Ast.Select_stmt _ | Ast.Explain _ ->
+  | Ast.Select_stmt _ | Ast.Explain _ | Ast.Refresh _ ->
     error "SELECT is handled by the session, not the catalog"

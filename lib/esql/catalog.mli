@@ -15,6 +15,9 @@ type view = {
   columns : string list;  (** declared column names, [] = inherit *)
   body : Ast.select;
   recursive : bool;  (** the view's FROM clauses mention the view itself *)
+  materialized : bool;
+      (** CREATE MATERIALIZED VIEW: queried as a stored extent, not by
+          expansion *)
 }
 
 type t
@@ -33,6 +36,13 @@ val tables : t -> (string * Schema.t) list
 val view : t -> string -> view option
 val views : t -> view list
 
+val set_view_schema : t -> string -> Schema.t -> unit
+(** Record a materialized view's extent schema.  Once recorded, the view
+    participates in {!schema_env} like a base relation, so the rewriter
+    and cost model can type plans that reference it as [Base]. *)
+
+val view_schema : t -> string -> Schema.t option
+
 val schema_env : t -> Schema.env
 
 val resolve_type : t -> Ast.type_expr -> Vtype.t
@@ -50,7 +60,8 @@ val declare_type :
 val declare_table : t -> name:string -> (string * Ast.type_expr) list -> Schema.t
 (** Returns the resolved schema. *)
 
-val declare_view : t -> name:string -> columns:string list -> Ast.select -> view
+val declare_view :
+  t -> ?materialized:bool -> name:string -> columns:string list -> Ast.select -> view
 
 val apply_ddl : t -> Ast.stmt -> unit
 (** Apply [Create_type]/[Create_table]/[Create_view]; other statements

@@ -12,7 +12,7 @@ let keywords =
     "DELETE"; "UPDATE"; "SET"; "HAVING";
     "SUBTYPE"; "OF"; "OBJECT"; "TUPLE"; "SET"; "BAG"; "LIST"; "ARRAY";
     "ENUMERATION"; "FUNCTION"; "TRUE"; "FALSE"; "NULL";
-    "EXPLAIN"; "ANALYZE";
+    "EXPLAIN"; "ANALYZE"; "MATERIALIZED"; "REFRESH";
   ]
 
 let reserved word = List.mem (String.uppercase_ascii word) keywords
@@ -336,7 +336,7 @@ and parenthesized_select st =
   expect st Lexer.RPAREN;
   s
 
-let create_view st =
+let create_view ~materialized st =
   let name = ident st in
   let columns =
     if peek st = Lexer.LPAREN then begin
@@ -349,7 +349,7 @@ let create_view st =
   in
   expect_kw st "AS";
   let body = if peek st = Lexer.LPAREN then parenthesized_select st else select st in
-  Ast.Create_view { name; columns; body }
+  Ast.Create_view { name; columns; body; materialized }
 
 let delete st =
   expect_kw st "FROM";
@@ -382,14 +382,19 @@ let stmt st =
   if eat_kw st "CREATE" then begin
     if eat_kw st "TYPE" then create_type st
     else if eat_kw st "TABLE" then create_table st
-    else if eat_kw st "VIEW" then create_view st
-    else error "expected TYPE, TABLE or VIEW after CREATE"
+    else if eat_kw st "VIEW" then create_view ~materialized:false st
+    else if eat_kw st "MATERIALIZED" then begin
+      expect_kw st "VIEW";
+      create_view ~materialized:true st
+    end
+    else error "expected TYPE, TABLE, VIEW or MATERIALIZED VIEW after CREATE"
   end
   else if eat_kw st "TYPE" then create_type st
   else if eat_kw st "TABLE" then create_table st
   else if eat_kw st "INSERT" then insert st
   else if eat_kw st "DELETE" then delete st
   else if eat_kw st "UPDATE" then update st
+  else if eat_kw st "REFRESH" then Ast.Refresh (ident st)
   else if eat_kw st "EXPLAIN" then begin
     let analyze = eat_kw st "ANALYZE" in
     if not (peek_kw st "SELECT") then error "EXPLAIN expects a SELECT statement";

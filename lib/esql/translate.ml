@@ -231,11 +231,22 @@ let rec resolve_from ctx (name, alias) : Lera.rel * input =
     | Some schema -> (Lera.Base name, { rname; schema })
     | None -> (
       match Catalog.view ctx.catalog name with
-      | Some v ->
-        if List.exists (same_name v.Catalog.vname) ctx.stack then
-          error "mutually recursive views are not supported (%s)" v.Catalog.vname;
-        let rel, schema = view_rel ctx.catalog ~stack:ctx.stack v in
-        (rel, { rname; schema })
+      | Some v -> (
+        (* a materialized view with a recorded extent schema is read as a
+           stored base relation; during its own definition (no schema
+           recorded yet) it still expands compositionally *)
+        match
+          if v.Catalog.materialized then
+            Catalog.view_schema ctx.catalog v.Catalog.vname
+          else None
+        with
+        | Some schema -> (Lera.Base v.Catalog.vname, { rname; schema })
+        | None ->
+          if List.exists (same_name v.Catalog.vname) ctx.stack then
+            error "mutually recursive views are not supported (%s)"
+              v.Catalog.vname;
+          let rel, schema = view_rel ctx.catalog ~stack:ctx.stack v in
+          (rel, { rname; schema }))
       | None -> error "unknown relation or view %s" name))
 
 and view_rel catalog ~stack (v : Catalog.view) : Lera.rel * Schema.t =
@@ -425,7 +436,13 @@ let relation_of_name catalog name =
   | Some _ -> Lera.Base name
   | None -> (
     match Catalog.view catalog name with
-    | Some v -> fst (view_rel catalog ~stack:[] v)
+    | Some v -> (
+      match
+        if v.Catalog.materialized then Catalog.view_schema catalog v.Catalog.vname
+        else None
+      with
+      | Some _ -> Lera.Base v.Catalog.vname
+      | None -> fst (view_rel catalog ~stack:[] v))
     | None -> error "unknown relation or view %s" name)
 
 let schema_of_name catalog name =
@@ -433,8 +450,16 @@ let schema_of_name catalog name =
   | Some schema -> schema
   | None -> (
     match Catalog.view catalog name with
-    | Some v -> snd (view_rel catalog ~stack:[] v)
+    | Some v -> (
+      match
+        if v.Catalog.materialized then Catalog.view_schema catalog v.Catalog.vname
+        else None
+      with
+      | Some schema -> schema
+      | None -> snd (view_rel catalog ~stack:[] v))
     | None -> error "unknown relation or view %s" name)
+
+let view_plan catalog (v : Catalog.view) = view_rel catalog ~stack:[] v
 
 let expr_over_table catalog ~table e =
   match Catalog.table catalog table with

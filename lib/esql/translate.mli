@@ -34,6 +34,11 @@ val schema_of_name : Catalog.t -> string -> Schema.t
 (** Schema of {!relation_of_name}, with view columns renamed to the
     view's declared column names. *)
 
+val view_plan : Catalog.t -> Catalog.view -> Lera.rel * Schema.t
+(** Translate a view's {e definition} (always by expansion, even for a
+    materialized view) together with its declared-column schema — the
+    plan a {!Eds_engine.Materializer} stores and maintains. *)
+
 val expr_over_table :
   Catalog.t -> table:string -> Ast.expr -> Lera.scalar * Catalog.Vtype.t
 (** Translate an expression whose columns resolve against a single base

@@ -126,6 +126,54 @@ let mixed_op ~index j =
          else Printf.sprintf "DELETE FROM %s WHERE K = %d" t (j - 3))
   | _ -> `Private_read (Printf.sprintf "SELECT K, V FROM %s" t)
 
+(* -- the materialized-view maintenance workload --------------------------- *)
+
+(* Client [i] owns a private edge table and a private {e materialized}
+   recursive reachability view over it, so every maintained extent the
+   server serves back — after INSERTs, DELETEs and explicit REFRESHes —
+   is verified byte-for-byte against the client's oracle session
+   replaying the same statements.  Shared reads (including the expanded
+   recursive REACH queries) interleave like the mixed mode. *)
+
+let mview_table index = Printf.sprintf "MVE_%d" index
+let mview_name index = Printf.sprintf "MVR_%d" index
+
+let mview_ddl index =
+  let t = mview_table index and v = mview_name index in
+  [
+    Printf.sprintf "TABLE %s (Src : INT, Dst : INT)" t;
+    Printf.sprintf
+      "CREATE MATERIALIZED VIEW %s (A, B) AS ( SELECT Src, Dst FROM %s UNION \
+       SELECT E.Src, %s.B FROM %s E, %s WHERE E.Dst = %s.A )"
+      v t v t v v;
+  ]
+
+(* deterministic op [j] of client [index], per 6: an INSERT, a full
+   extent read, a shared read, a DELETE or second INSERT, a filtered
+   extent read, and a REFRESH.  Edges live on 11 nodes so the closure
+   develops chains and cycles quickly. *)
+let mview_op ~index j =
+  let t = mview_table index and v = mview_name index in
+  match j mod 6 with
+  | 0 ->
+      `Write
+        (Printf.sprintf "INSERT INTO %s VALUES (%d, %d)" t (j mod 11)
+           (((j * 5) + 1) mod 11))
+  | 1 -> `Private_read (Printf.sprintf "SELECT %s.A, %s.B FROM %s" v v v)
+  | 2 -> `Shared_read (query_at (index + j))
+  | 3 ->
+      `Write
+        (if j mod 12 = 3 then
+           Printf.sprintf "DELETE FROM %s WHERE Src = %d" t ((j / 2) mod 11)
+         else
+           Printf.sprintf "INSERT INTO %s VALUES (%d, %d)" t
+             (((j * 7) + 2) mod 11)
+             (((j * 3) + 4) mod 11))
+  | 4 ->
+      `Private_read
+        (Printf.sprintf "SELECT %s.B FROM %s WHERE %s.A = %d" v v v (j mod 11))
+  | _ -> `Write (Printf.sprintf "REFRESH %s" v)
+
 (* -- the fan-out --------------------------------------------------------- *)
 
 type outcome = {
@@ -358,11 +406,14 @@ let select_latency_snapshot ~host ~port =
           | _ -> None
           | exception _ -> None))
 
-(* Each client owns a private table, so its write acks and private
+(* Each client owns private relations, so its write acks and private
    reads are checked against a per-client oracle session replaying the
    same statements; shared-table reads check against [expected] like
-   the read-only mode. *)
-let mixed_worker_body ~host ~port ~physical ~expected ~per_client ~index w =
+   the read-only mode.  [ddl] gives the client's private schema and
+   [op] its deterministic statement stream — the mixed and the
+   materialized-view workloads differ only in those two. *)
+let verified_worker_body ~host ~port ~physical ~expected ~ddl ~op ~per_client
+    ~index w =
   match Client.connect ~host port with
   | exception _ -> w.w_dropped <- w.w_dropped + 1
   | client -> (
@@ -372,15 +423,18 @@ let mixed_worker_body ~host ~port ~physical ~expected ~per_client ~index w =
           try
             let oracle = Session.create () in
             Session.set_physical oracle physical;
-            (match Client.request client (mix_ddl index) with
-            | Protocol.Ok, _ -> ignore (Session.exec_string oracle (mix_ddl index))
-            | _, payload ->
-                failwith
-                  (Printf.sprintf "mixed setup for client %d: %s" index
-                     (String.trim payload)));
+            List.iter
+              (fun stmt ->
+                match Client.request client stmt with
+                | Protocol.Ok, _ -> ignore (Session.exec_string oracle stmt)
+                | _, payload ->
+                    failwith
+                      (Printf.sprintf "private setup for client %d: %s" index
+                         (String.trim payload)))
+              (ddl index);
             for j = 0 to per_client - 1 do
               if j mod 4 = 3 then record_ping client w;
-              let op = mixed_op ~index j in
+              let op = op ~index j in
               let stmt =
                 match op with
                 | `Write s | `Shared_read s | `Private_read s -> s
@@ -582,7 +636,15 @@ let run ?(host = "127.0.0.1") ?(expected = []) ~port ~clients ~per_client () =
 let run_mixed ?(host = "127.0.0.1") ?(physical = Session.Eval.Physical.Indexed)
     ?(expected = []) ~port ~clients ~per_client () =
   fan_out ~host ~port ~clients ~per_client (fun i w ->
-      mixed_worker_body ~host ~port ~physical ~expected ~per_client ~index:i w)
+      verified_worker_body ~host ~port ~physical ~expected
+        ~ddl:(fun i -> [ mix_ddl i ])
+        ~op:mixed_op ~per_client ~index:i w)
+
+let run_mview ?(host = "127.0.0.1") ?(physical = Session.Eval.Physical.Indexed)
+    ?(expected = []) ~port ~clients ~per_client () =
+  fan_out ~host ~port ~clients ~per_client (fun i w ->
+      verified_worker_body ~host ~port ~physical ~expected ~ddl:mview_ddl
+        ~op:mview_op ~per_client ~index:i w)
 
 let pp_outcome ppf o =
   Fmt.pf ppf "clients          : %d × %d requests@." o.clients o.per_client;

@@ -140,6 +140,41 @@ val run_mixed :
     the server session's layer for row-order-identical renderings),
     shared reads against [expected]. *)
 
+(** {1 Materialized-view maintenance workload} *)
+
+val mview_table : int -> string
+(** Client [i]'s private edge table, ["MVE_<i>"]. *)
+
+val mview_name : int -> string
+(** Client [i]'s private recursive materialized view, ["MVR_<i>"]. *)
+
+val mview_ddl : int -> string list
+(** DDL creating {!mview_table}[ i] and a recursive
+    [CREATE MATERIALIZED VIEW] {!mview_name}[ i] computing its
+    transitive closure. *)
+
+val mview_op :
+  index:int -> int -> [ `Write of string | `Shared_read of string | `Private_read of string ]
+(** Deterministic op [j] of client [index]: per 6 ops, edge INSERTs
+    (occasionally a DELETE), full and filtered reads of the maintained
+    extent, a shared recursive read, and a [REFRESH]. *)
+
+val run_mview :
+  ?host:string ->
+  ?physical:Session.Eval.Physical.t ->
+  ?expected:(string * string) list ->
+  port:int ->
+  clients:int ->
+  per_client:int ->
+  unit ->
+  outcome
+(** Materialized-view fan-out: client [i] creates {!mview_table} and
+    {!mview_name} and issues {!mview_op}s; every ok response — DML
+    acks, REFRESH acks and maintained-extent reads — is verified
+    byte-for-byte against a per-client oracle session replaying the
+    same statements, so incremental maintenance under concurrent load
+    is checked against full local recomputation. *)
+
 val pp_outcome : Format.formatter -> outcome -> unit
 
 val percentile : float array -> float -> float

@@ -126,7 +126,8 @@ let resolve_addr host =
 
 let help_text =
   "edsd wire protocol — one request per line:\n\
-  \  <ESQL statement>   SELECT / TABLE / CREATE / INSERT / DELETE / UPDATE\n\
+  \  <ESQL statement>   SELECT / TABLE / CREATE / INSERT / DELETE /\n\
+  \                     UPDATE / REFRESH (CREATE MATERIALIZED VIEW too)\n\
   \  .<directive>       any edsql shell directive (.help lists them)\n\
   \  EXPLAIN [ANALYZE] SELECT ...   plan report; ANALYZE also executes\n\
   \  HELP               this text\n\
@@ -141,7 +142,10 @@ let help_text =
    responses are framed as \"<ok|error|busy> <nbytes>\\n<payload>\"\n"
 
 let esql_starters =
-  [ "SELECT"; "EXPLAIN"; "CREATE"; "TYPE"; "TABLE"; "INSERT"; "DELETE"; "UPDATE" ]
+  [
+    "SELECT"; "EXPLAIN"; "CREATE"; "TYPE"; "TABLE"; "INSERT"; "DELETE";
+    "UPDATE"; "REFRESH";
+  ]
 
 let first_token line =
   match String.index_opt line ' ' with
@@ -192,7 +196,7 @@ let ms_of s = Float.round (s *. 1e6) /. 1e3  (* µs-precision milliseconds *)
 
 (* One JSON object per line: greppable, and each line parses on its own. *)
 let slow_log_line ~conn_id ~query ~total_s ~cache ~parse_s ~translate_s ~rewrite_s
-    ~exec_s ~rows ~(work : Eval.stats) =
+    ~exec_s ~rows ~(work : Eval.stats) ~mv_runs ~mv_fallbacks ~mv_delta =
   Obs.Json.to_string
     (Obs.Json.Obj
        [
@@ -214,17 +218,20 @@ let slow_log_line ~conn_id ~query ~total_s ~cache ~parse_s ~translate_s ~rewrite
          ( "layout",
            Obs.Json.Str
              (if work.Eval.columnar_ops > 0 then "columnar" else "boxed") );
+         ("mv_maintenance_runs", Obs.Json.Int mv_runs);
+         ("mv_fallback_recomputes", Obs.Json.Int mv_fallbacks);
+         ("mv_delta_tuples", Obs.Json.Int mv_delta);
        ])
 
 let maybe_slow_log t conn_id ~query ~total_s ~cache ~parse_s ~translate_s ~rewrite_s
-    ~exec_s ~rows ~work =
+    ~exec_s ~rows ~work ?(mv_runs = 0) ?(mv_fallbacks = 0) ?(mv_delta = 0) () =
   match t.cfg.slow_query_ms with
   | Some threshold_ms when total_s *. 1000. >= threshold_ms ->
       Metrics.Counter.incr m_slow;
       let sink = Option.value t.cfg.slow_log ~default:default_slow_sink in
       sink
         (slow_log_line ~conn_id ~query ~total_s ~cache ~parse_s ~translate_s
-           ~rewrite_s ~exec_s ~rows ~work)
+           ~rewrite_s ~exec_s ~rows ~work ~mv_runs ~mv_fallbacks ~mv_delta)
   | _ -> ()
 
 (* SELECTs take no lock at all: evaluation runs against an immutable
@@ -243,7 +250,7 @@ let run_select t conn_id line =
   maybe_slow_log t conn_id ~query:line ~total_s:(Obs.now () -. ts) ~cache
     ~parse_s:r.Planner.parse_s ~translate_s:r.Planner.translate_s
     ~rewrite_s:r.Planner.rewrite_s ~exec_s:r.Planner.exec_s
-    ~rows:(Relation.cardinality rel) ~work:r.Planner.work;
+    ~rows:(Relation.cardinality rel) ~work:r.Planner.work ();
   `Reply (Protocol.Ok, payload)
 
 (* Mutations serialize under the write lock.  Once a statement has
@@ -260,6 +267,11 @@ let run_write t conn_id line =
      writers then land their frames back-to-back and the group-commit
      leader makes them all durable with one fsync.  The ack still only
      goes out after [sync] returns. *)
+  let mv0 =
+    let m = Session.mv_stats (Planner.session t.planner) in
+    Session.Materializer.
+      (m.maintenance_runs, m.fallback_recomputes, m.delta_tuples)
+  in
   let payload, commit =
     Rwlock.with_write t.rw (fun () ->
         let session = Planner.session t.planner in
@@ -278,9 +290,14 @@ let run_write t conn_id line =
   | None -> ());
   obs_query t conn_id ~cache:"write" ~ts;
   let total_s = Obs.now () -. ts in
+  let runs0, fb0, delta0 = mv0 in
+  let m = Session.mv_stats (Planner.session t.planner) in
   maybe_slow_log t conn_id ~query:line ~total_s ~cache:"write" ~parse_s:0.
     ~translate_s:0. ~rewrite_s:0. ~exec_s:total_s ~rows:0
-    ~work:(Eval.fresh_stats ());
+    ~work:(Eval.fresh_stats ())
+    ~mv_runs:(m.Session.Materializer.maintenance_runs - runs0)
+    ~mv_fallbacks:(m.Session.Materializer.fallback_recomputes - fb0)
+    ~mv_delta:(m.Session.Materializer.delta_tuples - delta0) ();
   `Reply (Protocol.Ok, payload)
 
 let run_directive t line =
@@ -403,7 +420,31 @@ let metrics t =
        ("session.eval.probes", Obs.Json.Int es.Eval.probes);
        ("session.eval.builds", Obs.Json.Int es.Eval.builds);
        ("session.eval.fix_iterations", Obs.Json.Int es.Eval.fix_iterations);
+       ("session.eval.fix_cache_hits", Obs.Json.Int es.Eval.fix_cache_hits);
+       ("session.eval.fix_cache_misses", Obs.Json.Int es.Eval.fix_cache_misses);
      ]
+    @ (let m = Session.mv_stats session in
+       let entries, invalidations = Session.fix_cache_stats session in
+       [
+         ( "session.mviews.extents",
+           Obs.Json.Int
+             (List.length (Session.Materializer.views (Session.mviews session)))
+         );
+         ( "session.mviews.maintenance_runs",
+           Obs.Json.Int m.Session.Materializer.maintenance_runs );
+         ( "session.mviews.fallback_recomputes",
+           Obs.Json.Int m.Session.Materializer.fallback_recomputes );
+         ("session.mviews.refreshes", Obs.Json.Int m.Session.Materializer.refreshes);
+         ( "session.mviews.delta_tuples",
+           Obs.Json.Int m.Session.Materializer.delta_tuples );
+         ( "session.mviews.last_refresh_age_s",
+           Obs.Json.Float
+             (if m.Session.Materializer.last_refresh > 0. then
+                Unix.gettimeofday () -. m.Session.Materializer.last_refresh
+              else -1.) );
+         ("session.fix_cache.entries", Obs.Json.Int entries);
+         ("session.fix_cache.invalidations", Obs.Json.Int invalidations);
+       ])
     @ wal_fields)
 
 (* SAVE to the daemon's own database path is a checkpoint: the dump and
@@ -628,7 +669,19 @@ let collector_samples t () =
       value = Metrics.Gauge_v v;
     }
   in
+  let m = Session.mv_stats session in
+  let fix_entries, _ = Session.fix_cache_stats session in
   [
+    g "eds_mview_extents" "Materialized views with stored extents"
+      (float_of_int
+         (List.length (Session.Materializer.views (Session.mviews session))));
+    g "eds_mview_last_refresh_age_seconds"
+      "Seconds since the last full (re)compute of any extent (-1 = never)"
+      (if m.Session.Materializer.last_refresh > 0. then
+         Unix.gettimeofday () -. m.Session.Materializer.last_refresh
+       else -1.);
+    g "eds_fix_cache_entries" "Shared closed-fixpoint memo entries"
+      (float_of_int fix_entries);
     g "eds_plan_cache_entries" "Plans currently cached" (float_of_int cache.Plan_cache.size);
     g "eds_plan_cache_capacity" "Plan-cache capacity" (float_of_int cache.Plan_cache.capacity);
     g "eds_session_generation" "Plan-affecting generation (integrity marker)"

@@ -113,7 +113,8 @@ let test_parse_select_shape () =
 
 let test_parse_union_view () =
   match Parser.parse_stmt figure5_view with
-  | Ast.Create_view { name = "BETTER_THAN"; columns = [ "Refactor1"; "Refactor2" ]; body } ->
+  | Ast.Create_view
+      { name = "BETTER_THAN"; columns = [ "Refactor1"; "Refactor2" ]; body; _ } ->
     Alcotest.(check bool) "body is a union" true (Option.is_some body.Ast.union);
     let arm2 = Option.get body.Ast.union in
     Alcotest.(check (list (pair string (option string))))

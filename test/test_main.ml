@@ -21,6 +21,7 @@ let () =
       ("cost", Test_cost.suite);
       ("storage", Test_storage.suite);
       ("wal", Test_wal.suite);
+      ("materializer", Test_materializer.suite);
       ("robustness", Test_robustness.suite);
       ("conformance", Test_conformance.suite);
       ("obs", Test_obs.suite);
