@@ -15,6 +15,10 @@ module Rulesets = Eds_rewriter.Rulesets
 module Engine = Eds_rewriter.Engine
 module Optimizer = Eds_rewriter.Optimizer
 module Session = Eds.Session
+module Rule_parser = Eds_rewriter.Rule_parser
+module Verify = Eds_rulelab.Verify
+module Discover = Eds_rulelab.Discover
+module Corpus = Eds_rulelab.Corpus
 
 let section id title = Fmt.pr "@.=== %s — %s@." id title
 
@@ -1421,6 +1425,57 @@ let e8 () =
   metric_bool "e8.maintain_speedup_ge_5" (speedup >= 5.0);
   metric_bool "e8.bit_identical" equal
 
+let e9 () =
+  section "E9"
+    "rule lab: differential verifier catch rate + rule discovery savings";
+  (* catch rate on the committed known-bad corpus: every rule must be
+     flagged unsound with a replayable, shrunk counterexample *)
+  let bad = Rule_parser.parse_rules Corpus.known_bad in
+  let bad_report = Verify.verify_rules ~trials:32 bad in
+  let flagged, replayed, max_shrink =
+    List.fold_left
+      (fun (f, rep, mx) (rr : Verify.rule_report) ->
+        match rr.Verify.soundness with
+        | Verify.Unsound ce ->
+          ( f + 1,
+            (rep && Verify.check_counterexample rr.Verify.rule ce),
+            max mx ce.Verify.shrink_steps )
+        | _ -> (f, rep, mx))
+      (0, true, 0) bad_report.Verify.rules
+  in
+  row "  known-bad corpus: %d/%d rules flagged unsound, replayable: %b@."
+    flagged (List.length bad) replayed;
+  row "  deepest shrink: %d accepted steps@." max_shrink;
+  (* the paper's own rule library must come out clean *)
+  let paper_report = Verify.verify_rules ~trials:32 (Rulesets.all ()) in
+  row "  paper rules: clean %b, %d/%d exercised on the seeded trials@."
+    (Verify.clean paper_report)
+    (Verify.exercised paper_report)
+    (List.length paper_report.Verify.rules);
+  (* discovery: enumerate, screen, measure, verify *)
+  let d = Discover.run ~screen_trials:16 ~verify_trials:16 ~max_candidates:80 () in
+  row "  discovery: %d enumerated, %d screened out, %d without savings@."
+    d.Discover.enumerated d.Discover.screened_out d.Discover.no_savings;
+  List.iter
+    (fun (c : Discover.candidate) ->
+      row "    %a --> %a  (+%d work units, fired %d)@." Term.pp
+        c.Discover.rule.Rule.lhs Term.pp c.Discover.rule.Rule.rhs
+        c.Discover.savings c.Discover.fired)
+    d.Discover.survivors;
+  let best =
+    match d.Discover.survivors with c :: _ -> c.Discover.savings | [] -> 0
+  in
+  metric_int "e9.corpus_size" (List.length bad);
+  metric_int "e9.verifier.bad_flagged" flagged;
+  metric_bool "e9.verifier.all_bad_flagged" (flagged = List.length bad);
+  metric_bool "e9.verifier.counterexamples_replay" replayed;
+  metric_bool "e9.verifier.paper_rules_clean" (Verify.clean paper_report);
+  metric_int "e9.verifier.exercised" (Verify.exercised paper_report);
+  metric_int "e9.discovery.survivors" (List.length d.Discover.survivors);
+  metric_int "e9.discovery.best_savings" best;
+  metric_bool "e9.discovery.positive_savings"
+    (List.length d.Discover.survivors > 0 && best > 0)
+
 let all () =
   Fmt.pr "EDS rule-based query rewriter — experiment report (per-figure)@.";
   Fmt.pr "paper: Finance & Gardarin, ICDE 1991 (no measured tables: each@.";
@@ -1443,6 +1498,7 @@ let all () =
   e6 ();
   e7 ();
   e8 ();
+  e9 ();
   c1 ();
   c2 ();
   c3 ();

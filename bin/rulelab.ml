@@ -1,0 +1,127 @@
+(* rulelab — verify rule packs and discover new rules from the command
+   line.
+
+   [rulelab verify FILE] differentially tests every rule of the pack
+   against the paper program and prints one soundness / termination /
+   liveness report; exit status 0 means the pack is clean (loadable).
+   [rulelab verify --builtin] self-verifies the paper's shipped rule
+   set.  [--expect-unsound] inverts the contract for known-bad packs:
+   every rule must be flagged with a counterexample (the CI
+   catch-rate gate).  [rulelab discover] runs the enumeration loop and
+   prints the verified candidates with their measured savings. *)
+
+module Verify = Eds_rulelab.Verify
+module Discover = Eds_rulelab.Discover
+module Rulesets = Eds_rewriter.Rulesets
+module Rule_parser = Eds_rewriter.Rule_parser
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+         ~doc:"Random seed for trial generation (deterministic per seed).")
+
+let trials_arg =
+  Arg.(value & opt int 48 & info [ "trials" ] ~docv:"N"
+         ~doc:"Differential trials per rule.")
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Rule pack to verify (rules separated by ';', -- comments).")
+
+let builtin_arg =
+  Arg.(value & flag & info [ "builtin" ]
+         ~doc:"Verify the paper's shipped rule set instead of a file.")
+
+let expect_unsound_arg =
+  Arg.(value & flag & info [ "expect-unsound" ]
+         ~doc:"Invert the contract: succeed only if $(i,every) rule is \
+               flagged unsound with a counterexample.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let verify_run seed trials file builtin expect_unsound =
+  let rules =
+    match (builtin, file) with
+    | true, _ -> Ok (Rulesets.all ())
+    | false, Some path -> (
+      try Ok (Rule_parser.parse_rules (read_file path))
+      with Rule_parser.Rule_parse_error e ->
+        Error (Fmt.str "cannot parse %s: %s" path (Rule_parser.error_to_string e)))
+    | false, None -> Error "give a rule pack FILE or --builtin"
+  in
+  match rules with
+  | Error msg ->
+    Fmt.epr "error: %s@." msg;
+    1
+  | Ok rules ->
+    let report = Verify.verify_rules ~seed ~trials rules in
+    Fmt.pr "%a@." Verify.pp_report report;
+    if expect_unsound then begin
+      let missed =
+        List.filter
+          (fun (rr : Verify.rule_report) ->
+            match rr.Verify.soundness with
+            | Verify.Unsound _ -> false
+            | _ -> true)
+          report.Verify.rules
+      in
+      match missed with
+      | [] ->
+        Fmt.pr "catch rate: %d/%d known-bad rules flagged@."
+          (List.length report.Verify.rules)
+          (List.length report.Verify.rules);
+        0
+      | l ->
+        Fmt.epr "error: %d known-bad rule(s) NOT flagged: %s@." (List.length l)
+          (String.concat ", "
+             (List.map (fun (rr : Verify.rule_report) -> rr.Verify.rule.name) l));
+        1
+    end
+    else if Verify.clean report then 0
+    else 1
+
+let verify_cmd =
+  let doc = "differentially verify a rule pack (soundness, termination, liveness)" in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const verify_run $ seed_arg $ trials_arg $ file_arg $ builtin_arg
+          $ expect_unsound_arg)
+
+let max_candidates_arg =
+  Arg.(value & opt int 200 & info [ "max-candidates" ] ~docv:"N"
+         ~doc:"Cap on enumerated candidates taken into screening.")
+
+let min_survivors_arg =
+  Arg.(value & opt int 0 & info [ "min-survivors" ] ~docv:"N"
+         ~doc:"Fail unless at least $(docv) verified candidates with \
+               positive savings survive.")
+
+let discover_run seed trials max_candidates min_survivors =
+  let result =
+    Discover.run ~seed ~verify_trials:trials ~max_candidates ()
+  in
+  Fmt.pr "%a@." Discover.pp result;
+  if List.length result.Discover.survivors >= min_survivors then 0
+  else begin
+    Fmt.epr "error: %d survivor(s), expected at least %d@."
+      (List.length result.Discover.survivors)
+      min_survivors;
+    1
+  end
+
+let discover_cmd =
+  let doc = "enumerate, verify and rank candidate rewrite rules" in
+  Cmd.v (Cmd.info "discover" ~doc)
+    Term.(const discover_run $ seed_arg $ trials_arg $ max_candidates_arg
+          $ min_survivors_arg)
+
+let () =
+  let doc = "rule lab: differential rule verification and rule discovery" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "rulelab" ~doc ~version:"%%VERSION%%")
+          [ verify_cmd; discover_cmd ]))

@@ -10,6 +10,8 @@ module Engine = Session.Engine
 module Optimizer = Session.Optimizer
 module Eval = Session.Eval
 module Obs = Eds_obs.Obs
+module Rule_parser = Eds_rewriter.Rule_parser
+module Verify = Eds_rulelab.Verify
 
 let print_result ppf = function
   | Session.Done -> Fmt.pf ppf "ok@."
@@ -68,6 +70,10 @@ let help_text =
   \  .trace-file FILE      write a Chrome trace-event file (.trace-file off stops)\n\
   \  .profile on|off       collect per-rule attempt/fire/veto statistics;\n\
   \                        'off' (or bare .profile) prints the report\n\
+  \  .profile report       never-fired (dead) rules under the current profile\n\
+  \  .verify FILE          differentially verify a rule pack against the\n\
+  \                        current program; appended to block 'verified'\n\
+  \                        only if every rule comes out clean\n\
   \  .stats                cumulative evaluator counters and last rewrite stats\n\
   \  .stats reset          zero the cumulative counters (generations survive)\n\
   \  .rules                list the current rule program\n\
@@ -138,9 +144,52 @@ let print_session_stats ppf session =
   if mvs.Session.Materializer.last_refresh > 0. then
     Fmt.pf ppf "mv last refresh  : %.1fs ago@."
       (Unix.gettimeofday () -. mvs.Session.Materializer.last_refresh);
+  (match Obs.Profile.current () with
+  | None -> ()
+  | Some p ->
+    let rules = all_rules session in
+    let dead = Obs.Profile.never_fired ~all_rules:rules p in
+    Fmt.pf ppf "dead rules       : %d of %d profiled%a@." (List.length dead)
+      (List.length rules)
+      (fun ppf -> function
+        | [] -> ()
+        | l ->
+          Fmt.pf ppf " (%a)"
+            (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (b, r) ->
+                 Fmt.pf ppf "%s/%s" b r))
+            l)
+      dead);
   match Session.last_rewrite_stats session with
   | None -> Fmt.pf ppf "last rewrite     : (none)@."
   | Some rs -> Fmt.pf ppf "last rewrite     : %a@." Engine.pp_stats rs
+
+(* The gate for untrusted rule packs, shared with the server's
+   [VERIFY RULES] wire command: differentially verify the pack against
+   the session's current program and append it (block "verified") only
+   when every rule comes out clean.  Returns [true] iff the pack was
+   accepted. *)
+let verify_rules_text ppf session text =
+  match Rule_parser.parse_rules text with
+  | exception Rule_parser.Rule_parse_error e ->
+    Fmt.pf ppf "rule error: %s@." (Rule_parser.error_to_string e);
+    false
+  | [] ->
+    Fmt.pf ppf "no rules in pack@.";
+    false
+  | rules ->
+    let report = Verify.verify_rules ~base:(Session.program session) rules in
+    Fmt.pf ppf "%a@." Verify.pp_report report;
+    if Verify.clean report then begin
+      Session.add_rules session ~block:"verified" text;
+      Fmt.pf ppf "pack accepted: %d rule%s appended to block \"verified\"@."
+        (List.length rules)
+        (if List.length rules = 1 then "" else "s");
+      true
+    end
+    else begin
+      Fmt.pf ppf "pack rejected: fix the flagged rules and retry@.";
+      false
+    end
 
 let handle_directive ppf session line =
   let directive, arg = cut_directive line in
@@ -178,7 +227,15 @@ let handle_directive ppf session line =
       Obs.Profile.set_current None
     | "off", None -> Fmt.pf ppf "profiling was already off@."
     | "", Some p -> print_profile ppf session p
-    | _ -> Fmt.pf ppf "usage: .profile on|off@.");
+    | "report", Some p ->
+      (match Obs.Profile.never_fired ~all_rules:(all_rules session) p with
+      | [] -> Fmt.pf ppf "no dead rules: every rule fired at least once@."
+      | dead ->
+        List.iter
+          (fun (b, r) -> Fmt.pf ppf "dead rule: %s/%s (never fired)@." b r)
+          dead)
+    | "report", None -> Fmt.pf ppf "profiling is off (.profile on first)@."
+    | _ -> Fmt.pf ppf "usage: .profile on|off|report@.");
     `Continue
   | ".stats" ->
     (match arg with
@@ -240,6 +297,13 @@ let handle_directive ppf session line =
       Session.set_domains session n;
       Fmt.pf ppf "domains: %d@." n
     | _ -> Fmt.pf ppf "usage: .domains N   (N >= 1)@.");
+    `Continue
+  | ".verify" ->
+    (match arg with
+    | "" -> Fmt.pf ppf "usage: .verify FILE@."
+    | path ->
+      let text = In_channel.with_open_text path In_channel.input_all in
+      ignore (verify_rules_text ppf session text));
     `Continue
   | ".constraint" ->
     Session.add_integrity_constraint session arg;

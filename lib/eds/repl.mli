@@ -34,6 +34,12 @@ val dispatch :
     propagate (the REPL and the server each wrap it in their own
     per-line recovery). *)
 
+val verify_rules_text : Format.formatter -> Session.t -> string -> bool
+(** The gate behind [.verify] and the server's [VERIFY RULES]:
+    differentially verify the pack text against the session's current
+    program (printing the full report) and append it as block
+    "verified" only when clean.  Returns [true] iff accepted. *)
+
 val describe_error : exn -> string
 (** The one-line [error: ...] rendering used by the REPL's per-line
     recovery (parse, session, storage, timeout and generic errors). *)

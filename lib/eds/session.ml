@@ -172,7 +172,8 @@ let wrap_errors f =
   | Engine.Rewrite_error msg -> error "rewrite error: %s" msg
   | Eval.Eval_error msg -> error "evaluation error: %s" msg
   | Expr_eval.Eval_error msg -> error "evaluation error: %s" msg
-  | Rule_parser.Rule_parse_error msg -> error "rule error: %s" msg
+  | Rule_parser.Rule_parse_error e ->
+    error "rule error: %s" (Rule_parser.error_to_string e)
 
 let plan_select ?(parse_s = 0.) s (sel : Ast.select) : plan =
   let (translated, rewritten, stats, translate_s, rewrite_s), events =

@@ -127,7 +127,12 @@ let rewrite ?program:prog ?stats ctx (r : Lera.rel) : Lera.rel =
 let parse_integrity_constraint text =
   let rule = Rule_parser.parse_rule text in
   let fail fmt =
-    Fmt.kstr (fun s -> raise (Rule_parser.Rule_parse_error s)) fmt
+    Fmt.kstr
+      (fun s ->
+        raise
+          (Rule_parser.Rule_parse_error
+             { Rule_parser.message = s; line = 0; column = 0; token = "" }))
+      fmt
   in
   let var_name, head =
     match rule.Rule.lhs with

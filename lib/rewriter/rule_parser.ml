@@ -2,18 +2,78 @@ module Value = Eds_value.Value
 module Term = Eds_term.Term
 module Lexer = Eds_esql.Lexer
 
-exception Rule_parse_error of string
+type error = { message : string; line : int; column : int; token : string }
 
-let error fmt = Fmt.kstr (fun s -> raise (Rule_parse_error s)) fmt
+exception Rule_parse_error of error
 
-type state = { mutable tokens : (Lexer.token * int) list }
+let error_to_string e =
+  let pos =
+    if e.line > 0 then Fmt.str "line %d, column %d: " e.line e.column else ""
+  in
+  let tok = if e.token = "" then "" else Fmt.str " (at %s)" e.token in
+  pos ^ e.message ^ tok
+
+let () =
+  Printexc.register_printer (function
+    | Rule_parse_error e -> Some ("Rule_parse_error: " ^ error_to_string e)
+    | _ -> None)
+
+let error_at ?(line = 0) ?(column = 0) ?(token = "") fmt =
+  Fmt.kstr
+    (fun message -> raise (Rule_parse_error { message; line; column; token }))
+    fmt
+
+let error fmt = error_at fmt
+
+(* char offset -> 1-based line/column (rule texts are small, a rescan is
+   fine) *)
+let position input offset =
+  let offset = max 0 (min offset (String.length input)) in
+  let line = ref 1 and column = ref 1 in
+  String.iteri
+    (fun i c ->
+      if i < offset then
+        if c = '\n' then begin
+          incr line;
+          column := 1
+        end
+        else incr column)
+    input;
+  (!line, !column)
+
+type state = {
+  input : string;
+  mutable tokens : (Lexer.token * int) list;
+  mutable last : Lexer.token * int;  (** most recently consumed token *)
+}
+
+(* parse error blaming the most recently consumed token (all parsing
+   errors fire right after [next]/[expect] consumed the offender) *)
+let fail st fmt =
+  let tok, off = st.last in
+  let line, column = position st.input off in
+  error_at ~line ~column ~token:(Fmt.str "%a" Lexer.pp_token tok) fmt
+
+(* parse error blaming the upcoming (peeked, unconsumed) token *)
+let fail_here st fmt =
+  match st.tokens with
+  | (tok, off) :: _ ->
+    let line, column = position st.input off in
+    error_at ~line ~column ~token:(Fmt.str "%a" Lexer.pp_token tok) fmt
+  | [] -> fail st fmt
+
+let lex_fail input msg pos =
+  let line, column = position input pos in
+  error_at ~line ~column "lexical error: %s" msg
 
 let peek st = match st.tokens with (t, _) :: _ -> t | [] -> Lexer.EOF
 let peek2 st = match st.tokens with _ :: (t, _) :: _ -> t | _ -> Lexer.EOF
 
 let advance st =
   match st.tokens with
-  | _ :: rest -> st.tokens <- rest
+  | t :: rest ->
+    st.last <- t;
+    st.tokens <- rest
   | [] -> ()
 
 let next st =
@@ -23,7 +83,8 @@ let next st =
 
 let expect st tok =
   let t = next st in
-  if t <> tok then error "expected %a but found %a" Lexer.pp_token tok Lexer.pp_token t
+  if t <> tok then
+    fail st "expected %a but found %a" Lexer.pp_token tok Lexer.pp_token t
 
 let is_kw word = function
   | Lexer.IDENT s -> String.uppercase_ascii s = word
@@ -131,7 +192,7 @@ and atom st =
     match next st with
     | Lexer.INT i -> Term.int (-i)
     | Lexer.FLOAT f -> Term.Cst (Value.Real (-.f))
-    | t -> error "expected a number after unary minus, found %a" Lexer.pp_token t)
+    | t -> fail st "expected a number after unary minus, found %a" Lexer.pp_token t)
   | Lexer.LPAREN ->
     let t = term st in
     expect st Lexer.RPAREN;
@@ -146,7 +207,7 @@ and atom st =
           let v =
             match t with
             | Term.Cst v -> v
-            | _ -> error "set literals must contain constants, found %a" Term.pp t
+            | _ -> fail st "set literals must contain constants, found %a" Term.pp t
           in
           if peek st = Lexer.COMMA then begin
             advance st;
@@ -167,12 +228,12 @@ and atom st =
     expect st Lexer.RPAREN;
     Term.app "@" [ Term.int i; Term.int j ]
   | Lexer.IDENT s -> ident_atom st s
-  | t -> error "unexpected %a in term" Lexer.pp_token t
+  | t -> fail st "unexpected %a in term" Lexer.pp_token t
 
 and integer st =
   match next st with
   | Lexer.INT i -> i
-  | t -> error "expected an integer, found %a" Lexer.pp_token t
+  | t -> fail st "expected an integer, found %a" Lexer.pp_token t
 
 and ident_atom st s =
   match String.uppercase_ascii s with
@@ -246,7 +307,7 @@ let method_call st =
     let args = arguments st in
     expect st Lexer.RPAREN;
     (String.lowercase_ascii f, args)
-  | t -> error "expected a method name, found %a" Lexer.pp_token t
+  | t -> fail st "expected a method name, found %a" Lexer.pp_token t
 
 let method_list st =
   match peek st with
@@ -290,28 +351,27 @@ let named_rule st =
     rule_body st name
   | _ -> rule_body st "anonymous"
 
-let with_state input f =
+let make_state input =
   let tokens =
     try Lexer.tokenize input
-    with Lexer.Lex_error (msg, pos) -> error "lexical error at %d: %s" pos msg
+    with Lexer.Lex_error (msg, pos) -> lex_fail input msg pos
   in
-  let st = { tokens } in
+  { input; tokens; last = (Lexer.EOF, 0) }
+
+let with_state input f =
+  let st = make_state input in
   let result = f st in
   if peek st = Lexer.SEMI then advance st;
   (match peek st with
   | Lexer.EOF -> ()
-  | t -> error "trailing input: %a" Lexer.pp_token t);
+  | t -> fail_here st "trailing input: %a" Lexer.pp_token t);
   result
 
 let parse_rule input = with_state input named_rule
 let parse_term input = with_state input term
 
 let parse_rules input =
-  let tokens =
-    try Lexer.tokenize input
-    with Lexer.Lex_error (msg, pos) -> error "lexical error at %d: %s" pos msg
-  in
-  let st = { tokens } in
+  let st = make_state input in
   let rec go acc =
     match peek st with
     | Lexer.EOF -> List.rev acc
@@ -338,7 +398,7 @@ let name_list st =
         advance st;
         go (s :: acc)
       | _ -> List.rev (s :: acc))
-    | t -> error "expected a name, found %a" Lexer.pp_token t
+    | t -> fail st "expected a name, found %a" Lexer.pp_token t
   in
   let names = if peek st = Lexer.RBRACE then [] else go [] in
   expect st Lexer.RBRACE;
@@ -351,7 +411,7 @@ let meta_decl st =
     let name =
       match next st with
       | Lexer.IDENT n -> n
-      | t -> error "expected a block name, found %a" Lexer.pp_token t
+      | t -> fail st "expected a block name, found %a" Lexer.pp_token t
     in
     expect st Lexer.COMMA;
     let rule_names = name_list st in
@@ -360,7 +420,7 @@ let meta_decl st =
       match next st with
       | Lexer.INT n -> Some n
       | Lexer.IDENT s when String.uppercase_ascii s = "INFINITE" -> None
-      | t -> error "expected a limit, found %a" Lexer.pp_token t
+      | t -> fail st "expected a limit, found %a" Lexer.pp_token t
     in
     expect st Lexer.RPAREN;
     Block_decl { name; rule_names; limit }
@@ -371,18 +431,14 @@ let meta_decl st =
     let rounds =
       match next st with
       | Lexer.INT n -> n
-      | t -> error "expected a round count, found %a" Lexer.pp_token t
+      | t -> fail st "expected a round count, found %a" Lexer.pp_token t
     in
     expect st Lexer.RPAREN;
     Seq_decl { block_names; rounds }
-  | t -> error "expected block(…) or seq(…), found %a" Lexer.pp_token t
+  | t -> fail st "expected block(…) or seq(…), found %a" Lexer.pp_token t
 
 let parse_meta input =
-  let tokens =
-    try Lexer.tokenize input
-    with Lexer.Lex_error (msg, pos) -> error "lexical error at %d: %s" pos msg
-  in
-  let st = { tokens } in
+  let st = make_state input in
   let rec go acc =
     match peek st with
     | Lexer.EOF -> List.rev acc

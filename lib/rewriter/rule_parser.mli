@@ -22,7 +22,18 @@
 
 module Term = Eds_term.Term
 
-exception Rule_parse_error of string
+(** A parse error with its source position.  [line]/[column] are
+    1-based; 0 means the position is unknown (e.g. name-resolution
+    errors, which have no token).  [token] renders the offending token,
+    [""] when there is none. *)
+type error = { message : string; line : int; column : int; token : string }
+
+exception Rule_parse_error of error
+
+val error_to_string : error -> string
+(** ["line L, column C: message (at token)"], omitting the unknown
+    parts.  Also installed as the [Printexc] printer for the
+    exception. *)
 
 val parse_rule : string -> Rule.t
 (** Parse one (optionally [name:]-prefixed) rule.  Unnamed rules get the

@@ -1,0 +1,32 @@
+(* The seeded corpus of known-unsound rules used by tests, CI and the
+   E9 bench section: every rule parses, fires on the verifier's seeded
+   redexes, and changes query results (or crashes the pipeline) on some
+   instance.  The same text is committed as packs/known_bad.rules for
+   the CLI path; the library copy is the source of truth. *)
+
+let known_bad =
+  {|
+  -- selections: dropped, weakened, or rewritten away
+  drop_filter:      filter(r, f) --> r ;
+  filter_weaken:    filter(r, f) / distinct(f, true) --> filter(r, true) ;
+  search_drop_qual: search(z, f, p) / distinct(f, true) --> search(z, true, p) ;
+  and_drop_conjunct:
+    and(bag(c*, f)) / nonempty(c*), distinct(f, true) --> and(bag(c*)) ;
+
+  -- set operators: confused or thrown away
+  union_to_inter:   union(set(a, b)) --> intersection(a, b) ;
+  inter_to_union:   intersection(a, b) --> union(set(a, b)) ;
+  diff_drop:        difference(a, b) --> a ;
+  drop_union_arm:   union(set(x*, r)) / nonempty(x*) --> union(set(x*)) ;
+
+  -- comparison semantics: weakened, strengthened or inverted
+  eq_to_true:       x = y / distinct(x, y) --> true ;
+  lt_weaken:        x < y --> x <= y ;
+  le_strengthen:    x <= y --> x < y ;
+  neq_to_eq:        x <> y --> x = y ;
+
+  -- projections and fixpoints: structure thrown away
+  proj_truncate:
+    search(z, q, tuple(a, b*)) / nonempty(b*) --> search(z, q, tuple(a)) ;
+  fix_forget:       fix(n, b) --> b ;
+|}

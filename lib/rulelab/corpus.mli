@@ -1,0 +1,6 @@
+(** The committed corpus of known-unsound rules (the library copy of
+    [packs/known_bad.rules]): parseable, exercised by the verifier's
+    seeded redexes, and each result-changing on some instance.  The
+    verifier must flag every one — the E9 catch-rate experiment. *)
+
+val known_bad : string

@@ -1,0 +1,314 @@
+(* Rule discovery: enumerate candidate rewrite rules from a normalized
+   pattern grammar over the LERA operator vocabulary, screen each
+   candidate differentially in isolation (base = the empty program, so
+   the trial measures the rule's own semantics), verify survivors
+   against the full paper program, and rank them by measured work
+   savings (combinations + probes + builds + tuples read) on redex-rich
+   workloads.
+
+   The grammar covers filters, unions (with and without a collection
+   variable), intersection and difference over relation variables a/b
+   and qualification variables f/g — small enough to enumerate
+   exhaustively, rich enough to re-discover the paper's merge-and-prune
+   family (filter merging, duplicate-arm elimination, self-intersection
+   collapse).  Candidates are normalized by renaming variables in
+   first-occurrence order, so alpha-equivalent rules dedup; only
+   right-hand sides over the left side's variables and no larger than
+   the left side are kept, and the static size audit must classify the
+   rule as non-growing (it will run without a limit). *)
+
+module Term = Eds_term.Term
+module Value = Eds_value.Value
+module Vtype = Eds_value.Vtype
+module Lera = Eds_lera.Lera
+module Relation = Eds_engine.Relation
+module Database = Eds_engine.Database
+module Eval = Eds_engine.Eval
+module Rule = Eds_rewriter.Rule
+module Rule_analysis = Eds_rewriter.Rule_analysis
+module Optimizer = Eds_rewriter.Optimizer
+module Metrics = Eds_obs.Metrics
+
+let m_candidates =
+  Metrics.counter ~help:"Candidate rules enumerated by discovery"
+    "eds_rulelab_candidates_total"
+
+let m_survivors =
+  Metrics.counter ~help:"Verified candidate rules with positive savings"
+    "eds_rulelab_survivors_total"
+
+(* -- the pattern grammar ------------------------------------------------- *)
+
+let rel_vars = [ Term.var "a"; Term.var "b" ]
+
+let quals =
+  [
+    Term.var "f";
+    Term.var "g";
+    Term.app "and" [ Term.Coll (Term.Bag, [ Term.var "f"; Term.var "g" ]) ];
+    Term.tru;
+  ]
+
+let unions args = Term.app "union" [ Term.Coll (Term.Set, args) ]
+
+let rec rels depth =
+  if depth = 0 then rel_vars
+  else
+    let sub = rels (depth - 1) in
+    let pairs = List.concat_map (fun x -> List.map (fun y -> (x, y)) sub) sub in
+    rel_vars
+    @ List.concat_map
+        (fun r -> List.map (fun q -> Term.app "filter" [ r; q ]) quals)
+        sub
+    @ List.concat_map
+        (fun r ->
+          [
+            unions [ r ];
+            unions [ Term.cvar "u"; r ];
+            unions [ r; r ];
+            unions [ Term.cvar "u"; r; r ];
+          ])
+        sub
+    @ List.concat_map
+        (fun (x, y) ->
+          [
+            unions [ x; y ];
+            Term.app "intersection" [ x; y ];
+            Term.app "difference" [ x; y ];
+          ])
+        pairs
+
+(* normalize: rename variables (and collection variables) in
+   first-occurrence order, so alpha-equivalent candidates collapse *)
+let canonical (lhs, rhs) =
+  let map = Hashtbl.create 8 in
+  let next = ref 0 in
+  let rename v =
+    match Hashtbl.find_opt map v with
+    | Some v' -> v'
+    | None ->
+      incr next;
+      let v' = Fmt.str "v%d" !next in
+      Hashtbl.add map v v';
+      v'
+  in
+  let rec go t =
+    match t with
+    | Term.Var v -> Term.Var (rename v)
+    | Term.Cvar v -> Term.Cvar (rename v)
+    | Term.Cst _ -> t
+    | Term.App (f, args) -> Term.App (f, List.map go args)
+    | Term.Coll (k, elems) -> Term.Coll (k, List.map go elems)
+  in
+  let lhs = go lhs in
+  (lhs, go rhs)
+
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+let safe_behaviour = function
+  | Rule_analysis.Decreasing | Rule_analysis.Nonincreasing
+  | Rule_analysis.Eliminating _ ->
+    true
+  | Rule_analysis.Guarded_growth | Rule_analysis.Increasing
+  | Rule_analysis.Unknown ->
+    false
+
+let enumerate () =
+  let pool = rels 1 in
+  let pairs =
+    List.concat_map
+      (fun lhs ->
+        match lhs with
+        | Term.Var _ | Term.Cvar _ -> [] (* a bare variable matches anything *)
+        | _ ->
+          List.filter_map
+            (fun rhs ->
+              let lhs, rhs = canonical (lhs, rhs) in
+              if Term.equal lhs rhs then None
+              else if not (subset (Term.vars rhs) (Term.vars lhs)) then None
+              else if Term.size rhs > Term.size lhs then None
+              else Some (lhs, rhs))
+            pool)
+      pool
+  in
+  let seen = Hashtbl.create 256 in
+  let uniq =
+    List.filter
+      (fun (lhs, rhs) ->
+        let key = Term.to_string lhs ^ " --> " ^ Term.to_string rhs in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      pairs
+  in
+  uniq
+  |> List.mapi (fun i (lhs, rhs) ->
+         {
+           Rule.name = Fmt.str "cand_%03d" i;
+           lhs;
+           constraints = [];
+           rhs;
+           methods = [];
+         })
+  |> List.filter (fun r -> safe_behaviour (Rule_analysis.size_behaviour r))
+
+(* -- savings measurement ------------------------------------------------- *)
+
+let work (s : Eval.stats) =
+  s.Eval.combinations + s.Eval.probes + s.Eval.builds + s.Eval.tuples_read
+
+(* deterministic redex-rich workloads: stacked filters, duplicated
+   union arms, self-intersection — over one relation big enough that
+   saved work dominates noise *)
+let default_workloads () =
+  let db = Database.create () in
+  let two = [ ("A", Vtype.Int); ("B", Vtype.Int) ] in
+  let state = ref 314159 in
+  let rng bound =
+    state := (!state * 1103515245) + 12345;
+    abs !state mod bound
+  in
+  Database.add_relation db "BIG"
+    (Relation.make two
+       (List.init 2000 (fun _ -> [ Value.Int (rng 50); Value.Int (rng 97) ])));
+  let c = Lera.col in
+  let k n = Lera.Cst (Value.Int n) in
+  let lt a b = Lera.Call ("<", [ a; b ]) in
+  let gt a b = Lera.Call (">", [ a; b ]) in
+  let big = Lera.Base "BIG" in
+  let sel =
+    Lera.Search ([ big ], Lera.eq (c 1 1) (k 7), [ c 1 2 ])
+  in
+  let filt = Lera.Filter (big, lt (c 1 2) (k 40)) in
+  [
+    ( "stacked_filters",
+      db,
+      Lera.Filter
+        (Lera.Filter (Lera.Filter (big, lt (c 1 1) (k 25)), lt (c 1 2) (k 40)),
+         gt (c 1 1) (k 3)) );
+    ("dup_union_arms", db, Lera.Union [ sel; sel ]);
+    ("self_intersection", db, Lera.Inter (filt, filt));
+  ]
+
+(* the candidate's own effect: rewrite with the rule alone (saturation
+   up to the verifier's budget) versus an identical engine roundtrip
+   with no rules at all — the empty roundtrip is the baseline so that
+   normalization the translation itself performs (e.g. set collections
+   deduplicating identical union arms) is not credited to the rule *)
+let savings_on ~ctx rule (name, db, plan) =
+  let eval_work rel =
+    let s = Eval.fresh_stats () in
+    match Eval.run ~physical:Eval.Physical.Indexed ~stats:s db rel with
+    | _ -> Some (work s)
+    | exception _ -> None
+  in
+  let roundtrip prog =
+    match Optimizer.rewrite ~program:prog ctx plan with
+    | exception _ -> None
+    | rewritten -> eval_work rewritten
+  in
+  let with_rule = { Rule.blocks = [ Verify.cand_block [ rule ] ]; rounds = 1 } in
+  let without = { Rule.blocks = []; rounds = 1 } in
+  match (roundtrip without, roundtrip with_rule) with
+  | Some before, Some after -> Some (name, before - after)
+  | _ -> None
+
+(* -- results ------------------------------------------------------------- *)
+
+type candidate = {
+  rule : Rule.t;
+  savings : int;  (** total work units saved across the workloads *)
+  per_workload : (string * int) list;
+  fired : int;  (** verification trials in which the rule fired *)
+}
+
+type result = {
+  enumerated : int;
+  screened_out : int;  (** unsound or never exercised in isolation *)
+  no_savings : int;  (** sound but no measured positive savings *)
+  survivors : candidate list;  (** verified + profitable, best first *)
+}
+
+let empty_base = { Rule.blocks = []; rounds = 1 }
+
+let run ?(seed = 42) ?(screen_trials = 16) ?(verify_trials = 32)
+    ?(max_candidates = 200) ?workloads ?base () =
+  let workloads =
+    match workloads with Some w -> w | None -> default_workloads ()
+  in
+  let base = match base with Some b -> b | None -> Optimizer.program () in
+  let all = enumerate () in
+  let considered = List.filteri (fun i _ -> i < max_candidates) all in
+  Metrics.Counter.add m_candidates (List.length considered);
+  (* screen: differential in isolation — cheap, and independent of the
+     base program's own opinion of the redex *)
+  let screened =
+    List.filter
+      (fun rule ->
+        match
+          (Verify.verify_rules ~seed ~trials:screen_trials ~base:empty_base
+             [ rule ])
+            .Verify.rules
+        with
+        | [ { Verify.soundness = Verify.Sound { fired; _ }; _ } ] -> fired > 0
+        | _ -> false)
+      considered
+  in
+  let screened_out = List.length considered - List.length screened in
+  (* rank by measured savings on the workloads *)
+  let measured =
+    List.filter_map
+      (fun rule ->
+        let per =
+          List.filter_map
+            (fun ((_, db, _) as w) ->
+              let ctx = Optimizer.make_ctx (Database.schema_env db) in
+              savings_on ~ctx rule w)
+            workloads
+        in
+        let total = List.fold_left (fun acc (_, s) -> acc + s) 0 per in
+        if total > 0 then Some (rule, per, total) else None)
+      screened
+  in
+  let no_savings = List.length screened - List.length measured in
+  (* final verification against the full base program *)
+  let survivors =
+    List.filter_map
+      (fun (rule, per, total) ->
+        match
+          (Verify.verify_rules ~seed ~trials:verify_trials ~base [ rule ])
+            .Verify.rules
+        with
+        | [ { Verify.soundness = Verify.Sound { fired; _ }; _ } ] ->
+          Some { rule; savings = total; per_workload = per; fired }
+        | _ -> None)
+      measured
+  in
+  let survivors =
+    List.sort (fun a b -> compare b.savings a.savings) survivors
+  in
+  Metrics.Counter.add m_survivors (List.length survivors);
+  {
+    enumerated = List.length considered;
+    screened_out;
+    no_savings;
+    survivors;
+  }
+
+let pp_candidate ppf c =
+  Fmt.pf ppf "@[<v 4>%a@ saves %d work units (%a), fired in %d trials@]"
+    Rule.pp c.rule c.savings
+    (Fmt.list ~sep:Fmt.comma (fun ppf (w, s) -> Fmt.pf ppf "%s: %d" w s))
+    c.per_workload c.fired
+
+let pp ppf r =
+  Fmt.pf ppf
+    "@[<v>discovery: %d candidates, %d screened out, %d without savings, %d \
+     survivor%s@,"
+    r.enumerated r.screened_out r.no_savings
+    (List.length r.survivors)
+    (if List.length r.survivors = 1 then "" else "s");
+  List.iter (fun c -> Fmt.pf ppf "%a@," pp_candidate c) r.survivors;
+  Fmt.pf ppf "@]"

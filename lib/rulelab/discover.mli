@@ -1,0 +1,48 @@
+(** Rule discovery: candidate rules enumerated from a normalized
+    pattern grammar over the LERA vocabulary (filters, unions,
+    intersection, difference over relation and qualification
+    variables), screened differentially in isolation, verified against
+    the full base program with {!Verify}, and ranked by measured work
+    savings (combinations + probes + builds + tuples read) on
+    redex-rich workloads. *)
+
+module Database = Eds_engine.Database
+module Lera = Eds_lera.Lera
+module Rule = Eds_rewriter.Rule
+
+type candidate = {
+  rule : Rule.t;
+  savings : int;  (** total work units saved across the workloads *)
+  per_workload : (string * int) list;
+  fired : int;  (** verification trials in which the rule fired *)
+}
+
+type result = {
+  enumerated : int;  (** candidates after static filtering and the cap *)
+  screened_out : int;  (** unsound or never exercised in isolation *)
+  no_savings : int;  (** sound but no measured positive savings *)
+  survivors : candidate list;  (** verified + profitable, best first *)
+}
+
+val enumerate : unit -> Rule.t list
+(** The statically-safe candidates of the grammar, normalized and
+    deduplicated (no cap applied). *)
+
+val default_workloads : unit -> (string * Database.t * Lera.rel) list
+(** Stacked filters, duplicated union arms and a self-intersection over
+    a deterministic 2000-row relation. *)
+
+val run :
+  ?seed:int ->
+  ?screen_trials:int ->
+  ?verify_trials:int ->
+  ?max_candidates:int ->
+  ?workloads:(string * Database.t * Lera.rel) list ->
+  ?base:Rule.program ->
+  unit ->
+  result
+(** [base] (default the paper program) is what survivors are finally
+    verified against; screening always uses the empty program. *)
+
+val pp_candidate : Format.formatter -> candidate -> unit
+val pp : Format.formatter -> result -> unit

@@ -130,6 +130,8 @@ let help_text =
   \                     UPDATE / REFRESH (CREATE MATERIALIZED VIEW too)\n\
   \  .<directive>       any edsql shell directive (.help lists them)\n\
   \  EXPLAIN [ANALYZE] SELECT ...   plan report; ANALYZE also executes\n\
+  \  VERIFY RULES <rules>   differentially verify a rule pack; it is\n\
+  \                     appended to block 'verified' only if clean\n\
   \  HELP               this text\n\
   \  PING               liveness probe\n\
   \  STATS              server + session counters, human-readable\n\
@@ -463,6 +465,29 @@ let run_save t path =
             Storage.save session path;
             `Reply (Protocol.Ok, Printf.sprintf "saved %s\n" path))
 
+(* VERIFY RULES gates an untrusted pack: the differential verifier runs
+   against the session's current program and the pack is appended only
+   when clean.  It can mutate the rule program, so it takes the write
+   lock like any directive. *)
+let run_verify t line =
+  let usage = "error: usage: VERIFY RULES <rule text>\n" in
+  let rest = rest_after_token line in
+  if String.uppercase_ascii (first_token rest) <> "RULES" then
+    `Reply (Protocol.Error, usage)
+  else
+    let text = rest_after_token rest in
+    if text = "" then `Reply (Protocol.Error, usage)
+    else
+      Rwlock.with_write t.rw (fun () ->
+          let session = Planner.session t.planner in
+          let buf = Buffer.create 256 in
+          let ppf = Format.formatter_of_buffer buf in
+          let accepted = Repl.verify_rules_text ppf session text in
+          Format.pp_print_flush ppf ();
+          `Reply
+            ( (if accepted then Protocol.Ok else Protocol.Error),
+              Buffer.contents buf ))
+
 (* STATS RESET zeroes every cumulative, non-integrity counter: the
    server's own tallies, the plan cache's, the rwlock's, the session's
    evaluator counters, and the registry's resettable cells.  The plan
@@ -502,6 +527,7 @@ let dispatch_line t conn_id line =
           `Reply (Protocol.Ok, Metrics.prometheus ())
       | "METRICS" -> `Reply (Protocol.Ok, Obs.Json.to_string (metrics t) ^ "\n")
       | "SAVE" -> run_save t (rest_after_token line)
+      | "VERIFY" -> run_verify t line
       | "QUIT" -> `Close (Protocol.Ok, "bye\n")
       | _ when all_alpha (first_token line) ->
           `Reply
@@ -518,7 +544,8 @@ let verb_of_line line =
     match String.uppercase_ascii (first_token line) with
     | "SELECT" -> "select"
     | "EXPLAIN" -> "explain"
-    | "HELP" | "PING" | "STATS" | "METRICS" | "SAVE" | "QUIT" -> "admin"
+    | "HELP" | "PING" | "STATS" | "METRICS" | "SAVE" | "VERIFY" | "QUIT" ->
+      "admin"
     | _ -> "write"
 
 (* per-line recovery, mirroring the REPL: one bad request must never

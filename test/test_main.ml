@@ -12,6 +12,7 @@ let () =
       ("esql", Test_esql.suite);
       ("rule-parser", Test_rule_parser.suite);
       ("rule-analysis", Test_rule_analysis.suite);
+      ("rulelab", Test_rulelab.suite);
       ("rewriter", Test_rewriter.suite);
       ("engine-fast", Test_engine_fast.suite);
       ("magic", Test_magic.suite);

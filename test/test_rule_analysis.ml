@@ -65,6 +65,143 @@ let test_overlap_detection () =
   Alcotest.(check bool) "function variable overlaps anything applied" true
     (Rule_analysis.could_overlap (parse "fv: F(x) --> x") r3)
 
+(* -- no false negatives: joint matchability implies could_overlap -------- *)
+
+module Term = Eds_term.Term
+
+(* A ground matcher that under-approximates the engine's: collections
+   are matched in order, a collection variable absorbs any contiguous
+   run, and function variables bind their head symbol consistently.
+   Anything it accepts is a genuine match, so two left sides that both
+   match one ground term must be reported by [could_overlap] — the
+   over-approximation may cry wolf but must never stay silent. *)
+let rec bmatch (vars, fvars) p t =
+  match (p, t) with
+  | Term.Var v, _ -> (
+    match List.assoc_opt v vars with
+    | Some t' -> if Term.equal t' t then Some (vars, fvars) else None
+    | None -> Some ((v, t) :: vars, fvars))
+  | Term.Cst a, Term.Cst b ->
+    if Eds_value.Value.equal a b then Some (vars, fvars) else None
+  | Term.App (f, ps), Term.App (g, ts) when Term.is_fvar f -> (
+    match List.assoc_opt f fvars with
+    | Some g' when g' <> g -> None
+    | _ -> bmatch_seq (vars, (f, g) :: fvars) ps ts)
+  | Term.App (f, ps), Term.App (g, ts) when String.equal f g ->
+    bmatch_seq (vars, fvars) ps ts
+  | Term.Coll (k, ps), Term.Coll (k', ts) when k = k' ->
+    bmatch_seq (vars, fvars) ps ts
+  | _ -> None
+
+and bmatch_seq env ps ts =
+  match (ps, ts) with
+  | [], [] -> Some env
+  | Term.Cvar _ :: ps', _ ->
+    (* generated patterns use each cvar once, so absorption needs no
+       binding consistency *)
+    let rec try_drop ts =
+      match bmatch_seq env ps' ts with
+      | Some e -> Some e
+      | None -> ( match ts with [] -> None | _ :: rest -> try_drop rest)
+    in
+    try_drop ts
+  | p :: ps', t :: ts' -> (
+    match bmatch env p t with Some e -> bmatch_seq e ps' ts' | None -> None)
+  | _ -> None
+
+let matches lhs t = bmatch ([], []) lhs t <> None
+
+(* every ground term of depth <= 2 over f/g/h, constants 1/2 and the
+   three collection kinds (bounded to keep the sweep cheap) *)
+let ground_pool =
+  let d0 = [ Term.int 1; Term.int 2 ] in
+  let arg_lists xs =
+    List.map (fun a -> [ a ]) xs
+    @ List.concat_map (fun a -> List.map (fun b -> [ a; b ]) xs) xs
+  in
+  let layer xs =
+    List.concat_map
+      (fun args -> List.map (fun h -> Term.app h args) [ "f"; "g"; "h" ])
+      (arg_lists xs)
+    @ List.concat_map
+        (fun k -> List.map (fun es -> Term.Coll (k, es)) ([] :: arg_lists xs))
+        [ Term.Set; Term.Bag; Term.List ]
+  in
+  let d1 = layer d0 in
+  d0 @ d1 @ layer (d0 @ List.filteri (fun i _ -> i < 10) d1)
+
+let cvar_counter = ref 0
+
+let gen_lhs =
+  let open QCheck2.Gen in
+  let leaf = oneofl [ Term.var "x"; Term.var "y"; Term.int 1; Term.int 2 ] in
+  let rec go depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          ( 4,
+            oneofl [ "f"; "g"; "h"; "?p"; "?q" ] >>= fun head ->
+            list_size (int_range 1 2) (go (depth - 1)) >|= Term.app head );
+          ( 1,
+            oneofl [ Term.Set; Term.Bag; Term.List ] >>= fun kind ->
+            list_size (int_range 0 2) (go (depth - 1)) >>= fun elems ->
+            bool >|= fun with_cvar ->
+            let elems =
+              if with_cvar then begin
+                incr cvar_counter;
+                Term.Cvar (Fmt.str "c%d" !cvar_counter) :: elems
+              end
+              else elems
+            in
+            Term.Coll (kind, elems) );
+        ]
+  in
+  oneofl [ "f"; "g"; "h"; "?p" ] >>= fun head ->
+  QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 2) (go 1) >|= Term.app head
+
+let rule_of_lhs name lhs =
+  { Rule.name; lhs; constraints = []; rhs = Eds_term.Term.int 1; methods = [] }
+
+let test_overlap_no_false_negatives =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"joint matchability implies could_overlap"
+       ~count:400
+       ~print:(fun (a, b) ->
+         Fmt.str "%a  vs  %a" Term.pp a Term.pp b)
+       QCheck2.Gen.(pair gen_lhs gen_lhs)
+       (fun (la, lb) ->
+         let jointly =
+           List.exists (fun t -> matches la t && matches lb t) ground_pool
+         in
+         (not jointly)
+         || Rule_analysis.could_overlap (rule_of_lhs "a" la)
+              (rule_of_lhs "b" lb)))
+
+let test_overlap_cvar_fvar_edges () =
+  let parse = Rule_parser.parse_rule in
+  Alcotest.(check bool) "cvar collection overlaps a concrete collection" true
+    (Rule_analysis.could_overlap
+       (parse "a: f(set(x*)) --> f(set(x*))")
+       (parse "b: f(set(1, 2)) --> f(set(1))"));
+  Alcotest.(check bool) "cvar absorbs an arity mismatch" true
+    (Rule_analysis.could_overlap
+       (parse "a: and(bag(c*, q)) --> q")
+       (parse "b: and(bag(x, y, z)) --> x"));
+  Alcotest.(check bool) "fvar head overlaps a concrete head" true
+    (Rule_analysis.could_overlap
+       (parse "fv: F(x) --> x")
+       (parse "g1: g(1) --> g(1)"));
+  Alcotest.(check bool) "K is still a function variable" true
+    (Rule_analysis.could_overlap
+       (parse "kv: K(x) --> x")
+       (parse "g1: g(1) --> g(1)"));
+  Alcotest.(check bool) "fvar binds one head, arity still matters" false
+    (Rule_analysis.could_overlap
+       (parse "fv: F(x, y) --> x")
+       (parse "g1: g(1) --> g(1)"))
+
 let test_known_competing_rules () =
   (* the development history of this repo: push_select used to steal the
      redexes of the more specific nest/unnest pushes — the analysis makes
@@ -86,5 +223,8 @@ let suite =
     Alcotest.test_case "default program warning-free" `Quick test_default_program_is_warning_free;
     Alcotest.test_case "looping user rule flagged" `Quick test_looping_rule_flagged;
     Alcotest.test_case "overlap detection" `Quick test_overlap_detection;
+    test_overlap_no_false_negatives;
+    Alcotest.test_case "overlap cvar/fvar edge cases" `Quick
+      test_overlap_cvar_fvar_edges;
     Alcotest.test_case "known competing rules found" `Quick test_known_competing_rules;
   ]

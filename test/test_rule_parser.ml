@@ -74,6 +74,45 @@ let test_parse_errors () =
   Alcotest.(check bool) "garbage" true (fails "f(x) --> g(x) extra");
   Alcotest.(check bool) "unterminated" true (fails "f(x --> g(x)")
 
+(* malformed rules carry line/column and the offending token (ISSUE 10
+   satellite): the positions below are pinned against the probe inputs *)
+let test_error_positions () =
+  let err s =
+    try
+      ignore (Rule_parser.parse_rules s);
+      Alcotest.failf "expected a parse error on %S" s
+    with Rule_parser.Rule_parse_error e -> e
+  in
+  let contains sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let e = err "r: f(x) / x = 1 ;" in
+  Alcotest.(check int) "missing arrow: line" 1 e.Rule_parser.line;
+  Alcotest.(check int) "missing arrow: column" 17 e.Rule_parser.column;
+  Alcotest.(check string) "missing arrow: token" ";" e.Rule_parser.token;
+  let e = err "r: f(x --> g(x) ;" in
+  Alcotest.(check int) "unclosed paren: column" 8 e.Rule_parser.column;
+  Alcotest.(check string) "unclosed paren: token" "-->" e.Rule_parser.token;
+  Alcotest.(check bool) "unclosed paren: message" true
+    (contains "expected )" e.Rule_parser.message);
+  (* errors in later rules report the right line of a multi-line pack *)
+  let e = err "ok: f(x) --> g(x) ;\nbad: f( --> g(x) ;" in
+  Alcotest.(check int) "second rule: line" 2 e.Rule_parser.line;
+  Alcotest.(check int) "second rule: column" 9 e.Rule_parser.column;
+  (* lexical errors are positioned too *)
+  let e = err "r: f(?) --> g(x) ;" in
+  Alcotest.(check int) "lex error: line" 1 e.Rule_parser.line;
+  Alcotest.(check int) "lex error: column" 6 e.Rule_parser.column;
+  Alcotest.(check bool) "lex error: message" true
+    (contains "lexical error" e.Rule_parser.message);
+  (* the rendering used by the shell's error line carries it all *)
+  let rendered = Rule_parser.error_to_string (err "r f(x) --> g(x) ;") in
+  Alcotest.(check bool) "rendered position" true (contains "line 1" rendered);
+  Alcotest.(check bool) "rendered token" true
+    (contains "identifier f" rendered)
+
 let test_default_library_parses () =
   (* every figure-derived rule set loads *)
   Alcotest.(check int) "merging rules" 6 (List.length (Rulesets.merging ()));
@@ -169,6 +208,7 @@ let suite =
     Alcotest.test_case "AND/OR normal form" `Quick test_parse_and_or_normal_form;
     Alcotest.test_case "set literals and columns" `Quick test_parse_set_literal_and_column;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "error positions" `Quick test_error_positions;
     Alcotest.test_case "default library parses" `Quick test_default_library_parses;
     Alcotest.test_case "rule pp round trip" `Quick test_rule_pp_round_trip;
     Alcotest.test_case "meta-rules: block and seq" `Quick test_meta_parsing;

@@ -1,0 +1,182 @@
+(* Tests for lib/rulelab: the differential rule verifier, the seeded
+   known-bad corpus, counterexample shrinking, pack-level liveness and
+   the discovery loop (ISSUE 10). *)
+
+module Lera = Eds_lera.Lera
+module Relation = Eds_engine.Relation
+module Database = Eds_engine.Database
+module Rule = Eds_rewriter.Rule
+module Rule_parser = Eds_rewriter.Rule_parser
+module Rulesets = Eds_rewriter.Rulesets
+module Gen = Eds_rulelab.Gen
+module Corpus = Eds_rulelab.Corpus
+module Verify = Eds_rulelab.Verify
+module Discover = Eds_rulelab.Discover
+
+(* -- the extracted generators -------------------------------------------- *)
+
+let test_gen_fixture_stable () =
+  let db = Gen.db () in
+  Alcotest.(check (list string))
+    "schema" [ "EDGE"; "R0"; "R1"; "R2" ]
+    (List.sort compare (Database.relation_names db));
+  (* deterministic: two draws of the canonical instance are identical *)
+  let db' = Gen.db () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Fmt.str "%s reproducible" n) true
+        (Relation.equal (Database.relation db n) (Database.relation db' n)))
+    [ "R0"; "R1"; "R2"; "EDGE" ]
+
+let test_gen_instances_share_schema () =
+  let rand = Random.State.make [| 7 |] in
+  let reference = Gen.db () in
+  for _ = 1 to 20 do
+    let db = Gen.instance rand in
+    Alcotest.(check (list string))
+      "same relations"
+      (List.sort compare (Database.relation_names reference))
+      (List.sort compare (Database.relation_names db));
+    List.iter
+      (fun n ->
+        Alcotest.(check int)
+          (Fmt.str "%s arity" n)
+          (List.length (Database.relation reference n).Relation.schema)
+          (List.length (Database.relation db n).Relation.schema))
+      (Database.relation_names db)
+  done
+
+(* -- the verifier on the seeded known-bad corpus ------------------------- *)
+
+let test_known_bad_all_flagged () =
+  let rules = Rule_parser.parse_rules Corpus.known_bad in
+  Alcotest.(check int) "corpus size" 14 (List.length rules);
+  let report = Verify.verify_rules ~trials:32 rules in
+  List.iter
+    (fun (rr : Verify.rule_report) ->
+      match rr.Verify.soundness with
+      | Verify.Unsound ce ->
+        Alcotest.(check bool)
+          (Fmt.str "%s: counterexample replays" rr.Verify.rule.Rule.name)
+          true
+          (Verify.check_counterexample rr.Verify.rule ce)
+      | _ -> Alcotest.failf "%s not flagged unsound" rr.Verify.rule.Rule.name)
+    report.Verify.rules;
+  Alcotest.(check bool) "report is not clean" false (Verify.clean report)
+
+let test_paper_rules_clean () =
+  let report = Verify.verify_rules ~trials:32 (Rulesets.all ()) in
+  List.iter
+    (fun (rr : Verify.rule_report) ->
+      match rr.Verify.soundness with
+      | Verify.Unsound ce ->
+        Alcotest.failf "paper rule %s flagged: %a" rr.Verify.rule.Rule.name
+          Verify.pp_counterexample ce
+      | _ -> ())
+    report.Verify.rules;
+  Alcotest.(check bool) "clean" true (Verify.clean report);
+  Alcotest.(check bool)
+    (Fmt.str "at least 8 rules exercised (%d)" (Verify.exercised report))
+    true
+    (Verify.exercised report >= 8)
+
+let test_counterexamples_are_shrunk () =
+  let rule =
+    Rule_parser.parse_rule "bad: filter(r, f) / distinct(f, true) --> r"
+  in
+  match (Verify.verify_rules ~trials:24 [ rule ]).Verify.rules with
+  | [ { Verify.soundness = Verify.Unsound ce; _ } ] ->
+    Alcotest.(check bool)
+      (Fmt.str "plan is minimal (%s)" (Lera.to_string ce.Verify.plan))
+      true
+      (Lera.operator_count ce.Verify.plan <= 6);
+    let tuples =
+      List.fold_left
+        (fun acc (_, r) -> acc + Relation.cardinality r)
+        0 ce.Verify.relations
+    in
+    Alcotest.(check bool)
+      (Fmt.str "instance is minimal (%d tuples)" tuples)
+      true (tuples <= 20)
+  | _ -> Alcotest.fail "expected exactly one unsound rule"
+
+(* -- pack-level liveness: dead and shadowed rules ------------------------ *)
+
+let test_liveness_dead_and_shadowed () =
+  let rules =
+    Rule_parser.parse_rules
+      "first: filter(filter(r, f), g) --> filter(r, and(bag(f, g))) ;\n\
+       second: filter(filter(r, f), g) --> filter(r, and(bag(g, f))) ;\n\
+       dead_rule: fix(n, fix(m, b)) --> fix(n, b) ;"
+  in
+  let report = Verify.verify_rules ~trials:24 rules in
+  let liveness name =
+    (List.find
+       (fun (rr : Verify.rule_report) -> rr.Verify.rule.Rule.name = name)
+       report.Verify.rules)
+      .Verify.liveness
+  in
+  (match liveness "first" with
+  | Verify.Live -> ()
+  | _ -> Alcotest.fail "first should be live");
+  (match liveness "second" with
+  | Verify.Shadowed by -> Alcotest.(check string) "shadowed by" "first" by
+  | Verify.Live -> Alcotest.fail "second should not fire after first"
+  | Verify.Dead -> Alcotest.fail "second should be reported shadowed, not dead");
+  match liveness "dead_rule" with
+  | Verify.Dead -> ()
+  | _ -> Alcotest.fail "dead_rule should be dead"
+
+(* -- discovery ----------------------------------------------------------- *)
+
+let test_discovery_finds_profitable_rules () =
+  let result =
+    Discover.run ~screen_trials:16 ~verify_trials:16 ~max_candidates:80 ()
+  in
+  Alcotest.(check bool)
+    (Fmt.str "at least one survivor (%d enumerated, %d screened out)"
+       result.Discover.enumerated result.Discover.screened_out)
+    true
+    (List.length result.Discover.survivors >= 1);
+  List.iter
+    (fun (c : Discover.candidate) ->
+      Alcotest.(check bool)
+        (Fmt.str "%s has positive savings" c.Discover.rule.Rule.name)
+        true (c.Discover.savings > 0);
+      Alcotest.(check bool)
+        (Fmt.str "%s fired during verification" c.Discover.rule.Rule.name)
+        true (c.Discover.fired > 0))
+    result.Discover.survivors
+
+let test_metrics_registered () =
+  ignore
+    (Verify.verify_rules ~trials:4
+       [ Rule_parser.parse_rule "noop: union(set(r)) --> r" ]);
+  let prom = Eds_obs.Metrics.prometheus () in
+  let contains sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (Fmt.str "%s exposed" name) true (contains name prom))
+    [ "eds_rulelab_rules_checked_total"; "eds_rulelab_trials_total" ]
+
+let suite =
+  [
+    Alcotest.test_case "generator fixture is stable" `Quick
+      test_gen_fixture_stable;
+    Alcotest.test_case "random instances share the schema" `Quick
+      test_gen_instances_share_schema;
+    Alcotest.test_case "known-bad corpus: 14/14 flagged with replayable \
+                        counterexamples" `Slow test_known_bad_all_flagged;
+    Alcotest.test_case "paper rules verify clean" `Slow test_paper_rules_clean;
+    Alcotest.test_case "counterexamples are shrunk" `Quick
+      test_counterexamples_are_shrunk;
+    Alcotest.test_case "liveness: dead and shadowed rules" `Quick
+      test_liveness_dead_and_shadowed;
+    Alcotest.test_case "discovery finds profitable rules" `Slow
+      test_discovery_finds_profitable_rules;
+    Alcotest.test_case "rulelab metrics exposed" `Quick test_metrics_registered;
+  ]

@@ -695,6 +695,39 @@ let test_loadtest_mixed_verified () =
       Alcotest.(check int) "snapshot reads acquired zero read locks" 0
         c.Server.locks.Rwlock.read_acquired)
 
+(* VERIFY RULES gates an untrusted pack over the wire: a sound pack is
+   appended to block "verified", an unsound one is rejected with the
+   counterexample report and leaves the program untouched (ISSUE 10) *)
+let test_wire_verify_rules () =
+  with_server (Session.create ()) (fun srv ->
+      with_client srv (fun c ->
+          let st, payload = Client.request c "VERIFY NONSENSE" in
+          Alcotest.check status "usage error" Protocol.Error st;
+          Alcotest.(check bool) "usage hint" true
+            (contains ~affix:"usage: VERIFY RULES" payload);
+          let st, payload =
+            Client.request c "VERIFY RULES bad: filter(r, f) --> r ;"
+          in
+          Alcotest.check status "unsound pack rejected" Protocol.Error st;
+          Alcotest.(check bool) "rejection names the rule" true
+            (contains ~affix:"bad" payload);
+          Alcotest.(check bool) "counterexample shown" true
+            (contains ~affix:"counterexample" payload);
+          let st, _ = Client.request c ".rules" in
+          Alcotest.check status "program intact" Protocol.Ok st;
+          let st, payload =
+            Client.request c
+              "VERIFY RULES good: filter(filter(r, f), g) --> filter(r, \
+               and(bag(f, g))) ;"
+          in
+          Alcotest.check status "sound pack accepted" Protocol.Ok st;
+          Alcotest.(check bool) "acceptance reported" true
+            (contains ~affix:"pack accepted" payload);
+          let st, payload = Client.request c ".rules" in
+          Alcotest.check status "rules listed" Protocol.Ok st;
+          Alcotest.(check bool) "block verified present" true
+            (contains ~affix:"verified" payload)))
+
 let suite =
   [
     Alcotest.test_case "rwlock: readers share" `Quick test_rwlock_readers_share;
@@ -728,6 +761,7 @@ let suite =
     Alcotest.test_case "slow-query log captures structured lines" `Quick
       test_slow_query_log;
     Alcotest.test_case "wire: EXPLAIN ANALYZE" `Quick test_wire_explain_analyze;
+    Alcotest.test_case "wire: VERIFY RULES gate" `Slow test_wire_verify_rules;
     Alcotest.test_case "timeout kills query, spares connection" `Quick
       test_query_timeout_spares_connection;
     Alcotest.test_case "back-to-back queries after a timeout" `Quick
